@@ -1,0 +1,185 @@
+//! Betweenness Centrality via Brandes' algorithm (§3.4): a forward BFS
+//! from the source counts shortest paths (`sigma`) and records each
+//! level's frontier; a backward sweep over the levels accumulates
+//! dependencies (`delta`). Returns the per-vertex dependency contribution
+//! of the given source (summing over sources yields exact BC).
+
+use sygraph_core::frontier::{BitmapLike, Word};
+use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
+use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::operators::{advance, compute};
+use sygraph_core::types::{VertexId, INF_DIST};
+use sygraph_sim::{Queue, SimResult};
+
+use crate::common::{make_frontier, AlgoResult};
+use crate::dispatch_by_word;
+
+/// Runs single-source Brandes BC from `src`.
+pub fn run(
+    q: &Queue,
+    g: &DeviceCsr,
+    src: VertexId,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<f32>> {
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts))
+}
+
+fn run_impl<W: Word>(
+    q: &Queue,
+    g: &DeviceCsr,
+    src: VertexId,
+    opts: &OptConfig,
+    tuning: &Tuning,
+) -> SimResult<AlgoResult<f32>> {
+    use sygraph_core::graph::DeviceGraphView;
+    let n = g.vertex_count();
+    assert!((src as usize) < n, "source out of range");
+    let t0 = q.now_ns();
+
+    let depth = q.malloc_device::<u32>(n)?;
+    let sigma = q.malloc_device::<f32>(n)?;
+    let delta = q.malloc_device::<f32>(n)?;
+    q.fill(&depth, INF_DIST);
+    q.fill(&sigma, 0.0);
+    q.fill(&delta, 0.0);
+    depth.store(src as usize, 0);
+    sigma.store(src as usize, 1.0);
+
+    // Forward phase: BFS levels, counting shortest paths.
+    let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
+    let mut cur = make_frontier::<W>(q, n, opts)?;
+    cur.insert_host(src);
+    let mut d = 0u32;
+    loop {
+        q.mark(format!("bc_fwd{d}"));
+        let next = make_frontier::<W>(q, n, opts)?;
+        let (ev, words) = advance::frontier_counted(
+            q,
+            g,
+            cur.as_ref(),
+            next.as_ref(),
+            tuning,
+            |l, u, v, _e, _w| {
+                let old = l.fetch_min(&depth, v as usize, d + 1);
+                if old > d {
+                    // v is on a shortest path through u: accumulate sigma.
+                    let su = l.load(&sigma, u as usize);
+                    l.fetch_add_f32(&sigma, v as usize, su);
+                    old == INF_DIST
+                } else {
+                    false
+                }
+            },
+        );
+        ev.wait();
+        if words == Some(0) || (words.is_none() && cur.is_empty(q)) {
+            break;
+        }
+        levels.push(cur);
+        cur = next;
+        d += 1;
+    }
+
+    // Backward phase: accumulate dependencies level by level, deepest
+    // first (the deepest level has delta 0 by definition).
+    for (level, frontier) in levels.iter().enumerate().rev().skip(1) {
+        q.mark(format!("bc_bwd{level}"));
+        let next_depth = level as u32 + 1;
+        advance::frontier_discard(q, g, frontier.as_ref(), tuning, |l, u, v, _e, _w| {
+            if l.load(&depth, v as usize) == next_depth {
+                let su = l.load(&sigma, u as usize);
+                let sv = l.load(&sigma, v as usize);
+                let dv = l.load(&delta, v as usize);
+                l.fetch_add_f32(&delta, u as usize, su / sv * (1.0 + dv));
+            }
+            false
+        })
+        .wait();
+    }
+
+    // The source's own dependency does not count.
+    compute::execute_all(q, n, |l, v| {
+        if v == src {
+            l.store(&delta, v as usize, 0.0);
+        }
+    })
+    .wait();
+
+    Ok(AlgoResult {
+        values: delta.to_vec(),
+        iterations: d,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn check(host: &CsrHost, src: u32) {
+        let q = queue();
+        let g = DeviceCsr::upload(&q, host).unwrap();
+        let got = run(&q, &g, src, &OptConfig::all()).unwrap();
+        let want = reference::betweenness_from(host, src);
+        for (v, (a, b)) in got.values.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 * (1.0 + b.abs()),
+                "vertex {v}: {a} vs {b} (src {src})"
+            );
+        }
+    }
+
+    #[test]
+    fn path_graph_center_dependency() {
+        // 0 -> 1 -> 2 -> 3: from 0, delta(1)=2 (paths to 2 and 3), delta(2)=1.
+        let host = CsrHost::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, vec![0.0, 2.0, 1.0, 0.0]);
+        check(&host, 0);
+    }
+
+    #[test]
+    fn diamond_splits_dependency() {
+        // 0 -> {1,2} -> 3: two shortest paths to 3; each middle gets 0.5 + 1.
+        let host = CsrHost::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, vec![0.0, 0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn random_graphs_match_reference() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 120u32;
+        let edges: Vec<(u32, u32)> = (0..600)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        for src in [0, 5, 77] {
+            check(&host, src);
+        }
+    }
+
+    #[test]
+    fn undirected_star_center_has_high_bc() {
+        let host =
+            CsrHost::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 1, &OptConfig::all()).unwrap();
+        // From leaf 1, all paths to 2,3,4 pass through hub 0.
+        assert_eq!(got.values[0], 3.0);
+        check(&host, 1);
+    }
+}

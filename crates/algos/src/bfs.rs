@@ -1,0 +1,150 @@
+//! Breadth-First Search (push-based), following the paper's Listing 1:
+//! an `advance` expands the frontier through unvisited vertices, a
+//! `compute` stamps their distances, then the frontiers swap.
+
+use sygraph_core::frontier::{swap, Word};
+use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
+use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::operators::{advance, compute};
+use sygraph_core::types::{VertexId, INF_DIST};
+use sygraph_sim::{Queue, SimError, SimResult};
+
+use crate::common::{make_frontier, AlgoResult};
+use crate::dispatch_by_word;
+
+/// Runs BFS from `src`, returning hop distances (unreached = `INF_DIST`).
+pub fn run(
+    q: &Queue,
+    g: &DeviceCsr,
+    src: VertexId,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<u32>> {
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts))
+}
+
+fn run_impl<W: Word>(
+    q: &Queue,
+    g: &DeviceCsr,
+    src: VertexId,
+    opts: &OptConfig,
+    tuning: &Tuning,
+) -> SimResult<AlgoResult<u32>> {
+    use sygraph_core::graph::DeviceGraphView;
+    let n = g.vertex_count();
+    assert!((src as usize) < n, "source out of range");
+    let t0 = q.now_ns();
+
+    let dist = q.malloc_device::<u32>(n)?;
+    q.fill(&dist, INF_DIST);
+    dist.store(src as usize, 0);
+
+    let mut fin = make_frontier::<W>(q, n, opts)?;
+    let mut fout = make_frontier::<W>(q, n, opts)?;
+    fin.insert_host(src);
+
+    let mut iter = 0u32;
+    loop {
+        q.mark(format!("bfs_iter{iter}"));
+        // Advance: visit out-edges of the frontier; keep unvisited
+        // destinations (Listing 1 lines 9-13). The two-layer compaction
+        // count doubles as the emptiness check, saving a count kernel.
+        let (ev, words) = advance::frontier_counted(
+            q,
+            g,
+            fin.as_ref(),
+            fout.as_ref(),
+            tuning,
+            |l, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+        );
+        ev.wait();
+        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
+            break;
+        }
+        // Compute: stamp distances on the new frontier (lines 14-17).
+        compute::execute(q, fout.as_ref(), |l, v| {
+            l.store(&dist, v as usize, iter + 1);
+        })
+        .wait();
+        swap(&mut fin, &mut fout);
+        fout.clear(q);
+        iter += 1;
+        if iter as usize > n + 1 {
+            return Err(SimError::Algorithm("BFS failed to converge".into()));
+        }
+    }
+
+    Ok(AlgoResult {
+        values: dist.to_vec(),
+        iterations: iter,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn check_against_reference(host: &CsrHost, src: u32, opts: &OptConfig) {
+        let q = queue();
+        let g = DeviceCsr::upload(&q, host).unwrap();
+        let got = run(&q, &g, src, opts).unwrap();
+        assert_eq!(got.values, reference::bfs(host, src));
+        assert!(got.sim_ms > 0.0);
+    }
+
+    #[test]
+    fn chain_graph_all_layouts() {
+        let host = CsrHost::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        for (_, opts) in OptConfig::ablation_suite() {
+            check_against_reference(&host, 0, &opts);
+        }
+    }
+
+    #[test]
+    fn star_and_unreachable() {
+        let host = CsrHost::from_edges(6, &[(0, 1), (0, 2), (0, 3), (4, 5)]);
+        check_against_reference(&host, 0, &OptConfig::all());
+    }
+
+    #[test]
+    fn iteration_count_equals_eccentricity_plus_one() {
+        let q = queue();
+        let host = CsrHost::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let out = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        assert_eq!(out.iterations, 5, "4 expansion levels + final empty check");
+        assert_eq!(out.values, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_graph_matches_reference() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 300;
+        let edges: Vec<(u32, u32)> = (0..1500)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        check_against_reference(&host, 0, &OptConfig::all());
+        check_against_reference(&host, 17, &OptConfig::baseline());
+    }
+
+    #[test]
+    fn profiler_markers_per_iteration() {
+        let q = queue();
+        let host = CsrHost::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let out = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        let markers = q.profiler().markers();
+        // one marker per expansion plus the final empty-frontier check
+        assert_eq!(markers.len() as u32, out.iterations + 1);
+        assert!(markers[0].label.starts_with("bfs_iter"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Connected Components via label propagation (§3.4, after Stergiou et
+//! al.): every vertex starts with its own id as label and pushes the
+//! minimum along edges until no label changes. The input must be
+//! symmetric (undirected) for component semantics; use
+//! [`sygraph_core::graph::CsrHost::to_undirected`] first if needed.
+
+use sygraph_core::frontier::{swap, Word};
+use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
+use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::operators::advance;
+use sygraph_sim::{Queue, SimError, SimResult};
+
+use crate::common::{make_frontier, AlgoResult};
+use crate::dispatch_by_word;
+
+/// Runs label-propagation CC; returns per-vertex component labels
+/// (the minimum vertex id of each component).
+pub fn run(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, opts))
+}
+
+/// Label propagation with Stergiou-style *shortcutting*: after each
+/// propagation superstep, a `compute` pass replaces every label by its
+/// label's label (`l[v] ← l[l[v]]`), collapsing label chains so minima
+/// travel exponentially fast. On high-diameter graphs this cuts the
+/// superstep count from O(diameter) to roughly O(log diameter) rounds of
+/// useful work (the paper's CC follows Stergiou et al., which is built
+/// on exactly this idea).
+pub fn run_shortcutting(
+    q: &Queue,
+    g: &DeviceCsr,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<u32>> {
+    dispatch_by_word!(q, opts, g.vertex_count(), run_shortcut_impl(q, g, opts))
+}
+
+fn run_shortcut_impl<W: Word>(
+    q: &Queue,
+    g: &DeviceCsr,
+    opts: &OptConfig,
+    tuning: &Tuning,
+) -> SimResult<AlgoResult<u32>> {
+    let n = g.vertex_count();
+    let t0 = q.now_ns();
+
+    let labels = q.malloc_device::<u32>(n)?;
+    q.parallel_for("cc_init", n, |l, v| {
+        l.store(&labels, v, v as u32);
+    });
+
+    let mut fin = make_frontier::<W>(q, n, opts)?;
+    let mut fout = make_frontier::<W>(q, n, opts)?;
+    fin.fill_all(q);
+
+    let mut iter = 0u32;
+    loop {
+        q.mark(format!("ccs_iter{iter}"));
+        let (ev, words) = advance::frontier_counted(
+            q,
+            g,
+            fin.as_ref(),
+            fout.as_ref(),
+            tuning,
+            |l, u, v, _e, _w| {
+                let lu = l.load(&labels, u as usize);
+                let old = l.fetch_min(&labels, v as usize, lu);
+                lu < old
+            },
+        );
+        ev.wait();
+        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
+            break;
+        }
+        // Shortcut pass: chase label chains to their root (pointer
+        // jumping, as in union-find's find). A change re-activates the
+        // vertex so the shortened label keeps propagating.
+        q.parallel_for("cc_shortcut", n, |l, v| {
+            let start = l.load(&labels, v);
+            let mut root = start;
+            loop {
+                let next = l.load(&labels, root as usize);
+                if next >= root {
+                    break;
+                }
+                root = next;
+                l.compute(2);
+            }
+            if root < start {
+                l.store(&labels, v, root);
+                fout.insert_lane(l, v as u32);
+            }
+        });
+        swap(&mut fin, &mut fout);
+        fout.clear(q);
+        iter += 1;
+        if iter as usize > n + 1 {
+            return Err(SimError::Algorithm("shortcutting CC diverged".into()));
+        }
+    }
+
+    Ok(AlgoResult {
+        values: labels.to_vec(),
+        iterations: iter,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+fn run_impl<W: Word>(
+    q: &Queue,
+    g: &DeviceCsr,
+    opts: &OptConfig,
+    tuning: &Tuning,
+) -> SimResult<AlgoResult<u32>> {
+    use sygraph_core::graph::DeviceGraphView;
+    let n = g.vertex_count();
+    let t0 = q.now_ns();
+
+    let labels = q.malloc_device::<u32>(n)?;
+    q.parallel_for("cc_init", n, |l, v| {
+        l.store(&labels, v, v as u32);
+    });
+
+    let mut fin = make_frontier::<W>(q, n, opts)?;
+    let mut fout = make_frontier::<W>(q, n, opts)?;
+    // Every vertex starts by distributing its label to its neighbors.
+    fin.fill_all(q);
+
+    let mut iter = 0u32;
+    loop {
+        q.mark(format!("cc_iter{iter}"));
+        let (ev, words) = advance::frontier_counted(
+            q,
+            g,
+            fin.as_ref(),
+            fout.as_ref(),
+            tuning,
+            |l, u, v, _e, _w| {
+                let lu = l.load(&labels, u as usize);
+                let old = l.fetch_min(&labels, v as usize, lu);
+                lu < old
+            },
+        );
+        ev.wait();
+        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
+            break;
+        }
+        swap(&mut fin, &mut fout);
+        fout.clear(q);
+        iter += 1;
+        if iter as usize > n + 1 {
+            return Err(SimError::Algorithm("CC failed to converge".into()));
+        }
+    }
+
+    Ok(AlgoResult {
+        values: labels.to_vec(),
+        iterations: iter,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn check(host: &CsrHost) {
+        let q = queue();
+        let g = DeviceCsr::upload(&q, host).unwrap();
+        let got = run(&q, &g, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, reference::connected_components(host));
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        // {0,1,2} u {3,4}, 5 isolated
+        let host =
+            CsrHost::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).to_undirected();
+        check(&host);
+    }
+
+    #[test]
+    fn single_chain() {
+        let edges: Vec<(u32, u32)> = (0..19).map(|v| (v, v + 1)).collect();
+        let host = CsrHost::from_edges(20, &edges).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, &OptConfig::all()).unwrap();
+        assert!(got.values.iter().all(|&l| l == 0), "one component");
+    }
+
+    #[test]
+    fn random_graph_matches_union_find() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 400u32;
+        // sparse: expect several components
+        let edges: Vec<(u32, u32)> = (0..300)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        check(&host);
+    }
+
+    #[test]
+    fn shortcutting_matches_plain_cc_with_fewer_iterations() {
+        // A chain whose vertex ids are shuffled, so min-labels cannot ride
+        // the simulator's ascending word sweep: plain label propagation
+        // needs many supersteps, shortcutting collapses the chains.
+        use rand::prelude::*;
+        let n = 256u32;
+        let mut perm: Vec<u32> = (0..n).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(4));
+        let edges: Vec<(u32, u32)> = (0..n as usize - 1)
+            .map(|i| (perm[i], perm[i + 1]))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let plain = run(&q, &g, &OptConfig::all()).unwrap();
+        let short = run_shortcutting(&q, &g, &OptConfig::all()).unwrap();
+        assert_eq!(plain.values, short.values);
+        assert_eq!(short.values, reference::connected_components(&host));
+        assert!(
+            short.iterations < plain.iterations,
+            "shortcutting {} vs plain {} supersteps",
+            short.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn shortcutting_correct_on_random_graph() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 300u32;
+        let edges: Vec<(u32, u32)> = (0..250)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run_shortcutting(&q, &g, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, reference::connected_components(&host));
+    }
+
+    #[test]
+    fn all_layouts_agree() {
+        let host = CsrHost::from_edges(8, &[(0, 1), (2, 3), (4, 5), (5, 6)]).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let a = run(&q, &g, &OptConfig::all()).unwrap();
+        let b = run(&q, &g, &OptConfig::baseline()).unwrap();
+        assert_eq!(a.values, b.values);
+    }
+}

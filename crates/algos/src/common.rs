@@ -1,0 +1,91 @@
+//! Shared machinery: frontier factories, run metrics and word-width
+//! dispatch.
+
+use serde::{Deserialize, Serialize};
+use sygraph_core::frontier::{BitmapFrontier, BitmapLike, TwoLayerFrontier, Word};
+use sygraph_core::inspector::{inspect, OptConfig, Tuning};
+use sygraph_sim::{Queue, SimResult};
+
+/// Result of one algorithm run: per-vertex values plus run metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoResult<T> {
+    /// Per-vertex output (distances, labels, centrality scores...).
+    pub values: Vec<T>,
+    /// Supersteps executed.
+    pub iterations: u32,
+    /// Modelled device time of the run, in milliseconds.
+    pub sim_ms: f64,
+}
+
+/// Creates a frontier of the layout selected by `opts` (`two_layer` on →
+/// the 2LB layout, off → the plain §4.1 bitmap used as Figure 7 baseline).
+pub fn make_frontier<W: Word>(
+    q: &Queue,
+    n: usize,
+    opts: &OptConfig,
+) -> SimResult<Box<dyn BitmapLike<W>>> {
+    if opts.two_layer {
+        Ok(Box::new(TwoLayerFrontier::<W>::new(q, n)?))
+    } else {
+        Ok(Box::new(BitmapFrontier::<W>::new(q, n)?))
+    }
+}
+
+/// Derives the tuning for this queue's device and dispatches `f` on the
+/// inspector-selected word width (the MSI optimization picks 32-bit words
+/// on NVIDIA/Intel and 64-bit on AMD; with MSI off the word is 64-bit).
+pub fn dispatch_word<R>(
+    q: &Queue,
+    opts: &OptConfig,
+    n: usize,
+    f32bit: impl FnOnce(Tuning) -> R,
+    f64bit: impl FnOnce(Tuning) -> R,
+) -> R {
+    let tuning = inspect(q.profile(), opts, n);
+    match tuning.word_bits {
+        32 => f32bit(tuning),
+        _ => f64bit(tuning),
+    }
+}
+
+/// Convenience macro: runs `$impl_fn::<u32>` or `::<u64>` per the
+/// inspector's word choice.
+#[macro_export]
+macro_rules! dispatch_by_word {
+    ($q:expr, $opts:expr, $n:expr, $impl_fn:ident ( $($arg:expr),* $(,)? )) => {{
+        let tuning = sygraph_core::inspector::inspect($q.profile(), $opts, $n);
+        match tuning.word_bits {
+            32 => $impl_fn::<u32>($($arg,)* &tuning),
+            _ => $impl_fn::<u64>($($arg,)* &tuning),
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::frontier::Frontier;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    #[test]
+    fn factory_respects_layout_flag() {
+        let q = Queue::new(Device::new(DeviceProfile::host_test()));
+        let two = make_frontier::<u32>(&q, 100, &OptConfig::all()).unwrap();
+        let flat = make_frontier::<u32>(&q, 100, &OptConfig::baseline()).unwrap();
+        assert!(two.compact(&q).is_some(), "2LB layout compacts");
+        assert!(flat.compact(&q).is_none(), "plain bitmap does not");
+        two.insert_host(4);
+        assert_eq!(two.count(&q), 1);
+        assert_eq!(flat.count(&q), 0);
+    }
+
+    #[test]
+    fn dispatch_picks_width_by_vendor() {
+        let qa = Queue::new(Device::new(DeviceProfile::v100s()));
+        let w = dispatch_word(&qa, &OptConfig::all(), 1000, |_| 32, |_| 64);
+        assert_eq!(w, 32);
+        let qb = Queue::new(Device::new(DeviceProfile::mi100()));
+        let w = dispatch_word(&qb, &OptConfig::all(), 1000, |_| 32, |_| 64);
+        assert_eq!(w, 64);
+    }
+}

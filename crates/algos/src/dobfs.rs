@@ -1,0 +1,202 @@
+//! Direction-Optimizing BFS (Beamer et al.), the push/pull hybrid the
+//! paper notes is possible atop SYgraph (§3.4: "it is also possible to
+//! use both push and pull techniques as per Beamer et al.").
+//!
+//! Push iterations use the standard frontier `advance`; when the frontier
+//! grows past `n / alpha` vertices, the traversal switches to pull:
+//! every unvisited vertex scans its *in*-edges (the graph's CSC view) and
+//! adopts the level as soon as one parent lies in the current frontier —
+//! a membership test that is a single bit probe thanks to the bitmap
+//! layout. It switches back to push when the frontier shrinks below
+//! `n / beta`.
+
+use sygraph_core::frontier::word::locate;
+use sygraph_core::frontier::{swap, Word};
+use sygraph_core::graph::{DeviceGraphView, Graph};
+use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::operators::{advance, compute};
+use sygraph_core::types::{VertexId, INF_DIST};
+use sygraph_sim::{Queue, SimError, SimResult};
+
+use crate::common::{make_frontier, AlgoResult};
+use crate::dispatch_by_word;
+
+/// Beamer's switching thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct DobfsParams {
+    /// Switch push→pull when `frontier > n / alpha`.
+    pub alpha: usize,
+    /// Switch pull→push when `frontier < n / beta`.
+    pub beta: usize,
+}
+
+impl Default for DobfsParams {
+    fn default() -> Self {
+        DobfsParams { alpha: 4, beta: 24 }
+    }
+}
+
+/// Runs direction-optimizing BFS from `src`. The graph must carry a pull
+/// (CSC) view — build it with [`Graph::with_pull`].
+pub fn run(
+    q: &Queue,
+    g: &Graph,
+    src: VertexId,
+    opts: &OptConfig,
+    params: DobfsParams,
+) -> SimResult<AlgoResult<u32>> {
+    assert!(
+        g.csc.is_some(),
+        "direction-optimizing BFS needs Graph::with_pull"
+    );
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, params))
+}
+
+fn run_impl<W: Word>(
+    q: &Queue,
+    g: &Graph,
+    src: VertexId,
+    opts: &OptConfig,
+    params: DobfsParams,
+    tuning: &Tuning,
+) -> SimResult<AlgoResult<u32>> {
+    let n = g.vertex_count();
+    assert!((src as usize) < n, "source out of range");
+    let csc = g.csc.as_ref().unwrap();
+    let t0 = q.now_ns();
+
+    let dist = q.malloc_device::<u32>(n)?;
+    q.fill(&dist, INF_DIST);
+    dist.store(src as usize, 0);
+
+    let mut fin = make_frontier::<W>(q, n, opts)?;
+    let mut fout = make_frontier::<W>(q, n, opts)?;
+    fin.insert_host(src);
+
+    let mut iter = 0u32;
+    let mut frontier_size = 1usize;
+    let mut pulling = false;
+    loop {
+        q.mark(format!("dobfs_iter{iter}"));
+        // Beamer switch heuristic on the frontier population.
+        if !pulling && frontier_size > n / params.alpha.max(1) {
+            pulling = true;
+        } else if pulling && frontier_size < n / params.beta.max(1) {
+            pulling = false;
+        }
+
+        if pulling {
+            // Pull: each unvisited vertex scans in-edges for a frontier
+            // parent; the bitmap makes membership a single bit probe.
+            let in_words = fin.words();
+            let fout_ref = fout.as_ref();
+            let next = iter + 1;
+            q.parallel_for("bfs_pull", n, |l, v| {
+                if l.load(&dist, v) != INF_DIST {
+                    return;
+                }
+                let (lo, hi) = csc.row_bounds(l, v as u32);
+                for e in lo..hi {
+                    let u = csc.edge_dest(l, e);
+                    let (wi, b) = locate::<W>(u);
+                    if l.load(in_words, wi).test_bit(b) {
+                        l.store(&dist, v, next);
+                        fout_ref.insert_lane(l, v as u32);
+                        break; // early exit: one parent suffices
+                    }
+                }
+            });
+        } else {
+            // Push: Listing-1 advance + compute.
+            advance::frontier(
+                q,
+                &g.csr,
+                fin.as_ref(),
+                fout.as_ref(),
+                tuning,
+                |l, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+            )
+            .wait();
+            compute::execute(q, fout.as_ref(), |l, v| {
+                l.store(&dist, v as usize, iter + 1);
+            })
+            .wait();
+        }
+
+        swap(&mut fin, &mut fout);
+        fout.clear(q);
+        iter += 1;
+        frontier_size = fin.count(q);
+        if frontier_size == 0 {
+            break;
+        }
+        if iter as usize > n + 1 {
+            return Err(SimError::Algorithm("DOBFS failed to converge".into()));
+        }
+    }
+
+    Ok(AlgoResult {
+        values: dist.to_vec(),
+        iterations: iter,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn check(host: &CsrHost, src: u32, params: DobfsParams) {
+        let q = queue();
+        let g = Graph::with_pull(&q, host).unwrap();
+        let got = run(&q, &g, src, &OptConfig::all(), params).unwrap();
+        assert_eq!(got.values, reference::bfs(host, src));
+    }
+
+    #[test]
+    fn matches_reference_with_default_switching() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 250u32;
+        let edges: Vec<(u32, u32)> = (0..2500)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        check(&host, 0, DobfsParams::default());
+    }
+
+    #[test]
+    fn forced_pull_still_correct() {
+        // alpha=1: pull from the first iteration onward.
+        let host =
+            CsrHost::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)]);
+        check(
+            &host,
+            0,
+            DobfsParams {
+                alpha: 1,
+                beta: 1000,
+            },
+        );
+    }
+
+    #[test]
+    fn forced_push_matches_plain_bfs() {
+        let host = CsrHost::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        check(
+            &host,
+            0,
+            DobfsParams {
+                alpha: usize::MAX,
+                beta: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! k-core decomposition by iterative peeling — a natural showcase of the
+//! paper's `filter::inplace` primitive: the frontier holds the surviving
+//! vertices, and each superstep removes those whose degree *within the
+//! frontier* fell below `k`, until a fixpoint.
+//!
+//! The input must be undirected.
+
+use sygraph_core::frontier::{BitmapLike, Frontier, TwoLayerFrontier};
+use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
+use sygraph_core::inspector::{inspect, OptConfig};
+use sygraph_core::operators::{advance, filter};
+use sygraph_sim::{Queue, SimError, SimResult};
+
+use crate::common::AlgoResult;
+
+/// Computes the k-core: returns per-vertex membership (1 = in the
+/// k-core) and the number of peeling supersteps.
+pub fn run(q: &Queue, g: &DeviceCsr, k: u32, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
+    let n = g.vertex_count();
+    let tuning = inspect(q.profile(), opts, n);
+    let t0 = q.now_ns();
+
+    // Surviving set, as a frontier. (Always two-layer here: the peel
+    // frontier shrinks monotonically, exactly 2LB's strength.)
+    let alive = TwoLayerFrontier::<u32>::new(q, n)?;
+    alive.fill_all(q);
+    let degree = q.malloc_device::<u32>(n)?;
+
+    let mut survivors = alive.count(q);
+    let mut iter = 0u32;
+    loop {
+        q.mark(format!("kcore_iter{iter}"));
+        // Degree restricted to the surviving set: advance over `alive`,
+        // counting only edges whose destination also survives.
+        q.fill(&degree, 0);
+        let alive_words = alive.words();
+        advance::frontier_discard(q, g, &alive, &tuning, |l, u, v, _e, _w| {
+            let (wi, b) = sygraph_core::frontier::locate::<u32>(v);
+            if l.load(alive_words, wi) & (1 << b) != 0 {
+                l.fetch_add(&degree, u as usize, 1);
+            }
+            false
+        })
+        .wait();
+        // Peel: drop vertices below k.
+        filter::inplace(q, &alive, |l, v| l.load(&degree, v as usize) >= k).wait();
+        let now = alive.count(q);
+        iter += 1;
+        if now == survivors {
+            break;
+        }
+        survivors = now;
+        if iter as usize > n + 1 {
+            return Err(SimError::Algorithm("k-core peeling diverged".into()));
+        }
+    }
+
+    let membership: Vec<u32> = {
+        let set: std::collections::HashSet<u32> = alive.to_sorted_vec().into_iter().collect();
+        (0..n as u32).map(|v| set.contains(&v) as u32).collect()
+    };
+    Ok(AlgoResult {
+        values: membership,
+        iterations: iter,
+        sim_ms: (q.now_ns() - t0) / 1e6,
+    })
+}
+
+/// Host reference: classic sequential peeling.
+pub fn reference(g: &sygraph_core::graph::CsrHost, k: u32) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut alive = vec![true; n];
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+    while let Some(v) = queue.pop() {
+        if !alive[v as usize] {
+            continue;
+        }
+        alive[v as usize] = false;
+        for &u in g.neighbors(v) {
+            if alive[u as usize] {
+                deg[u as usize] = deg[u as usize].saturating_sub(1);
+                if deg[u as usize] < k {
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    alive.into_iter().map(|a| a as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn check(host: &CsrHost, k: u32) {
+        let q = queue();
+        let g = DeviceCsr::upload(&q, host).unwrap();
+        let got = run(&q, &g, k, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, reference(host, k), "k={k}");
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // triangle {0,1,2} plus a path 2-3-4: 2-core = the triangle.
+        let host =
+            CsrHost::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 2, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, vec![1, 1, 1, 0, 0]);
+        check(&host, 2);
+    }
+
+    #[test]
+    fn k1_keeps_everything_with_an_edge() {
+        let host = CsrHost::from_edges(4, &[(0, 1), (1, 0)]);
+        check(&host, 1);
+        // vertices 2,3 are isolated: not in the 1-core
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 1, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn cascading_peel() {
+        // path graph: 2-core is empty, peeling cascades end-inward.
+        let n = 30u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let got = run(&q, &g, 2, &OptConfig::all()).unwrap();
+        assert!(got.values.iter().all(|&x| x == 0), "path has no 2-core");
+        assert!(got.iterations > 5, "peeling cascades iteratively");
+        check(&host, 2);
+    }
+
+    #[test]
+    fn random_graphs_various_k() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(29);
+        let n = 120u32;
+        let mut edges = Vec::new();
+        for _ in 0..500 {
+            let (u, v) = (rng.random_range(0..n), rng.random_range(0..n));
+            if u != v {
+                edges.push((u, v));
+                edges.push((v, u));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        for k in [1, 2, 3, 5, 8] {
+            check(&host, k);
+        }
+    }
+}

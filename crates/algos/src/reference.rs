@@ -1,0 +1,215 @@
+//! Sequential host reference implementations used to verify the GPU
+//! algorithms (and the baseline frameworks) in tests.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use sygraph_core::graph::CsrHost;
+use sygraph_core::types::{VertexId, INF_DIST};
+
+/// BFS hop distances from `src`; unreachable vertices get [`INF_DIST`].
+pub fn bfs(g: &CsrHost, src: VertexId) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut dist = vec![INF_DIST; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == INF_DIST {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra shortest-path distances from `src` (non-negative weights;
+/// unweighted edges count 1.0). Unreachable vertices get `f32::INFINITY`.
+pub fn dijkstra(g: &CsrHost, src: VertexId) -> Vec<f32> {
+    let n = g.vertex_count();
+    let mut dist = vec![f32::INFINITY; n];
+    dist[src as usize] = 0.0;
+    // (ordered-dist-bits, vertex): f32 bits of non-negative floats sort
+    // like the floats themselves.
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let du = f32::from_bits(dbits);
+        if du > dist[u as usize] {
+            continue;
+        }
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            let w = g.neighbor_weights(u).map_or(1.0, |ws| ws[k]);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = du + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd.to_bits(), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels via union-find, treating edges as
+/// undirected. Each vertex's label is the smallest vertex id in its
+/// component (matching label-propagation's fixpoint).
+pub fn connected_components(g: &CsrHost) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = x;
+        while parent[c as usize] != r {
+            let next = parent[c as usize];
+            parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                // union by smaller id so the final label is the min id
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Exact Brandes betweenness centrality contribution of one source on an
+/// unweighted directed graph (no endpoint counting, no normalization —
+/// same convention as the device implementation).
+pub fn betweenness_from(g: &CsrHost, src: VertexId) -> Vec<f32> {
+    let n = g.vertex_count();
+    let mut sigma = vec![0f64; n];
+    let mut dist = vec![i64::MAX; n];
+    let mut delta = vec![0f64; n];
+    let mut order: Vec<u32> = Vec::new();
+    let mut queue = VecDeque::new();
+    sigma[src as usize] = 1.0;
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == i64::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == dist[u as usize] + 1 {
+                sigma[v as usize] += sigma[u as usize];
+            }
+        }
+    }
+    for &u in order.iter().rev() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == dist[u as usize] + 1 {
+                delta[u as usize] +=
+                    sigma[u as usize] / sigma[v as usize] * (1.0 + delta[v as usize]);
+            }
+        }
+    }
+    delta[src as usize] = 0.0;
+    delta.iter().map(|&d| d as f32).collect()
+}
+
+/// Power-iteration PageRank with damping `d`, `iters` sweeps, uniform
+/// teleport. Dangling vertices redistribute uniformly.
+pub fn pagerank(g: &CsrHost, d: f32, iters: u32) -> Vec<f32> {
+    let n = g.vertex_count();
+    let mut rank = vec![1.0 / n as f32; n];
+    let mut next = vec![0f32; n];
+    for _ in 0..iters {
+        let mut dangling = 0.0f32;
+        next.fill((1.0 - d) / n as f32);
+        for u in 0..n as u32 {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += rank[u as usize];
+                continue;
+            }
+            let share = d * rank[u as usize] / deg as f32;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let spread = d * dangling / n as f32;
+        for x in next.iter_mut() {
+            *x += spread;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrHost {
+        // 0-1-2 path plus isolated 3; undirected
+        CsrHost::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1)])
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let d = bfs(&sample(), 0);
+        assert_eq!(d, vec![0, 1, 2, INF_DIST]);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let g = sample();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[..3], [0.0, 1.0, 2.0]);
+        assert!(d[3].is_infinite());
+    }
+
+    #[test]
+    fn dijkstra_weighted_shortcut() {
+        // 0->1 (10), 0->2 (1), 2->1 (2): best 0->1 is 3 via 2.
+        let g = CsrHost::from_edges_weighted(
+            3,
+            &[(0, 1), (0, 2), (2, 1)],
+            Some(&[10.0, 1.0, 2.0]),
+        );
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn cc_labels() {
+        let l = connected_components(&sample());
+        assert_eq!(l, vec![0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn bc_on_path_center() {
+        // path 0-1-2 (undirected): vertex 1 lies on the 0->2 shortest path.
+        let b = betweenness_from(&sample(), 0);
+        assert_eq!(b[1], 1.0);
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[2], 0.0);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub_highest() {
+        // star: 1,2,3 -> 0
+        let g = CsrHost::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        let r = pagerank(&g, 0.85, 50);
+        let sum: f32 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        assert!(r[0] > r[1]);
+        assert!((r[1] - r[2]).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,160 @@
+//! The common framework harness: every comparator (and SYgraph itself)
+//! implements [`Framework`], so the figure/table generators can run the
+//! same (algorithm, dataset, source) grid over all of them and compare
+//! both results (correctness) and modelled cost (performance).
+
+use serde::{Deserialize, Serialize};
+use sygraph_core::graph::CsrHost;
+use sygraph_core::types::VertexId;
+use sygraph_sim::{Queue, SimResult};
+
+/// The four evaluated algorithms (Figure 8 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgoKind {
+    Bc,
+    Bfs,
+    Cc,
+    Sssp,
+}
+
+impl AlgoKind {
+    pub fn all() -> [AlgoKind; 4] {
+        [AlgoKind::Bc, AlgoKind::Bfs, AlgoKind::Cc, AlgoKind::Sssp]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoKind::Bc => "BC",
+            AlgoKind::Bfs => "BFS",
+            AlgoKind::Cc => "CC",
+            AlgoKind::Sssp => "SSSP",
+        }
+    }
+
+    /// CC runs on the symmetrized graph and ignores the source.
+    pub fn needs_undirected(&self) -> bool {
+        matches!(self, AlgoKind::Cc)
+    }
+}
+
+/// Per-vertex output of an algorithm run, for cross-framework validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoValues {
+    U32(Vec<u32>),
+    F32(Vec<f32>),
+}
+
+impl AlgoValues {
+    /// Approximate equality (exact for u32; relative tolerance for f32,
+    /// since atomic float accumulation orders differ across frameworks).
+    pub fn approx_eq(&self, other: &AlgoValues, tol: f32) -> bool {
+        match (self, other) {
+            (AlgoValues::U32(a), AlgoValues::U32(b)) => a == b,
+            (AlgoValues::F32(a), AlgoValues::F32(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        (x.is_infinite() && y.is_infinite())
+                            || (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()))
+                    })
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One algorithm execution's outcome.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Modelled device time of the algorithm proper (ms) — the paper's
+    /// "WOP" quantity.
+    pub algo_ms: f64,
+    /// Supersteps executed.
+    pub iterations: u32,
+    /// Per-vertex results for validation.
+    pub values: AlgoValues,
+}
+
+/// A graph framework under evaluation.
+pub trait Framework {
+    /// Display name as used in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Uploads `host` and performs any one-time preprocessing
+    /// (Tigr's UDT, SEP-Graph's statistics/CSC). Must be called before
+    /// [`Framework::run`].
+    fn prepare(&mut self, q: &Queue, host: &CsrHost) -> SimResult<()>;
+
+    /// One-time preprocessing cost in ms (0 for SYgraph and Gunrock,
+    /// per Table 1). The paper's "WPP" adds this to `algo_ms`.
+    fn prep_ms(&self) -> f64;
+
+    /// Runs `algo` from `src` (ignored by CC).
+    fn run(&mut self, q: &Queue, algo: AlgoKind, src: VertexId) -> SimResult<RunRecord>;
+}
+
+/// Validates a framework's output against the host references.
+pub fn validate_against_reference(
+    host: &CsrHost,
+    algo: AlgoKind,
+    src: VertexId,
+    got: &AlgoValues,
+) -> Result<(), String> {
+    use sygraph_algos::reference;
+    match (algo, got) {
+        (AlgoKind::Bfs, AlgoValues::U32(d)) => {
+            let want = reference::bfs(host, src);
+            (d == &want)
+                .then_some(())
+                .ok_or_else(|| "BFS distances mismatch".into())
+        }
+        (AlgoKind::Cc, AlgoValues::U32(l)) => {
+            let want = reference::connected_components(host);
+            (l == &want)
+                .then_some(())
+                .ok_or_else(|| "CC labels mismatch".into())
+        }
+        (AlgoKind::Sssp, AlgoValues::F32(d)) => {
+            let want = reference::dijkstra(host, src);
+            for (v, (a, b)) in d.iter().zip(want.iter()).enumerate() {
+                let ok = (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3;
+                if !ok {
+                    return Err(format!("SSSP mismatch at {v}: {a} vs {b}"));
+                }
+            }
+            Ok(())
+        }
+        (AlgoKind::Bc, AlgoValues::F32(d)) => {
+            let want = reference::betweenness_from(host, src);
+            for (v, (a, b)) in d.iter().zip(want.iter()).enumerate() {
+                if (a - b).abs() > 1e-2 * (1.0 + b.abs()) {
+                    return Err(format!("BC mismatch at {v}: {a} vs {b}"));
+                }
+            }
+            Ok(())
+        }
+        _ => Err("value type does not match algorithm".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_kind_metadata() {
+        assert_eq!(AlgoKind::all().len(), 4);
+        assert!(AlgoKind::Cc.needs_undirected());
+        assert!(!AlgoKind::Bfs.needs_undirected());
+        assert_eq!(AlgoKind::Sssp.name(), "SSSP");
+    }
+
+    #[test]
+    fn approx_eq_handles_infinities_and_tolerance() {
+        let a = AlgoValues::F32(vec![1.0, f32::INFINITY]);
+        let b = AlgoValues::F32(vec![1.0000001, f32::INFINITY]);
+        assert!(a.approx_eq(&b, 1e-4));
+        let c = AlgoValues::F32(vec![2.0, f32::INFINITY]);
+        assert!(!a.approx_eq(&c, 1e-4));
+        assert!(!a.approx_eq(&AlgoValues::U32(vec![1]), 1e-4));
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared kernels for vector-frontier frameworks (Gunrock-like and
+//! SEP-Graph-like): cooperative advance over a vector frontier, degree
+//! sizing scans, and vector↔bitmap conversions.
+
+use sygraph_core::frontier::{BitmapFrontier, BitmapLike, Frontier, VectorFrontier};
+use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
+use sygraph_core::types::{EdgeId, VertexId, Weight};
+use sygraph_sim::{full_mask, ItemCtx, LaunchConfig, Queue};
+
+/// Per-edge functor for the vector advance.
+pub trait VecAdvanceFunctor:
+    Fn(&mut ItemCtx<'_>, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+impl<F> VecAdvanceFunctor for F where
+    F: Fn(&mut ItemCtx<'_>, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+
+/// Sum of out-degrees of the frontier — the sizing scan Gunrock runs
+/// before each advance to allocate its output (§2.2, §4).
+pub fn frontier_degree_sum(q: &Queue, g: &DeviceCsr, f: &VectorFrontier) -> usize {
+    let len = f.len();
+    if len == 0 {
+        return 0;
+    }
+    let acc = q.malloc_device::<u32>(1).expect("tiny alloc");
+    let items = f.items();
+    let offsets = &g.row_offsets;
+    q.parallel_for("gq_degree_scan", len, |l, i| {
+        let v = l.load(items, i) as usize;
+        let lo = l.load(offsets, v);
+        let hi = l.load(offsets, v + 1);
+        l.fetch_add(&acc, 0, hi - lo);
+        l.compute(2);
+    });
+    acc.load(0) as usize
+}
+
+/// Cooperative advance over a vector frontier: each subgroup takes a
+/// chunk of frontier items; for each item all lanes stride its neighbor
+/// list together. Destinations accepted by `functor` are appended to
+/// `fout` — duplicates and all; the caller must have sized `fout`.
+pub fn advance_vector(
+    q: &Queue,
+    name: &'static str,
+    g: &DeviceCsr,
+    fin: &VectorFrontier,
+    fout: Option<&VectorFrontier>,
+    functor: impl VecAdvanceFunctor,
+) {
+    let len = fin.len();
+    if len == 0 {
+        return;
+    }
+    let sgw = q.profile().preferred_subgroup;
+    let sgs_per_wg = 4u32;
+    let items_per_group = (sgw * sgs_per_wg) as usize;
+    let groups = len.div_ceil(items_per_group);
+    let cfg = LaunchConfig::new(name, groups, sgw * sgs_per_wg, sgw);
+    let items = fin.items();
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * items_per_group;
+        ctx.for_each_subgroup(|sg| {
+            let w = sg.width();
+            let start = base + (sg.sg_id() * w) as usize;
+            for k in 0..w as usize {
+                let idx = start + k;
+                if idx >= len {
+                    break;
+                }
+                let v = sg.load_uniform(items, idx);
+                let (lo, hi) = g.row_bounds_uniform(sg, v);
+                let mut e = lo;
+                while e < hi {
+                    let lanes = (hi - e).min(w);
+                    let mask = full_mask(lanes);
+                    sg.lanes(mask, |lane, item| {
+                        let eid = e + lane;
+                        let dst = g.edge_dest(item, eid);
+                        let wt = g.edge_weight(item, eid);
+                        item.compute(2);
+                        if functor(item, v, dst, eid, wt) {
+                            if let Some(out) = fout {
+                                out.append_lane(item, dst);
+                            }
+                        }
+                    });
+                    e += lanes;
+                }
+            }
+        });
+    });
+}
+
+/// Converts a vector frontier (possibly with duplicates) into a bitmap —
+/// SEP-Graph's dedup mechanism (§2.2: "converts the queue frontier to a
+/// bitmap frontier").
+pub fn vector_to_bitmap(q: &Queue, vec: &VectorFrontier, bm: &BitmapFrontier<u32>) {
+    bm.clear(q);
+    let len = vec.len();
+    let items = vec.items();
+    q.parallel_for("vec_to_bitmap", len, |l, i| {
+        let v = l.load(items, i);
+        bm.insert_lane(l, v);
+    });
+}
+
+/// Extracts a bitmap's set bits into a compact vector ("and then copies
+/// the values back"). The vector must have capacity for the population.
+pub fn bitmap_to_vector(q: &Queue, bm: &BitmapFrontier<u32>, vec: &VectorFrontier) {
+    vec.clear(q);
+    let words = bm.words();
+    q.parallel_for("bitmap_to_vec", bm.num_words(), |l, wi| {
+        let mut w = l.load(words, wi);
+        while w != 0 {
+            let b = w.trailing_zeros();
+            vec.append_lane(l, wi as u32 * 32 + b);
+            w &= w - 1;
+            l.compute(2);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn degree_sum_counts_frontier_out_edges() {
+        let q = queue();
+        let host = CsrHost::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 0)]);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let f = VectorFrontier::with_capacity(&q, 4, 8).unwrap();
+        f.insert_host(0);
+        f.insert_host(2);
+        assert_eq!(frontier_degree_sum(&q, &g, &f), 4);
+    }
+
+    #[test]
+    fn advance_appends_duplicates() {
+        let q = queue();
+        // both 0 and 1 point at 2 -> duplicate appears in output
+        let host = CsrHost::from_edges(3, &[(0, 2), (1, 2)]);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let fin = VectorFrontier::with_capacity(&q, 3, 4).unwrap();
+        let fout = VectorFrontier::with_capacity(&q, 3, 4).unwrap();
+        fin.insert_host(0);
+        fin.insert_host(1);
+        advance_vector(&q, "adv", &g, &fin, Some(&fout), |_l, _u, _v, _e, _w| true);
+        assert_eq!(fout.len(), 2, "duplicates kept");
+        assert_eq!(fout.to_sorted_vec(), vec![2]);
+    }
+
+    #[test]
+    fn bitmap_roundtrip_dedups() {
+        let q = queue();
+        let vec = VectorFrontier::with_capacity(&q, 100, 16).unwrap();
+        for v in [5u32, 5, 7, 70, 7, 5] {
+            vec.insert_host(v);
+        }
+        let bm = BitmapFrontier::<u32>::new(&q, 100).unwrap();
+        vector_to_bitmap(&q, &vec, &bm);
+        let out = VectorFrontier::with_capacity(&q, 100, 16).unwrap();
+        bitmap_to_vector(&q, &bm, &out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.to_sorted_vec(), vec![5, 7, 70]);
+    }
+
+    #[test]
+    fn high_degree_vertex_is_cooperatively_expanded() {
+        let q = queue();
+        let edges: Vec<(u32, u32)> = (1..100).map(|v| (0, v)).collect();
+        let host = CsrHost::from_edges(100, &edges);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let fin = VectorFrontier::with_capacity(&q, 100, 4).unwrap();
+        let fout = VectorFrontier::with_capacity(&q, 100, 128).unwrap();
+        fin.insert_host(0);
+        advance_vector(&q, "adv", &g, &fin, Some(&fout), |_l, _u, v, _e, _w| v % 2 == 1);
+        assert_eq!(fout.len(), 50);
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion version of the Figure 7 ablation: one BFS per optimization
+//! configuration on the Indochina stand-in (test scale so `cargo bench`
+//! stays fast; the `fig7` binary runs the full-scale version).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::OptConfig;
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+fn bench_ablation(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::indochina(sygraph_gen::Scale::Test);
+    let mut group = c.benchmark_group("fig7_ablation_bfs");
+    group.sample_size(10);
+    for (label, opts) in OptConfig::ablation_suite() {
+        let q = Queue::new(Device::new(DeviceProfile::v100s()));
+        let g = Graph::new(&q, &ds.host).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| sygraph_algos::bfs::run(&q, &g.csr, 0, &opts).unwrap().sim_ms)
+        });
+    }
+    group.finish();
+}
+
+fn bench_advance_only(c: &mut Criterion) {
+    use sygraph_core::frontier::{Frontier, TwoLayerFrontier};
+    use sygraph_core::inspector::inspect;
+    use sygraph_core::operators::advance;
+    let ds = sygraph_gen::datasets::kron(sygraph_gen::Scale::Test);
+    let q = Queue::new(Device::new(DeviceProfile::v100s()));
+    let g = Graph::new(&q, &ds.host).unwrap();
+    let n = g.vertex_count();
+    let tuning = inspect(q.profile(), &OptConfig::all(), n);
+    let fin = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+    let fout = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+    for v in (0..n as u32).step_by(17) {
+        fin.insert_host(v);
+    }
+    let mut group = c.benchmark_group("advance_kernel");
+    group.sample_size(10);
+    group.bench_function("kron_sparse_frontier", |b| {
+        b.iter(|| {
+            advance::frontier(&q, &g.csr, &fin, &fout, &tuning, |_l, _u, _v, _e, _w| true);
+            fout.clear(&q);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_advance_only);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benches of the four evaluation algorithms on representative
+//! dataset shapes (test scale), plus the paper-cited extensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::OptConfig;
+use sygraph_gen::Scale;
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let datasets = [
+        sygraph_gen::datasets::road_ca(Scale::Test),
+        sygraph_gen::datasets::kron(Scale::Test),
+    ];
+    for ds in &datasets {
+        let q = Queue::new(Device::new(DeviceProfile::v100s()));
+        let g = Graph::new(&q, &ds.host).unwrap();
+        let und = ds.undirected();
+        let gu = Graph::new(&q, &und).unwrap();
+        let opts = OptConfig::all();
+        let mut group = c.benchmark_group(format!("algos_{}", ds.key));
+        group.sample_size(10);
+        group.bench_function("bfs", |b| {
+            b.iter(|| sygraph_algos::bfs::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+        });
+        group.bench_function("sssp", |b| {
+            b.iter(|| sygraph_algos::sssp::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+        });
+        group.bench_function("cc", |b| {
+            b.iter(|| sygraph_algos::cc::run(&q, &gu.csr, &opts).unwrap().iterations)
+        });
+        group.bench_function("bc", |b| {
+            b.iter(|| sygraph_algos::bc::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+        });
+        group.finish();
+    }
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::road_ca(Scale::Test);
+    let q = Queue::new(Device::new(DeviceProfile::v100s()));
+    let g = Graph::with_pull(&q, &ds.host).unwrap();
+    let opts = OptConfig::all();
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("dobfs", |b| {
+        b.iter(|| {
+            sygraph_algos::dobfs::run(&q, &g, 0, &opts, Default::default())
+                .unwrap()
+                .iterations
+        })
+    });
+    group.bench_function("delta_stepping", |b| {
+        b.iter(|| {
+            sygraph_algos::delta::run(&q, &g.csr, 0, &opts, 2.0)
+                .unwrap()
+                .iterations
+        })
+    });
+    group.bench_function("bellman_ford_for_comparison", |b| {
+        b.iter(|| sygraph_algos::sssp::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+    });
+    group.bench_function("pagerank", |b| {
+        b.iter(|| {
+            sygraph_algos::pagerank::run(
+                &q,
+                &g.csr,
+                &opts,
+                sygraph_algos::pagerank::PagerankParams {
+                    max_iters: 10,
+                    tol: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .iterations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the frontier layouts: insert, count,
+//! clear, compaction and the bitwise set operators — the operations whose
+//! costs §4 argues about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sygraph_core::frontier::ops::{self, SetOp};
+use sygraph_core::frontier::{
+    BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier,
+};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+const N: usize = 1 << 16;
+
+fn queue() -> Queue {
+    Queue::new(Device::new(DeviceProfile::v100s()))
+}
+
+fn populate(f: &dyn Frontier, stride: usize) {
+    for v in (0..N).step_by(stride) {
+        f.insert_host(v as u32);
+    }
+}
+
+fn bench_count(c: &mut Criterion) {
+    let q = queue();
+    let mut group = c.benchmark_group("frontier_count");
+    group.sample_size(20);
+    let two = TwoLayerFrontier::<u32>::new(&q, N).unwrap();
+    let flat = BitmapFrontier::<u32>::new(&q, N).unwrap();
+    let boolm = BoolmapFrontier::new(&q, N).unwrap();
+    populate(&two, 7);
+    populate(&flat, 7);
+    populate(&boolm, 7);
+    group.bench_function("two_layer", |b| b.iter(|| two.count(&q)));
+    group.bench_function("bitmap", |b| b.iter(|| flat.count(&q)));
+    group.bench_function("boolmap", |b| b.iter(|| boolm.count(&q)));
+    group.finish();
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let q = queue();
+    let mut group = c.benchmark_group("two_layer_compact");
+    group.sample_size(20);
+    for &stride in &[3usize, 61, 997] {
+        let f = TwoLayerFrontier::<u32>::new(&q, N).unwrap();
+        populate(&f, stride);
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, _| {
+            b.iter(|| f.compact(&q).unwrap().0)
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let q = queue();
+    let a = BitmapFrontier::<u64>::new(&q, N).unwrap();
+    let bb = BitmapFrontier::<u64>::new(&q, N).unwrap();
+    let out = BitmapFrontier::<u64>::new(&q, N).unwrap();
+    populate(&a, 3);
+    populate(&bb, 5);
+    let mut group = c.benchmark_group("frontier_set_ops");
+    group.sample_size(20);
+    for op in [SetOp::Intersection, SetOp::Union, SetOp::Subtraction] {
+        group.bench_function(format!("{op:?}"), |b| {
+            b.iter(|| ops::apply(&q, op, &a, &bb, &out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clear(c: &mut Criterion) {
+    let q = queue();
+    let two = TwoLayerFrontier::<u64>::new(&q, N).unwrap();
+    let boolm = BoolmapFrontier::new(&q, N).unwrap();
+    let mut group = c.benchmark_group("frontier_clear");
+    group.sample_size(20);
+    group.bench_function("two_layer", |b| b.iter(|| two.clear(&q)));
+    group.bench_function("boolmap_8x_memory", |b| b.iter(|| boolm.clear(&q)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_count, bench_compact, bench_set_ops, bench_clear);
+criterion_main!(benches);

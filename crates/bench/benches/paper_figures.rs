@@ -1,0 +1,113 @@
+//! One criterion bench per remaining evaluation artifact, each exercising
+//! the exact code path its figure/table binary uses (at test scale so
+//! `cargo bench` completes quickly; run the binaries for full output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{run_cell, sample_sources, CellOutcome, FrameworkKind};
+use sygraph_gen::Scale;
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+/// Figure 8 cells: one (framework, dataset) BFS comparison cell each.
+fn fig8_cells(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::kron(Scale::Test);
+    let sources = sample_sources(ds.host.vertex_count(), 3, 1);
+    let mut group = c.benchmark_group("fig8_cell_bfs_kron");
+    group.sample_size(10);
+    for fw in FrameworkKind::all() {
+        group.bench_function(fw.name(), |b| {
+            b.iter(|| {
+                match run_cell(&DeviceProfile::v100s(), &ds, fw, AlgoKind::Bfs, &sources) {
+                    CellOutcome::Ok(cell) => cell.median_ms,
+                    _ => f64::NAN,
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 5: the metric-collection path (BFS + profiler peak queries).
+fn table5_metrics(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::hollywood(Scale::Test);
+    let mut group = c.benchmark_group("table5_metrics");
+    group.sample_size(10);
+    group.bench_function("sygraph_bfs_with_profiling", |b| {
+        b.iter(|| {
+            let q = Queue::new(Device::new(DeviceProfile::v100s()));
+            let mut fw = FrameworkKind::Sygraph.make();
+            fw.prepare(&q, &ds.host).unwrap();
+            fw.run(&q, AlgoKind::Bfs, 0).unwrap();
+            (
+                q.profiler().peak_l1_hit_rate(|n| n == "advance", 64),
+                q.profiler().peak_occupancy(|n| n == "advance"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Figure 9: the memory-traffic timeline path.
+fn fig9_memory(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::road_ca(Scale::Test);
+    let mut group = c.benchmark_group("fig9_memory_timeline");
+    group.sample_size(10);
+    for fw in [FrameworkKind::Sygraph, FrameworkKind::Gunrock] {
+        group.bench_function(fw.name(), |b| {
+            b.iter(|| {
+                let q = Queue::new(Device::new(DeviceProfile::v100s()));
+                let mut framework = fw.make();
+                framework.prepare(&q, &ds.host).unwrap();
+                framework.run(&q, AlgoKind::Bfs, 0).unwrap();
+                q.profiler().dram_bytes_by_phase().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: SYgraph on each device profile.
+fn fig10_devices(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::livejournal(Scale::Test);
+    let sources = sample_sources(ds.host.vertex_count(), 2, 2);
+    let mut group = c.benchmark_group("fig10_devices_bfs");
+    group.sample_size(10);
+    for profile in DeviceProfile::paper_machines() {
+        let name = profile.name.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                match run_cell(&profile, &ds, FrameworkKind::Sygraph, AlgoKind::Bfs, &sources) {
+                    CellOutcome::Ok(cell) => cell.median_ms,
+                    _ => f64::NAN,
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 3: dataset generation throughput (the suite must be cheap to
+/// regenerate since every bench run rebuilds it).
+fn table3_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_generation");
+    group.sample_size(10);
+    group.bench_function("paper_suite_test_scale", |b| {
+        b.iter(|| {
+            sygraph_gen::paper_suite(Scale::Test)
+                .iter()
+                .map(|d| d.host.edge_count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig8_cells,
+    table5_metrics,
+    fig9_memory,
+    fig10_devices,
+    table3_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 10: SYgraph across GPU architectures — all four algorithms on
+//! the seven-dataset suite, on the V100S (CUDA), MAX 1100 (LevelZero)
+//! and MI100 (ROCm) profiles. Bottom block: medians on a shared scale.
+//!
+//! `cargo run --release -p sygraph-bench --bin fig10`
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{run_cell, sample_useful_sources, scale_from_env, sources_from_env, CellOutcome, FrameworkKind};
+use sygraph_sim::DeviceProfile;
+
+fn main() {
+    let scale = scale_from_env();
+    let sources = sources_from_env().min(10);
+    let datasets = sygraph_gen::paper_suite(scale);
+    let machines = DeviceProfile::paper_machines();
+    println!(
+        "Figure 10 — SYgraph across devices ({scale:?} scale, {sources} sources/cell)\n"
+    );
+
+    for algo in AlgoKind::all() {
+        println!("== {} — median simulated ms ==", algo.name());
+        print!("{:<14}", "device");
+        for d in &datasets {
+            print!(" {:>9}", d.key);
+        }
+        println!();
+        for profile in &machines {
+            print!("{:<14}", profile.name);
+            for ds in &datasets {
+                let srcs = sample_useful_sources(&ds.host, sources, 0xA10);
+                match run_cell(profile, ds, FrameworkKind::Sygraph, algo, &srcs) {
+                    CellOutcome::Ok(c) => print!(" {:>9.3}", c.median_ms),
+                    CellOutcome::Oom => print!(" {:>9}", "OOM"),
+                    CellOutcome::Unsupported => print!(" {:>9}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!(
+        "paper shape: V100S strong overall; the MAX 1100's 108 MB L2 pays off\n\
+         on sparse road graphs; the MI100 leads on dense CC workloads."
+    );
+}

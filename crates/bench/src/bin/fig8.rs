@@ -1,0 +1,49 @@
+//! Figure 8: the framework comparison — BC, BFS, CC, SSSP over the six
+//! comparison datasets on the V100S profile. For each cell the median
+//! algorithm time, its standard deviation, and the preprocessing time
+//! are reported in the paper's `algo + prep` bar-label format.
+//!
+//! `cargo run --release -p sygraph-bench --bin fig8`
+//! (env: SYG_SCALE=test|bench, SYG_SOURCES=N, SYG_REFRESH=1)
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{load_or_run_grid, scale_from_env, sources_from_env, CellOutcome, FrameworkKind};
+
+fn main() {
+    let scale = scale_from_env();
+    let sources = sources_from_env();
+    println!(
+        "Figure 8 — framework comparison on V100S ({scale:?} scale, {sources} sources/cell)\n"
+    );
+    let grid = load_or_run_grid(scale, sources);
+
+    for (ai, algo) in AlgoKind::all().iter().enumerate() {
+        println!("== {} ==", algo.name());
+        print!("{:<10}", "");
+        for key in &grid.dataset_keys {
+            print!(" {:>20}", key);
+        }
+        println!();
+        for (fi, fw) in FrameworkKind::all().iter().enumerate() {
+            print!("{:<10}", fw.name());
+            for di in 0..grid.dataset_keys.len() {
+                match grid.cell(ai, di, fi) {
+                    CellOutcome::Ok(c) => {
+                        // paper bar label: algo + prep (prep omitted when 0)
+                        let label = if c.prep_ms > 0.0 {
+                            format!("{:.2}+{:.2}±{:.2}", c.median_ms, c.prep_ms, c.std_ms)
+                        } else {
+                            format!("{:.2}±{:.2}", c.median_ms, c.std_ms)
+                        };
+                        print!(" {label:>20}");
+                    }
+                    CellOutcome::Oom => print!(" {:>20}", "OOM"),
+                    CellOutcome::Unsupported => print!(" {:>20}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("all times in simulated ms; median ± σ over sources, + preprocessing.");
+}

@@ -1,0 +1,66 @@
+//! Figure 9: memory behaviour during BFS on roadNet-CA, Hollywood-2009
+//! and Indochina-2004 — per-iteration DRAM traffic (the line plots) and
+//! total memory consumption per framework (the inset bars).
+//!
+//! `cargo run --release -p sygraph-bench --bin fig9`
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{scale_from_env, scaled_profile, FrameworkKind};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets = [
+        sygraph_gen::datasets::road_ca(scale),
+        sygraph_gen::datasets::hollywood(scale),
+        sygraph_gen::datasets::indochina(scale),
+    ];
+    println!("Figure 9 — memory during BFS (V100S profile)\n");
+
+    for ds in &datasets {
+        println!(
+            "== {} ({} vertices, {} edges) ==",
+            ds.name,
+            ds.host.vertex_count(),
+            ds.host.edge_count()
+        );
+        for fw in FrameworkKind::all() {
+            let device = Device::new(scaled_profile(&DeviceProfile::v100s(), ds));
+            let q = Queue::new(device.clone());
+            let mut framework = fw.make();
+            framework.prepare(&q, &ds.host).expect("prepare");
+            let graph_mem = device.mem_used();
+            framework.run(&q, AlgoKind::Bfs, 0).expect("bfs");
+            let phases = q.profiler().dram_bytes_by_phase();
+            let series: Vec<f64> = phases.iter().map(|(_, b)| *b as f64 / 1024.0).collect();
+            let total_kb: f64 = series.iter().sum();
+            let peak_alloc = device.mem_peak();
+            println!(
+                "  {:<10} iters {:>4}  traffic/iter KB: [{}{}]",
+                fw.name(),
+                series.len(),
+                series
+                    .iter()
+                    .take(12)
+                    .map(|x| format!("{x:.0}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if series.len() > 12 { ", ..." } else { "" },
+            );
+            println!(
+                "  {:<10} total traffic {:>10.0} KB | graph {:>8} KB | peak alloc {:>8} KB",
+                "",
+                total_kb,
+                graph_mem / 1024,
+                peak_alloc / 1024
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: SYgraph's compact bitmaps move the least data; Gunrock's\n\
+         vector frontiers balloon on hub-heavy graphs; Tigr's padded UDT arrays\n\
+         dominate allocation (14.09 GB vs SYgraph's 280 MB on full-size CA);\n\
+         SEP-Graph allocates heavily up front (graph + CSC) and spikes mid-run."
+    );
+}

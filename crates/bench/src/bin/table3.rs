@@ -1,0 +1,30 @@
+//! Table 3: the dataset suite. Prints the generated stand-ins next to
+//! the full-size statistics of the real datasets they model.
+//!
+//! `cargo run --release -p sygraph-bench --bin table3`
+
+use sygraph_bench::scale_from_env;
+use sygraph_gen::paper_suite;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 3 — datasets (generated at {scale:?} scale)\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>9} {:>9} | {:>12} {:>12}",
+        "Graph", "Vertices", "Edges", "Avg.Deg", "Max.Deg", "paper |V|", "paper |E|"
+    );
+    for d in paper_suite(scale) {
+        println!(
+            "{:<28} {:>10} {:>10} {:>9.1} {:>9} | {:>12} {:>12}",
+            format!("{} ({})", d.name, d.key),
+            d.host.vertex_count(),
+            d.host.edge_count(),
+            d.host.avg_degree(),
+            d.host.max_degree(),
+            d.paper_vertices,
+            d.paper_edges,
+        );
+    }
+    println!("\nroad graphs: uniform small degrees, huge diameter;");
+    println!("social/web/kron: skewed hubs, small diameter — as in the paper.");
+}

@@ -1,0 +1,30 @@
+//! Table 4: the simulated hardware setups.
+//!
+//! `cargo run --release -p sygraph-bench --bin table4`
+
+use sygraph_sim::DeviceProfile;
+
+fn main() {
+    println!("Table 4 — simulated machines\n");
+    println!(
+        "{:<6} {:<8} {:<12} {:>6} {:>14} {:>9} {:>5} {:>10}",
+        "Mach.", "Vendor", "GPU", "VRAM", "SYCL Back-End", "L2 Cache", "CUs", "subgroups"
+    );
+    for (tag, p) in ["A", "B", "C"].iter().zip(DeviceProfile::paper_machines()) {
+        println!(
+            "{:<6} {:<8} {:<12} {:>4}GB {:>14} {:>6}MB {:>5} {:>10}",
+            tag,
+            format!("{:?}", p.vendor),
+            p.name,
+            p.vram_bytes >> 30,
+            p.vendor.backend(),
+            p.l2_bytes >> 20,
+            p.compute_units,
+            p.subgroup_sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Table 5: peak L1 hit-rate and achieved occupancy during BFS advance
+//! kernels, per dataset and framework, on the V100S profile — the
+//! simulator's counterpart of the paper's NCU measurements.
+//!
+//! `cargo run --release -p sygraph-bench --bin table5`
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{sample_useful_sources, scale_from_env, scaled_profile, FrameworkKind};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+/// Kernels that constitute each framework's "advance" work.
+fn advance_filter(fw: FrameworkKind) -> fn(&str) -> bool {
+    match fw {
+        FrameworkKind::Sygraph => |n| n == "advance",
+        FrameworkKind::Gunrock => |n| n == "gq_advance" || n == "gq_filter",
+        FrameworkKind::Tigr => |n| n.starts_with("tigr_bfs"),
+        FrameworkKind::SepGraph => |n| n.starts_with("sep_push") || n.starts_with("sep_pull"),
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let datasets = sygraph_gen::comparison_suite(scale);
+    println!("Table 5 — peak L1 hit-rate / achieved occupancy during BFS (V100S)\n");
+    print!("{:<10}", "");
+    for d in &datasets {
+        print!(" | {:^13}", d.key);
+    }
+    println!();
+    print!("{:<10}", "");
+    for _ in &datasets {
+        print!(" | {:>5}  {:>5} ", "L1H", "Occ");
+    }
+    println!();
+
+    for fw in FrameworkKind::all() {
+        print!("{:<10}", fw.name());
+        for ds in &datasets {
+            let device = Device::new(scaled_profile(&DeviceProfile::v100s(), ds));
+            let q = Queue::new(device);
+            let mut framework = fw.make();
+            framework.prepare(&q, &ds.host).expect("prepare");
+            let src = sample_useful_sources(&ds.host, 1, 5)[0];
+            framework.run(&q, AlgoKind::Bfs, src).expect("bfs");
+            let f = advance_filter(fw);
+            // Ignore tiny launches, as NCU's peak metrics effectively do.
+            let l1 = q.profiler().peak_l1_hit_rate(f, 64);
+            let occ = q.profiler().peak_occupancy(f);
+            print!(" | {:>4.0}% {:>5.0}%", l1 * 100.0, occ * 100.0);
+        }
+        println!();
+    }
+    println!(
+        "\npaper shape: SYgraph ~87-92% L1 (bitmap reuse), Gunrock 4-32%,\n\
+         Tigr 11-56%, SEP 51-78%; occupancy 84-93% across the board."
+    );
+}

@@ -1,0 +1,87 @@
+//! Table 6: median speedups of SYgraph over each comparator, with (WPP)
+//! and without (WOP) preprocessing, derived from the Figure 8 grid.
+//! `OOM` marks out-of-memory comparators; `-` marks missing
+//! implementations (SEP-Graph CC). Ends with the geometric-mean summary
+//! the paper quotes (Gunrock 3.49x, Tigr 7.51x, SEP-Graph 2.29x).
+//!
+//! `cargo run --release -p sygraph-bench --bin table6`
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{
+    geomean, load_or_run_grid, scale_from_env, sources_from_env, CellOutcome, FrameworkKind,
+};
+
+fn main() {
+    let scale = scale_from_env();
+    let sources = sources_from_env();
+    let grid = load_or_run_grid(scale, sources);
+    println!("Table 6 — SYgraph speedup over each framework (WPP | WOP)\n");
+
+    let comparators = [
+        FrameworkKind::Gunrock,
+        FrameworkKind::SepGraph,
+        FrameworkKind::Tigr,
+    ];
+    let fw_index = |fw: FrameworkKind| {
+        FrameworkKind::all()
+            .iter()
+            .position(|&f| f == fw)
+            .unwrap()
+    };
+    let sy = fw_index(FrameworkKind::Sygraph);
+
+    let mut all_wpp: Vec<(FrameworkKind, Vec<f64>)> = Vec::new();
+    let mut all_wop: Vec<(FrameworkKind, Vec<f64>)> = Vec::new();
+    for &comp in &comparators {
+        println!("vs {}:", comp.name());
+        print!("  {:<6}", "algo");
+        for key in &grid.dataset_keys {
+            print!(" {:>15}", key);
+        }
+        println!();
+        let ci = fw_index(comp);
+        let mut wpps = Vec::new();
+        let mut wops = Vec::new();
+        for (ai, algo) in AlgoKind::all().iter().enumerate() {
+            print!("  {:<6}", algo.name());
+            for di in 0..grid.dataset_keys.len() {
+                let sy_cell = grid.cell(ai, di, sy);
+                let comp_cell = grid.cell(ai, di, ci);
+                match (sy_cell, comp_cell) {
+                    (CellOutcome::Ok(s), CellOutcome::Ok(c)) => {
+                        let wpp = (c.median_ms + c.prep_ms) / (s.median_ms + s.prep_ms);
+                        let wop = c.median_ms / s.median_ms;
+                        wpps.push(wpp);
+                        wops.push(wop);
+                        let fmt = |x: f64| {
+                            if x > 99.0 {
+                                ">99".to_string()
+                            } else {
+                                format!("{x:.2}")
+                            }
+                        };
+                        print!(" {:>15}", format!("{} | {}", fmt(wpp), fmt(wop)));
+                    }
+                    (_, CellOutcome::Oom) => print!(" {:>15}", "OOM"),
+                    (_, CellOutcome::Unsupported) => print!(" {:>15}", "-"),
+                    (CellOutcome::Oom, _) => print!(" {:>15}", "SY-OOM"),
+                    _ => print!(" {:>15}", "?"),
+                }
+            }
+            println!();
+        }
+        all_wpp.push((comp, wpps.clone()));
+        all_wop.push((comp, wops.clone()));
+        println!();
+    }
+
+    println!("geometric-mean speedups (paper: Gunrock 3.49x, Tigr 7.51x, SEP 2.29x):");
+    for ((comp, wpps), (_, wops)) in all_wpp.iter().zip(all_wop.iter()) {
+        println!(
+            "  vs {:<10} WPP {:.2}x   WOP {:.2}x",
+            comp.name(),
+            geomean(wpps),
+            geomean(wops)
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! `sygraph-cli` — run SYgraph algorithms from the command line.
+//!
+//! ```text
+//! sygraph-cli <algo> <graph> [options]
+//!
+//! algo    bfs | sssp | cc | bc | pagerank | dobfs | delta | triangles | kcore
+//! graph   a file (.mtx, .el, .gr, .sygb) or a generated dataset:
+//!         gen:ca gen:usa gen:hollyw gen:indo gen:journal gen:kron gen:twitter
+//!
+//! options
+//!   --src <v>         source vertex (default 0; ignored by cc/pagerank)
+//!   --device <name>   v100s | max1100 | mi100 | host (default v100s)
+//!   --undirected      symmetrize the graph before running
+//!   --no-msi --no-cf --no-2lb    disable individual optimizations
+//!   --delta <x>       bucket width for the delta algorithm (default 2)
+//!   --json            machine-readable output
+//!   --profile         print the per-kernel profile afterwards
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use sygraph_core::graph::{CsrHost, Graph};
+use sygraph_core::inspector::OptConfig;
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
+         [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
+         [--no-msi] [--no-cf] [--no-2lb] [--delta X] [--json] [--profile]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_graph(spec: &str) -> Result<CsrHost, String> {
+    if let Some(name) = spec.strip_prefix("gen:") {
+        let scale = sygraph_gen::Scale::Bench;
+        let ds = match name {
+            "ca" => sygraph_gen::datasets::road_ca(scale),
+            "usa" => sygraph_gen::datasets::road_usa(scale),
+            "hollyw" => sygraph_gen::datasets::hollywood(scale),
+            "indo" => sygraph_gen::datasets::indochina(scale),
+            "journal" => sygraph_gen::datasets::livejournal(scale),
+            "kron" => sygraph_gen::datasets::kron(scale),
+            "twitter" => sygraph_gen::datasets::twitter(scale),
+            other => return Err(format!("unknown generated dataset '{other}'")),
+        };
+        return Ok(ds.host);
+    }
+    let file = std::fs::File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let result = if spec.ends_with(".mtx") {
+        sygraph_io::mtx::read(reader)
+    } else if spec.ends_with(".gr") {
+        sygraph_io::dimacs::read(reader)
+    } else if spec.ends_with(".sygb") {
+        sygraph_io::binary::read(reader)
+    } else {
+        sygraph_io::edgelist::read(reader, 0)
+    };
+    result.map_err(|e| format!("{spec}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let algo = args[0].as_str();
+    let graph_spec = args[1].as_str();
+
+    // flag parsing
+    let mut src: u32 = 0;
+    let mut device = "v100s".to_string();
+    let mut undirected = false;
+    let mut opts = OptConfig::all();
+    let mut delta = 2.0f32;
+    let mut json = false;
+    let mut profile = false;
+    let mut it = args[2..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--src" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => src = v,
+                None => return usage(),
+            },
+            "--device" => match it.next() {
+                Some(d) => device = d.clone(),
+                None => return usage(),
+            },
+            "--undirected" => undirected = true,
+            "--no-msi" => opts.msi = false,
+            "--no-cf" => opts.coarsening = false,
+            "--no-2lb" => opts.two_layer = false,
+            "--delta" | "--k" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => delta = v,
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--profile" => profile = true,
+            other => {
+                eprintln!("unknown option {other}");
+                return usage();
+            }
+        }
+    }
+
+    let profile_dev = match device.as_str() {
+        "v100s" => DeviceProfile::v100s(),
+        "max1100" => DeviceProfile::max1100(),
+        "mi100" => DeviceProfile::mi100(),
+        "host" => DeviceProfile::host_test(),
+        other => {
+            eprintln!("unknown device {other}");
+            return usage();
+        }
+    };
+
+    let mut host = match load_graph(graph_spec) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error loading graph: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if undirected || algo == "cc" || algo == "triangles" || algo == "kcore" {
+        host = host.to_undirected();
+    }
+    if host.vertex_count() == 0 {
+        eprintln!("graph is empty");
+        return ExitCode::FAILURE;
+    }
+    if (src as usize) >= host.vertex_count() {
+        eprintln!("source {src} out of range (n={})", host.vertex_count());
+        return ExitCode::FAILURE;
+    }
+
+    let q = Queue::new(Device::new(profile_dev.clone()));
+    let needs_pull = algo == "dobfs";
+    let g = match if needs_pull {
+        Graph::with_pull(&q, &host)
+    } else {
+        Graph::new(&q, &host)
+    } {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("device error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // run
+    enum Out {
+        U32(Vec<u32>, u32, f64),
+        F32(Vec<f32>, u32, f64),
+    }
+    let result = match algo {
+        "bfs" => sygraph_algos::bfs::run(&q, &g.csr, src, &opts)
+            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+        "sssp" => sygraph_algos::sssp::run(&q, &g.csr, src, &opts)
+            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+        "cc" => sygraph_algos::cc::run(&q, &g.csr, &opts)
+            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+        "bc" => sygraph_algos::bc::run(&q, &g.csr, src, &opts)
+            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+        "pagerank" => {
+            sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
+                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms))
+        }
+        "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts, Default::default())
+            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+        "delta" => sygraph_algos::delta::run(&q, &g.csr, src, &opts, delta)
+            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+        "triangles" => sygraph_algos::triangles::run(&q, &g.csr, &opts)
+            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+        "kcore" => sygraph_algos::kcore::run(&q, &g.csr, delta as u32, &opts)
+            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            return usage();
+        }
+    };
+    let out = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (iterations, sim_ms, summary) = match &out {
+        Out::U32(v, i, ms) => {
+            let reached = v.iter().filter(|&&d| d != u32::MAX).count();
+            (*i, *ms, format!("{reached}/{} vertices reached", v.len()))
+        }
+        Out::F32(v, i, ms) => {
+            let finite = v.iter().filter(|x| x.is_finite()).count();
+            let max = v.iter().copied().filter(|x| x.is_finite()).fold(0f32, f32::max);
+            (*i, *ms, format!("{finite}/{} finite values, max {max:.4}", v.len()))
+        }
+    };
+
+    if json {
+        let mut doc = HashMap::new();
+        doc.insert("algo", serde_json::json!(algo));
+        doc.insert("graph", serde_json::json!(graph_spec));
+        doc.insert("device", serde_json::json!(profile_dev.name));
+        doc.insert("vertices", serde_json::json!(host.vertex_count()));
+        doc.insert("edges", serde_json::json!(host.edge_count()));
+        doc.insert("iterations", serde_json::json!(iterations));
+        doc.insert("sim_ms", serde_json::json!(sim_ms));
+        match &out {
+            Out::U32(v, _, _) => doc.insert("values", serde_json::json!(v)),
+            Out::F32(v, _, _) => doc.insert("values", serde_json::json!(v)),
+        };
+        println!("{}", serde_json::to_string(&doc).unwrap());
+    } else {
+        println!(
+            "{algo} on {graph_spec} ({} vertices, {} edges) @ {}",
+            host.vertex_count(),
+            host.edge_count(),
+            profile_dev.name
+        );
+        println!("  {iterations} supersteps, {sim_ms:.3} simulated ms — {summary}");
+    }
+
+    if profile {
+        let mut per: HashMap<String, (f64, usize)> = HashMap::new();
+        for k in q.profiler().kernels() {
+            let e = per.entry(k.name).or_default();
+            e.0 += k.stats.total_ns() / 1e6;
+            e.1 += 1;
+        }
+        let mut rows: Vec<_> = per.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
+        println!("  kernel profile:");
+        for (name, (ms, count)) in rows {
+            println!("    {name:<22} {ms:>9.3} ms  ×{count}");
+        }
+        println!(
+            "  device memory peak: {} KB",
+            q.device().mem_peak() / 1024
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,291 @@
+//! Single-layer bitmap frontier (§4.1) and the shared bitmap machinery.
+
+use sygraph_sim::{DeviceBuffer, ItemCtx, LaunchConfig, Queue, MAX_SUBGROUP};
+
+use crate::frontier::word::{locate, words_for, Word};
+use crate::frontier::{BitmapLike, Frontier};
+use crate::types::VertexId;
+
+/// Shared storage and kernels for bitmap-shaped frontiers.
+pub(crate) struct BitmapStorage<W: Word> {
+    n: usize,
+    pub(crate) words: DeviceBuffer<W>,
+    count_buf: DeviceBuffer<u32>,
+}
+
+impl<W: Word> BitmapStorage<W> {
+    pub(crate) fn new(q: &Queue, n: usize) -> sygraph_sim::SimResult<Self> {
+        Ok(BitmapStorage {
+            n,
+            words: q.malloc_device::<W>(words_for::<W>(n))?,
+            count_buf: q.malloc_device::<u32>(1)?,
+        })
+    }
+
+    pub(crate) fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Popcount over the word array, as a hierarchical-reduction kernel:
+    /// each lane popcounts one word, each subgroup reduces and issues a
+    /// single atomic add.
+    pub(crate) fn count_kernel(&self, q: &Queue, name: &str) -> usize {
+        self.count_buf.store(0, 0);
+        let words = self.num_words();
+        let sgw = q.profile().preferred_subgroup;
+        let wg_size = (sgw * 4).min(q.profile().max_workgroup_size);
+        let per_group = wg_size as usize;
+        let groups = words.div_ceil(per_group);
+        let cfg = LaunchConfig::new(name, groups, wg_size, sgw);
+        let buf = &self.words;
+        let count_buf = &self.count_buf;
+        q.launch(cfg, |ctx| {
+            let base = ctx.group_id * per_group;
+            ctx.for_each_subgroup(|sg| {
+                let w = sg.width();
+                let start = base + (sg.sg_id() * w) as usize;
+                let mut mask = 0u64;
+                for lane in 0..w {
+                    if start + (lane as usize) < words {
+                        mask |= 1 << lane;
+                    }
+                }
+                if mask == 0 {
+                    return;
+                }
+                let mut pops = [0u32; MAX_SUBGROUP];
+                sg.load(
+                    buf,
+                    mask,
+                    |lane| start + lane as usize,
+                    |lane, word| pops[lane as usize] = word.count_ones(),
+                );
+                let total = sg.reduce_add_u64(mask, |lane| pops[lane as usize] as u64);
+                if total > 0 {
+                    sg.atomic_add(count_buf, 0b1, |_| (0, total as u32), |_, _| {});
+                }
+            });
+        });
+        self.count_buf.load(0) as usize
+    }
+
+    pub(crate) fn clear_kernel(&self, q: &Queue) {
+        q.fill(&self.words, W::ZERO);
+    }
+
+    /// Sets the bit of every valid vertex: all-ones words with the tail
+    /// word masked to `n % BITS` bits.
+    pub(crate) fn fill_all_kernel(&self, q: &Queue) {
+        let n = self.n as u32;
+        let words = &self.words;
+        q.parallel_for("frontier_fill_all", self.num_words(), |lane, i| {
+            let first = i as u32 * W::BITS;
+            let full = W::ZERO.not();
+            let w = if first + W::BITS <= n {
+                full
+            } else if first >= n {
+                W::ZERO
+            } else {
+                // tail: keep only the low (n - first) bits
+                let mut m = W::ZERO;
+                for b in 0..(n - first) {
+                    m = m.or(W::one_bit(b));
+                }
+                m
+            };
+            lane.store(words, i, w);
+        });
+    }
+
+    pub(crate) fn insert_host(&self, v: VertexId) -> W {
+        let (wi, b) = locate::<W>(v);
+        self.words.fetch_or(wi, W::one_bit(b))
+    }
+
+    pub(crate) fn contains_host(&self, v: VertexId) -> bool {
+        let (wi, b) = locate::<W>(v);
+        self.words.load(wi).test_bit(b)
+    }
+
+    pub(crate) fn to_sorted_vec(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.to_vec().into_iter().enumerate() {
+            let mut w = w;
+            while !w.is_zero() {
+                let b = w.trailing_zeros();
+                let v = wi as u32 * W::BITS + b;
+                if (v as usize) < self.n {
+                    out.push(v);
+                }
+                w = w.and(W::one_bit(b).not());
+            }
+        }
+        out
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// The plain single-layer bitmap frontier of §4.1: one bit per vertex,
+/// duplicate-free inserts via `atomic_or`, but every word — including
+/// all-zero ones — is visited during `advance` (Figure 5a's waste, which
+/// the two-layer layout removes).
+pub struct BitmapFrontier<W: Word> {
+    storage: BitmapStorage<W>,
+}
+
+impl<W: Word> BitmapFrontier<W> {
+    /// Creates an empty frontier over `n` vertices.
+    pub fn new(q: &Queue, n: usize) -> sygraph_sim::SimResult<Self> {
+        Ok(BitmapFrontier {
+            storage: BitmapStorage::new(q, n)?,
+        })
+    }
+
+    /// Device bytes held by this frontier.
+    pub fn device_bytes(&self) -> u64 {
+        self.storage.words.bytes() + 4
+    }
+}
+
+impl<W: Word> Frontier for BitmapFrontier<W> {
+    fn capacity(&self) -> usize {
+        self.storage.len()
+    }
+
+    fn insert_host(&self, v: VertexId) {
+        self.storage.insert_host(v);
+    }
+
+    fn contains_host(&self, v: VertexId) -> bool {
+        self.storage.contains_host(v)
+    }
+
+    fn clear(&self, q: &Queue) {
+        self.storage.clear_kernel(q);
+    }
+
+    fn count(&self, q: &Queue) -> usize {
+        self.storage.count_kernel(q, "frontier_count")
+    }
+
+    fn to_sorted_vec(&self) -> Vec<VertexId> {
+        self.storage.to_sorted_vec()
+    }
+
+    fn fill_all(&self, q: &Queue) {
+        self.storage.fill_all_kernel(q);
+    }
+}
+
+impl<W: Word> BitmapLike<W> for BitmapFrontier<W> {
+    fn num_words(&self) -> usize {
+        self.storage.num_words()
+    }
+
+    fn words(&self) -> &DeviceBuffer<W> {
+        &self.storage.words
+    }
+
+    fn insert_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
+        let (wi, b) = locate::<W>(v);
+        lane.fetch_or(&self.storage.words, wi, W::one_bit(b));
+    }
+
+    fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
+        let (wi, b) = locate::<W>(v);
+        lane.fetch_and(&self.storage.words, wi, W::one_bit(b).not());
+    }
+
+    fn compact(&self, _q: &Queue) -> Option<(usize, &DeviceBuffer<u32>)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn insert_contains_count() {
+        let q = queue();
+        let f = BitmapFrontier::<u32>::new(&q, 100).unwrap();
+        assert!(f.is_empty(&q));
+        f.insert_host(0);
+        f.insert_host(31);
+        f.insert_host(32);
+        f.insert_host(99);
+        assert!(f.contains_host(31));
+        assert!(!f.contains_host(30));
+        assert_eq!(f.count(&q), 4);
+        assert_eq!(f.to_sorted_vec(), vec![0, 31, 32, 99]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let q = queue();
+        let f = BitmapFrontier::<u64>::new(&q, 64).unwrap();
+        for _ in 0..10 {
+            f.insert_host(7);
+        }
+        assert_eq!(f.count(&q), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let q = queue();
+        let f = BitmapFrontier::<u32>::new(&q, 1000).unwrap();
+        for v in (0..1000).step_by(7) {
+            f.insert_host(v);
+        }
+        assert!(!f.is_empty(&q));
+        f.clear(&q);
+        assert!(f.is_empty(&q));
+        assert!(f.to_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn count_large_population() {
+        let q = queue();
+        let n = 10_000;
+        let f = BitmapFrontier::<u32>::new(&q, n).unwrap();
+        let mut expect = 0;
+        for v in (0..n as u32).step_by(3) {
+            f.insert_host(v);
+            expect += 1;
+        }
+        assert_eq!(f.count(&q), expect);
+    }
+
+    #[test]
+    fn device_insert_via_lane() {
+        let q = queue();
+        let f = BitmapFrontier::<u32>::new(&q, 256).unwrap();
+        q.parallel_for("ins", 256, |ctx, v| {
+            if v % 2 == 0 {
+                f.insert_lane(ctx, v as u32);
+            }
+        });
+        assert_eq!(f.count(&q), 128);
+        q.parallel_for("rem", 256, |ctx, v| {
+            if v % 4 == 0 {
+                f.remove_lane(ctx, v as u32);
+            }
+        });
+        assert_eq!(f.count(&q), 64);
+    }
+
+    #[test]
+    fn memory_is_one_bit_per_vertex() {
+        let q = queue();
+        let f = BitmapFrontier::<u64>::new(&q, 64_000).unwrap();
+        assert_eq!(f.device_bytes(), 8 * 1000 + 4);
+    }
+}

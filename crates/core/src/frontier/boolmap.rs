@@ -1,0 +1,172 @@
+//! Boolmap frontier: one byte per vertex, as in the Grus framework.
+//!
+//! The paper cites this layout as the 8×-memory alternative to bitmaps
+//! (§4.1). It is provided for the memory-footprint comparisons and as a
+//! baseline data point; it avoids atomics entirely (a plain byte store is
+//! idempotent) at the cost of memory.
+
+use sygraph_sim::{DeviceBuffer, ItemCtx, LaunchConfig, Queue, MAX_SUBGROUP};
+
+use crate::frontier::Frontier;
+use crate::types::VertexId;
+
+/// One-byte-per-vertex frontier.
+pub struct BoolmapFrontier {
+    n: usize,
+    flags: DeviceBuffer<u8>,
+    count_buf: DeviceBuffer<u32>,
+}
+
+impl BoolmapFrontier {
+    pub fn new(q: &Queue, n: usize) -> sygraph_sim::SimResult<Self> {
+        Ok(BoolmapFrontier {
+            n,
+            flags: q.malloc_device::<u8>(n.max(1))?,
+            count_buf: q.malloc_device::<u32>(1)?,
+        })
+    }
+
+    pub fn device_bytes(&self) -> u64 {
+        self.flags.bytes() + 4
+    }
+
+    /// Device-side insert: a plain byte store (no atomicity needed).
+    pub fn insert_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
+        lane.store(&self.flags, v as usize, 1);
+    }
+
+    /// Device-side membership test.
+    pub fn test_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> bool {
+        lane.load(&self.flags, v as usize) != 0
+    }
+
+    pub fn flags(&self) -> &DeviceBuffer<u8> {
+        &self.flags
+    }
+}
+
+impl Frontier for BoolmapFrontier {
+    fn capacity(&self) -> usize {
+        self.n
+    }
+
+    fn insert_host(&self, v: VertexId) {
+        self.flags.store(v as usize, 1);
+    }
+
+    fn contains_host(&self, v: VertexId) -> bool {
+        self.flags.load(v as usize) != 0
+    }
+
+    fn clear(&self, q: &Queue) {
+        q.fill(&self.flags, 0);
+    }
+
+    fn count(&self, q: &Queue) -> usize {
+        self.count_buf.store(0, 0);
+        let n = self.n;
+        let sgw = q.profile().preferred_subgroup;
+        let wg_size = (sgw * 4).min(q.profile().max_workgroup_size);
+        let per_group = wg_size as usize;
+        let groups = n.div_ceil(per_group).max(1);
+        let cfg = LaunchConfig::new("boolmap_count", groups, wg_size, sgw);
+        let flags = &self.flags;
+        let count_buf = &self.count_buf;
+        q.launch(cfg, |ctx| {
+            let base = ctx.group_id * per_group;
+            ctx.for_each_subgroup(|sg| {
+                let w = sg.width();
+                let start = base + (sg.sg_id() * w) as usize;
+                let mut mask = 0u64;
+                for lane in 0..w {
+                    if start + (lane as usize) < n {
+                        mask |= 1 << lane;
+                    }
+                }
+                if mask == 0 {
+                    return;
+                }
+                let mut vals = [0u8; MAX_SUBGROUP];
+                sg.load(
+                    flags,
+                    mask,
+                    |lane| start + lane as usize,
+                    |lane, f| vals[lane as usize] = f,
+                );
+                let total = sg.reduce_add_u64(mask, |lane| vals[lane as usize] as u64);
+                if total > 0 {
+                    sg.atomic_add(count_buf, 0b1, |_| (0, total as u32), |_, _| {});
+                }
+            });
+        });
+        self.count_buf.load(0) as usize
+    }
+
+    fn to_sorted_vec(&self) -> Vec<VertexId> {
+        self.flags
+            .to_vec()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, f)| f != 0)
+            .map(|(v, _)| v as u32)
+            .take(self.n)
+            .collect()
+    }
+
+    fn fill_all(&self, q: &Queue) {
+        q.fill(&self.flags, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn basic_set_semantics() {
+        let q = queue();
+        let f = BoolmapFrontier::new(&q, 500).unwrap();
+        f.insert_host(3);
+        f.insert_host(3);
+        f.insert_host(499);
+        assert_eq!(f.count(&q), 2);
+        assert_eq!(f.to_sorted_vec(), vec![3, 499]);
+        f.clear(&q);
+        assert!(f.is_empty(&q));
+    }
+
+    #[test]
+    fn eight_times_bitmap_memory() {
+        use crate::frontier::BitmapFrontier;
+        let q = queue();
+        let n = 64_000;
+        let bm = BitmapFrontier::<u64>::new(&q, n).unwrap();
+        let bool_f = BoolmapFrontier::new(&q, n).unwrap();
+        let ratio = bool_f.device_bytes() as f64 / bm.device_bytes() as f64;
+        assert!((7.0..=8.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn device_lane_ops() {
+        let q = queue();
+        let f = BoolmapFrontier::new(&q, 256).unwrap();
+        q.parallel_for("ins", 256, |ctx, v| {
+            if v < 10 {
+                f.insert_lane(ctx, v as u32);
+            }
+        });
+        assert_eq!(f.count(&q), 10);
+        let hits = q.malloc_device::<u32>(1).unwrap();
+        q.parallel_for("test", 256, |ctx, v| {
+            if f.test_lane(ctx, v as u32) {
+                ctx.fetch_add(&hits, 0, 1);
+            }
+        });
+        assert_eq!(hits.load(0), 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Frontier data layouts.
+//!
+//! The frontier — the set of active vertices of a superstep — is the
+//! paper's central data structure. Four layouts are provided:
+//!
+//! * [`TwoLayerFrontier`] — the paper's contribution (§4.3): a bitmap plus
+//!   a second bitmap layer marking non-empty words, compacted into an
+//!   offsets buffer before each `advance` so workgroups only visit
+//!   non-zero words.
+//! * [`BitmapFrontier`] — the single-layer bitmap of §4.1 (the ablation
+//!   baseline of Figure 7).
+//! * [`BoolmapFrontier`] — one byte per vertex, as in Grus; 8× the memory
+//!   of a bitmap (§4.1 discussion).
+//! * [`VectorFrontier`] — the Gunrock-style append vector used by the
+//!   baseline frameworks (duplicates allowed, post-processing required).
+
+pub mod bitmap;
+pub mod boolmap;
+pub mod ops;
+pub mod two_layer;
+pub mod vector;
+pub mod word;
+
+pub use bitmap::BitmapFrontier;
+pub use boolmap::BoolmapFrontier;
+pub use two_layer::TwoLayerFrontier;
+pub use vector::VectorFrontier;
+pub use word::{locate, words_for, Word};
+
+use sygraph_sim::{DeviceBuffer, ItemCtx, Queue};
+
+use crate::types::VertexId;
+
+/// Operations common to every frontier layout.
+pub trait Frontier: Sync {
+    /// Number of representable vertices.
+    fn capacity(&self) -> usize;
+    /// Host-side insert (setup; e.g. seeding the BFS source).
+    fn insert_host(&self, v: VertexId);
+    /// Host-side membership test.
+    fn contains_host(&self, v: VertexId) -> bool;
+    /// Clears all elements (device kernel — its cost is part of the
+    /// algorithm, as in Listing 1 line 19).
+    fn clear(&self, q: &Queue);
+    /// Number of active elements (device kernel + host read-back).
+    fn count(&self, q: &Queue) -> usize;
+    /// `count(q) == 0`.
+    fn is_empty(&self, q: &Queue) -> bool {
+        self.count(q) == 0
+    }
+    /// Sorted, deduplicated active vertices (host-side; verification).
+    fn to_sorted_vec(&self) -> Vec<VertexId>;
+    /// Activates every vertex (device kernel) — e.g. the initial frontier
+    /// of label-propagation Connected Components.
+    fn fill_all(&self, q: &Queue);
+}
+
+/// Bitmap-shaped frontiers usable as `advance` input/output: expose their
+/// word array, per-lane insert/remove, and (for the two-layer layout) the
+/// pre-advance compaction step.
+pub trait BitmapLike<W: Word>: Frontier {
+    /// Words in the first layer.
+    fn num_words(&self) -> usize;
+    /// The first-layer word array.
+    fn words(&self) -> &DeviceBuffer<W>;
+    /// Device-side insert from a kernel lane (atomic OR; updates the
+    /// second layer when present).
+    fn insert_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId);
+    /// Device-side remove from a kernel lane (atomic AND-NOT; clears the
+    /// second-layer bit when the word empties).
+    fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId);
+    /// Runs the pre-advance compaction (second layer → offsets buffer).
+    /// Returns `Some((nonzero_word_count, offsets))` for two-layer
+    /// frontiers, `None` when the advance must visit every word.
+    fn compact(&self, q: &Queue) -> Option<(usize, &DeviceBuffer<u32>)>;
+}
+
+/// Swaps two frontiers (Listing 1 line 18: `frontier::swap(in, out)`).
+pub fn swap<F>(a: &mut F, b: &mut F) {
+    std::mem::swap(a, b);
+}

@@ -1,0 +1,203 @@
+//! Frontier set operators (§4.1 "Frontiers Operators", Figure 3).
+//!
+//! With bitmap layouts these run as embarrassingly parallel bitwise
+//! kernels: intersection is AND, union is OR, symmetric difference is XOR
+//! and subtraction is AND-NOT, one GPU thread per bitmap word.
+
+use sygraph_sim::Queue;
+
+use crate::frontier::word::Word;
+use crate::frontier::{BitmapLike, TwoLayerFrontier};
+
+/// The bitwise combiner applied word-by-word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `a ∩ b` — the paper's **intersection** (segmented intersection in
+    /// Figure 3 when applied to neighborhood frontiers).
+    Intersection,
+    /// `a ∪ b` — **union** (e.g. graph machine-learning frontiers).
+    Union,
+    /// `a Δ b` — **symmetric difference** via XOR.
+    SymmetricDifference,
+    /// `a \ b` — **subtraction** via AND-NOT (data cleaning).
+    Subtraction,
+}
+
+impl SetOp {
+    fn apply<W: Word>(self, a: W, b: W) -> W {
+        match self {
+            SetOp::Intersection => a.and(b),
+            SetOp::Union => a.or(b),
+            SetOp::SymmetricDifference => a.xor(b),
+            SetOp::Subtraction => a.and(b.not()),
+        }
+    }
+
+    fn kernel_name(self) -> &'static str {
+        match self {
+            SetOp::Intersection => "frontier_intersect",
+            SetOp::Union => "frontier_union",
+            SetOp::SymmetricDifference => "frontier_symdiff",
+            SetOp::Subtraction => "frontier_subtract",
+        }
+    }
+}
+
+/// Applies `op` word-wise: `out = a <op> b`. All three frontiers must
+/// cover the same vertex range.
+pub fn apply<W: Word, A, B, O>(q: &Queue, op: SetOp, a: &A, b: &B, out: &O)
+where
+    A: BitmapLike<W>,
+    B: BitmapLike<W>,
+    O: BitmapLike<W>,
+{
+    assert_eq!(a.num_words(), b.num_words());
+    assert_eq!(a.num_words(), out.num_words());
+    let aw = a.words();
+    let bw = b.words();
+    let ow = out.words();
+    q.parallel_for(op.kernel_name(), a.num_words(), |lane, i| {
+        let x = lane.load(aw, i);
+        let y = lane.load(bw, i);
+        lane.store(ow, i, op.apply(x, y));
+        lane.compute(1);
+    });
+}
+
+/// `out = a ∩ b`.
+pub fn intersection<W: Word, A: BitmapLike<W>, B: BitmapLike<W>, O: BitmapLike<W>>(
+    q: &Queue,
+    a: &A,
+    b: &B,
+    out: &O,
+) {
+    apply(q, SetOp::Intersection, a, b, out);
+}
+
+/// `out = a ∪ b`.
+pub fn union<W: Word, A: BitmapLike<W>, B: BitmapLike<W>, O: BitmapLike<W>>(
+    q: &Queue,
+    a: &A,
+    b: &B,
+    out: &O,
+) {
+    apply(q, SetOp::Union, a, b, out);
+}
+
+/// `out = a Δ b` (XOR).
+pub fn symmetric_difference<W: Word, A: BitmapLike<W>, B: BitmapLike<W>, O: BitmapLike<W>>(
+    q: &Queue,
+    a: &A,
+    b: &B,
+    out: &O,
+) {
+    apply(q, SetOp::SymmetricDifference, a, b, out);
+}
+
+/// `out = a \ b`.
+pub fn subtraction<W: Word, A: BitmapLike<W>, B: BitmapLike<W>, O: BitmapLike<W>>(
+    q: &Queue,
+    a: &A,
+    b: &B,
+    out: &O,
+) {
+    apply(q, SetOp::Subtraction, a, b, out);
+}
+
+/// Rebuilds a two-layer frontier's second layer from its first layer
+/// (needed after word-wise writes bypass the insert path).
+pub fn rebuild_layer2<W: Word>(q: &Queue, f: &TwoLayerFrontier<W>) {
+    q.fill(f.layer2(), W::ZERO);
+    let words = f.words();
+    let layer2 = f.layer2();
+    q.parallel_for("layer2_rebuild", f.num_words(), |lane, i| {
+        let w = lane.load(words, i);
+        if !w.is_zero() {
+            let (l2i, l2b) = crate::frontier::word::locate::<W>(i as u32);
+            lane.fetch_or(layer2, l2i, W::one_bit(l2b));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{BitmapFrontier, Frontier};
+    use std::collections::BTreeSet;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn setup(q: &Queue, a: &[u32], b: &[u32]) -> (BitmapFrontier<u32>, BitmapFrontier<u32>, BitmapFrontier<u32>) {
+        let n = 200;
+        let fa = BitmapFrontier::<u32>::new(q, n).unwrap();
+        let fb = BitmapFrontier::<u32>::new(q, n).unwrap();
+        let fo = BitmapFrontier::<u32>::new(q, n).unwrap();
+        for &v in a {
+            fa.insert_host(v);
+        }
+        for &v in b {
+            fb.insert_host(v);
+        }
+        (fa, fb, fo)
+    }
+
+    fn reference(op: SetOp, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let sa: BTreeSet<u32> = a.iter().copied().collect();
+        let sb: BTreeSet<u32> = b.iter().copied().collect();
+        match op {
+            SetOp::Intersection => sa.intersection(&sb).copied().collect(),
+            SetOp::Union => sa.union(&sb).copied().collect(),
+            SetOp::SymmetricDifference => sa.symmetric_difference(&sb).copied().collect(),
+            SetOp::Subtraction => sa.difference(&sb).copied().collect(),
+        }
+    }
+
+    #[test]
+    fn all_ops_match_set_reference() {
+        let q = queue();
+        let a = [1u32, 5, 64, 65, 150];
+        let b = [5u32, 64, 99, 150, 151];
+        for op in [
+            SetOp::Intersection,
+            SetOp::Union,
+            SetOp::SymmetricDifference,
+            SetOp::Subtraction,
+        ] {
+            let (fa, fb, fo) = setup(&q, &a, &b);
+            apply(&q, op, &fa, &fb, &fo);
+            assert_eq!(fo.to_sorted_vec(), reference(op, &a, &b), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn two_layer_output_with_rebuild() {
+        let q = queue();
+        let n = 500;
+        let fa = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        let fb = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        let fo = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        for v in [3u32, 100, 301] {
+            fa.insert_host(v);
+        }
+        for v in [100u32, 301, 400] {
+            fb.insert_host(v);
+        }
+        union(&q, &fa, &fb, &fo);
+        rebuild_layer2(&q, &fo);
+        fo.check_invariant().unwrap();
+        assert_eq!(fo.to_sorted_vec(), vec![3, 100, 301, 400]);
+        let (nz, _) = fo.compact(&q).unwrap();
+        assert_eq!(nz, 4, "words 0, 3, 9, 12");
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        let q = queue();
+        let (fa, fb, fo) = setup(&q, &[0, 1, 2], &[100, 101]);
+        intersection(&q, &fa, &fb, &fo);
+        assert!(fo.is_empty(&q));
+    }
+}

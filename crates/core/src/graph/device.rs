@@ -1,0 +1,245 @@
+//! Device-resident CSR/CSC graph.
+
+use sygraph_sim::{DeviceBuffer, ItemCtx, Queue, SimResult, SubgroupCtx};
+
+use crate::graph::host::CsrHost;
+use crate::graph::traits::DeviceGraphView;
+use crate::types::{VertexId, Weight};
+
+/// CSR stored in device memory. A CSC is simply the `DeviceCsr` of the
+/// transposed graph (see [`Graph::with_pull`]).
+pub struct DeviceCsr {
+    n: usize,
+    m: usize,
+    /// `n + 1` row offsets.
+    pub row_offsets: DeviceBuffer<u32>,
+    /// `m` column indices.
+    pub col_indices: DeviceBuffer<u32>,
+    /// Optional `m` edge weights.
+    pub weights: Option<DeviceBuffer<f32>>,
+    /// Host copy of out-degrees (used by host-side planners only).
+    degrees: Vec<u32>,
+}
+
+impl DeviceCsr {
+    /// Uploads a host CSR to the device owning `queue`.
+    pub fn upload(queue: &Queue, host: &CsrHost) -> SimResult<Self> {
+        let n = host.vertex_count();
+        let m = host.edge_count();
+        let row_offsets = queue.malloc_device::<u32>(n + 1)?;
+        row_offsets.copy_from_slice(&host.offsets);
+        let col_indices = queue.malloc_device::<u32>(m.max(1))?;
+        col_indices.copy_from_slice(&host.indices);
+        let weights = match &host.weights {
+            Some(w) => {
+                let b = queue.malloc_device::<f32>(m.max(1))?;
+                b.copy_from_slice(w);
+                Some(b)
+            }
+            None => None,
+        };
+        let degrees = (0..n as u32).map(|v| host.degree(v)).collect();
+        Ok(DeviceCsr {
+            n,
+            m,
+            row_offsets,
+            col_indices,
+            weights,
+            degrees,
+        })
+    }
+
+    /// Device memory consumed by this graph, in bytes.
+    pub fn device_bytes(&self) -> u64 {
+        self.row_offsets.bytes()
+            + self.col_indices.bytes()
+            + self.weights.as_ref().map_or(0, |w| w.bytes())
+    }
+
+    /// Downloads the structure back into a host CSR (for verification).
+    pub fn download(&self) -> CsrHost {
+        CsrHost {
+            offsets: self.row_offsets.to_vec(),
+            indices: self.col_indices.to_vec()[..self.m].to_vec(),
+            weights: self.weights.as_ref().map(|w| w.to_vec()[..self.m].to_vec()),
+        }
+    }
+
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Builds the edge→source lookup used by edge-frontier traversals
+    /// (`operators::advance::edges`): one `u32` per edge, the expansion
+    /// of the CSR row structure. Costs `m × 4` bytes of device memory.
+    pub fn build_edge_sources(&self, q: &Queue) -> SimResult<DeviceBuffer<u32>> {
+        let srcs = q.malloc_device::<u32>(self.m.max(1))?;
+        let host: Vec<u32> = (0..self.n as u32)
+            .flat_map(|v| {
+                let lo = self.row_offsets.load(v as usize);
+                let hi = self.row_offsets.load(v as usize + 1);
+                std::iter::repeat_n(v, (hi - lo) as usize)
+            })
+            .collect();
+        srcs.copy_from_slice(&host);
+        Ok(srcs)
+    }
+}
+
+impl DeviceGraphView for DeviceCsr {
+    fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    fn row_bounds_uniform(&self, sg: &mut SubgroupCtx<'_, '_>, v: VertexId) -> (u32, u32) {
+        let lo = sg.load_uniform(&self.row_offsets, v as usize);
+        let hi = sg.load_uniform(&self.row_offsets, v as usize + 1);
+        (lo, hi)
+    }
+
+    fn row_bounds(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> (u32, u32) {
+        let lo = lane.load(&self.row_offsets, v as usize);
+        let hi = lane.load(&self.row_offsets, v as usize + 1);
+        (lo, hi)
+    }
+
+    fn edge_dest(&self, lane: &mut ItemCtx<'_>, e: u32) -> VertexId {
+        lane.load(&self.col_indices, e as usize)
+    }
+
+    fn edge_weight(&self, lane: &mut ItemCtx<'_>, e: u32) -> Weight {
+        match &self.weights {
+            Some(w) => lane.load(w, e as usize),
+            None => 1.0,
+        }
+    }
+
+    fn out_degree_host(&self, v: VertexId) -> u32 {
+        self.degrees[v as usize]
+    }
+}
+
+/// The user-facing graph object: a push (CSR) view plus an optional pull
+/// (CSC) view, both device-resident, bound to a queue's device like a
+/// SYCL buffer.
+pub struct Graph {
+    /// Out-edge (push) view.
+    pub csr: DeviceCsr,
+    /// In-edge (pull) view, present when built with [`Graph::with_pull`].
+    pub csc: Option<DeviceCsr>,
+}
+
+impl Graph {
+    /// Uploads `host` with only the push (CSR) view.
+    pub fn new(queue: &Queue, host: &CsrHost) -> SimResult<Self> {
+        Ok(Graph {
+            csr: DeviceCsr::upload(queue, host)?,
+            csc: None,
+        })
+    }
+
+    /// Uploads `host` with both push and pull views (needed by
+    /// direction-optimizing traversals).
+    pub fn with_pull(queue: &Queue, host: &CsrHost) -> SimResult<Self> {
+        let csc_host = host.transpose();
+        Ok(Graph {
+            csr: DeviceCsr::upload(queue, host)?,
+            csc: Some(DeviceCsr::upload(queue, &csc_host)?),
+        })
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.csr.vertex_count()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// Total device bytes across views.
+    pub fn device_bytes(&self) -> u64 {
+        self.csr.device_bytes() + self.csc.as_ref().map_or(0, |c| c.device_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn host_graph() -> CsrHost {
+        CsrHost::from_edges_weighted(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            Some(&[1.0, 2.0, 3.0, 4.0]),
+        )
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let q = queue();
+        let h = host_graph();
+        let d = DeviceCsr::upload(&q, &h).unwrap();
+        assert_eq!(d.vertex_count(), 4);
+        assert_eq!(d.edge_count(), 4);
+        assert!(d.is_weighted());
+        assert_eq!(d.download(), h);
+    }
+
+    #[test]
+    fn device_bytes_accounts_all_buffers() {
+        let q = queue();
+        let d = DeviceCsr::upload(&q, &host_graph()).unwrap();
+        // offsets 5*4 + indices 4*4 + weights 4*4
+        assert_eq!(d.device_bytes(), 20 + 16 + 16);
+    }
+
+    #[test]
+    fn view_accessors_via_kernel() {
+        let q = queue();
+        let d = DeviceCsr::upload(&q, &host_graph()).unwrap();
+        let out = q.malloc_device::<u32>(4).unwrap();
+        let wsum = q.malloc_device::<f32>(1).unwrap();
+        q.parallel_for("probe", 4, |ctx, v| {
+            let (lo, hi) = d.row_bounds(ctx, v as u32);
+            ctx.store(&out, v, hi - lo);
+            for e in lo..hi {
+                let _dst = d.edge_dest(ctx, e);
+                let w = d.edge_weight(ctx, e);
+                ctx.fetch_add_f32(&wsum, 0, w);
+            }
+        });
+        assert_eq!(out.to_vec(), vec![2, 1, 1, 0]);
+        assert_eq!(wsum.load(0), 10.0);
+    }
+
+    #[test]
+    fn graph_with_pull_builds_transpose() {
+        let q = queue();
+        let g = Graph::with_pull(&q, &host_graph()).unwrap();
+        let csc = g.csc.as_ref().unwrap();
+        assert_eq!(csc.out_degree_host(3), 2, "vertex 3 has two in-edges");
+        assert_eq!(g.device_bytes(), 2 * g.csr.device_bytes());
+    }
+
+    #[test]
+    fn unweighted_edge_weight_is_one() {
+        let q = queue();
+        let h = CsrHost::from_edges(2, &[(0, 1)]);
+        let d = DeviceCsr::upload(&q, &h).unwrap();
+        let got = q.malloc_device::<f32>(1).unwrap();
+        q.parallel_for("w", 1, |ctx, _| {
+            let w = d.edge_weight(ctx, 0);
+            ctx.store(&got, 0, w);
+        });
+        assert_eq!(got.load(0), 1.0);
+    }
+}

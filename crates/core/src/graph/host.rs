@@ -1,0 +1,325 @@
+//! Host-side CSR graph: construction, transposition and statistics.
+//!
+//! Host graphs are built from edge lists (possibly via `sygraph-io`
+//! readers or `sygraph-gen` generators) and uploaded to a device with
+//! [`crate::graph::device::DeviceCsr::upload`].
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::types::{VertexId, Weight};
+
+/// Compressed Sparse Row graph on the host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrHost {
+    /// Row offsets, `n + 1` entries.
+    pub offsets: Vec<u32>,
+    /// Column indices (destinations), `m` entries.
+    pub indices: Vec<VertexId>,
+    /// Optional edge weights, `m` entries when present.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl CsrHost {
+    /// Builds a CSR from a directed edge list over `n` vertices.
+    /// Edges keep their input multiplicity; neighbor lists are sorted.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Self::from_edges_weighted(n, edges, None)
+    }
+
+    /// Builds a weighted CSR; `weights`, when given, must parallel `edges`.
+    pub fn from_edges_weighted(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+    ) -> Self {
+        if let Some(w) = weights {
+            assert_eq!(w.len(), edges.len(), "one weight per edge");
+        }
+        let mut degree = vec![0u32; n];
+        for &(u, _) in edges {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let m = edges.len();
+        let mut indices = vec![0u32; m];
+        let mut wout = weights.map(|_| vec![0f32; m]);
+        let mut cursor = offsets.clone();
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert!((v as usize) < n, "edge target {v} out of range (n={n})");
+            let slot = cursor[u as usize] as usize;
+            cursor[u as usize] += 1;
+            indices[slot] = v;
+            if let (Some(out), Some(w)) = (wout.as_mut(), weights) {
+                out[slot] = w[i];
+            }
+        }
+        let mut g = CsrHost {
+            offsets,
+            indices,
+            weights: wout,
+        };
+        g.sort_neighbors();
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v` as a slice.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// Weights of `v`'s out-edges (parallel to [`CsrHost::neighbors`]),
+    /// or `None` for unweighted graphs.
+    pub fn neighbor_weights(&self, v: VertexId) -> Option<&[Weight]> {
+        self.weights.as_ref().map(|w| {
+            let lo = self.offsets[v as usize] as usize;
+            let hi = self.offsets[v as usize + 1] as usize;
+            &w[lo..hi]
+        })
+    }
+
+    /// Sorts each neighbor list (weights permuted alongside).
+    pub fn sort_neighbors(&mut self) {
+        let n = self.vertex_count();
+        match self.weights.as_mut() {
+            None => {
+                let offsets = &self.offsets;
+                let indices = std::mem::take(&mut self.indices);
+                let mut chunks: Vec<&mut [u32]> = Vec::with_capacity(n);
+                let mut rest = indices;
+                // Split the indices into per-vertex chunks and sort them in
+                // parallel.
+                let mut parts = Vec::with_capacity(n);
+                let mut prev = 0usize;
+                for v in 0..n {
+                    let hi = offsets[v + 1] as usize;
+                    parts.push((prev, hi));
+                    prev = hi;
+                }
+                {
+                    let mut whole: &mut [u32] = &mut rest;
+                    for &(lo, hi) in &parts {
+                        let (head, tail) = whole.split_at_mut(hi - lo);
+                        chunks.push(head);
+                        whole = tail;
+                    }
+                }
+                chunks.par_iter_mut().for_each(|c| c.sort_unstable());
+                self.indices = rest;
+            }
+            Some(w) => {
+                // Weighted: sort index/weight pairs per vertex.
+                for v in 0..n {
+                    let lo = self.offsets[v] as usize;
+                    let hi = self.offsets[v + 1] as usize;
+                    let mut pairs: Vec<(u32, f32)> = self.indices[lo..hi]
+                        .iter()
+                        .copied()
+                        .zip(w[lo..hi].iter().copied())
+                        .collect();
+                    pairs.sort_by_key(|p| p.0);
+                    for (k, (d, wt)) in pairs.into_iter().enumerate() {
+                        self.indices[lo + k] = d;
+                        w[lo + k] = wt;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Transpose (reverse all edges): CSR of the reversed graph, i.e. the
+    /// CSC of this one.
+    pub fn transpose(&self) -> CsrHost {
+        let n = self.vertex_count();
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|u| self.neighbors(u).iter().map(move |&v| (v, u)))
+            .collect();
+        let weights: Option<Vec<f32>> = self.weights.as_ref().map(|_| {
+            (0..n as u32)
+                .flat_map(|u| self.neighbor_weights(u).unwrap().iter().copied())
+                .collect()
+        });
+        CsrHost::from_edges_weighted(n, &edges, weights.as_deref())
+    }
+
+    /// Adds the reverse of every edge (weights duplicated), producing an
+    /// undirected (symmetric) graph. Does not deduplicate.
+    pub fn to_undirected(&self) -> CsrHost {
+        let n = self.vertex_count();
+        let mut edges = Vec::with_capacity(self.edge_count() * 2);
+        let mut weights = self.weights.as_ref().map(|_| Vec::new());
+        for u in 0..n as u32 {
+            for (k, &v) in self.neighbors(u).iter().enumerate() {
+                edges.push((u, v));
+                edges.push((v, u));
+                if let Some(w) = weights.as_mut() {
+                    let wt = self.neighbor_weights(u).unwrap()[k];
+                    w.push(wt);
+                    w.push(wt);
+                }
+            }
+        }
+        CsrHost::from_edges_weighted(n, &edges, weights.as_deref())
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.vertex_count() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Structural validation; used by tests and the IO layer.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.vertex_count();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.indices.len() {
+            return Err("last offset must equal edge count".into());
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at vertex {v}"));
+            }
+        }
+        if let Some(&bad) = self.indices.iter().find(|&&d| d as usize >= n) {
+            return Err(format!("edge destination {bad} out of range"));
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.indices.len() {
+                return Err("weight count != edge count".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrHost {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrHost::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_are_sorted_even_from_shuffled_input() {
+        let g = CsrHost::from_edges(5, &[(0, 4), (0, 1), (0, 3), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weighted_build_keeps_weight_edge_pairing() {
+        let g = CsrHost::from_edges_weighted(
+            3,
+            &[(0, 2), (0, 1), (1, 2)],
+            Some(&[20.0, 10.0, 12.0]),
+        );
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[10.0, 20.0]);
+        assert_eq!(g.neighbor_weights(1).unwrap(), &[12.0]);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.edge_count(), g.edge_count());
+        // transposing twice is the identity (up to sort order)
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn weighted_transpose_carries_weights() {
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (2, 1)], Some(&[5.0, 7.0]));
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0, 2]);
+        assert_eq!(t.neighbor_weights(1).unwrap(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = diamond().to_undirected();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = diamond();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_edges_are_kept() {
+        let g = CsrHost::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let mut g = diamond();
+        g.indices[0] = 99;
+        assert!(g.validate().is_err());
+        let mut g2 = diamond();
+        g2.offsets[1] = 100;
+        assert!(g2.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrHost::from_edges(0, &[]);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+}

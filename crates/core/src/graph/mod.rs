@@ -1,0 +1,12 @@
+//! Graph representations: host CSR building, device CSR/CSC, and the
+//! custom-representation interface (§3.1 "Graphs Representations").
+
+pub mod device;
+pub mod ell;
+pub mod host;
+pub mod traits;
+
+pub use device::{DeviceCsr, Graph};
+pub use ell::EllGraph;
+pub use host::CsrHost;
+pub use traits::DeviceGraphView;

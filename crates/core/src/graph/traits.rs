@@ -1,0 +1,39 @@
+//! The device-graph interface the primitives are written against.
+//!
+//! The paper lets users "define their own graph representations by
+//! implementing an interface containing the necessary methods and structs
+//! for the SYgraph primitives". [`DeviceGraphView`] is that interface: the
+//! `advance` kernel only needs row bounds and edge lookups, each expressed
+//! through the simulator's accounted access contexts so a custom
+//! representation's memory behaviour is modelled exactly like the built-in
+//! CSR/CSC.
+
+use sygraph_sim::{ItemCtx, SubgroupCtx};
+
+use crate::types::{VertexId, Weight};
+
+/// A graph representation usable by the SYgraph primitives.
+pub trait DeviceGraphView: Sync {
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+
+    /// Number of directed edges.
+    fn edge_count(&self) -> usize;
+
+    /// Loads the half-open edge-index range of `v`'s out-neighborhood,
+    /// uniformly across the subgroup (one broadcast transaction).
+    fn row_bounds_uniform(&self, sg: &mut SubgroupCtx<'_, '_>, v: VertexId) -> (u32, u32);
+
+    /// Loads the edge-index range of `v` from a single lane.
+    fn row_bounds(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> (u32, u32);
+
+    /// Loads the destination of edge `e` from a single lane.
+    fn edge_dest(&self, lane: &mut ItemCtx<'_>, e: u32) -> VertexId;
+
+    /// Loads the weight of edge `e` from a single lane (1.0 when the
+    /// graph is unweighted — no memory transaction in that case).
+    fn edge_weight(&self, lane: &mut ItemCtx<'_>, e: u32) -> Weight;
+
+    /// Host-side out-degree (used by planners and load-balancing setup).
+    fn out_degree_host(&self, v: VertexId) -> u32;
+}

@@ -1,0 +1,217 @@
+//! Device inspector (§3.2): assesses the target GPU on the fly and tunes
+//! the frontier word width, subgroup size, workgroup size and coarsening
+//! factor. Also hosts the optimization toggles ablated in Figure 7.
+
+use serde::{Deserialize, Serialize};
+use sygraph_sim::{DeviceProfile, Vendor};
+
+/// Which of the paper's §4 optimizations are enabled. Figure 7 ablates:
+/// plain bitmap (all off), *MSI*, *CF*, *2LB* and *All*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptConfig {
+    /// Match Subgroup-to-Integer size: pick the bitmap word width equal to
+    /// the device's subgroup width (32 on NVIDIA/Intel, 64 on AMD).
+    pub msi: bool,
+    /// Coarsening Factor: each subgroup processes several bitmap words so
+    /// the whole compute unit stays busy.
+    pub coarsening: bool,
+    /// Two-Layer Bitmap: skip all-zero words via the second layer.
+    pub two_layer: bool,
+}
+
+impl OptConfig {
+    /// Everything on — the shipping configuration.
+    pub fn all() -> Self {
+        OptConfig {
+            msi: true,
+            coarsening: true,
+            two_layer: true,
+        }
+    }
+
+    /// Plain §4.1 bitmap, no optimizations (Figure 7 baseline).
+    pub fn baseline() -> Self {
+        OptConfig {
+            msi: false,
+            coarsening: false,
+            two_layer: false,
+        }
+    }
+
+    pub fn msi_only() -> Self {
+        OptConfig {
+            msi: true,
+            ..Self::baseline()
+        }
+    }
+
+    pub fn cf_only() -> Self {
+        OptConfig {
+            coarsening: true,
+            ..Self::baseline()
+        }
+    }
+
+    pub fn two_layer_only() -> Self {
+        OptConfig {
+            two_layer: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// The five Figure 7 configurations, labelled.
+    pub fn ablation_suite() -> Vec<(&'static str, OptConfig)> {
+        vec![
+            ("Base", Self::baseline()),
+            ("MSI", Self::msi_only()),
+            ("CF", Self::cf_only()),
+            ("2LB", Self::two_layer_only()),
+            ("All", Self::all()),
+        ]
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// Tuning parameters the inspector derives for a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuning {
+    /// Bitmap word width in bits (32 or 64).
+    pub word_bits: u32,
+    /// Subgroup width used by frontier kernels.
+    pub sg_size: u32,
+    /// Subgroups per workgroup.
+    pub subgroups_per_wg: u32,
+    /// Bitmap words each subgroup processes per advance (≥ 1).
+    pub coarsening: u32,
+}
+
+impl Tuning {
+    pub fn wg_size(&self) -> u32 {
+        self.sg_size * self.subgroups_per_wg
+    }
+
+    /// Whether whole words map to single subgroups (MSI on: word width ≤
+    /// subgroup width). Otherwise a workgroup owns each word and its
+    /// subgroups split the bits.
+    pub fn subgroup_mapped(&self) -> bool {
+        self.word_bits <= self.sg_size
+    }
+
+    /// Bitmap words one workgroup covers.
+    pub fn words_per_group(&self) -> u32 {
+        if self.subgroup_mapped() {
+            self.subgroups_per_wg * self.coarsening
+        } else {
+            self.coarsening
+        }
+    }
+
+    /// Local memory bytes an advance workgroup declares: one u32 slot per
+    /// bit of every word the group compacts (paper §4.2: "local memory
+    /// for each workgroup is defined by the coarsening factor and the
+    /// range of a bitmap's single integer").
+    pub fn advance_local_bytes(&self) -> u32 {
+        self.words_per_group() * self.word_bits * 4
+    }
+}
+
+/// Inspects `profile` and derives tuned parameters (§4.3's discussion):
+///
+/// * word width: subgroup-matched under MSI (32-bit + warp on NVIDIA,
+///   64-bit + wavefront on AMD, 32-bit + SIMD32 on Intel); 64-bit
+///   otherwise (the natural "one integer = 64 vertices" default).
+/// * coarsening: sized so `total_words / (CU × resident groups)`
+///   workgroups saturate the device, clamped to `[1, 8]`.
+pub fn inspect(profile: &DeviceProfile, opts: &OptConfig, num_vertices: usize) -> Tuning {
+    let sg_size = match profile.vendor {
+        Vendor::Intel if profile.supports_subgroup(32) => 32,
+        _ => profile.preferred_subgroup,
+    };
+    let word_bits = if opts.msi { sg_size.min(64) } else { 64 };
+    let subgroups_per_wg = 4.min(profile.max_workgroup_size / sg_size).max(1);
+    let coarsening = if opts.coarsening {
+        // Enough workgroups to keep every CU busy for a few waves; beyond
+        // that, coarsening trades scheduling overhead for per-group work.
+        let words = num_vertices.div_ceil(word_bits as usize).max(1);
+        let groups_uncoarsened = if word_bits <= sg_size {
+            words.div_ceil(subgroups_per_wg as usize)
+        } else {
+            words
+        };
+        let target_groups = (profile.compute_units as usize * 8).max(1);
+        (groups_uncoarsened.div_ceil(target_groups) as u32).clamp(1, 16)
+    } else {
+        1
+    };
+    Tuning {
+        word_bits,
+        sg_size,
+        subgroups_per_wg,
+        coarsening,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msi_matches_vendor_widths() {
+        let n = 1 << 20;
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), n);
+        assert_eq!(t.word_bits, 32);
+        assert_eq!(t.sg_size, 32);
+        let t = inspect(&DeviceProfile::mi100(), &OptConfig::all(), n);
+        assert_eq!(t.word_bits, 64);
+        assert_eq!(t.sg_size, 64);
+        let t = inspect(&DeviceProfile::max1100(), &OptConfig::all(), n);
+        assert_eq!(t.word_bits, 32);
+        assert_eq!(t.sg_size, 32);
+    }
+
+    #[test]
+    fn without_msi_word_is_64() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::baseline(), 1 << 20);
+        assert_eq!(t.word_bits, 64);
+        assert_eq!(t.sg_size, 32, "subgroup stays native");
+    }
+
+    #[test]
+    fn coarsening_grows_with_graph() {
+        let p = DeviceProfile::v100s();
+        let small = inspect(&p, &OptConfig::all(), 10_000);
+        let large = inspect(&p, &OptConfig::all(), 20_000_000);
+        assert!(large.coarsening >= small.coarsening);
+        assert!(large.coarsening <= 16);
+        assert!(large.coarsening > 1, "20M vertices should coarsen");
+        let off = inspect(&p, &OptConfig::baseline(), 20_000_000);
+        assert_eq!(off.coarsening, 1);
+    }
+
+    #[test]
+    fn ablation_suite_has_five_configs() {
+        let suite = OptConfig::ablation_suite();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].0, "Base");
+        assert_eq!(suite[4].0, "All");
+        assert_eq!(suite[4].1, OptConfig::default());
+    }
+
+    #[test]
+    fn local_bytes_scale_with_coarsening() {
+        let t = Tuning {
+            word_bits: 32,
+            sg_size: 32,
+            subgroups_per_wg: 4,
+            coarsening: 2,
+        };
+        assert_eq!(t.wg_size(), 128);
+        assert_eq!(t.words_per_group(), 8);
+        assert_eq!(t.advance_local_bytes(), 8 * 32 * 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! # sygraph-core — the SYgraph framework core
+//!
+//! Rust reproduction of the SYgraph core layer (De Caro, Cordasco,
+//! Cosenza — ICPP '25): graph representations, the Two-Layer Bitmap
+//! frontier with its bitmap-tailored load balancing, the
+//! `advance`/`filter`/`compute` primitives, frontier set operators and the
+//! device inspector. Everything executes on the `sygraph-sim` substrate,
+//! which plays the role SYCL plays in the paper.
+//!
+//! ```
+//! use sygraph_core::prelude::*;
+//! use sygraph_sim::{Device, DeviceProfile, Queue};
+//!
+//! let q = Queue::new(Device::new(DeviceProfile::v100s()));
+//! let host = CsrHost::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+//! let g = Graph::new(&q, &host).unwrap();
+//! let tuning = inspect(q.profile(), &OptConfig::all(), g.vertex_count());
+//!
+//! let input = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+//! let output = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+//! input.insert_host(0);
+//! operators::advance::frontier(&q, &g.csr, &input, &output, &tuning,
+//!     |_lane, _src, _dst, _e, _w| true).wait();
+//! assert_eq!(output.to_sorted_vec(), vec![1, 2]);
+//! ```
+
+pub mod frontier;
+pub mod graph;
+pub mod inspector;
+pub mod operators;
+pub mod types;
+
+pub use frontier::{
+    swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier, VectorFrontier,
+    Word,
+};
+pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
+pub use inspector::{inspect, OptConfig, Tuning};
+pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
+
+/// Convenience re-exports for examples and downstream crates.
+pub mod prelude {
+    pub use crate::frontier::ops::{
+        intersection, rebuild_layer2, subtraction, symmetric_difference, union, SetOp,
+    };
+    pub use crate::frontier::{
+        swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier,
+        VectorFrontier, Word,
+    };
+    pub use crate::graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
+    pub use crate::inspector::{inspect, OptConfig, Tuning};
+    pub use crate::operators;
+    pub use crate::types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
+}

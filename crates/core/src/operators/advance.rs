@@ -1,0 +1,742 @@
+//! The `advance` primitive (§3.1, §4.2): expands a frontier by visiting
+//! every out-edge of every active vertex, applying a user functor per edge
+//! and inserting accepted destinations into the output frontier.
+//!
+//! ## Load balancing (workgroup-mapped, §4.2)
+//!
+//! Each workgroup owns `subgroups_per_wg × coarsening` bitmap words. Every
+//! subgroup processes its words in two stages (Figure 4b):
+//!
+//! 1. **Compaction** — subgroup collectives (ballot + exclusive scan)
+//!    compact the word's set bits (active vertices) into local memory;
+//! 2. **Cooperative expansion** — for each compacted vertex, all lanes of
+//!    the subgroup stride over its neighbor list together, so a
+//!    high-degree vertex is processed by the full SIMD width without any
+//!    cross-subgroup synchronization (Figure 4c).
+//!
+//! With the two-layer layout the word list comes pre-compacted from
+//! [`crate::frontier::BitmapLike::compact`], so no workgroup is ever
+//! scheduled onto an all-zero word (Figure 5a).
+
+use sygraph_sim::{full_mask, Event, ItemCtx, LaunchConfig, Queue, SubgroupCtx, MAX_SUBGROUP};
+
+use crate::frontier::word::Word;
+use crate::frontier::BitmapLike;
+use crate::graph::traits::DeviceGraphView;
+use crate::inspector::Tuning;
+use crate::types::{EdgeId, VertexId, Weight};
+
+/// The advance functor: `(lane, src, dst, edge, weight) -> bool`,
+/// mirroring the paper's `Functor(src, dst, edge_id, weight) -> Bool`.
+/// The lane context gives the lambda accounted access to user data
+/// (e.g. the BFS distance array).
+pub trait AdvanceFunctor:
+    Fn(&mut ItemCtx<'_>, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+impl<F> AdvanceFunctor for F where
+    F: Fn(&mut ItemCtx<'_>, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+
+/// Stage ① + ② for the bit range `[bit_lo, bit_hi)` of one bitmap word.
+/// `local_base` is this range's region of local memory (one u32 slot per
+/// bit). Under MSI the range is the whole word (one subgroup per word);
+/// without MSI a workgroup owns the word and its subgroups each take a
+/// slice of the bits — wasting lanes whenever the slice is narrower than
+/// the subgroup (the inefficiency MSI removes).
+#[allow(clippy::too_many_arguments)]
+fn process_word<W: Word, G: DeviceGraphView + ?Sized>(
+    sg: &mut SubgroupCtx<'_, '_>,
+    graph: &G,
+    word_idx: usize,
+    word: W,
+    bit_lo: u32,
+    bit_hi: u32,
+    local_base: usize,
+    output: Option<&dyn BitmapLike<W>>,
+    functor: &impl AdvanceFunctor,
+) {
+    let sgw = sg.width();
+    let first_vertex = word_idx as u32 * W::BITS;
+    let n = graph.vertex_count() as u32;
+
+    // Stage ①: compact active bits into local memory; multiple passes
+    // when the bit range is wider than the subgroup.
+    let passes = (bit_hi - bit_lo).div_ceil(sgw);
+    let mut count = 0u32;
+    let mut positions = [0u32; MAX_SUBGROUP];
+    for p in 0..passes {
+        let bit_base = bit_lo + p * sgw;
+        let active = sg.ballot(|lane| {
+            let bit = bit_base + lane;
+            bit < bit_hi && word.test_bit(bit) && first_vertex + bit < n
+        });
+        if active == 0 {
+            continue;
+        }
+        let pass_count = sg.exclusive_scan_add(
+            full_mask(sgw),
+            |lane| (active >> lane & 1) as u32,
+            &mut positions,
+        );
+        let base = local_base as u32 + count;
+        sg.local_scatter(active, |lane| {
+            (
+                (base + positions[lane as usize]) as usize,
+                first_vertex + bit_base + lane,
+            )
+        });
+        count += pass_count;
+    }
+
+    // Stage ②: all lanes cooperatively expand each compacted vertex.
+    for k in 0..count {
+        let v = sg.local_read(local_base + k as usize);
+        let (lo, hi) = graph.row_bounds_uniform(sg, v);
+        let mut e = lo;
+        while e < hi {
+            let lanes = (hi - e).min(sgw);
+            let mask = full_mask(lanes);
+            sg.lanes(mask, |lane, item| {
+                let eid = e + lane;
+                let dst = graph.edge_dest(item, eid);
+                let w = graph.edge_weight(item, eid);
+                item.compute(2);
+                if functor(item, v, dst, eid, w) {
+                    if let Some(out) = output {
+                        out.insert_lane(item, dst);
+                    }
+                }
+            });
+            e += lanes;
+        }
+    }
+}
+
+fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    n_words: usize,
+    resolve: impl Fn(&mut SubgroupCtx<'_, '_>, usize) -> (usize, W) + Sync,
+    output: Option<&dyn BitmapLike<W>>,
+    functor: &impl AdvanceFunctor,
+) -> Event {
+    debug_assert_eq!(tuning.sg_size.min(64), tuning.sg_size);
+    // MSI on (word fits a subgroup): every subgroup owns whole words.
+    // MSI off: a workgroup owns each word and its subgroups split the
+    // bits (§4.2's base mapping, Figure 5b's inefficiency).
+    let subgroup_mapped = tuning.word_bits <= tuning.sg_size;
+    let sgs = tuning.subgroups_per_wg as usize;
+    let coarsening = tuning.coarsening as usize;
+    let wpg = if subgroup_mapped {
+        sgs * coarsening
+    } else {
+        coarsening
+    };
+    let groups = n_words.div_ceil(wpg.max(1));
+    let word_slots = W::BITS as usize;
+    let cfg = LaunchConfig::new("advance", groups, tuning.wg_size(), tuning.sg_size)
+        .with_local_mem((wpg * word_slots * 4) as u32);
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * wpg;
+        ctx.for_each_subgroup(|sg| {
+            if subgroup_mapped {
+                for c in 0..coarsening {
+                    let slot = sg.sg_id() as usize * coarsening + c;
+                    let word_pos = base + slot;
+                    if word_pos >= n_words {
+                        break;
+                    }
+                    let (word_idx, word) = resolve(sg, word_pos);
+                    if word.is_zero() {
+                        // Figure 5a: a scheduled subgroup with no work.
+                        sg.compute(1);
+                        continue;
+                    }
+                    process_word(
+                        sg,
+                        graph,
+                        word_idx,
+                        word,
+                        0,
+                        W::BITS,
+                        slot * word_slots,
+                        output,
+                        functor,
+                    );
+                }
+            } else {
+                // Workgroup-per-word: subgroup `i` covers bit slice `i`.
+                let bits_per_sg = W::BITS.div_ceil(sgs as u32);
+                for c in 0..coarsening {
+                    let word_pos = base + c;
+                    if word_pos >= n_words {
+                        break;
+                    }
+                    let (word_idx, word) = resolve(sg, word_pos);
+                    if word.is_zero() {
+                        sg.compute(1);
+                        continue;
+                    }
+                    let bit_lo = sg.sg_id() * bits_per_sg;
+                    let bit_hi = (bit_lo + bits_per_sg).min(W::BITS);
+                    if bit_lo >= W::BITS {
+                        continue;
+                    }
+                    process_word(
+                        sg,
+                        graph,
+                        word_idx,
+                        word,
+                        bit_lo,
+                        bit_hi,
+                        c * word_slots + bit_lo as usize,
+                        output,
+                        functor,
+                    );
+                }
+            }
+        });
+    })
+}
+
+/// `advance::frontier(G, In, Out, Functor)` — expands `input`, storing
+/// accepted destinations in `output`.
+pub fn frontier<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    output: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> Event {
+    frontier_impl(q, graph, input, Some(output), tuning, &functor).0
+}
+
+/// `advance::frontier(G, In, Functor)` — same, without storing results.
+pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> Event {
+    frontier_impl(q, graph, input, None, tuning, &functor).0
+}
+
+/// Like [`frontier`], but also reports how many non-zero bitmap words the
+/// pre-advance compaction found in `input` — `Some(0)` means the input
+/// frontier was empty, letting superstep loops terminate without a
+/// separate count kernel (a 2LB-specific win; `None` for single-layer
+/// bitmaps, which have no compaction step).
+pub fn frontier_counted<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    output: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> (Event, Option<usize>) {
+    frontier_impl(q, graph, input, Some(output), tuning, &functor)
+}
+
+/// Counted variant of [`frontier_discard`].
+pub fn frontier_discard_counted<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> (Event, Option<usize>) {
+    frontier_impl(q, graph, input, None, tuning, &functor)
+}
+
+fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    output: Option<&dyn BitmapLike<W>>,
+    tuning: &Tuning,
+    functor: &impl AdvanceFunctor,
+) -> (Event, Option<usize>) {
+    match input.compact(q) {
+        Some((n_nonzero, offsets)) => {
+            if n_nonzero == 0 {
+                // The host reads the compaction count to size the launch
+                // (§4.3); an empty frontier needs no advance kernel at all.
+                let now = q.now_ns();
+                return (
+                    Event {
+                        start_ns: now,
+                        end_ns: now,
+                    },
+                    Some(0),
+                );
+            }
+            // Two-layer path: workgroups iterate the offsets buffer.
+            let words = input.words();
+            let ev = launch_advance(
+                q,
+                graph,
+                tuning,
+                n_nonzero,
+                |sg, pos| {
+                    let word_idx = sg.load_uniform(offsets, pos) as usize;
+                    (word_idx, sg.load_uniform(words, word_idx))
+                },
+                output,
+                functor,
+            );
+            (ev, Some(n_nonzero))
+        }
+        None => {
+            // Single-layer path: visit every word, including zeros.
+            let words = input.words();
+            let ev = launch_advance(
+                q,
+                graph,
+                tuning,
+                input.num_words(),
+                |sg, pos| (pos, sg.load_uniform(words, pos)),
+                output,
+                functor,
+            );
+            (ev, None)
+        }
+    }
+}
+
+/// `advance::vertices(G, Out, Functor)` — treats *every* vertex as active
+/// (e.g. the initialization advance of Betweenness Centrality).
+pub fn vertices<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    output: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> Event {
+    vertices_impl(q, graph, Some(output), tuning, &functor)
+}
+
+/// `advance::vertices(G, Functor)` — same, without storing results.
+pub fn vertices_discard<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    functor: impl AdvanceFunctor,
+) -> Event {
+    vertices_impl::<W, G>(q, graph, None, tuning, &functor)
+}
+
+fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    output: Option<&dyn BitmapLike<W>>,
+    tuning: &Tuning,
+    functor: &impl AdvanceFunctor,
+) -> Event {
+    let n = graph.vertex_count();
+    let n_words = n.div_ceil(W::BITS as usize);
+    launch_advance(
+        q,
+        graph,
+        tuning,
+        n_words,
+        |_sg, pos| (pos, W::ZERO.not()),
+        output,
+        functor,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Edge-frontier advance (the paper's edge frontier view)
+// ---------------------------------------------------------------------------
+
+/// `advance::edges(G, InEdges, OutVertices, src_of, Functor)` — expands an
+/// *edge* frontier: every set bit is an edge id; the functor sees the
+/// edge's endpoints and decides whether the destination joins the output
+/// *vertex* frontier.
+///
+/// Edge frontiers trade the per-vertex neighborhood imbalance of vertex
+/// frontiers for perfectly uniform lanes (one edge each) plus an
+/// edge→source lookup — build it once with
+/// [`crate::graph::DeviceCsr::build_edge_sources`] and pass
+/// `|l, e| l.load(&srcs, e as usize)` as `src_of`.
+pub fn edges<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    output: &dyn BitmapLike<W>,
+    tuning: &Tuning,
+    src_of: impl Fn(&mut ItemCtx<'_>, EdgeId) -> VertexId + Sync,
+    functor: impl AdvanceFunctor,
+) -> (Event, Option<usize>) {
+    let m = graph.edge_count() as u32;
+    let process = |sg: &mut SubgroupCtx<'_, '_>, word_idx: usize, word: W| {
+        // One lane per set bit: edge frontiers are uniform by design.
+        let first_edge = word_idx as u32 * W::BITS;
+        let passes = W::BITS.div_ceil(sg.width());
+        for p in 0..passes {
+            let bit_base = p * sg.width();
+            let mask = sg.ballot(|lane| {
+                let bit = bit_base + lane;
+                bit < W::BITS && word.test_bit(bit) && first_edge + bit < m
+            });
+            if mask == 0 {
+                continue;
+            }
+            sg.lanes(mask, |lane, item| {
+                let e = first_edge + bit_base + lane;
+                let src = src_of(item, e);
+                let dst = graph.edge_dest(item, e);
+                let w = graph.edge_weight(item, e);
+                item.compute(2);
+                if functor(item, src, dst, e, w) {
+                    output.insert_lane(item, dst);
+                }
+            });
+        }
+    };
+    match input.compact(q) {
+        Some((nz, offsets)) => {
+            if nz == 0 {
+                let now = q.now_ns();
+                return (
+                    Event {
+                        start_ns: now,
+                        end_ns: now,
+                    },
+                    Some(0),
+                );
+            }
+            let words = input.words();
+            let sgs = tuning.subgroups_per_wg as usize;
+            let wpg = sgs * tuning.coarsening as usize;
+            let groups = nz.div_ceil(wpg.max(1));
+            let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
+            let coarsening = tuning.coarsening as usize;
+            let ev = q.launch(cfg, |ctx| {
+                let base = ctx.group_id * wpg;
+                ctx.for_each_subgroup(|sg| {
+                    for c in 0..coarsening {
+                        let pos = base + sg.sg_id() as usize * coarsening + c;
+                        if pos >= nz {
+                            break;
+                        }
+                        let word_idx = sg.load_uniform(offsets, pos) as usize;
+                        let word = sg.load_uniform(words, word_idx);
+                        if !word.is_zero() {
+                            process(sg, word_idx, word);
+                        }
+                    }
+                });
+            });
+            (ev, Some(nz))
+        }
+        None => {
+            let n_words = input.num_words();
+            let words = input.words();
+            let sgs = tuning.subgroups_per_wg as usize;
+            let wpg = sgs * tuning.coarsening as usize;
+            let groups = n_words.div_ceil(wpg.max(1));
+            let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
+            let coarsening = tuning.coarsening as usize;
+            let ev = q.launch(cfg, |ctx| {
+                let base = ctx.group_id * wpg;
+                ctx.for_each_subgroup(|sg| {
+                    for c in 0..coarsening {
+                        let pos = base + sg.sg_id() as usize * coarsening + c;
+                        if pos >= n_words {
+                            break;
+                        }
+                        let word = sg.load_uniform(words, pos);
+                        if word.is_zero() {
+                            sg.compute(1);
+                            continue;
+                        }
+                        process(sg, pos, word);
+                    }
+                });
+            });
+            (ev, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{BitmapFrontier, Frontier, TwoLayerFrontier};
+    use crate::graph::device::DeviceCsr;
+    use crate::graph::host::CsrHost;
+    use crate::inspector::{inspect, OptConfig};
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn tuning(q: &Queue, n: usize) -> Tuning {
+        inspect(q.profile(), &OptConfig::all(), n)
+    }
+
+    fn star_graph(q: &Queue) -> DeviceCsr {
+        // 0 -> 1..=20 (high-degree hub), 21 isolated
+        let edges: Vec<(u32, u32)> = (1..=20).map(|v| (0, v)).collect();
+        DeviceCsr::upload(q, &CsrHost::from_edges(22, &edges)).unwrap()
+    }
+
+    #[test]
+    fn advance_expands_neighbors_two_layer() {
+        let q = queue();
+        let g = star_graph(&q);
+        let mut t = tuning(&q, 22);
+        t.word_bits = 32;
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        output.check_invariant().unwrap();
+        assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn advance_expands_neighbors_plain_bitmap() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = BitmapFrontier::<u32>::new(&q, 22).unwrap();
+        let output = BitmapFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn functor_filters_destinations() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        frontier(&q, &g, &input, &output, &t, |_l, _s, d, _e, _w| d % 2 == 0);
+        assert_eq!(
+            output.to_sorted_vec(),
+            (1..=20).filter(|v| v % 2 == 0).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn functor_sees_src_edge_and_weight() {
+        let q = queue();
+        let h = CsrHost::from_edges_weighted(3, &[(0, 1), (1, 2)], Some(&[2.5, 7.5]));
+        let g = DeviceCsr::upload(&q, &h).unwrap();
+        let t = tuning(&q, 3);
+        let input = TwoLayerFrontier::<u32>::new(&q, 3).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 3).unwrap();
+        input.insert_host(1);
+        let seen = q.malloc_device::<f32>(1).unwrap();
+        let srcs = q.malloc_device::<u32>(1).unwrap();
+        frontier(&q, &g, &input, &output, &t, |l, s, _d, e, w| {
+            l.fetch_add_f32(&seen, 0, w + e as f32);
+            l.fetch_add(&srcs, 0, s);
+            true
+        });
+        assert_eq!(seen.load(0), 7.5 + 1.0);
+        assert_eq!(srcs.load(0), 1);
+        assert_eq!(output.to_sorted_vec(), vec![2]);
+    }
+
+    #[test]
+    fn duplicate_discoveries_coalesce_into_one_bit() {
+        // Two sources both point at vertex 3: bitmap output holds it once.
+        let q = queue();
+        let h = CsrHost::from_edges(4, &[(0, 3), (1, 3)]);
+        let g = DeviceCsr::upload(&q, &h).unwrap();
+        let t = tuning(&q, 4);
+        let input = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        input.insert_host(0);
+        input.insert_host(1);
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(output.count(&q), 1);
+        output.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn discard_variant_runs_functor_without_output() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        let visits = q.malloc_device::<u32>(1).unwrap();
+        frontier_discard(&q, &g, &input, &t, |l, _s, _d, _e, _w| {
+            l.fetch_add(&visits, 0, 1);
+            false
+        });
+        assert_eq!(visits.load(0), 20);
+    }
+
+    #[test]
+    fn vertices_advance_covers_all() {
+        let q = queue();
+        // chain 0 -> 1 -> 2 -> ... -> 9
+        let edges: Vec<(u32, u32)> = (0..9).map(|v| (v, v + 1)).collect();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(10, &edges)).unwrap();
+        let t = tuning(&q, 10);
+        let output = TwoLayerFrontier::<u32>::new(&q, 10).unwrap();
+        vertices(&q, &g, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(output.to_sorted_vec(), (1..10).collect::<Vec<u32>>());
+        let visits = q.malloc_device::<u32>(1).unwrap();
+        vertices_discard::<u32, _>(&q, &g, &t, |l, _s, _d, _e, _w| {
+            l.fetch_add(&visits, 0, 1);
+            false
+        });
+        assert_eq!(visits.load(0), 9, "one visit per edge");
+    }
+
+    #[test]
+    fn wide_word_with_narrow_subgroup_multi_pass() {
+        // 64-bit words on an 8-lane subgroup: 8 compaction passes.
+        let q = queue();
+        let edges: Vec<(u32, u32)> = (0..63).map(|v| (v, v + 1)).collect();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(64, &edges)).unwrap();
+        let t = tuning(&q, 64); // host device: sg 8; MSI gives word_bits 8? no: min(sg,64)=8 -> but W is u64 here
+        let input = BitmapFrontier::<u64>::new(&q, 64).unwrap();
+        let output = BitmapFrontier::<u64>::new(&q, 64).unwrap();
+        for v in 0..64 {
+            input.insert_host(v);
+        }
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(output.to_sorted_vec(), (1..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn counted_advance_reports_nonzero_words() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        // empty input: Some(0), no kernels beyond the compaction
+        let (_, words) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(words, Some(0));
+        input.insert_host(0);
+        input.insert_host(21); // same 32-bit word as vertex 0
+        let (_, words) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(words, Some(1));
+        // plain bitmaps have no compaction: None
+        let flat_in = BitmapFrontier::<u32>::new(&q, 22).unwrap();
+        let flat_out = BitmapFrontier::<u32>::new(&q, 22).unwrap();
+        let (_, words) =
+            frontier_counted(&q, &g, &flat_in, &flat_out, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(words, None);
+    }
+
+    #[test]
+    fn edge_frontier_advance() {
+        let q = queue();
+        // 0->1 (e0), 0->2 (e1), 1->3 (e2), 2->3 (e3)
+        let h = CsrHost::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let g = DeviceCsr::upload(&q, &h).unwrap();
+        let srcs = g.build_edge_sources(&q).unwrap();
+        assert_eq!(srcs.to_vec(), vec![0, 0, 1, 2]);
+        let t = tuning(&q, 4);
+        // frontier over EDGES (4 of them)
+        let edge_in = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        let vert_out = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        edge_in.insert_host(1); // edge 0->2
+        edge_in.insert_host(2); // edge 1->3
+        let seen_srcs = q.malloc_device::<u32>(1).unwrap();
+        let (_, nz) = edges(
+            &q,
+            &g,
+            &edge_in,
+            &vert_out,
+            &t,
+            |l, e| l.load(&srcs, e as usize),
+            |l, s, _d, _e, _w| {
+                l.fetch_add(&seen_srcs, 0, s);
+                true
+            },
+        );
+        assert_eq!(nz, Some(1));
+        assert_eq!(vert_out.to_sorted_vec(), vec![2, 3]);
+        assert_eq!(seen_srcs.load(0), 0 + 1, "functor saw both sources");
+    }
+
+    #[test]
+    fn edge_frontier_advance_plain_bitmap_and_filter() {
+        let q = queue();
+        let edges_list: Vec<(u32, u32)> = (0..50).map(|v| (v, (v + 1) % 50)).collect();
+        let h = CsrHost::from_edges(50, &edges_list);
+        let g = DeviceCsr::upload(&q, &h).unwrap();
+        let srcs = g.build_edge_sources(&q).unwrap();
+        let t = tuning(&q, 50);
+        let edge_in = BitmapFrontier::<u64>::new(&q, 50).unwrap();
+        let vert_out = BitmapFrontier::<u64>::new(&q, 50).unwrap();
+        for e in 0..50 {
+            edge_in.insert_host(e);
+        }
+        let (_, nz) = edges(
+            &q,
+            &g,
+            &edge_in,
+            &vert_out,
+            &t,
+            |l, e| l.load(&srcs, e as usize),
+            |_l, _s, d, _e, _w| d % 2 == 0,
+        );
+        assert_eq!(nz, None, "plain bitmap has no compaction");
+        assert_eq!(
+            vert_out.to_sorted_vec(),
+            (0..50).filter(|v| v % 2 == 0).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn two_queues_advance_independently() {
+        // §3.1: "some operations can run asynchronously, such as two
+        // advance functions on separate graphs" — two queues have
+        // independent timelines and state.
+        let qa = queue();
+        let qb = queue();
+        let ga = star_graph(&qa);
+        let gb = star_graph(&qb);
+        let t = tuning(&qa, 22);
+        let (ia, oa) = (
+            TwoLayerFrontier::<u32>::new(&qa, 22).unwrap(),
+            TwoLayerFrontier::<u32>::new(&qa, 22).unwrap(),
+        );
+        let (ib, ob) = (
+            TwoLayerFrontier::<u32>::new(&qb, 22).unwrap(),
+            TwoLayerFrontier::<u32>::new(&qb, 22).unwrap(),
+        );
+        ia.insert_host(0);
+        ib.insert_host(0);
+        let ea = frontier(&qa, &ga, &ia, &oa, &t, |_l, _s, _d, _e, _w| true);
+        let eb = frontier(&qb, &gb, &ib, &ob, &t, |_l, _s, d, _e, _w| d < 10);
+        ea.wait();
+        eb.wait();
+        assert_eq!(oa.to_sorted_vec().len(), 20);
+        assert_eq!(ob.to_sorted_vec().len(), 9);
+        // each queue only saw its own kernels
+        assert!(qa.profiler().kernel_count() >= 1);
+        assert!(qb.profiler().kernel_count() >= 1);
+    }
+
+    #[test]
+    fn empty_frontier_is_cheap_with_two_layer() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert!(output.is_empty(&q));
+    }
+}

@@ -1,0 +1,90 @@
+//! The `compute` primitive (§3.1): applies a functor to every frontier
+//! element. Kept separate from `advance` because it has no load-balancing
+//! problem — memory access is regular — so it maps to a plain SYCL `range`
+//! kernel (§3.3, §3.5).
+
+use sygraph_sim::{Event, ItemCtx, Queue};
+
+use crate::frontier::word::{locate, Word};
+use crate::frontier::BitmapLike;
+use crate::types::VertexId;
+
+/// The compute functor: `(lane, vertex)`, matching `Functor(id)`.
+pub trait ComputeFunctor: Fn(&mut ItemCtx<'_>, VertexId) + Sync {}
+impl<F> ComputeFunctor for F where F: Fn(&mut ItemCtx<'_>, VertexId) + Sync {}
+
+/// `compute::execute(G, Frontier, Functor)`: applies `functor` to each
+/// active vertex.
+pub fn execute<W: Word>(
+    q: &Queue,
+    frontier: &dyn BitmapLike<W>,
+    functor: impl ComputeFunctor,
+) -> Event {
+    let words = frontier.words();
+    q.parallel_for("compute", frontier.capacity(), |lane, v| {
+        let (wi, b) = locate::<W>(v as u32);
+        let w = lane.load(words, wi);
+        if w.test_bit(b) {
+            functor(lane, v as u32);
+        }
+    })
+}
+
+/// Applies `functor` to *every* vertex `0..n` (initialization passes,
+/// e.g. setting all BFS distances to ∞).
+pub fn execute_all(q: &Queue, n: usize, functor: impl ComputeFunctor) -> Event {
+    q.parallel_for("compute_all", n, |lane, v| functor(lane, v as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{Frontier, TwoLayerFrontier};
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn execute_touches_only_active() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 100).unwrap();
+        let vals = q.malloc_device::<u32>(100).unwrap();
+        f.insert_host(10);
+        f.insert_host(90);
+        execute(&q, &f, |l, v| {
+            l.store(&vals, v as usize, v + 1);
+        });
+        assert_eq!(vals.load(10), 11);
+        assert_eq!(vals.load(90), 91);
+        assert_eq!(vals.load(50), 0, "inactive untouched");
+    }
+
+    #[test]
+    fn execute_all_covers_range() {
+        let q = queue();
+        let vals = q.malloc_device::<u32>(500).unwrap();
+        execute_all(&q, 500, |l, v| l.store(&vals, v as usize, 7));
+        assert!(vals.to_vec().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn bfs_distance_update_pattern() {
+        // The Listing 1 compute step: dist[v] = iter + 1 over the output
+        // frontier.
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 64).unwrap();
+        let dist = q.malloc_device::<u32>(64).unwrap();
+        q.fill(&dist, u32::MAX);
+        f.insert_host(3);
+        f.insert_host(4);
+        let iter = 5u32;
+        execute(&q, &f, |l, v| {
+            l.store(&dist, v as usize, iter + 1);
+        });
+        assert_eq!(dist.load(3), 6);
+        assert_eq!(dist.load(4), 6);
+        assert_eq!(dist.load(5), u32::MAX);
+    }
+}

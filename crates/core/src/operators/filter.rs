@@ -1,0 +1,124 @@
+//! The `filter` primitive (§3.1): removes frontier elements failing a
+//! predicate, either in place or into a new frontier. Implemented with a
+//! SYCL `range` kernel (the paper leaves blocking to the compiler for
+//! filter/compute, §3.3).
+
+use sygraph_sim::{Event, ItemCtx, Queue};
+
+use crate::frontier::word::{locate, Word};
+use crate::frontier::BitmapLike;
+use crate::types::VertexId;
+
+/// The filter functor: `(lane, vertex) -> bool` — `true` keeps the vertex,
+/// matching the paper's `Functor(id) -> Bool`.
+pub trait FilterFunctor: Fn(&mut ItemCtx<'_>, VertexId) -> bool + Sync {}
+impl<F> FilterFunctor for F where F: Fn(&mut ItemCtx<'_>, VertexId) -> bool + Sync {}
+
+/// `filter::inplace(G, Frontier, Functor)`: removes elements failing
+/// `functor` from `frontier`.
+pub fn inplace<W: Word>(
+    q: &Queue,
+    frontier: &dyn BitmapLike<W>,
+    functor: impl FilterFunctor,
+) -> Event {
+    let words = frontier.words();
+    q.parallel_for("filter_inplace", frontier.capacity(), |lane, v| {
+        let (wi, b) = locate::<W>(v as u32);
+        let w = lane.load(words, wi);
+        if w.test_bit(b) {
+            lane.compute(1);
+            if !functor(lane, v as u32) {
+                frontier.remove_lane(lane, v as u32);
+            }
+        }
+    })
+}
+
+/// `filter::external(G, In, Out, Functor)`: copies elements of `input`
+/// passing `functor` into `output` (which is cleared by the caller).
+pub fn external<W: Word>(
+    q: &Queue,
+    input: &dyn BitmapLike<W>,
+    output: &dyn BitmapLike<W>,
+    functor: impl FilterFunctor,
+) -> Event {
+    let words = input.words();
+    q.parallel_for("filter_external", input.capacity(), |lane, v| {
+        let (wi, b) = locate::<W>(v as u32);
+        let w = lane.load(words, wi);
+        if w.test_bit(b) {
+            lane.compute(1);
+            if functor(lane, v as u32) {
+                output.insert_lane(lane, v as u32);
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{Frontier, TwoLayerFrontier};
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn inplace_removes_failures() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 300).unwrap();
+        for v in 0..300 {
+            f.insert_host(v);
+        }
+        inplace(&q, &f, |_l, v| v % 3 == 0);
+        assert_eq!(f.count(&q), 100);
+        f.check_invariant().unwrap();
+        assert_eq!(
+            f.to_sorted_vec(),
+            (0..300).step_by(3).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn inplace_clearing_everything_resets_layer2() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 128).unwrap();
+        f.insert_host(5);
+        f.insert_host(100);
+        inplace(&q, &f, |_l, _v| false);
+        assert!(f.is_empty(&q));
+        f.check_invariant().unwrap();
+        let (nz, _) = f.compact(&q).unwrap();
+        assert_eq!(nz, 0);
+    }
+
+    #[test]
+    fn external_copies_passers() {
+        let q = queue();
+        let input = TwoLayerFrontier::<u32>::new(&q, 200).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 200).unwrap();
+        for v in [1u32, 50, 51, 150] {
+            input.insert_host(v);
+        }
+        external(&q, &input, &output, |_l, v| v >= 50);
+        assert_eq!(output.to_sorted_vec(), vec![50, 51, 150]);
+        // input untouched
+        assert_eq!(input.count(&q), 4);
+        output.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn functor_can_read_device_data() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 64).unwrap();
+        let keep = q.malloc_device::<u32>(64).unwrap();
+        for v in 0..64 {
+            f.insert_host(v);
+            keep.store(v as usize, (v % 2) as u32);
+        }
+        inplace(&q, &f, |l, v| l.load(&keep, v as usize) != 0);
+        assert_eq!(f.count(&q), 32);
+    }
+}

@@ -1,0 +1,9 @@
+//! The SYgraph primitives (Table 2): `advance`, `filter`, `compute`.
+//!
+//! Each primitive launches one or more kernels on the queue and returns an
+//! [`sygraph_sim::Event`] for host-side waits, exactly like the paper's
+//! `sygraph::operators::` namespace.
+
+pub mod advance;
+pub mod compute;
+pub mod filter;

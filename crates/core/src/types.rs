@@ -1,0 +1,18 @@
+//! Fundamental identifier and weight types, mirroring the paper's
+//! `vertex_t`, `edge_t` and `weight_t`.
+
+/// Vertex identifier. 32 bits covers every dataset in the paper
+/// (largest: soc-twitter-2010 with 21.3 M vertices).
+pub type VertexId = u32;
+
+/// Edge identifier (index into the CSR column array).
+pub type EdgeId = u32;
+
+/// Edge weight.
+pub type Weight = f32;
+
+/// Sentinel "unreached" distance for integer-distance algorithms (BFS).
+pub const INF_DIST: u32 = u32::MAX;
+
+/// Sentinel "unreached" distance for weighted algorithms (SSSP).
+pub const INF_WEIGHT: f32 = f32::INFINITY;

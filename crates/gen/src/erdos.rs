@@ -1,0 +1,49 @@
+//! Uniform (Erdős–Rényi G(n, m)) generator, used by tests and as a
+//! neutral workload with no degree skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// Generates `m` uniformly random directed edges over `n` vertices,
+/// optionally with uniform random weights in `(0, max_w]`.
+pub fn generate(n: usize, m: usize, weight_max: Option<f32>, seed: u64) -> EdgeList {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| {
+            (
+                rng.random_range(0..n as u32),
+                rng.random_range(0..n as u32),
+            )
+        })
+        .collect();
+    let weights =
+        weight_max.map(|mx| (0..m).map(|_| rng.random_range(0.0..mx) + 1e-3).collect());
+    EdgeList { n, edges, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(100, 500, Some(5.0), 3);
+        let b = generate(100, 500, Some(5.0), 3);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.edges.len(), 500);
+        let g = CsrHost::from_edges_weighted(a.n, &a.edges, a.weights.as_deref());
+        assert_eq!(g.edge_count(), 500);
+        assert!(g.weights.unwrap().iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let el = generate(1000, 20_000, None, 11);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        assert!(g.max_degree() < 60, "no hubs in ER: {}", g.max_degree());
+    }
+}

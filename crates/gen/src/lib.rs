@@ -1,0 +1,55 @@
+//! # sygraph-gen — deterministic workload generators
+//!
+//! The paper evaluates on Network-Repository / WebGraph datasets
+//! (Table 3). Those exact files are not redistributable nor
+//! simulation-scale, so this crate generates deterministic stand-ins that
+//! preserve each dataset's performance-relevant structure (degree
+//! distribution shape, diameter class, locality). See `DESIGN.md` §2 for
+//! the substitution argument and [`datasets`] for the per-dataset specs.
+
+pub mod datasets;
+pub mod erdos;
+pub mod powerlaw;
+pub mod rmat;
+pub mod road;
+pub mod webgraph;
+
+use sygraph_core::graph::CsrHost;
+use sygraph_core::types::{VertexId, Weight};
+
+/// A generated edge list, convertible to CSR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub n: usize,
+    /// Directed edges.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional per-edge weights.
+    pub weights: Option<Vec<Weight>>,
+}
+
+impl EdgeList {
+    /// Builds the CSR of this edge list.
+    pub fn to_csr(&self) -> CsrHost {
+        CsrHost::from_edges_weighted(self.n, &self.edges, self.weights.as_deref())
+    }
+}
+
+pub use datasets::{comparison_suite, paper_suite, Dataset, DatasetKind, Scale};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_to_csr() {
+        let el = EdgeList {
+            n: 3,
+            edges: vec![(0, 1), (1, 2)],
+            weights: Some(vec![2.0, 3.0]),
+        };
+        let g = el.to_csr();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.neighbor_weights(1).unwrap(), &[3.0]);
+    }
+}

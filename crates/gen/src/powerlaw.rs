@@ -1,0 +1,92 @@
+//! Preferential-attachment (Barabási–Albert-style) generator for social
+//! network shapes — the Hollywood-2009 / LiveJournal stand-ins: skewed
+//! degree distribution, small diameter, a dense core.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// Generates an undirected preferential-attachment graph with `n`
+/// vertices, each newcomer attaching `m_per_vertex` edges to existing
+/// vertices with probability proportional to degree. Deterministic in
+/// `seed`. Both edge directions are emitted.
+pub fn generate(n: usize, m_per_vertex: usize, seed: u64) -> EdgeList {
+    assert!(n > m_per_vertex && m_per_vertex >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m_per_vertex);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(2 * n * m_per_vertex);
+    // seed clique over the first m_per_vertex + 1 vertices
+    for u in 0..=(m_per_vertex as u32) {
+        for v in 0..u {
+            edges.push((u, v));
+            edges.push((v, u));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (m_per_vertex + 1)..n {
+        let u = u as u32;
+        let mut targets = Vec::with_capacity(m_per_vertex);
+        while targets.len() < m_per_vertex {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((u, t));
+            edges.push((t, u));
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    EdgeList {
+        n,
+        edges,
+        weights: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+
+    #[test]
+    fn hub_emerges() {
+        let el = generate(2000, 5, 13);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        assert!(max / avg > 8.0, "hubs expected: max {max} avg {avg}");
+    }
+
+    #[test]
+    fn connected_single_component() {
+        let el = generate(500, 3, 4);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        // BFS from 0 reaches everyone (preferential attachment is connected)
+        let mut seen = vec![false; el.n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(count, el.n);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(300, 4, 9).edges, generate(300, 4, 9).edges);
+    }
+}

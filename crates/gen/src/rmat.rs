@@ -1,0 +1,105 @@
+//! R-MAT / Kronecker generator (Chakrabarti et al.), the model behind the
+//! paper's `kron-g500-logn21` dataset and a good stand-in for
+//! `soc-twitter-2010`-style skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// R-MAT quadrant probabilities. Graph500 uses (0.57, 0.19, 0.19, 0.05).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500 / kron-g500 parameters.
+    pub fn graph500() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates `m` directed R-MAT edges over `2^scale` vertices.
+/// Deterministic in `seed`. Self-loops are permitted (as in kron inputs);
+/// duplicate edges are kept (they exist in the real datasets too).
+pub fn generate(scale: u32, m: usize, params: RmatParams, seed: u64) -> EdgeList {
+    assert!(scale < 31, "scale too large");
+    assert!(params.d() >= 0.0, "probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    // Add a small per-level noise like Graph500's generator to avoid
+    // perfectly self-similar artifacts.
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let (mut a, mut b, mut c) = (params.a, params.b, params.c);
+            let noise = 0.05 * (rng.random::<f64>() - 0.5);
+            a += noise;
+            b -= noise / 3.0;
+            c -= noise / 3.0;
+            let r: f64 = rng.random();
+            let bit = 1usize << level;
+            if r < a {
+                // top-left: nothing
+            } else if r < a + b {
+                v |= bit;
+            } else if r < a + b + c {
+                u |= bit;
+            } else {
+                u |= bit;
+                v |= bit;
+            }
+        }
+        edges.push((u as u32, v as u32));
+    }
+    EdgeList {
+        n,
+        edges,
+        weights: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(10, 5000, RmatParams::graph500(), 1);
+        let b = generate(10, 5000, RmatParams::graph500(), 1);
+        let c = generate(10, 5000, RmatParams::graph500(), 2);
+        assert_eq!(a.edges, b.edges);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let el = generate(12, 40_000, RmatParams::graph500(), 7);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        assert!(
+            max / avg > 20.0,
+            "scale-free skew expected: max {max}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn vertex_ids_in_range() {
+        let el = generate(8, 2000, RmatParams::graph500(), 3);
+        assert!(el.edges.iter().all(|&(u, v)| (u as usize) < el.n && (v as usize) < el.n));
+    }
+}

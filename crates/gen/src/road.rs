@@ -1,0 +1,126 @@
+//! Road-network generator: a jittered 2D lattice with occasional missing
+//! streets and a few diagonal shortcuts. Reproduces the defining
+//! properties of `roadNet-CA` / `road-USA` (Table 3): near-uniform small
+//! degrees (≤ 12 in CA, ≤ 9 in USA), average degree 2–3 and a very large
+//! diameter (≈ grid side).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::EdgeList;
+
+/// Road generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RoadParams {
+    /// Probability a lattice street exists (1.0 = full grid).
+    pub street_prob: f64,
+    /// Probability of a diagonal shortcut at a junction.
+    pub diagonal_prob: f64,
+    /// Whether to attach Euclidean-ish edge weights.
+    pub weighted: bool,
+}
+
+impl Default for RoadParams {
+    fn default() -> Self {
+        RoadParams {
+            street_prob: 0.92,
+            diagonal_prob: 0.05,
+            weighted: false,
+        }
+    }
+}
+
+/// Generates an undirected road network on a `width × height` lattice.
+/// Every edge appears in both directions. Deterministic in `seed`.
+pub fn generate(width: usize, height: usize, params: RoadParams, seed: u64) -> EdgeList {
+    let n = width * height;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * 3);
+    let mut weights = params.weighted.then(|| Vec::with_capacity(n * 3));
+    let push = |edges: &mut Vec<(u32, u32)>,
+                    weights: &mut Option<Vec<f32>>,
+                    u: usize,
+                    v: usize,
+                    w: f32| {
+        edges.push((u as u32, v as u32));
+        edges.push((v as u32, u as u32));
+        if let Some(ws) = weights {
+            ws.push(w);
+            ws.push(w);
+        }
+    };
+    for y in 0..height {
+        for x in 0..width {
+            let u = y * width + x;
+            if x + 1 < width && rng.random_bool(params.street_prob) {
+                let w = 1.0 + rng.random::<f32>();
+                push(&mut edges, &mut weights, u, u + 1, w);
+            }
+            if y + 1 < height && rng.random_bool(params.street_prob) {
+                let w = 1.0 + rng.random::<f32>();
+                push(&mut edges, &mut weights, u, u + width, w);
+            }
+            if x + 1 < width && y + 1 < height && rng.random_bool(params.diagonal_prob) {
+                let w = 1.4 + rng.random::<f32>();
+                push(&mut edges, &mut weights, u, u + width + 1, w);
+            }
+        }
+    }
+    EdgeList { n, edges, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_core::graph::CsrHost;
+
+    #[test]
+    fn road_degrees_are_small_and_uniform() {
+        let el = generate(100, 100, RoadParams::default(), 5);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        assert!(g.max_degree() <= 12, "max degree {}", g.max_degree());
+        let avg = g.avg_degree();
+        assert!((2.0..5.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn symmetric_edges() {
+        let el = generate(20, 20, RoadParams::default(), 1);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        for u in 0..el.n as u32 {
+            for &v in g.neighbors(u) {
+                assert!(g.neighbors(v).contains(&u), "missing reverse {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_diameter() {
+        // BFS depth from a corner should be on the order of the grid side.
+        let el = generate(60, 60, RoadParams::default(), 9);
+        let g = CsrHost::from_edges(el.n, &el.edges);
+        let mut dist = vec![u32::MAX; el.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[0] = 0;
+        queue.push_back(0u32);
+        let mut maxd = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    maxd = maxd.max(dist[v as usize]);
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(maxd >= 100, "road diameter should be large, got {maxd}");
+    }
+
+    #[test]
+    fn weighted_variant_attaches_positive_weights() {
+        let el = generate(10, 10, RoadParams { weighted: true, ..Default::default() }, 2);
+        let w = el.weights.as_ref().unwrap();
+        assert_eq!(w.len(), el.edges.len());
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+}

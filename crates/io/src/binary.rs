@@ -1,0 +1,136 @@
+//! Fast binary CSR snapshots.
+//!
+//! Layout (little-endian):
+//! `magic "SYGB" | version u32 | n u64 | m u64 | flags u32 |`
+//! `offsets (n+1)×u32 | indices m×u32 | [weights m×f32]`
+//! where bit 0 of `flags` marks the presence of weights.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sygraph_core::graph::CsrHost;
+
+use crate::{IoError, IoResult};
+
+const MAGIC: &[u8; 4] = b"SYGB";
+const VERSION: u32 = 1;
+const FLAG_WEIGHTED: u32 = 1;
+
+/// Serializes a CSR into a byte buffer.
+pub fn to_bytes(g: &CsrHost) -> Bytes {
+    let n = g.vertex_count();
+    let m = g.edge_count();
+    let weighted = g.weights.is_some();
+    let cap = 4 + 4 + 16 + 4 + (n + 1) * 4 + m * 4 + if weighted { m * 4 } else { 0 };
+    let mut buf = BytesMut::with_capacity(cap);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+    buf.put_u32_le(if weighted { FLAG_WEIGHTED } else { 0 });
+    for &o in &g.offsets {
+        buf.put_u32_le(o);
+    }
+    for &i in &g.indices {
+        buf.put_u32_le(i);
+    }
+    if let Some(ws) = &g.weights {
+        for &w in ws {
+            buf.put_f32_le(w);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a CSR from bytes.
+pub fn from_bytes(mut b: &[u8]) -> IoResult<CsrHost> {
+    if b.len() < 36 {
+        return Err(IoError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    b.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic".into()));
+    }
+    let version = b.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let n = b.get_u64_le() as usize;
+    let m = b.get_u64_le() as usize;
+    let flags = b.get_u32_le();
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let need = (n + 1) * 4 + m * 4 + if weighted { m * 4 } else { 0 };
+    if b.remaining() < need {
+        return Err(IoError::Format(format!(
+            "truncated body: need {need}, have {}",
+            b.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(b.get_u32_le());
+    }
+    let mut indices = Vec::with_capacity(m);
+    for _ in 0..m {
+        indices.push(b.get_u32_le());
+    }
+    let weights = weighted.then(|| (0..m).map(|_| b.get_f32_le()).collect());
+    let g = CsrHost {
+        offsets,
+        indices,
+        weights,
+    };
+    g.validate().map_err(IoError::Format)?;
+    Ok(g)
+}
+
+/// Writes a binary snapshot to `w`.
+pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
+    w.write_all(&to_bytes(g))?;
+    Ok(())
+}
+
+/// Reads a binary snapshot from `r`.
+pub fn read(mut r: impl Read) -> IoResult<CsrHost> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = CsrHost::from_edges(5, &[(0, 4), (4, 0), (2, 3)]);
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (2, 1)], Some(&[0.25, 8.5]));
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let g = CsrHost::from_edges(3, &[(0, 1)]);
+        let mut bytes = to_bytes(&g).to_vec();
+        bytes[0] = b'X';
+        assert!(from_bytes(&bytes).is_err(), "bad magic");
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(&bytes[..bytes.len() - 2]).is_err(), "truncated");
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let g = CsrHost::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        assert_eq!(read(buf.as_slice()).unwrap(), g);
+    }
+}

@@ -1,0 +1,96 @@
+//! DIMACS shortest-path challenge format (`.gr`), the distribution format
+//! of the road-USA dataset: `c` comments, one `p sp <n> <m>` problem
+//! line, and `a <u> <v> <w>` arc lines with 1-based indices.
+
+use std::io::{BufRead, Write};
+
+use sygraph_core::graph::CsrHost;
+
+use crate::{IoError, IoResult};
+
+/// Reads a DIMACS `.gr` graph.
+pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        let perr = |msg: String| IoError::Parse {
+            line: lineno + 1,
+            msg,
+        };
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        match parts[0] {
+            "p" => {
+                if parts.len() != 4 || parts[1] != "sp" {
+                    return Err(perr("expected 'p sp <n> <m>'".into()));
+                }
+                n = Some(parts[2].parse().map_err(|e| perr(format!("{e}")))?);
+                let m: usize = parts[3].parse().map_err(|e| perr(format!("{e}")))?;
+                edges.reserve(m);
+                weights.reserve(m);
+            }
+            "a" => {
+                if parts.len() != 4 {
+                    return Err(perr("expected 'a <u> <v> <w>'".into()));
+                }
+                let u: u32 = parts[1].parse().map_err(|e| perr(format!("{e}")))?;
+                let v: u32 = parts[2].parse().map_err(|e| perr(format!("{e}")))?;
+                let w: f32 = parts[3].parse().map_err(|e| perr(format!("{e}")))?;
+                if u == 0 || v == 0 {
+                    return Err(perr("DIMACS indices are 1-based".into()));
+                }
+                edges.push((u - 1, v - 1));
+                weights.push(w);
+            }
+            other => return Err(perr(format!("unknown record type '{other}'"))),
+        }
+    }
+    let n = n.ok_or_else(|| IoError::Format("missing problem line".into()))?;
+    Ok(CsrHost::from_edges_weighted(n, &edges, Some(&weights)))
+}
+
+/// Writes a DIMACS `.gr` graph (unweighted edges get weight 1).
+pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
+    writeln!(w, "c written by sygraph-io")?;
+    writeln!(w, "p sp {} {}", g.vertex_count(), g.edge_count())?;
+    for u in 0..g.vertex_count() as u32 {
+        let ws = g.neighbor_weights(u);
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            let weight = ws.map_or(1.0, |ws| ws[k]);
+            writeln!(w, "a {} {} {}", u + 1, v + 1, weight)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (1, 2)], Some(&[5.0, 7.0]));
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = read(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_ignored_and_problem_required() {
+        let text = "c road\np sp 2 1\nc mid\na 1 2 3.5\n";
+        let g = read(text.as_bytes()).unwrap();
+        assert_eq!(g.neighbor_weights(0).unwrap(), &[3.5]);
+        assert!(read("a 1 2 3\n".as_bytes()).is_err(), "no problem line");
+    }
+
+    #[test]
+    fn rejects_unknown_records() {
+        assert!(read("p sp 2 1\nz 1 2 3\n".as_bytes()).is_err());
+    }
+}

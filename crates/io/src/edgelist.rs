@@ -1,0 +1,117 @@
+//! SNAP-style edge lists: one `u v [w]` per line, `#` comments.
+
+use std::io::{BufRead, Write};
+
+use sygraph_core::graph::CsrHost;
+
+use crate::{IoError, IoResult};
+
+/// Reads an edge list. Vertex ids are as written; the vertex count is
+/// `max id + 1` unless `min_vertices` is larger.
+pub fn read(r: impl BufRead, min_vertices: usize) -> IoResult<CsrHost> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut any_weight = false;
+    let mut max_id = 0u32;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> IoResult<u32> {
+            s.ok_or_else(|| IoError::Parse {
+                line: lineno + 1,
+                msg: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                msg: format!("bad {what}: {e}"),
+            })
+        };
+        let u = parse(parts.next(), "source")?;
+        let v = parse(parts.next(), "target")?;
+        let w = match parts.next() {
+            Some(ws) => {
+                any_weight = true;
+                ws.parse().map_err(|e| IoError::Parse {
+                    line: lineno + 1,
+                    msg: format!("bad weight: {e}"),
+                })?
+            }
+            None => 1.0,
+        };
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+        weights.push(w);
+    }
+    let n = min_vertices.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    Ok(CsrHost::from_edges_weighted(
+        n,
+        &edges,
+        any_weight.then_some(weights.as_slice()),
+    ))
+}
+
+/// Writes an edge list (weights included when present).
+pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
+    writeln!(w, "# sygraph edge list: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    for u in 0..g.vertex_count() as u32 {
+        let ws = g.neighbor_weights(u);
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            match ws {
+                Some(ws) => writeln!(w, "{u} {v} {}", ws[k])?,
+                None => writeln!(w, "{u} {v}")?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = CsrHost::from_edges(4, &[(0, 1), (0, 2), (3, 0)]);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = read(buf.as_slice(), 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (1, 2)], Some(&[0.5, 2.5]));
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = read(buf.as_slice(), 0).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0 1\n% more\n1 2\n";
+        let g = read(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn min_vertices_pads() {
+        let g = read("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.vertex_count(), 10);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let err = read("0 1\nx y\n".as_bytes(), 0).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

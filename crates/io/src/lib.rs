@@ -1,0 +1,47 @@
+//! # sygraph-io — graph input/output
+//!
+//! The paper's IO API "defines a set of functions for reading and writing
+//! graphs from and to files" (§3.1). Supported formats:
+//!
+//! * [`mtx`] — MatrixMarket coordinate format (what Network Repository and
+//!   SuiteSparse distribute);
+//! * [`edgelist`] — whitespace-separated `u v [w]` lines, `#` comments
+//!   (SNAP style, e.g. roadNet-CA);
+//! * [`dimacs`] — the DIMACS shortest-path challenge format (road-USA);
+//! * [`binary`] — a fast internal binary CSR snapshot.
+
+pub mod binary;
+pub mod dimacs;
+pub mod edgelist;
+pub mod mtx;
+
+use std::fmt;
+
+/// IO-layer errors.
+#[derive(Debug)]
+pub enum IoError {
+    Io(std::io::Error),
+    Parse { line: usize, msg: String },
+    Format(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type IoResult<T> = Result<T, IoError>;

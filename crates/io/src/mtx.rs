@@ -1,0 +1,182 @@
+//! MatrixMarket coordinate format (the distribution format of Network
+//! Repository and SuiteSparse graphs).
+//!
+//! Supports `matrix coordinate {pattern|real|integer} {general|symmetric}`.
+//! Symmetric inputs are expanded to both directions on read, as graph
+//! frameworks conventionally do. Indices are 1-based in the file.
+
+use std::io::{BufRead, Write};
+
+use sygraph_core::graph::CsrHost;
+
+use crate::{IoError, IoResult};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Pattern,
+    Real,
+    Integer,
+}
+
+/// Reads a MatrixMarket graph.
+pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
+    let mut lines = r.lines().enumerate();
+    // Header
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))?;
+    let header = header?;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") || h[1] != "matrix" || h[2] != "coordinate"
+    {
+        return Err(IoError::Format(format!("unsupported header: {header}")));
+    }
+    let field = match h[3] {
+        "pattern" => Field::Pattern,
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        other => return Err(IoError::Format(format!("unsupported field type {other}"))),
+    };
+    let symmetric = match h[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(IoError::Format(format!("unsupported symmetry {other}"))),
+    };
+
+    // Size line (first non-comment line)
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        let perr = |msg: String| IoError::Parse {
+            line: lineno + 1,
+            msg,
+        };
+        if dims.is_none() {
+            if parts.len() != 3 {
+                return Err(perr("expected 'rows cols nnz'".into()));
+            }
+            let rows = parts[0].parse().map_err(|e| perr(format!("{e}")))?;
+            let cols = parts[1].parse().map_err(|e| perr(format!("{e}")))?;
+            let nnz = parts[2].parse().map_err(|e| perr(format!("{e}")))?;
+            dims = Some((rows, cols, nnz));
+            edges.reserve(nnz * if symmetric { 2 } else { 1 });
+            continue;
+        }
+        let need = if field == Field::Pattern { 2 } else { 3 };
+        if parts.len() < need {
+            return Err(perr(format!("expected {need} fields")));
+        }
+        let u: u32 = parts[0].parse().map_err(|e| perr(format!("{e}")))?;
+        let v: u32 = parts[1].parse().map_err(|e| perr(format!("{e}")))?;
+        if u == 0 || v == 0 {
+            return Err(perr("MatrixMarket indices are 1-based".into()));
+        }
+        let w: f32 = if field == Field::Pattern {
+            1.0
+        } else {
+            parts[2].parse().map_err(|e| perr(format!("{e}")))?
+        };
+        edges.push((u - 1, v - 1));
+        weights.push(w);
+        if symmetric && u != v {
+            edges.push((v - 1, u - 1));
+            weights.push(w);
+        }
+    }
+    let (rows, cols, _nnz) = dims.ok_or_else(|| IoError::Format("missing size line".into()))?;
+    let n = rows.max(cols);
+    Ok(CsrHost::from_edges_weighted(
+        n,
+        &edges,
+        if field == Field::Pattern {
+            None
+        } else {
+            Some(weights.as_slice())
+        },
+    ))
+}
+
+/// Writes a general MatrixMarket file (pattern when unweighted).
+pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
+    let field = if g.weights.is_some() { "real" } else { "pattern" };
+    writeln!(w, "%%MatrixMarket matrix coordinate {field} general")?;
+    writeln!(w, "% written by sygraph-io")?;
+    let n = g.vertex_count();
+    writeln!(w, "{n} {n} {}", g.edge_count())?;
+    for u in 0..n as u32 {
+        let ws = g.neighbor_weights(u);
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            match ws {
+                Some(ws) => writeln!(w, "{} {} {}", u + 1, v + 1, ws[k])?,
+                None => writeln!(w, "{} {}", u + 1, v + 1)?,
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general_real() {
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (2, 0)], Some(&[1.5, 2.0]));
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = read(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_pattern() {
+        let g = CsrHost::from_edges(4, &[(0, 1), (1, 2), (3, 3)]);
+        let mut buf = Vec::new();
+        write(&g, &mut buf).unwrap();
+        let g2 = read(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n";
+        let g = read(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn symmetric_diagonal_not_duplicated() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 1\n2 1\n";
+        let g = read(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 3, "self-loop once + expanded pair");
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(read("hello\n1 1 0\n".as_bytes()).is_err());
+        assert!(read("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn one_based_enforced() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_in_body() {
+        let text =
+            "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 1\n% mid\n1 2\n";
+        let g = read(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

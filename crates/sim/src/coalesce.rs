@@ -1,0 +1,117 @@
+//! Memory-transaction coalescing.
+//!
+//! GPUs service a subgroup's memory instruction by grouping the lanes'
+//! addresses into cache-line-sized transactions. A fully coalesced access
+//! (consecutive addresses) needs `width × elem / line` transactions; a
+//! scattered gather needs up to one per lane. This module turns a set of
+//! per-lane addresses into the set of distinct lines touched.
+
+/// Collects per-lane byte addresses for one memory instruction and yields
+/// the distinct cache lines touched.
+///
+/// Reused across instructions to stay allocation-free on the hot path: the
+/// internal buffer is cleared, filled, sorted and deduplicated in place.
+#[derive(Debug)]
+pub struct Coalescer {
+    line_shift: u32,
+    lines: Vec<u64>,
+}
+
+impl Coalescer {
+    pub fn new(line_bytes: u32) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        Coalescer {
+            line_shift: line_bytes.trailing_zeros(),
+            lines: Vec::with_capacity(128),
+        }
+    }
+
+    /// Begins a new instruction.
+    pub fn begin(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Records one lane's access covering `[addr, addr + bytes)`.
+    pub fn lane(&mut self, addr: u64, bytes: u32) {
+        debug_assert!(bytes > 0);
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes as u64 - 1) >> self.line_shift;
+        for line in first..=last {
+            self.lines.push(line);
+        }
+    }
+
+    /// Finishes the instruction, invoking `f` once per distinct line's base
+    /// address, and returns the transaction count.
+    pub fn flush(&mut self, mut f: impl FnMut(u64)) -> u64 {
+        self.lines.sort_unstable();
+        self.lines.dedup();
+        for &line in &self.lines {
+            f(line << self.line_shift);
+        }
+        self.lines.len() as u64
+    }
+
+    pub fn line_bytes(&self) -> u32 {
+        1 << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transactions(line: u32, accesses: &[(u64, u32)]) -> u64 {
+        let mut c = Coalescer::new(line);
+        c.begin();
+        for &(a, b) in accesses {
+            c.lane(a, b);
+        }
+        c.flush(|_| {})
+    }
+
+    #[test]
+    fn fully_coalesced_32_lanes_u32_on_128b_lines() {
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * 4, 4)).collect();
+        assert_eq!(transactions(128, &accesses), 1);
+    }
+
+    #[test]
+    fn fully_scattered_is_one_per_lane() {
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * 4096, 4)).collect();
+        assert_eq!(transactions(128, &accesses), 32);
+    }
+
+    #[test]
+    fn duplicate_addresses_collapse() {
+        let accesses: Vec<(u64, u32)> = (0..32).map(|_| (64, 4)).collect();
+        assert_eq!(transactions(128, &accesses), 1);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        assert_eq!(transactions(128, &[(126, 4)]), 2);
+    }
+
+    #[test]
+    fn flush_reports_line_base_addresses() {
+        let mut c = Coalescer::new(64);
+        c.begin();
+        c.lane(130, 4);
+        c.lane(5, 4);
+        let mut seen = vec![];
+        c.flush(|a| seen.push(a));
+        assert_eq!(seen, vec![0, 128]);
+    }
+
+    #[test]
+    fn reuse_clears_previous_instruction() {
+        let mut c = Coalescer::new(64);
+        c.begin();
+        c.lane(0, 4);
+        c.flush(|_| {});
+        c.begin();
+        c.lane(4096, 4);
+        assert_eq!(c.flush(|_| {}), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Analytic kernel cost model.
+//!
+//! Converts per-compute-unit workgroup statistics into a modelled execution
+//! time and an achieved-occupancy figure. The model is throughput-based
+//! (roofline-style): a CU's time is the maximum of its compute-issue time
+//! and its memory-service time, plus serialization terms (barriers, atomic
+//! conflicts) and per-workgroup scheduling overhead. The kernel ends when
+//! its slowest CU finishes, so workload imbalance directly lengthens the
+//! modelled time — which is exactly the effect the paper's load-balancing
+//! strategy targets.
+
+use crate::device::DeviceProfile;
+use crate::exec::LaunchConfig;
+use crate::stats::{GroupStats, KernelStats};
+
+/// Statistics aggregated over the workgroups one CU executed.
+#[derive(Debug, Default, Clone)]
+pub struct CuAgg {
+    pub stats: GroupStats,
+    pub groups: u64,
+}
+
+/// Subgroup instructions the CU can issue per cycle (schedulers per SM).
+const ISSUE_WIDTH: f64 = 4.0;
+/// L1 transactions serviced per cycle.
+const L1_THROUGHPUT: f64 = 4.0;
+/// Memory-level parallelism: outstanding misses amortizing DRAM latency.
+const MLP: f64 = 24.0;
+/// Fixed cycles to schedule one workgroup onto a CU.
+const GROUP_SCHED_CYCLES: f64 = 220.0;
+
+/// Resident workgroups per CU given launch shape and device limits.
+pub fn resident_workgroups(profile: &DeviceProfile, cfg: &LaunchConfig) -> u32 {
+    let by_count = profile.max_workgroups_per_cu;
+    let by_threads = (profile.max_threads_per_cu / cfg.wg_size.max(1)).max(1);
+    let by_local = profile
+        .local_mem_bytes
+        .checked_div(cfg.local_mem_bytes)
+        .map_or(u32::MAX, |x| x.max(1));
+    by_count.min(by_threads).min(by_local)
+}
+
+/// Theoretical occupancy: resident threads / max threads, in `[0, 1]`.
+pub fn theoretical_occupancy(profile: &DeviceProfile, cfg: &LaunchConfig) -> f64 {
+    let resident = resident_workgroups(profile, cfg) as u64 * cfg.wg_size as u64;
+    (resident as f64 / profile.max_threads_per_cu as f64).min(1.0)
+}
+
+fn cu_cycles(profile: &DeviceProfile, cfg: &LaunchConfig, agg: &CuAgg, active_cus: u32) -> f64 {
+    let s = &agg.stats;
+    let compute = s.compute_cycles as f64 / ISSUE_WIDTH;
+    let l1 = s.l1_hits as f64 / L1_THROUGHPUT;
+    let l2 = s.l2_hits as f64 / profile.l2_throughput
+        + s.l2_hits as f64 * profile.l2_latency as f64
+            / MLP
+            / resident_workgroups(profile, cfg).max(1) as f64;
+    // DRAM: bandwidth-limited or latency-limited, whichever dominates.
+    let per_cu_bw = profile.dram_bytes_per_cycle() / active_cus.max(1) as f64;
+    let dram_bw = s.dram_bytes as f64 / per_cu_bw;
+    let dram_lat = s.dram_transactions as f64 * profile.dram_latency as f64 / MLP;
+    let mem = l1 + l2 + dram_bw.max(dram_lat);
+    let local = s.local_accesses as f64 / L1_THROUGHPUT;
+    let serial = s.atomic_conflict_cycles as f64;
+    compute.max(mem + local) + serial + agg.groups as f64 * GROUP_SCHED_CYCLES
+}
+
+/// Combines per-CU aggregates into final kernel statistics.
+pub fn finalize(profile: &DeviceProfile, cfg: &LaunchConfig, cus: &[CuAgg]) -> KernelStats {
+    let active_cus = cus.iter().filter(|c| c.groups > 0).count().max(1) as u32;
+    let mut totals = GroupStats::default();
+    let mut workgroups = 0;
+    let mut max_cycles = 0f64;
+    let mut sum_cycles = 0f64;
+    for agg in cus {
+        totals.merge(&agg.stats);
+        workgroups += agg.groups;
+        let c = cu_cycles(profile, cfg, agg, active_cus);
+        max_cycles = max_cycles.max(c);
+        if agg.groups > 0 {
+            sum_cycles += c;
+        }
+    }
+    let balance = if max_cycles > 0.0 {
+        (sum_cycles / active_cus as f64) / max_cycles
+    } else {
+        1.0
+    };
+    // Achieved occupancy: the theoretical ceiling scaled by cross-CU
+    // balance (an imbalanced kernel leaves warps idle while the slow CU
+    // drains). Launches smaller than one workgroup per CU additionally
+    // lose occupancy — softly, as NCU's time-weighted metric does.
+    let theo = theoretical_occupancy(profile, cfg);
+    let tiny = if workgroups == 0 {
+        0.0
+    } else {
+        (workgroups as f64 / profile.compute_units as f64)
+            .min(1.0)
+            .powf(0.3)
+    };
+    let occupancy = theo * tiny * (0.72 + 0.28 * balance);
+    let exec_ns = max_cycles / profile.cycles_per_ns();
+    KernelStats {
+        totals,
+        workgroups,
+        workgroup_size: cfg.wg_size,
+        subgroup_size: cfg.sg_size,
+        local_mem_bytes: cfg.local_mem_bytes,
+        exec_ns,
+        overhead_ns: profile.launch_overhead_us * 1000.0,
+        occupancy: occupancy.min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(groups: usize, wg: u32, sg: u32, local: u32) -> LaunchConfig {
+        let mut c = LaunchConfig::new("t", groups, wg, sg);
+        c.local_mem_bytes = local;
+        c
+    }
+
+    fn agg(compute: u64, dram_tx: u64, groups: u64) -> CuAgg {
+        CuAgg {
+            stats: GroupStats {
+                compute_cycles: compute,
+                dram_transactions: dram_tx,
+                dram_bytes: dram_tx * 128,
+                ..Default::default()
+            },
+            groups,
+        }
+    }
+
+    #[test]
+    fn resident_limited_by_threads() {
+        let p = DeviceProfile::v100s();
+        // 1024-thread groups: 2048/1024 = 2 resident.
+        assert_eq!(resident_workgroups(&p, &cfg(10, 1024, 32, 0)), 2);
+        // 64-thread groups: limited by the 32-group cap.
+        assert_eq!(resident_workgroups(&p, &cfg(10, 64, 32, 0)), 32);
+    }
+
+    #[test]
+    fn resident_limited_by_local_mem() {
+        let p = DeviceProfile::v100s();
+        // 48 KiB of 96 KiB local per group -> 2 resident.
+        assert_eq!(resident_workgroups(&p, &cfg(10, 64, 32, 48 << 10)), 2);
+    }
+
+    #[test]
+    fn occupancy_full_when_saturated() {
+        let p = DeviceProfile::v100s();
+        let c = cfg(10, 256, 32, 0);
+        assert!((theoretical_occupancy(&p, &c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_dram_traffic_is_slower() {
+        let p = DeviceProfile::v100s();
+        let c = cfg(80, 256, 32, 0);
+        let light: Vec<CuAgg> = (0..80).map(|_| agg(1000, 10, 1)).collect();
+        let heavy: Vec<CuAgg> = (0..80).map(|_| agg(1000, 100_000, 1)).collect();
+        let t1 = finalize(&p, &c, &light).exec_ns;
+        let t2 = finalize(&p, &c, &heavy).exec_ns;
+        assert!(t2 > t1 * 5.0, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn imbalance_lowers_occupancy_and_raises_time() {
+        let p = DeviceProfile::v100s();
+        let c = cfg(80, 256, 32, 0);
+        let balanced: Vec<CuAgg> = (0..80).map(|_| agg(10_000, 1000, 1)).collect();
+        let mut skewed = balanced.clone();
+        skewed[0] = agg(800_000, 80_000, 1);
+        let b = finalize(&p, &c, &balanced);
+        let s = finalize(&p, &c, &skewed);
+        assert!(s.exec_ns > b.exec_ns);
+        assert!(s.occupancy < b.occupancy);
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let p = DeviceProfile::v100s();
+        let c = cfg(0, 256, 32, 0);
+        let k = finalize(&p, &c, &[]);
+        assert_eq!(k.exec_ns, 0.0);
+        assert!(k.total_ns() > 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Device memory exhausted. Frameworks whose data layouts outgrow VRAM
+    /// (e.g. vector frontiers plus BC bookkeeping on road-USA) fail with
+    /// this, reproducing the paper's OOM table entries.
+    OutOfMemory {
+        requested: u64,
+        used: u64,
+        capacity: u64,
+    },
+    /// A kernel asked for an unsupported launch shape.
+    InvalidLaunch(String),
+    /// Algorithm-level failure (e.g. negative-weight cycle in SSSP input).
+    Algorithm(String),
+    /// The framework does not implement the requested algorithm
+    /// (SEP-Graph has no CC implementation; rendered as `-` in Table 6).
+    Unsupported(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B with {used}/{capacity} B in use"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
+            SimError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
+            SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Crate-wide result alias.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SimError::OutOfMemory {
+            requested: 10,
+            used: 5,
+            capacity: 12,
+        };
+        assert!(e.to_string().contains("requested 10 B"));
+        assert!(SimError::Unsupported("cc".into()).to_string().contains("cc"));
+    }
+}

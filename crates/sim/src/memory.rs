@@ -1,0 +1,555 @@
+//! Simulated device memory.
+//!
+//! [`DeviceBuffer<T>`] is typed device memory with a *simulated* global
+//! address (used by the coalescing and cache models) backed by real host
+//! memory. All element access goes through relaxed atomics so that
+//! workgroups running on different host threads may race through atomics
+//! exactly the way GPU kernels do, without UB.
+//!
+//! Buffers are allocated from a [`MemTracker`] that enforces the device's
+//! VRAM capacity — exceeding it yields [`SimError::OutOfMemory`], which is
+//! how the paper's OOM entries (Gunrock on road-USA BC, etc.) reproduce.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::error::SimError;
+
+/// Scalar types storable in device memory. All are accessed atomically
+/// (relaxed) so concurrent kernel lanes never cause UB.
+pub trait DeviceScalar: Copy + Send + Sync + Default + 'static {
+    /// Size of the element in bytes (4 or 8).
+    const BYTES: usize;
+    /// # Safety
+    /// `p` must be valid, aligned to `BYTES` and only accessed atomically.
+    unsafe fn atomic_load(p: *const u8) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_store(p: *const u8, v: Self);
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $at:ty, $bytes:expr) => {
+        impl DeviceScalar for $t {
+            const BYTES: usize = $bytes;
+            unsafe fn atomic_load(p: *const u8) -> Self {
+                (*(p as *const $at)).load(Ordering::Relaxed)
+            }
+            unsafe fn atomic_store(p: *const u8, v: Self) {
+                (*(p as *const $at)).store(v, Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+impl_scalar!(u8, AtomicU8, 1);
+impl_scalar!(u32, AtomicU32, 4);
+impl_scalar!(u64, AtomicU64, 8);
+impl_scalar!(i32, AtomicI32, 4);
+impl_scalar!(i64, AtomicI64, 8);
+
+impl DeviceScalar for f32 {
+    const BYTES: usize = 4;
+    unsafe fn atomic_load(p: *const u8) -> Self {
+        f32::from_bits((*(p as *const AtomicU32)).load(Ordering::Relaxed))
+    }
+    unsafe fn atomic_store(p: *const u8, v: Self) {
+        (*(p as *const AtomicU32)).store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl DeviceScalar for f64 {
+    const BYTES: usize = 8;
+    unsafe fn atomic_load(p: *const u8) -> Self {
+        f64::from_bits((*(p as *const AtomicU64)).load(Ordering::Relaxed))
+    }
+    unsafe fn atomic_store(p: *const u8, v: Self) {
+        (*(p as *const AtomicU64)).store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Integer scalars additionally supporting read-modify-write atomics
+/// (`fetch_or` / `fetch_and` are what the bitmap frontier is built on).
+pub trait AtomicInt: DeviceScalar {
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_fetch_add(p: *const u8, v: Self) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_fetch_min(p: *const u8, v: Self) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_fetch_max(p: *const u8, v: Self) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_fetch_or(p: *const u8, v: Self) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_fetch_and(p: *const u8, v: Self) -> Self;
+    /// # Safety
+    /// Same contract as [`DeviceScalar::atomic_load`].
+    unsafe fn atomic_cas(p: *const u8, current: Self, new: Self) -> Result<Self, Self>;
+}
+
+macro_rules! impl_atomic_int {
+    ($t:ty, $at:ty) => {
+        impl AtomicInt for $t {
+            unsafe fn atomic_fetch_add(p: *const u8, v: Self) -> Self {
+                (*(p as *const $at)).fetch_add(v, Ordering::Relaxed)
+            }
+            unsafe fn atomic_fetch_min(p: *const u8, v: Self) -> Self {
+                (*(p as *const $at)).fetch_min(v, Ordering::Relaxed)
+            }
+            unsafe fn atomic_fetch_max(p: *const u8, v: Self) -> Self {
+                (*(p as *const $at)).fetch_max(v, Ordering::Relaxed)
+            }
+            unsafe fn atomic_fetch_or(p: *const u8, v: Self) -> Self {
+                (*(p as *const $at)).fetch_or(v, Ordering::Relaxed)
+            }
+            unsafe fn atomic_fetch_and(p: *const u8, v: Self) -> Self {
+                (*(p as *const $at)).fetch_and(v, Ordering::Relaxed)
+            }
+            unsafe fn atomic_cas(p: *const u8, current: Self, new: Self) -> Result<Self, Self> {
+                (*(p as *const $at)).compare_exchange(
+                    current,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+            }
+        }
+    };
+}
+
+impl_atomic_int!(u8, AtomicU8);
+impl_atomic_int!(u32, AtomicU32);
+impl_atomic_int!(u64, AtomicU64);
+impl_atomic_int!(i32, AtomicI32);
+impl_atomic_int!(i64, AtomicI64);
+
+/// Where a buffer lives, mirroring SYCL USM allocation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AllocKind {
+    /// `malloc_device`: device-resident.
+    Device,
+    /// `malloc_shared` (USM): automatically migrated; slightly higher
+    /// first-touch cost in the model.
+    Shared,
+}
+
+/// Tracks VRAM usage for one device and hands out simulated addresses.
+#[derive(Debug)]
+pub struct MemTracker {
+    capacity: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    next_addr: AtomicU64,
+    allocs: AtomicU64,
+}
+
+impl MemTracker {
+    pub fn new(capacity: u64) -> Self {
+        MemTracker {
+            capacity,
+            used: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            // Leave a zero page unused so address 0 never appears.
+            next_addr: AtomicU64::new(4096),
+            allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `bytes`, failing when capacity would be exceeded.
+    /// Returns the simulated base address.
+    pub fn reserve(&self, bytes: u64) -> Result<u64, SimError> {
+        let mut cur = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = cur + bytes;
+            if new > self.capacity {
+                return Err(SimError::OutOfMemory {
+                    requested: bytes,
+                    used: cur,
+                    capacity: self.capacity,
+                });
+            }
+            match self
+                .used
+                .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    break;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        // Align simulated addresses to 256 B like real allocators do.
+        let sz = (bytes + 255) & !255;
+        Ok(self.next_addr.fetch_add(sz.max(256), Ordering::Relaxed))
+    }
+
+    pub fn release(&self, bytes: u64) {
+        self.used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.used.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+}
+
+/// Word-aligned raw backing storage (always a whole number of u64 words so
+/// any 4- or 8-byte element is aligned).
+struct RawStorage {
+    words: Box<[AtomicU64]>,
+}
+
+// SAFETY: all access goes through atomics.
+unsafe impl Send for RawStorage {}
+unsafe impl Sync for RawStorage {}
+
+impl RawStorage {
+    fn zeroed(bytes: usize) -> Self {
+        let words = bytes.div_ceil(8);
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        RawStorage {
+            words: v.into_boxed_slice(),
+        }
+    }
+
+    fn base(&self) -> *const u8 {
+        self.words.as_ptr() as *const u8
+    }
+}
+
+/// Typed simulated device memory.
+///
+/// Cheap host-side accessors (`get`/`set`/`to_vec`) exist for setup and
+/// verification; kernels access buffers through the execution contexts in
+/// [`crate::exec`], which add transaction accounting on top of the same
+/// primitives exposed here as `load`/`store`/`fetch_*`.
+pub struct DeviceBuffer<T: DeviceScalar> {
+    storage: Arc<RawStorage>,
+    tracker: Arc<MemTracker>,
+    base_addr: u64,
+    len: usize,
+    kind: AllocKind,
+    _pd: PhantomData<T>,
+}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    pub(crate) fn new(
+        tracker: Arc<MemTracker>,
+        len: usize,
+        kind: AllocKind,
+    ) -> Result<Self, SimError> {
+        let bytes = (len * T::BYTES) as u64;
+        let base_addr = tracker.reserve(bytes)?;
+        Ok(DeviceBuffer {
+            storage: Arc::new(RawStorage::zeroed(len * T::BYTES)),
+            tracker,
+            base_addr,
+            len,
+            kind,
+            _pd: PhantomData,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn kind(&self) -> AllocKind {
+        self.kind
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.len * T::BYTES) as u64
+    }
+
+    /// Simulated global address of element `i` (feeds the cache model).
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        self.base_addr + (i * T::BYTES) as u64
+    }
+
+    #[inline]
+    fn ptr(&self, i: usize) -> *const u8 {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        unsafe { self.storage.base().add(i * T::BYTES) }
+    }
+
+    /// Relaxed atomic load of element `i` (no accounting).
+    #[inline]
+    pub fn load(&self, i: usize) -> T {
+        unsafe { T::atomic_load(self.ptr(i)) }
+    }
+
+    /// Relaxed atomic store to element `i` (no accounting).
+    #[inline]
+    pub fn store(&self, i: usize, v: T) {
+        unsafe { T::atomic_store(self.ptr(i), v) }
+    }
+
+    /// Host-side bulk upload.
+    pub fn copy_from_slice(&self, src: &[T]) {
+        assert!(src.len() <= self.len);
+        for (i, &v) in src.iter().enumerate() {
+            self.store(i, v);
+        }
+    }
+
+    /// Host-side bulk download.
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len).map(|i| self.load(i)).collect()
+    }
+
+    /// Host-side fill.
+    pub fn fill(&self, v: T) {
+        for i in 0..self.len {
+            self.store(i, v);
+        }
+    }
+}
+
+impl<T: AtomicInt> DeviceBuffer<T> {
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_fetch_add(self.ptr(i), v) }
+    }
+    #[inline]
+    pub fn fetch_min(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_fetch_min(self.ptr(i), v) }
+    }
+    #[inline]
+    pub fn fetch_max(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_fetch_max(self.ptr(i), v) }
+    }
+    #[inline]
+    pub fn fetch_or(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_fetch_or(self.ptr(i), v) }
+    }
+    #[inline]
+    pub fn fetch_and(&self, i: usize, v: T) -> T {
+        unsafe { T::atomic_fetch_and(self.ptr(i), v) }
+    }
+    #[inline]
+    pub fn compare_exchange(&self, i: usize, current: T, new: T) -> Result<T, T> {
+        unsafe { T::atomic_cas(self.ptr(i), current, new) }
+    }
+}
+
+impl DeviceBuffer<f32> {
+    /// Atomic min on an `f32` via a CAS loop (GPU frameworks emulate this
+    /// the same way). NaN is never stored over a non-NaN value.
+    pub fn fetch_min_f32(&self, i: usize, v: f32) -> f32 {
+        let p = self.ptr(i) as *const AtomicU32;
+        let a = unsafe { &*p };
+        let mut cur = a.load(Ordering::Relaxed);
+        loop {
+            let cf = f32::from_bits(cur);
+            // NaN-safe: only store when strictly smaller.
+            if v >= cf || v.is_nan() {
+                return cf;
+            }
+            match a.compare_exchange(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return cf,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic add on an `f32` via a CAS loop.
+    pub fn fetch_add_f32(&self, i: usize, v: f32) -> f32 {
+        let p = self.ptr(i) as *const AtomicU32;
+        let a = unsafe { &*p };
+        let mut cur = a.load(Ordering::Relaxed);
+        loop {
+            let cf = f32::from_bits(cur);
+            let new = (cf + v).to_bits();
+            match a.compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return cf,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl<T: DeviceScalar> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.tracker.release((self.len * T::BYTES) as u64);
+    }
+}
+
+impl<T: DeviceScalar + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DeviceBuffer<{}>(len={}, addr={:#x}, {:?})",
+            std::any::type_name::<T>(),
+            self.len,
+            self.base_addr,
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(cap: u64) -> Arc<MemTracker> {
+        Arc::new(MemTracker::new(cap))
+    }
+
+    #[test]
+    fn roundtrip_u32() {
+        let b = DeviceBuffer::<u32>::new(tracker(1 << 20), 100, AllocKind::Device).unwrap();
+        b.store(3, 42);
+        assert_eq!(b.load(3), 42);
+        assert_eq!(b.load(4), 0, "fresh memory is zeroed");
+    }
+
+    #[test]
+    fn roundtrip_f64_and_f32() {
+        let t = tracker(1 << 20);
+        let b = DeviceBuffer::<f64>::new(t.clone(), 8, AllocKind::Shared).unwrap();
+        b.store(7, -1.5);
+        assert_eq!(b.load(7), -1.5);
+        let c = DeviceBuffer::<f32>::new(t, 8, AllocKind::Device).unwrap();
+        c.store(0, 3.25);
+        assert_eq!(c.load(0), 3.25);
+    }
+
+    #[test]
+    fn atomic_rmw_ops() {
+        let b = DeviceBuffer::<u32>::new(tracker(1 << 20), 4, AllocKind::Device).unwrap();
+        assert_eq!(b.fetch_add(0, 5), 0);
+        assert_eq!(b.fetch_add(0, 5), 5);
+        b.store(1, 10);
+        assert_eq!(b.fetch_min(1, 3), 10);
+        assert_eq!(b.load(1), 3);
+        assert_eq!(b.fetch_or(2, 0b1010), 0);
+        assert_eq!(b.fetch_or(2, 0b0101), 0b1010);
+        assert_eq!(b.load(2), 0b1111);
+        assert_eq!(b.fetch_and(2, 0b0110), 0b1111);
+        assert_eq!(b.load(2), 0b0110);
+    }
+
+    #[test]
+    fn f32_atomic_min() {
+        let b = DeviceBuffer::<f32>::new(tracker(1 << 20), 1, AllocKind::Device).unwrap();
+        b.store(0, 100.0);
+        assert_eq!(b.fetch_min_f32(0, 50.0), 100.0);
+        assert_eq!(b.fetch_min_f32(0, 75.0), 50.0);
+        assert_eq!(b.load(0), 50.0);
+    }
+
+    #[test]
+    fn f32_atomic_min_handles_infinity_and_nan() {
+        let b = DeviceBuffer::<f32>::new(tracker(1 << 20), 1, AllocKind::Device).unwrap();
+        b.store(0, f32::INFINITY);
+        assert_eq!(b.fetch_min_f32(0, 3.0), f32::INFINITY, "relaxing from ∞");
+        assert_eq!(b.load(0), 3.0);
+        // NaN never overwrites a real distance
+        assert_eq!(b.fetch_min_f32(0, f32::NAN), 3.0);
+        assert_eq!(b.load(0), 3.0);
+        // negative values still win
+        assert_eq!(b.fetch_min_f32(0, -1.0), 3.0);
+        assert_eq!(b.load(0), -1.0);
+    }
+
+    #[test]
+    fn f32_atomic_add_concurrent() {
+        use std::sync::Arc as StdArc;
+        let b = StdArc::new(
+            DeviceBuffer::<f32>::new(tracker(1 << 20), 1, AllocKind::Device).unwrap(),
+        );
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        b.fetch_add_f32(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.load(0), 4000.0);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let t = tracker(1024);
+        let ok = DeviceBuffer::<u32>::new(t.clone(), 128, AllocKind::Device);
+        assert!(ok.is_ok());
+        let err = DeviceBuffer::<u32>::new(t.clone(), 200, AllocKind::Device);
+        match err {
+            Err(SimError::OutOfMemory {
+                requested,
+                used,
+                capacity,
+            }) => {
+                assert_eq!(requested, 800);
+                assert_eq!(used, 512);
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_releases_memory() {
+        let t = tracker(1024);
+        {
+            let _b = DeviceBuffer::<u64>::new(t.clone(), 64, AllocKind::Device).unwrap();
+            assert_eq!(t.used(), 512);
+        }
+        assert_eq!(t.used(), 0);
+        assert_eq!(t.peak(), 512, "peak survives the free");
+    }
+
+    #[test]
+    fn addresses_are_distinct_and_aligned() {
+        let t = tracker(1 << 20);
+        let a = DeviceBuffer::<u32>::new(t.clone(), 10, AllocKind::Device).unwrap();
+        let b = DeviceBuffer::<u32>::new(t, 10, AllocKind::Device).unwrap();
+        assert_ne!(a.addr_of(0), b.addr_of(0));
+        assert_eq!(a.addr_of(0) % 256, 0);
+        assert_eq!(a.addr_of(3) - a.addr_of(0), 12);
+    }
+
+    #[test]
+    fn bulk_copy_roundtrip() {
+        let b = DeviceBuffer::<i64>::new(tracker(1 << 20), 5, AllocKind::Device).unwrap();
+        b.copy_from_slice(&[-1, 2, -3, 4, -5]);
+        assert_eq!(b.to_vec(), vec![-1, 2, -3, 4, -5]);
+        b.fill(9);
+        assert_eq!(b.to_vec(), vec![9; 5]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Execution profiler: per-kernel records, memory events and phase markers.
+//!
+//! The profiler is the measurement instrument behind the paper's evaluation
+//! artifacts: Figure 8/10 read total simulated times, Table 5 reads peak
+//! per-kernel L1 hit rate and occupancy, Figure 9 reads DRAM traffic and
+//! allocation footprint grouped by phase markers (one marker per BFS
+//! iteration).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::KernelStats;
+
+/// One kernel launch as recorded by the profiler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRecord {
+    pub name: String,
+    /// Launch sequence number within the queue.
+    pub seq: u64,
+    /// Simulated start time (ns).
+    pub start_ns: f64,
+    /// Simulated end time (ns).
+    pub end_ns: f64,
+    pub stats: KernelStats,
+}
+
+/// A device memory allocation/free event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemEvent {
+    pub t_ns: f64,
+    /// Positive for alloc, negative for free.
+    pub delta_bytes: i64,
+    /// Device memory in use after the event.
+    pub usage_after: u64,
+    pub tag: String,
+}
+
+/// A named phase marker (e.g. one per BFS iteration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Marker {
+    pub label: String,
+    pub t_ns: f64,
+    /// Number of kernels recorded before this marker.
+    pub kernel_watermark: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    kernels: Vec<KernelRecord>,
+    mem_events: Vec<MemEvent>,
+    markers: Vec<Marker>,
+}
+
+/// Thread-safe profiler attached to a queue.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: Mutex<Inner>,
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_kernel(&self, rec: KernelRecord) {
+        self.inner.lock().kernels.push(rec);
+    }
+
+    pub(crate) fn record_mem(&self, ev: MemEvent) {
+        self.inner.lock().mem_events.push(ev);
+    }
+
+    /// Inserts a phase marker at time `t_ns`.
+    pub fn mark(&self, label: impl Into<String>, t_ns: f64) {
+        let mut inner = self.inner.lock();
+        let watermark = inner.kernels.len();
+        inner.markers.push(Marker {
+            label: label.into(),
+            t_ns,
+            kernel_watermark: watermark,
+        });
+    }
+
+    /// Snapshot of all kernel records.
+    pub fn kernels(&self) -> Vec<KernelRecord> {
+        self.inner.lock().kernels.clone()
+    }
+
+    /// Snapshot of memory events.
+    pub fn mem_events(&self) -> Vec<MemEvent> {
+        self.inner.lock().mem_events.clone()
+    }
+
+    /// Snapshot of markers.
+    pub fn markers(&self) -> Vec<Marker> {
+        self.inner.lock().markers.clone()
+    }
+
+    /// Number of kernels recorded so far.
+    pub fn kernel_count(&self) -> usize {
+        self.inner.lock().kernels.len()
+    }
+
+    /// Sum of modelled kernel time (ns), including launch overhead.
+    pub fn total_kernel_ns(&self) -> f64 {
+        self.inner
+            .lock()
+            .kernels
+            .iter()
+            .map(|k| k.stats.total_ns())
+            .sum()
+    }
+
+    /// Total DRAM bytes moved by all recorded kernels.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .kernels
+            .iter()
+            .map(|k| k.stats.totals.dram_bytes)
+            .sum()
+    }
+
+    /// Peak L1 hit rate over kernels matching `filter` that performed at
+    /// least `min_transactions` memory transactions (tiny kernels are
+    /// noise, as in NCU reports).
+    pub fn peak_l1_hit_rate(&self, filter: impl Fn(&str) -> bool, min_transactions: u64) -> f64 {
+        self.inner
+            .lock()
+            .kernels
+            .iter()
+            .filter(|k| filter(&k.name) && k.stats.totals.transactions() >= min_transactions)
+            .map(|k| k.stats.l1_hit_rate())
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak achieved occupancy over kernels matching `filter`.
+    pub fn peak_occupancy(&self, filter: impl Fn(&str) -> bool) -> f64 {
+        self.inner
+            .lock()
+            .kernels
+            .iter()
+            .filter(|k| filter(&k.name))
+            .map(|k| k.stats.occupancy)
+            .fold(0.0, f64::max)
+    }
+
+    /// DRAM bytes per phase: slices kernel records at marker watermarks.
+    /// Returns `(label, bytes)` per phase; kernels after the last marker
+    /// are attributed to a trailing `"(tail)"` phase if any exist.
+    pub fn dram_bytes_by_phase(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        let mut prev_label: Option<&str> = None;
+        for m in &inner.markers {
+            if let Some(label) = prev_label {
+                let bytes: u64 = inner.kernels[start..m.kernel_watermark]
+                    .iter()
+                    .map(|k| k.stats.totals.dram_bytes)
+                    .sum();
+                out.push((label.to_string(), bytes));
+            }
+            start = m.kernel_watermark;
+            prev_label = Some(&m.label);
+        }
+        if let Some(label) = prev_label {
+            let bytes: u64 = inner.kernels[start..]
+                .iter()
+                .map(|k| k.stats.totals.dram_bytes)
+                .sum();
+            out.push((label.to_string(), bytes));
+        }
+        out
+    }
+
+    /// Clears all records.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.kernels.clear();
+        inner.mem_events.clear();
+        inner.markers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{GroupStats, KernelStats};
+
+    fn krec(name: &str, seq: u64, l1: u64, dram: u64, occ: f64) -> KernelRecord {
+        KernelRecord {
+            name: name.into(),
+            seq,
+            start_ns: seq as f64,
+            end_ns: seq as f64 + 1.0,
+            stats: KernelStats {
+                totals: GroupStats {
+                    l1_hits: l1,
+                    dram_transactions: dram,
+                    dram_bytes: dram * 128,
+                    ..Default::default()
+                },
+                occupancy: occ,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn peak_metrics_respect_filters() {
+        let p = Profiler::new();
+        p.record_kernel(krec("advance", 0, 90, 10, 0.9));
+        p.record_kernel(krec("advance", 1, 10, 90, 0.7));
+        p.record_kernel(krec("tiny", 2, 1, 0, 0.99));
+        let peak = p.peak_l1_hit_rate(|n| n == "advance", 50);
+        assert!((peak - 0.9).abs() < 1e-9);
+        // The tiny kernel is excluded by the transaction floor.
+        let all = p.peak_l1_hit_rate(|_| true, 50);
+        assert!((all - 0.9).abs() < 1e-9);
+        assert!((p.peak_occupancy(|n| n == "tiny") - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_attribution() {
+        let p = Profiler::new();
+        p.mark("iter0", 0.0);
+        p.record_kernel(krec("a", 0, 0, 10, 0.5));
+        p.record_kernel(krec("b", 1, 0, 5, 0.5));
+        p.mark("iter1", 2.0);
+        p.record_kernel(krec("c", 2, 0, 1, 0.5));
+        let phases = p.dram_bytes_by_phase();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0], ("iter0".to_string(), 15 * 128));
+        assert_eq!(phases[1], ("iter1".to_string(), 128));
+    }
+
+    #[test]
+    fn totals_and_reset() {
+        let p = Profiler::new();
+        p.record_kernel(krec("a", 0, 0, 10, 0.5));
+        assert_eq!(p.total_dram_bytes(), 1280);
+        assert_eq!(p.kernel_count(), 1);
+        p.reset();
+        assert_eq!(p.kernel_count(), 0);
+        assert_eq!(p.total_dram_bytes(), 0);
+    }
+}

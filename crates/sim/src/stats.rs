@@ -1,0 +1,151 @@
+//! Per-workgroup and per-kernel statistics collected during simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics accumulated by one workgroup while it executes.
+///
+/// These are summed into a [`KernelStats`] when the kernel completes and fed
+/// to the cost model (`crate::cost`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// ALU/issue cycles attributed to the group.
+    pub compute_cycles: u64,
+    /// Memory transactions that hit in L1.
+    pub l1_hits: u64,
+    /// Transactions that missed L1 but hit the L2 slice.
+    pub l2_hits: u64,
+    /// Transactions served by DRAM.
+    pub dram_transactions: u64,
+    /// Bytes moved to/from DRAM (dram_transactions × line size).
+    pub dram_bytes: u64,
+    /// Global atomic operations issued.
+    pub atomics: u64,
+    /// Estimated serialization from atomics contending on the same line.
+    pub atomic_conflict_cycles: u64,
+    /// Workgroup barriers executed.
+    pub barriers: u64,
+    /// Local (shared) memory accesses.
+    pub local_accesses: u64,
+    /// SIMD lanes that were active across all issued subgroup operations.
+    pub active_lanes: u64,
+    /// Total lane slots across all issued subgroup operations
+    /// (`ops × subgroup_size`); `active_lanes / lane_slots` measures
+    /// divergence.
+    pub lane_slots: u64,
+}
+
+impl GroupStats {
+    /// Memory transactions of any kind.
+    pub fn transactions(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.dram_transactions
+    }
+
+    /// Fraction of transactions served by L1, in `[0, 1]`; 1.0 when no
+    /// memory traffic occurred (an idle group cannot miss).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let t = self.transactions();
+        if t == 0 {
+            1.0
+        } else {
+            self.l1_hits as f64 / t as f64
+        }
+    }
+
+    /// SIMD efficiency: mean fraction of active lanes per issued operation.
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.active_lanes as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &GroupStats) {
+        self.compute_cycles += other.compute_cycles;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.dram_transactions += other.dram_transactions;
+        self.dram_bytes += other.dram_bytes;
+        self.atomics += other.atomics;
+        self.atomic_conflict_cycles += other.atomic_conflict_cycles;
+        self.barriers += other.barriers;
+        self.local_accesses += other.local_accesses;
+        self.active_lanes += other.active_lanes;
+        self.lane_slots += other.lane_slots;
+    }
+}
+
+/// Aggregated statistics for one kernel launch, plus derived metrics
+/// computed by the cost model.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Sum over all workgroups.
+    pub totals: GroupStats,
+    /// Number of workgroups launched.
+    pub workgroups: u64,
+    /// Work-items per workgroup.
+    pub workgroup_size: u32,
+    /// Subgroup width used.
+    pub subgroup_size: u32,
+    /// Local memory bytes declared per workgroup.
+    pub local_mem_bytes: u32,
+    /// Modelled execution time in nanoseconds (excludes launch overhead).
+    pub exec_ns: f64,
+    /// Launch overhead in nanoseconds.
+    pub overhead_ns: f64,
+    /// Achieved occupancy in `[0, 1]` (resident warps / max warps, scaled
+    /// by tail effects), comparable to NCU's "Achieved Occupancy".
+    pub occupancy: f64,
+}
+
+impl KernelStats {
+    pub fn l1_hit_rate(&self) -> f64 {
+        self.totals.l1_hit_rate()
+    }
+
+    pub fn simd_efficiency(&self) -> f64 {
+        self.totals.simd_efficiency()
+    }
+
+    /// Total modelled wall time including launch overhead, nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.exec_ns + self.overhead_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_efficiency_defaults() {
+        let s = GroupStats::default();
+        assert_eq!(s.l1_hit_rate(), 1.0);
+        assert_eq!(s.simd_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = GroupStats {
+            compute_cycles: 10,
+            l1_hits: 3,
+            l2_hits: 2,
+            dram_transactions: 1,
+            dram_bytes: 128,
+            atomics: 4,
+            atomic_conflict_cycles: 8,
+            barriers: 1,
+            local_accesses: 5,
+            active_lanes: 20,
+            lane_slots: 32,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.compute_cycles, 20);
+        assert_eq!(a.transactions(), 12);
+        assert_eq!(a.dram_bytes, 256);
+        assert!((a.l1_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.simd_efficiency() - 0.625).abs() < 1e-12);
+    }
+}

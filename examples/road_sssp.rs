@@ -1,0 +1,61 @@
+//! Route planning: single-source shortest paths on a weighted road
+//! network, comparing the paper's Bellman-Ford SSSP with the Δ-stepping
+//! extension the paper cites (Meyer & Sanders) but does not use.
+//!
+//! Run with: `cargo run --release --example road_sssp`
+
+use sygraph::prelude::*;
+
+fn main() {
+    // Road graphs are where the huge-L2 Intel profile shines (Figure 10);
+    // run on the MAX 1100 profile for variety.
+    let q = Queue::new(Device::new(DeviceProfile::max1100()));
+
+    let data = sygraph::gen::datasets::road_ca(sygraph::gen::Scale::Test);
+    let host = &data.host;
+    println!(
+        "{}: {} junctions, {} road segments (weighted)",
+        data.name,
+        host.vertex_count(),
+        host.edge_count()
+    );
+    let g = Graph::new(&q, host).expect("upload");
+    let src = 0u32;
+
+    let bf = sygraph::algos::sssp::run(&q, &g.csr, src, &OptConfig::all()).expect("sssp");
+    println!(
+        "Bellman-Ford: {} supersteps, {:.3} simulated ms",
+        bf.iterations, bf.sim_ms
+    );
+
+    let ds = sygraph::algos::delta::run(&q, &g.csr, src, &OptConfig::all(), 2.0)
+        .expect("delta-stepping");
+    println!(
+        "Δ-stepping (Δ=2): {} supersteps, {:.3} simulated ms",
+        ds.iterations, ds.sim_ms
+    );
+
+    // Both must agree with each other.
+    let mut reached = 0;
+    for (v, (a, b)) in bf.values.iter().zip(&ds.values).enumerate() {
+        assert!(
+            (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3,
+            "disagreement at junction {v}: {a} vs {b}"
+        );
+        if a.is_finite() {
+            reached += 1;
+        }
+    }
+    println!("both algorithms agree on all {reached} reachable junctions ✓");
+
+    // Report the farthest reachable junction.
+    let (far_v, far_d) = bf
+        .values
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!("farthest junction from {src}: {far_v} at travel cost {far_d:.2}");
+}

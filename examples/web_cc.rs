@@ -1,0 +1,83 @@
+//! Web-graph mining: connected components on an Indochina-like crawl,
+//! plus frontier set-operators for a two-seed reachability analysis
+//! (the paper's intersection/union/subtraction API, Figure 3).
+//!
+//! Run with: `cargo run --release --example web_cc`
+
+use std::collections::HashMap;
+
+use sygraph::prelude::*;
+use sygraph_core::operators::advance;
+
+fn main() {
+    let q = Queue::new(Device::new(DeviceProfile::v100s()));
+
+    let data = sygraph::gen::datasets::indochina(sygraph::gen::Scale::Test);
+    let host = data.undirected();
+    println!(
+        "{} (symmetrized): {} pages, {} links",
+        data.name,
+        host.vertex_count(),
+        host.edge_count()
+    );
+    let g = Graph::new(&q, &host).expect("upload");
+    let n = g.vertex_count();
+
+    // Connected components by label propagation.
+    let cc = sygraph::algos::cc::run(&q, &g.csr, &OptConfig::all()).expect("cc");
+    let mut sizes: HashMap<u32, usize> = HashMap::new();
+    for &l in &cc.values {
+        *sizes.entry(l).or_default() += 1;
+    }
+    let mut by_size: Vec<(u32, usize)> = sizes.into_iter().collect();
+    by_size.sort_by_key(|&(_, s)| std::cmp::Reverse(s));
+    println!(
+        "{} components in {} supersteps ({:.3} simulated ms); largest:",
+        by_size.len(),
+        cc.iterations,
+        cc.sim_ms
+    );
+    for (label, size) in by_size.iter().take(5) {
+        println!("  component {label}: {size} pages");
+    }
+
+    // Frontier operators: which pages are exactly one hop from BOTH seed
+    // pages (intersection), from either (union), and from the first only
+    // (subtraction)?
+    let tuning = inspect(q.profile(), &OptConfig::all(), n);
+    let seeds = [0u32, 1u32];
+    let mut hops: Vec<TwoLayerFrontier<u32>> = Vec::new();
+    for &s in &seeds {
+        let fin = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        let fout = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        fin.insert_host(s);
+        advance::frontier(&q, &g.csr, &fin, &fout, &tuning, |_l, _u, _v, _e, _w| true).wait();
+        hops.push(fout);
+    }
+    let both = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+    let either = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+    let only_first = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+    intersection(&q, &hops[0], &hops[1], &both);
+    union(&q, &hops[0], &hops[1], &either);
+    subtraction(&q, &hops[0], &hops[1], &only_first);
+    for f in [&both, &either, &only_first] {
+        rebuild_layer2(&q, f);
+    }
+    println!(
+        "1-hop neighborhoods of seeds {seeds:?}: |∩| = {}, |∪| = {}, |first \\ second| = {}",
+        both.count(&q),
+        either.count(&q),
+        only_first.count(&q)
+    );
+    assert_eq!(
+        either.count(&q),
+        both.count(&q) + only_first.count(&q)
+            + {
+                let only_second = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+                subtraction(&q, &hops[1], &hops[0], &only_second);
+                only_second.count(&q)
+            },
+        "inclusion-exclusion holds"
+    );
+    println!("set algebra checks out ✓");
+}

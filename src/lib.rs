@@ -1,0 +1,55 @@
+//! # SYgraph — portable heterogeneous graph analytics, reproduced in Rust
+//!
+//! This is a full reproduction of *SYgraph: A Portable Heterogeneous
+//! Graph Analytics Framework for GPUs* (De Caro, Cordasco, Cosenza —
+//! ICPP 2025) as a Rust workspace. The paper's SYCL substrate is replaced
+//! by a GPU execution **simulator** ([`sim`]) that runs the same kernel
+//! structure on CPU threads while modelling coalescing, caches, occupancy
+//! and DRAM traffic — see `DESIGN.md` for the substitution argument.
+//!
+//! ## Crate map
+//!
+//! * [`sim`] — SYCL-like queues, buffers, nd-range kernels, subgroup
+//!   collectives, cache/cost models, profiler.
+//! * [`core`] — CSR/CSC graphs, the **Two-Layer Bitmap frontier**, the
+//!   `advance`/`filter`/`compute` primitives, frontier set operators and
+//!   the device inspector.
+//! * [`algos`] — BFS, SSSP, CC, BC (+ direction-optimizing BFS,
+//!   Δ-stepping, PageRank extensions) with host reference checkers.
+//! * [`gen`] — deterministic generators reproducing the paper's dataset
+//!   suite (Table 3) at simulation scale.
+//! * [`io`] — MatrixMarket / edge list / DIMACS / binary CSR.
+//! * [`baselines`] — Gunrock-, Tigr- and SEP-Graph-like comparators on
+//!   the same substrate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sygraph::prelude::*;
+//!
+//! // Pick a device (paper Table 4 machines are built in) and a queue.
+//! let q = Queue::new(Device::new(DeviceProfile::v100s()));
+//!
+//! // Build a graph and run BFS with all SYgraph optimizations on.
+//! let host = CsrHost::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+//! let g = Graph::new(&q, &host).unwrap();
+//! let result = sygraph::algos::bfs::run(&q, &g.csr, 0, &OptConfig::all()).unwrap();
+//! assert_eq!(result.values, vec![0, 1, 1, 2, 3]);
+//! println!("BFS took {:.3} simulated ms over {} supersteps",
+//!          result.sim_ms, result.iterations);
+//! ```
+
+pub use sygraph_algos as algos;
+pub use sygraph_baselines as baselines;
+pub use sygraph_core as core;
+pub use sygraph_gen as gen;
+pub use sygraph_io as io;
+pub use sygraph_sim as sim;
+
+/// One-stop imports for applications and the examples.
+pub mod prelude {
+    pub use sygraph_algos::common::AlgoResult;
+    pub use sygraph_baselines::{AlgoKind, Framework};
+    pub use sygraph_core::prelude::*;
+    pub use sygraph_sim::{Device, DeviceProfile, Queue, Vendor};
+}

@@ -1,0 +1,83 @@
+//! Cross-framework integration: SYgraph and all three comparator
+//! frameworks must produce the same answers on the same inputs — a
+//! performance comparison between frameworks that disagree on results
+//! would be meaningless.
+
+use sygraph::prelude::*;
+use sygraph_baselines::{all_frameworks, validate_against_reference, AlgoKind};
+use sygraph_gen::{datasets, Scale};
+
+#[test]
+fn all_frameworks_correct_on_all_test_datasets() {
+    for d in datasets::comparison_suite(Scale::Test) {
+        for algo in AlgoKind::all() {
+            let host = if algo.needs_undirected() {
+                d.undirected()
+            } else {
+                d.host.clone()
+            };
+            for fw in all_frameworks().iter_mut() {
+                let q = Queue::new(Device::new(DeviceProfile::v100s()));
+                fw.prepare(&q, &host).unwrap();
+                match fw.run(&q, algo, 1) {
+                    Ok(rec) => {
+                        validate_against_reference(&host, algo, 1, &rec.values).unwrap_or_else(
+                            |e| panic!("{} {} on {}: {e}", fw.name(), algo.name(), d.key),
+                        );
+                        assert!(rec.algo_ms > 0.0);
+                    }
+                    Err(sygraph_sim::SimError::Unsupported(_)) => {
+                        assert_eq!(fw.name(), "SEP-Graph");
+                        assert_eq!(algo, AlgoKind::Cc);
+                    }
+                    Err(e) => panic!("{} {} on {}: {e}", fw.name(), algo.name(), d.key),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn preprocessing_profile_matches_table1() {
+    let d = datasets::kron(Scale::Test);
+    let mut preps = std::collections::HashMap::new();
+    for fw in all_frameworks().iter_mut() {
+        let q = Queue::new(Device::new(DeviceProfile::v100s()));
+        fw.prepare(&q, &d.host).unwrap();
+        preps.insert(fw.name().to_string(), fw.prep_ms());
+    }
+    assert_eq!(preps["SYgraph"], 0.0, "SYgraph: no preprocessing");
+    assert_eq!(preps["Gunrock"], 0.0, "Gunrock: no preprocessing");
+    assert!(preps["Tigr"] > 0.0, "Tigr: UDT transform");
+    assert!(preps["SEP-Graph"] > 0.0, "SEP-Graph: stats + CSC");
+    assert!(
+        preps["Tigr"] > preps["SEP-Graph"],
+        "paper §5.2: SEP preprocessing is shorter than Tigr's \
+         (tigr {} vs sep {})",
+        preps["Tigr"],
+        preps["SEP-Graph"]
+    );
+}
+
+#[test]
+fn sygraph_is_most_memory_frugal_on_bfs() {
+    let d = datasets::hollywood(Scale::Test);
+    let mut peaks = std::collections::HashMap::new();
+    for fw in all_frameworks().iter_mut() {
+        let dev = Device::new(DeviceProfile::v100s());
+        let q = Queue::new(dev.clone());
+        fw.prepare(&q, &d.host).unwrap();
+        dev.reset_mem_peak();
+        fw.run(&q, AlgoKind::Bfs, 0).unwrap();
+        peaks.insert(fw.name().to_string(), dev.mem_peak());
+    }
+    // Figure 9's shape: SYgraph's frontier state is the smallest.
+    assert!(
+        peaks["SYgraph"] <= peaks["Gunrock"],
+        "sygraph {} vs gunrock {}",
+        peaks["SYgraph"],
+        peaks["Gunrock"]
+    );
+    assert!(peaks["SYgraph"] <= peaks["Tigr"]);
+    assert!(peaks["SYgraph"] <= peaks["SEP-Graph"]);
+}

@@ -1,0 +1,131 @@
+//! Property-based tests on the frontier data structures: every layout
+//! must behave exactly like a set of vertex ids, the two-layer invariant
+//! must hold under arbitrary operation sequences, and the bitwise set
+//! operators must match `BTreeSet` algebra.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sygraph::prelude::*;
+use sygraph_core::frontier::ops::{self, SetOp};
+
+fn queue() -> Queue {
+    Queue::new(Device::new(DeviceProfile::host_test()))
+}
+
+const N: usize = 300;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..N as u32).prop_map(Op::Insert),
+        2 => (0..N as u32).prop_map(Op::Remove),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_layer_behaves_like_a_set(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, N).unwrap();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(v) => {
+                    f.insert_host(v);
+                    model.insert(v);
+                }
+                Op::Remove(v) => {
+                    // removal via the device path
+                    q.parallel_for("rm", 1, |l, _| f.remove_lane(l, v));
+                    model.remove(&v);
+                }
+                Op::Clear => {
+                    f.clear(&q);
+                    model.clear();
+                }
+            }
+        }
+        prop_assert_eq!(f.to_sorted_vec(), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(f.count(&q), model.len());
+        f.check_invariant().map_err(|e| TestCaseError::fail(e))?;
+        // compaction finds exactly the words that hold members
+        let expect_words: BTreeSet<u32> = model.iter().map(|v| v / 32).collect();
+        let (nz, offsets) = f.compact(&q).unwrap();
+        let mut got: Vec<u32> = offsets.to_vec()[..nz].to_vec();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect_words.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitmap_and_boolmap_agree(vs in prop::collection::vec(0..N as u32, 0..80)) {
+        let q = queue();
+        let bm = BitmapFrontier::<u64>::new(&q, N).unwrap();
+        let bl = BoolmapFrontier::new(&q, N).unwrap();
+        for &v in &vs {
+            bm.insert_host(v);
+            bl.insert_host(v);
+        }
+        prop_assert_eq!(bm.to_sorted_vec(), bl.to_sorted_vec());
+        prop_assert_eq!(bm.count(&q), bl.count(&q));
+    }
+
+    #[test]
+    fn set_operators_match_btreeset(
+        a in prop::collection::btree_set(0..N as u32, 0..60),
+        b in prop::collection::btree_set(0..N as u32, 0..60),
+    ) {
+        let q = queue();
+        let fa = BitmapFrontier::<u32>::new(&q, N).unwrap();
+        let fb = BitmapFrontier::<u32>::new(&q, N).unwrap();
+        for &v in &a { fa.insert_host(v); }
+        for &v in &b { fb.insert_host(v); }
+        for op in [SetOp::Intersection, SetOp::Union, SetOp::SymmetricDifference, SetOp::Subtraction] {
+            let fo = BitmapFrontier::<u32>::new(&q, N).unwrap();
+            ops::apply(&q, op, &fa, &fb, &fo);
+            let want: Vec<u32> = match op {
+                SetOp::Intersection => a.intersection(&b).copied().collect(),
+                SetOp::Union => a.union(&b).copied().collect(),
+                SetOp::SymmetricDifference => a.symmetric_difference(&b).copied().collect(),
+                SetOp::Subtraction => a.difference(&b).copied().collect(),
+            };
+            prop_assert_eq!(fo.to_sorted_vec(), want, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn vector_frontier_dedup_view(vs in prop::collection::vec(0..N as u32, 0..100)) {
+        let q = queue();
+        let f = VectorFrontier::with_capacity(&q, N, 128).unwrap();
+        for &v in &vs {
+            f.insert_host(v);
+        }
+        let set: BTreeSet<u32> = vs.iter().copied().collect();
+        prop_assert_eq!(f.count(&q), vs.len(), "count includes duplicates");
+        prop_assert_eq!(f.to_sorted_vec(), set.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_all_then_filter_is_complement(keep in prop::collection::btree_set(0..N as u32, 0..100)) {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, N).unwrap();
+        f.fill_all(&q);
+        let keep_vec: Vec<u32> = keep.iter().copied().collect();
+        let flags = q.malloc_device::<u32>(N).unwrap();
+        for &v in &keep_vec {
+            flags.store(v as usize, 1);
+        }
+        sygraph_core::operators::filter::inplace(&q, &f, |l, v| l.load(&flags, v as usize) != 0);
+        prop_assert_eq!(f.to_sorted_vec(), keep_vec);
+        f.check_invariant().map_err(|e| TestCaseError::fail(e))?;
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end IO pipeline: generate → write → read → upload → run, for
+//! every supported format, verifying the algorithm results survive the
+//! round trip.
+
+use sygraph::prelude::*;
+use sygraph_core::inspector::OptConfig;
+use sygraph_gen::{datasets, Scale};
+
+fn queue() -> Queue {
+    Queue::new(Device::new(DeviceProfile::host_test()))
+}
+
+fn bfs_on(host: &sygraph_core::graph::CsrHost) -> Vec<u32> {
+    let q = queue();
+    let g = Graph::new(&q, host).unwrap();
+    sygraph::algos::bfs::run(&q, &g.csr, 0, &OptConfig::all())
+        .unwrap()
+        .values
+}
+
+#[test]
+fn mtx_roundtrip_preserves_bfs() {
+    let d = datasets::kron(Scale::Test);
+    let mut buf = Vec::new();
+    sygraph::io::mtx::write(&d.host, &mut buf).unwrap();
+    let back = sygraph::io::mtx::read(buf.as_slice()).unwrap();
+    assert_eq!(back, d.host);
+    assert_eq!(bfs_on(&d.host), bfs_on(&back));
+}
+
+#[test]
+fn edgelist_roundtrip_weighted_road() {
+    let d = datasets::road_ca(Scale::Test);
+    let mut buf = Vec::new();
+    sygraph::io::edgelist::write(&d.host, &mut buf).unwrap();
+    let back = sygraph::io::edgelist::read(buf.as_slice(), d.host.vertex_count()).unwrap();
+    assert_eq!(back, d.host);
+    // SSSP results survive too (weights preserved)
+    let q = queue();
+    let g = Graph::new(&q, &back).unwrap();
+    let got = sygraph::algos::sssp::run(&q, &g.csr, 0, &OptConfig::all()).unwrap();
+    let want = sygraph_algos::reference::dijkstra(&d.host, 0);
+    for (a, b) in got.values.iter().zip(want.iter()) {
+        assert!((a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn dimacs_roundtrip_weighted() {
+    let d = datasets::road_usa(Scale::Test);
+    let mut buf = Vec::new();
+    sygraph::io::dimacs::write(&d.host, &mut buf).unwrap();
+    let back = sygraph::io::dimacs::read(buf.as_slice()).unwrap();
+    assert_eq!(back, d.host);
+}
+
+#[test]
+fn binary_roundtrip_is_bit_exact_and_fast_path() {
+    for d in [datasets::hollywood(Scale::Test), datasets::indochina(Scale::Test)] {
+        let bytes = sygraph::io::binary::to_bytes(&d.host);
+        let back = sygraph::io::binary::from_bytes(&bytes).unwrap();
+        assert_eq!(back, d.host, "{}", d.key);
+        assert_eq!(bfs_on(&d.host), bfs_on(&back));
+    }
+}
+
+#[test]
+fn formats_agree_with_each_other() {
+    let d = datasets::livejournal(Scale::Test);
+    let mut mtx = Vec::new();
+    sygraph::io::mtx::write(&d.host, &mut mtx).unwrap();
+    let mut el = Vec::new();
+    sygraph::io::edgelist::write(&d.host, &mut el).unwrap();
+    let a = sygraph::io::mtx::read(mtx.as_slice()).unwrap();
+    let b = sygraph::io::edgelist::read(el.as_slice(), d.host.vertex_count()).unwrap();
+    assert_eq!(a, b);
+}

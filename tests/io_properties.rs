@@ -1,0 +1,86 @@
+//! Property tests over the IO layer: every format must round-trip
+//! arbitrary graphs exactly.
+
+use proptest::prelude::*;
+use sygraph_core::graph::CsrHost;
+
+fn graph_strategy() -> impl Strategy<Value = CsrHost> {
+    (2u32..60, prop::collection::vec((0u32..60, 0u32..60), 0..120)).prop_map(|(n, edges)| {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n, v % n))
+            .collect();
+        CsrHost::from_edges(n as usize, &edges)
+    })
+}
+
+fn weighted_graph_strategy() -> impl Strategy<Value = CsrHost> {
+    (
+        2u32..40,
+        prop::collection::vec(((0u32..40, 0u32..40), 1u32..1000), 0..80),
+    )
+        .prop_map(|(n, entries)| {
+            let edges: Vec<(u32, u32)> = entries.iter().map(|&((u, v), _)| (u % n, v % n)).collect();
+            // quantized weights so text round-trips are exact
+            let weights: Vec<f32> = entries.iter().map(|&(_, w)| w as f32 / 4.0).collect();
+            CsrHost::from_edges_weighted(n as usize, &edges, Some(&weights))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn binary_roundtrip_any_graph(g in graph_strategy()) {
+        let back = sygraph::io::binary::from_bytes(&sygraph::io::binary::to_bytes(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted(g in weighted_graph_strategy()) {
+        let back = sygraph::io::binary::from_bytes(&sygraph::io::binary::to_bytes(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn mtx_roundtrip_any_graph(g in graph_strategy()) {
+        let mut buf = Vec::new();
+        sygraph::io::mtx::write(&g, &mut buf).unwrap();
+        let back = sygraph::io::mtx::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edgelist_roundtrip_weighted(g in weighted_graph_strategy()) {
+        // a weighted edge list with zero edges reads back as unweighted —
+        // the text format cannot express "weighted but empty"
+        prop_assume!(g.edge_count() > 0);
+        let mut buf = Vec::new();
+        sygraph::io::edgelist::write(&g, &mut buf).unwrap();
+        let back = sygraph::io::edgelist::read(buf.as_slice(), g.vertex_count()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_weighted(g in weighted_graph_strategy()) {
+        let mut buf = Vec::new();
+        sygraph::io::dimacs::write(&g, &mut buf).unwrap();
+        let back = sygraph::io::dimacs::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn transpose_involution(g in graph_strategy()) {
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn undirected_is_symmetric(g in graph_strategy()) {
+        let u = g.to_undirected();
+        for v in 0..u.vertex_count() as u32 {
+            for &w in u.neighbors(v) {
+                prop_assert!(u.neighbors(w).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Regression test pinning the paper's Table 6 out-of-memory pattern at
+//! bench scale: exactly Gunrock BC @ road-USA, Gunrock CC @ indochina,
+//! Gunrock CC @ twitter and SEP-Graph BC @ road-USA fail; the
+//! neighboring cells the paper reports as working keep working.
+
+use sygraph_baselines::AlgoKind;
+use sygraph_bench::{run_cell, sample_useful_sources, CellOutcome, FrameworkKind};
+use sygraph_gen::{datasets, Scale};
+use sygraph_sim::DeviceProfile;
+
+fn cell(ds: &sygraph_gen::Dataset, fw: FrameworkKind, algo: AlgoKind) -> CellOutcome {
+    let srcs = sample_useful_sources(&ds.host, 1, 42);
+    run_cell(&DeviceProfile::v100s(), ds, fw, algo, &srcs)
+}
+
+#[test]
+fn gunrock_cc_ooms_on_indochina_and_twitter_but_not_kron() {
+    let indo = datasets::indochina(Scale::Bench);
+    assert!(
+        matches!(cell(&indo, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Oom),
+        "paper: Gunrock CC exhausts memory on Indochina"
+    );
+    let twitter = datasets::twitter(Scale::Bench);
+    assert!(
+        matches!(cell(&twitter, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Oom),
+        "paper: Gunrock CC OOM on twitter"
+    );
+    let kron = datasets::kron(Scale::Bench);
+    assert!(
+        matches!(cell(&kron, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Ok(_)),
+        "paper: Gunrock CC runs on kron (2.53x cell)"
+    );
+}
+
+#[test]
+fn bc_on_road_usa_ooms_for_gunrock_and_sep_but_sygraph_runs() {
+    let usa = datasets::road_usa(Scale::Bench);
+    assert!(
+        matches!(cell(&usa, FrameworkKind::Gunrock, AlgoKind::Bc), CellOutcome::Oom),
+        "paper: Gunrock BC OOM on road-USA"
+    );
+    assert!(
+        matches!(cell(&usa, FrameworkKind::SepGraph, AlgoKind::Bc), CellOutcome::Oom),
+        "paper: SEP-Graph BC OOM on road-USA"
+    );
+    assert!(
+        matches!(cell(&usa, FrameworkKind::Sygraph, AlgoKind::Bc), CellOutcome::Ok(_)),
+        "paper: SYgraph's compact frontiers survive road-USA BC"
+    );
+}
+
+#[test]
+fn bc_on_road_ca_fits_for_everyone() {
+    // The paper's CA column has no OOM: the smaller road graph fits.
+    let ca = datasets::road_ca(Scale::Bench);
+    for fw in [FrameworkKind::Sygraph, FrameworkKind::Gunrock, FrameworkKind::SepGraph] {
+        assert!(
+            matches!(cell(&ca, fw, AlgoKind::Bc), CellOutcome::Ok(_)),
+            "{} BC on roadNet-CA should fit",
+            fw.name()
+        );
+    }
+}
