@@ -4,10 +4,12 @@
 //! dependencies (`delta`). Returns the per-vertex dependency contribution
 //! of the given source (summing over sources yields exact BC).
 
+use sygraph_core::engine::{SuperstepEngine, NO_COMPUTE};
 use sygraph_core::frontier::{BitmapLike, Word};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::{advance, compute};
+use sygraph_core::operators::advance::Advance;
+use sygraph_core::operators::compute;
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimResult};
 
@@ -31,7 +33,6 @@ fn run_impl<W: Word>(
     opts: &OptConfig,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<f32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     assert!((src as usize) < n, "source out of range");
     let t0 = q.now_ns();
@@ -45,56 +46,49 @@ fn run_impl<W: Word>(
     depth.store(src as usize, 0);
     sigma.store(src as usize, 1.0);
 
-    // Forward phase: BFS levels, counting shortest paths.
+    // Forward phase: BFS levels, counting shortest paths. Every level's
+    // frontier is retained (`rotate_retaining`) for the backward sweep.
     let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
-    let mut cur = make_frontier::<W>(q, n, opts)?;
-    cur.insert_host(src);
-    let mut d = 0u32;
-    loop {
-        q.mark(format!("bc_fwd{d}"));
-        let next = make_frontier::<W>(q, n, opts)?;
-        let (ev, words) = advance::frontier_counted(
-            q,
-            g,
-            cur.as_ref(),
-            next.as_ref(),
-            tuning,
-            |l, u, v, _e, _w| {
-                let old = l.fetch_min(&depth, v as usize, d + 1);
-                if old > d {
-                    // v is on a shortest path through u: accumulate sigma.
-                    let su = l.load(&sigma, u as usize);
-                    l.fetch_add_f32(&sigma, v as usize, su);
-                    old == INF_DIST
-                } else {
-                    false
-                }
-            },
-        );
-        ev.wait();
-        if words == Some(0) || (words.is_none() && cur.is_empty(q)) {
-            break;
-        }
-        levels.push(cur);
-        cur = next;
-        d += 1;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
+    fin.insert_host(src);
+    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout).mark_prefix("bc_fwd");
+    while engine.step(
+        |l, d, u, v, _e, _w| {
+            let old = l.fetch_min(&depth, v as usize, d + 1);
+            if old > d {
+                // v is on a shortest path through u: accumulate sigma.
+                let su = l.load(&sigma, u as usize);
+                l.fetch_add_f32(&sigma, v as usize, su);
+                old == INF_DIST
+            } else {
+                false
+            }
+        },
+        NO_COMPUTE,
+    ) {
+        levels.push(engine.rotate_retaining(make_frontier::<W>(q, n, opts)?));
     }
+    let d = engine.iteration();
 
     // Backward phase: accumulate dependencies level by level, deepest
     // first (the deepest level has delta 0 by definition).
     for (level, frontier) in levels.iter().enumerate().rev().skip(1) {
         q.mark(format!("bc_bwd{level}"));
         let next_depth = level as u32 + 1;
-        advance::frontier_discard(q, g, frontier.as_ref(), tuning, |l, u, v, _e, _w| {
-            if l.load(&depth, v as usize) == next_depth {
-                let su = l.load(&sigma, u as usize);
-                let sv = l.load(&sigma, v as usize);
-                let dv = l.load(&delta, v as usize);
-                l.fetch_add_f32(&delta, u as usize, su / sv * (1.0 + dv));
-            }
-            false
-        })
-        .wait();
+        let (ev, _) =
+            Advance::new(q, g, frontier.as_ref())
+                .tuning(tuning)
+                .run(|l, u, v, _e, _w| {
+                    if l.load(&depth, v as usize) == next_depth {
+                        let su = l.load(&sigma, u as usize);
+                        let sv = l.load(&sigma, v as usize);
+                        let dv = l.load(&delta, v as usize);
+                        l.fetch_add_f32(&delta, u as usize, su / sv * (1.0 + dv));
+                    }
+                    false
+                });
+        ev.wait();
     }
 
     // The source's own dependency does not count.
@@ -173,8 +167,7 @@ mod tests {
 
     #[test]
     fn undirected_star_center_has_high_bc() {
-        let host =
-            CsrHost::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected();
+        let host = CsrHost::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run(&q, &g, 1, &OptConfig::all()).unwrap();

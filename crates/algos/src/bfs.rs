@@ -1,25 +1,38 @@
 //! Breadth-First Search (push-based), following the paper's Listing 1:
 //! an `advance` expands the frontier through unvisited vertices, a
-//! `compute` stamps their distances, then the frontiers swap.
+//! `compute` stamps their distances, then the frontiers swap — the cycle
+//! the [`SuperstepEngine`] owns.
 
-use sygraph_core::frontier::{swap, Word};
+use sygraph_core::engine::SuperstepEngine;
+use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::{advance, compute};
 use sygraph_core::types::{VertexId, INF_DIST};
-use sygraph_sim::{Queue, SimError, SimResult};
+use sygraph_sim::{Queue, SimResult};
 
 use crate::common::{make_frontier, AlgoResult};
 use crate::dispatch_by_word;
 
 /// Runs BFS from `src`, returning hop distances (unreached = `INF_DIST`).
+/// The distance stamp runs as a separate `compute` pass per superstep.
 pub fn run(
     q: &Queue,
     g: &DeviceCsr,
     src: VertexId,
     opts: &OptConfig,
 ) -> SimResult<AlgoResult<u32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts))
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, false))
+}
+
+/// Like [`run`], but fuses the distance stamp into the advance kernel:
+/// one fewer kernel and host sync per superstep, bit-identical results.
+pub fn run_fused(
+    q: &Queue,
+    g: &DeviceCsr,
+    src: VertexId,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<u32>> {
+    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, true))
 }
 
 fn run_impl<W: Word>(
@@ -27,9 +40,9 @@ fn run_impl<W: Word>(
     g: &DeviceCsr,
     src: VertexId,
     opts: &OptConfig,
+    fused: bool,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     assert!((src as usize) < n, "source out of range");
     let t0 = q.now_ns();
@@ -38,44 +51,25 @@ fn run_impl<W: Word>(
     q.fill(&dist, INF_DIST);
     dist.store(src as usize, 0);
 
-    let mut fin = make_frontier::<W>(q, n, opts)?;
-    let mut fout = make_frontier::<W>(q, n, opts)?;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
     fin.insert_host(src);
 
-    let mut iter = 0u32;
-    loop {
-        q.mark(format!("bfs_iter{iter}"));
-        // Advance: visit out-edges of the frontier; keep unvisited
-        // destinations (Listing 1 lines 9-13). The two-layer compaction
-        // count doubles as the emptiness check, saving a count kernel.
-        let (ev, words) = advance::frontier_counted(
-            q,
-            g,
-            fin.as_ref(),
-            fout.as_ref(),
-            tuning,
-            |l, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
-        );
-        ev.wait();
-        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
-            break;
-        }
-        // Compute: stamp distances on the new frontier (lines 14-17).
-        compute::execute(q, fout.as_ref(), |l, v| {
-            l.store(&dist, v as usize, iter + 1);
-        })
-        .wait();
-        swap(&mut fin, &mut fout);
-        fout.clear(q);
-        iter += 1;
-        if iter as usize > n + 1 {
-            return Err(SimError::Algorithm("BFS failed to converge".into()));
-        }
-    }
+    // Advance keeps unvisited destinations (Listing 1 lines 9-13);
+    // compute stamps their distances (lines 14-17). The engine owns the
+    // swap/clear cycle and the single convergence check per superstep.
+    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
+        .fused(fused)
+        .mark_prefix("bfs_iter")
+        .max_iters(n + 1, "BFS failed to converge");
+    let iterations = engine.run(
+        |l, _iter, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+        Some(&|l, iter, v| l.store(&dist, v as usize, iter + 1)),
+    )?;
 
     Ok(AlgoResult {
         values: dist.to_vec(),
-        iterations: iter,
+        iterations,
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }
@@ -134,6 +128,45 @@ mod tests {
         let host = CsrHost::from_edges(n as usize, &edges);
         check_against_reference(&host, 0, &OptConfig::all());
         check_against_reference(&host, 17, &OptConfig::baseline());
+    }
+
+    #[test]
+    fn fused_matches_unfused_bit_identically() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 250;
+        let edges: Vec<(u32, u32)> = (0..1800)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        for (_, opts) in OptConfig::ablation_suite() {
+            let a = run(&q, &g, 0, &opts).unwrap();
+            let b = run_fused(&q, &g, 0, &opts).unwrap();
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.iterations, b.iterations);
+        }
+    }
+
+    #[test]
+    fn fused_launches_strictly_fewer_kernels_per_superstep() {
+        let q = queue();
+        let edges: Vec<(u32, u32)> = (0..63).map(|v| (v, v + 1)).collect();
+        let host = CsrHost::from_edges(64, &edges);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let k0 = q.profiler().kernel_count();
+        let unfused = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        let k1 = q.profiler().kernel_count();
+        let fused = run_fused(&q, &g, 0, &OptConfig::all()).unwrap();
+        let k2 = q.profiler().kernel_count();
+        assert_eq!(unfused.iterations, fused.iterations);
+        let per_step_unfused = (k1 - k0) as f64 / unfused.iterations as f64;
+        let per_step_fused = (k2 - k1) as f64 / fused.iterations as f64;
+        assert!(
+            per_step_fused < per_step_unfused,
+            "fused {per_step_fused:.2} vs unfused {per_step_unfused:.2} kernels/superstep"
+        );
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! symmetric (undirected) for component semantics; use
 //! [`sygraph_core::graph::CsrHost::to_undirected`] first if needed.
 
-use sygraph_core::frontier::{swap, Word};
+use sygraph_core::engine::{SuperstepEngine, NO_COMPUTE};
+use sygraph_core::frontier::{BitmapLike, Word};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::advance;
-use sygraph_sim::{Queue, SimError, SimResult};
+use sygraph_sim::{Queue, SimResult};
 
 use crate::common::{make_frontier, AlgoResult};
 use crate::dispatch_by_word;
@@ -26,11 +26,7 @@ pub fn run(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u
 /// superstep count from O(diameter) to roughly O(log diameter) rounds of
 /// useful work (the paper's CC follows Stergiou et al., which is built
 /// on exactly this idea).
-pub fn run_shortcutting(
-    q: &Queue,
-    g: &DeviceCsr,
-    opts: &OptConfig,
-) -> SimResult<AlgoResult<u32>> {
+pub fn run_shortcutting(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
     dispatch_by_word!(q, opts, g.vertex_count(), run_shortcut_impl(q, g, opts))
 }
 
@@ -48,32 +44,17 @@ fn run_shortcut_impl<W: Word>(
         l.store(&labels, v, v as u32);
     });
 
-    let mut fin = make_frontier::<W>(q, n, opts)?;
-    let mut fout = make_frontier::<W>(q, n, opts)?;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
     fin.fill_all(q);
 
-    let mut iter = 0u32;
-    loop {
-        q.mark(format!("ccs_iter{iter}"));
-        let (ev, words) = advance::frontier_counted(
-            q,
-            g,
-            fin.as_ref(),
-            fout.as_ref(),
-            tuning,
-            |l, u, v, _e, _w| {
-                let lu = l.load(&labels, u as usize);
-                let old = l.fetch_min(&labels, v as usize, lu);
-                lu < old
-            },
-        );
-        ev.wait();
-        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
-            break;
-        }
-        // Shortcut pass: chase label chains to their root (pointer
-        // jumping, as in union-find's find). A change re-activates the
-        // vertex so the shortened label keeps propagating.
+    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
+        .mark_prefix("ccs_iter")
+        .max_iters(n + 1, "shortcutting CC diverged");
+    // Shortcut pass (post-step hook): chase label chains to their root
+    // (pointer jumping, as in union-find's find). A change re-activates
+    // the vertex so the shortened label keeps propagating.
+    let shortcut = |q: &Queue, _iter: u32, out: &dyn BitmapLike<W>| {
         q.parallel_for("cc_shortcut", n, |l, v| {
             let start = l.load(&labels, v);
             let mut root = start;
@@ -87,20 +68,23 @@ fn run_shortcut_impl<W: Word>(
             }
             if root < start {
                 l.store(&labels, v, root);
-                fout.insert_lane(l, v as u32);
+                out.insert_lane(l, v as u32);
             }
         });
-        swap(&mut fin, &mut fout);
-        fout.clear(q);
-        iter += 1;
-        if iter as usize > n + 1 {
-            return Err(SimError::Algorithm("shortcutting CC diverged".into()));
-        }
-    }
+    };
+    let iterations = engine.run_with_post(
+        |l, _iter, u, v, _e, _w| {
+            let lu = l.load(&labels, u as usize);
+            let old = l.fetch_min(&labels, v as usize, lu);
+            lu < old
+        },
+        NO_COMPUTE,
+        Some(&shortcut),
+    )?;
 
     Ok(AlgoResult {
         values: labels.to_vec(),
-        iterations: iter,
+        iterations,
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }
@@ -111,7 +95,6 @@ fn run_impl<W: Word>(
     opts: &OptConfig,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     let t0 = q.now_ns();
 
@@ -120,41 +103,26 @@ fn run_impl<W: Word>(
         l.store(&labels, v, v as u32);
     });
 
-    let mut fin = make_frontier::<W>(q, n, opts)?;
-    let mut fout = make_frontier::<W>(q, n, opts)?;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
     // Every vertex starts by distributing its label to its neighbors.
     fin.fill_all(q);
 
-    let mut iter = 0u32;
-    loop {
-        q.mark(format!("cc_iter{iter}"));
-        let (ev, words) = advance::frontier_counted(
-            q,
-            g,
-            fin.as_ref(),
-            fout.as_ref(),
-            tuning,
-            |l, u, v, _e, _w| {
-                let lu = l.load(&labels, u as usize);
-                let old = l.fetch_min(&labels, v as usize, lu);
-                lu < old
-            },
-        );
-        ev.wait();
-        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
-            break;
-        }
-        swap(&mut fin, &mut fout);
-        fout.clear(q);
-        iter += 1;
-        if iter as usize > n + 1 {
-            return Err(SimError::Algorithm("CC failed to converge".into()));
-        }
-    }
+    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
+        .mark_prefix("cc_iter")
+        .max_iters(n + 1, "CC failed to converge");
+    let iterations = engine.run(
+        |l, _iter, u, v, _e, _w| {
+            let lu = l.load(&labels, u as usize);
+            let old = l.fetch_min(&labels, v as usize, lu);
+            lu < old
+        },
+        NO_COMPUTE,
+    )?;
 
     Ok(AlgoResult {
         values: labels.to_vec(),
-        iterations: iter,
+        iterations,
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }
@@ -180,8 +148,7 @@ mod tests {
     #[test]
     fn two_components_and_isolated() {
         // {0,1,2} u {3,4}, 5 isolated
-        let host =
-            CsrHost::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).to_undirected();
+        let host = CsrHost::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).to_undirected();
         check(&host);
     }
 

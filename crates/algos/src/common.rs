@@ -64,7 +64,6 @@ macro_rules! dispatch_by_word {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sygraph_core::frontier::Frontier;
     use sygraph_sim::{Device, DeviceProfile};
 
     #[test]

@@ -10,7 +10,8 @@
 use sygraph_core::frontier::{swap, Word};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::{advance, filter};
+use sygraph_core::operators::advance::Advance;
+use sygraph_core::operators::filter;
 use sygraph_core::types::{VertexId, INF_WEIGHT};
 use sygraph_sim::{Queue, SimError, SimResult};
 
@@ -37,7 +38,6 @@ fn run_impl<W: Word>(
     delta: f32,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<f32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     assert!((src as usize) < n, "source out of range");
     let t0 = q.now_ns();
@@ -59,20 +59,22 @@ fn run_impl<W: Word>(
         // Drain the near pile at the current threshold.
         while !near.is_empty(q) {
             q.mark(format!("delta_iter{iter}"));
-            advance::frontier_discard(q, g, near.as_ref(), tuning, |l, u, v, _e, w| {
-                let du = l.load(&dist, u as usize);
-                let nd = du + w;
-                let old = l.fetch_min_f32(&dist, v as usize, nd);
-                if nd < old {
-                    if nd < threshold {
-                        near_next.insert_lane(l, v);
-                    } else {
-                        far.insert_lane(l, v);
+            let (ev, _) = Advance::new(q, g, near.as_ref())
+                .tuning(tuning)
+                .run(|l, u, v, _e, w| {
+                    let du = l.load(&dist, u as usize);
+                    let nd = du + w;
+                    let old = l.fetch_min_f32(&dist, v as usize, nd);
+                    if nd < old {
+                        if nd < threshold {
+                            near_next.insert_lane(l, v);
+                        } else {
+                            far.insert_lane(l, v);
+                        }
                     }
-                }
-                false
-            })
-            .wait();
+                    false
+                });
+            ev.wait();
             swap(&mut near, &mut near_next);
             near_next.clear(q);
             iter += 1;
@@ -165,11 +167,7 @@ mod tests {
 
     #[test]
     fn huge_delta_degenerates_to_bellman_ford() {
-        let host = CsrHost::from_edges_weighted(
-            3,
-            &[(0, 1), (1, 2)],
-            Some(&[1.0, 1.0]),
-        );
+        let host = CsrHost::from_edges_weighted(3, &[(0, 1), (1, 2)], Some(&[1.0, 1.0]));
         check(&host, 0, 1e9);
     }
 }

@@ -10,11 +10,11 @@
 //! layout. It switches back to push when the frontier shrinks below
 //! `n / beta`.
 
+use sygraph_core::engine::SuperstepEngine;
 use sygraph_core::frontier::word::locate;
-use sygraph_core::frontier::{swap, Word};
+use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceGraphView, Graph};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::{advance, compute};
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimError, SimResult};
 
@@ -69,15 +69,19 @@ fn run_impl<W: Word>(
     q.fill(&dist, INF_DIST);
     dist.store(src as usize, 0);
 
-    let mut fin = make_frontier::<W>(q, n, opts)?;
-    let mut fout = make_frontier::<W>(q, n, opts)?;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
     fin.insert_host(src);
 
-    let mut iter = 0u32;
+    // Push supersteps go through the engine (fused distance stamp); pull
+    // supersteps are manual kernels over the CSC view, using the engine's
+    // step-level API to keep the frontier cycle in one place.
+    let mut engine = SuperstepEngine::new(q, &g.csr, *tuning, fin, fout)
+        .fused(true)
+        .mark_prefix("dobfs_iter");
     let mut frontier_size = 1usize;
     let mut pulling = false;
     loop {
-        q.mark(format!("dobfs_iter{iter}"));
         // Beamer switch heuristic on the frontier population.
         if !pulling && frontier_size > n / params.alpha.max(1) {
             pulling = true;
@@ -88,8 +92,10 @@ fn run_impl<W: Word>(
         if pulling {
             // Pull: each unvisited vertex scans in-edges for a frontier
             // parent; the bitmap makes membership a single bit probe.
-            let in_words = fin.words();
-            let fout_ref = fout.as_ref();
+            let iter = engine.iteration();
+            q.mark(format!("dobfs_iter{iter}"));
+            let (fin_ref, fout_ref) = engine.frontiers();
+            let in_words = fin_ref.words();
             let next = iter + 1;
             q.parallel_for("bfs_pull", n, |l, v| {
                 if l.load(&dist, v) != INF_DIST {
@@ -106,38 +112,30 @@ fn run_impl<W: Word>(
                     }
                 }
             });
+            // The pull bypassed `step`, so the input's compaction
+            // metadata is stale: the rotate must clear in full.
+            engine.invalidate_compaction();
         } else {
-            // Push: Listing-1 advance + compute.
-            advance::frontier(
-                q,
-                &g.csr,
-                fin.as_ref(),
-                fout.as_ref(),
-                tuning,
-                |l, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
-            )
-            .wait();
-            compute::execute(q, fout.as_ref(), |l, v| {
-                l.store(&dist, v as usize, iter + 1);
-            })
-            .wait();
+            // Push: Listing-1 advance with the distance stamp fused in.
+            engine.step(
+                |l, _iter, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+                Some(&|l, iter, v| l.store(&dist, v as usize, iter + 1)),
+            );
         }
 
-        swap(&mut fin, &mut fout);
-        fout.clear(q);
-        iter += 1;
-        frontier_size = fin.count(q);
+        engine.rotate();
+        frontier_size = engine.input().count(q);
         if frontier_size == 0 {
             break;
         }
-        if iter as usize > n + 1 {
+        if engine.iteration() as usize > n + 1 {
             return Err(SimError::Algorithm("DOBFS failed to converge".into()));
         }
     }
 
     Ok(AlgoResult {
         values: dist.to_vec(),
-        iterations: iter,
+        iterations: engine.iteration(),
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }

@@ -8,7 +8,8 @@
 use sygraph_core::frontier::{BitmapLike, Frontier, TwoLayerFrontier};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{inspect, OptConfig};
-use sygraph_core::operators::{advance, filter};
+use sygraph_core::operators::advance::Advance;
+use sygraph_core::operators::filter;
 use sygraph_sim::{Queue, SimError, SimResult};
 
 use crate::common::AlgoResult;
@@ -34,14 +35,16 @@ pub fn run(q: &Queue, g: &DeviceCsr, k: u32, opts: &OptConfig) -> SimResult<Algo
         // counting only edges whose destination also survives.
         q.fill(&degree, 0);
         let alive_words = alive.words();
-        advance::frontier_discard(q, g, &alive, &tuning, |l, u, v, _e, _w| {
-            let (wi, b) = sygraph_core::frontier::locate::<u32>(v);
-            if l.load(alive_words, wi) & (1 << b) != 0 {
-                l.fetch_add(&degree, u as usize, 1);
-            }
-            false
-        })
-        .wait();
+        let (ev, _) = Advance::new(q, g, &alive)
+            .tuning(&tuning)
+            .run(|l, u, v, _e, _w| {
+                let (wi, b) = sygraph_core::frontier::locate::<u32>(v);
+                if l.load(alive_words, wi) & (1 << b) != 0 {
+                    l.fetch_add(&degree, u as usize, 1);
+                }
+                false
+            });
+        ev.wait();
         // Peel: drop vertices below k.
         filter::inplace(q, &alive, |l, v| l.load(&degree, v as usize) >= k).wait();
         let now = alive.count(q);

@@ -12,8 +12,8 @@ pub mod bfs;
 pub mod cc;
 pub mod common;
 pub mod delta;
-pub mod kcore;
 pub mod dobfs;
+pub mod kcore;
 pub mod pagerank;
 pub mod reference;
 pub mod sssp;

@@ -7,9 +7,10 @@
 //! teleport term are folded in by a `compute` pass; iteration stops when
 //! the L1 delta drops below `tol` or after `max_iters` sweeps.
 
+use sygraph_core::engine::fixed_point;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::advance;
+use sygraph_core::operators::advance::Advance;
 use sygraph_sim::{Queue, SimResult};
 
 use crate::common::AlgoResult;
@@ -50,7 +51,6 @@ fn run_impl<W: sygraph_core::frontier::Word>(
     params: PagerankParams,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<f32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     let nf = n as f32;
     let t0 = q.now_ns();
@@ -65,9 +65,7 @@ fn run_impl<W: sygraph_core::frontier::Word>(
     q.fill(&rank, 1.0 / nf);
 
     let d = params.damping;
-    let mut iter = 0u32;
-    while iter < params.max_iters {
-        q.mark(format!("pr_iter{iter}"));
+    let iterations = fixed_point(q, params.max_iters, "pr_iter", |q, _iter| {
         q.fill(&next, 0.0);
         dangling.store(0, 0.0);
         l1_delta.store(0, 0.0);
@@ -83,12 +81,14 @@ fn run_impl<W: sygraph_core::frontier::Word>(
             }
             l.compute(4);
         });
-        advance::vertices_discard::<W, _>(q, g, tuning, |l, u, v, _e, _w| {
-            let s = l.load(&share, u as usize);
-            l.fetch_add_f32(&next, v as usize, s);
-            false
-        })
-        .wait();
+        let (ev, _) = Advance::<W, _>::all_vertices(q, g)
+            .tuning(tuning)
+            .run(|l, u, v, _e, _w| {
+                let s = l.load(&share, u as usize);
+                l.fetch_add_f32(&next, v as usize, s);
+                false
+            });
+        ev.wait();
         let dang = dangling.load(0);
         q.parallel_for("pr_apply", n, |l, v| {
             let base = (1.0 - d) / nf + d * dang / nf;
@@ -98,15 +98,12 @@ fn run_impl<W: sygraph_core::frontier::Word>(
             l.fetch_add_f32(&l1_delta, 0, (newv - old).abs());
             l.compute(6);
         });
-        iter += 1;
-        if l1_delta.load(0) < params.tol {
-            break;
-        }
-    }
+        Ok(l1_delta.load(0) >= params.tol)
+    })?;
 
     Ok(AlgoResult {
         values: rank.to_vec(),
-        iterations: iter,
+        iterations,
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }
@@ -170,6 +167,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(got.iterations < 100, "converged in {} iters", got.iterations);
+        assert!(
+            got.iterations < 100,
+            "converged in {} iters",
+            got.iterations
+        );
     }
 }

@@ -178,11 +178,7 @@ mod tests {
     #[test]
     fn dijkstra_weighted_shortcut() {
         // 0->1 (10), 0->2 (1), 2->1 (2): best 0->1 is 3 via 2.
-        let g = CsrHost::from_edges_weighted(
-            3,
-            &[(0, 1), (0, 2), (2, 1)],
-            Some(&[10.0, 1.0, 2.0]),
-        );
+        let g = CsrHost::from_edges_weighted(3, &[(0, 1), (0, 2), (2, 1)], Some(&[10.0, 1.0, 2.0]));
         let d = dijkstra(&g, 0);
         assert_eq!(d, vec![0.0, 3.0, 1.0]);
     }

@@ -3,12 +3,12 @@
 //! distance improved re-enter the frontier. The paper's SSSP deliberately
 //! omits Δ-stepping — that optimization lives in [`crate::delta`].
 
-use sygraph_core::frontier::{swap, Word};
+use sygraph_core::engine::{SuperstepEngine, NO_COMPUTE};
+use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::operators::advance;
 use sygraph_core::types::{VertexId, INF_WEIGHT};
-use sygraph_sim::{Queue, SimError, SimResult};
+use sygraph_sim::{Queue, SimResult};
 
 use crate::common::{make_frontier, AlgoResult};
 use crate::dispatch_by_word;
@@ -31,7 +31,6 @@ fn run_impl<W: Word>(
     opts: &OptConfig,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<f32>> {
-    use sygraph_core::graph::DeviceGraphView;
     let n = g.vertex_count();
     assert!((src as usize) < n, "source out of range");
     let t0 = q.now_ns();
@@ -40,43 +39,31 @@ fn run_impl<W: Word>(
     q.fill(&dist, INF_WEIGHT);
     dist.store(src as usize, 0.0);
 
-    let mut fin = make_frontier::<W>(q, n, opts)?;
-    let mut fout = make_frontier::<W>(q, n, opts)?;
+    let fin = make_frontier::<W>(q, n, opts)?;
+    let fout = make_frontier::<W>(q, n, opts)?;
     fin.insert_host(src);
 
-    let mut iter = 0u32;
-    loop {
-        q.mark(format!("sssp_iter{iter}"));
-        let (ev, words) = advance::frontier_counted(
-            q,
-            g,
-            fin.as_ref(),
-            fout.as_ref(),
-            tuning,
-            |l, u, v, _e, w| {
-                let du = l.load(&dist, u as usize);
-                let nd = du + w;
-                let old = l.fetch_min_f32(&dist, v as usize, nd);
-                nd < old
-            },
+    // The relaxation lives entirely in the advance functor — no compute
+    // phase, so fusion has nothing to add.
+    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
+        .mark_prefix("sssp_iter")
+        .max_iters(
+            n + 1,
+            "Bellman-Ford exceeded |V| iterations (negative cycle?)",
         );
-        ev.wait();
-        if words == Some(0) || (words.is_none() && fin.is_empty(q)) {
-            break;
-        }
-        swap(&mut fin, &mut fout);
-        fout.clear(q);
-        iter += 1;
-        if iter as usize > n + 1 {
-            return Err(SimError::Algorithm(
-                "Bellman-Ford exceeded |V| iterations (negative cycle?)".into(),
-            ));
-        }
-    }
+    let iterations = engine.run(
+        |l, _iter, u, v, _e, w| {
+            let du = l.load(&dist, u as usize);
+            let nd = du + w;
+            let old = l.fetch_min_f32(&dist, v as usize, nd);
+            nd < old
+        },
+        NO_COMPUTE,
+    )?;
 
     Ok(AlgoResult {
         values: dist.to_vec(),
-        iterations: iter,
+        iterations,
         sim_ms: (q.now_ns() - t0) / 1e6,
     })
 }

@@ -363,7 +363,16 @@ mod tests {
     fn correct_on_small_graph() {
         let host = CsrHost::from_edges_weighted(
             6,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (4, 5), (5, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (4, 5),
+                (5, 4),
+            ],
             Some(&[1.0, 1.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0]),
         );
         check(&host, 0, &[AlgoKind::Bfs, AlgoKind::Sssp, AlgoKind::Bc]);

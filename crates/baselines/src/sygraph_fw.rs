@@ -93,7 +93,16 @@ mod tests {
     fn all_algorithms_validate() {
         let host = CsrHost::from_edges_weighted(
             6,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (4, 5), (5, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (4, 5),
+                (5, 4),
+            ],
             Some(&[1.0; 8]),
         );
         for algo in AlgoKind::all() {

@@ -328,9 +328,7 @@ impl TigrLike {
             q.mark(format!("tigr_bc_bwd{level}"));
             let next_depth = level + 1;
             self.sweep(q, "tigr_bc_bwd", &active, |l, u, v, _w| {
-                if l.load(&depth, u as usize) == level
-                    && l.load(&depth, v as usize) == next_depth
-                {
+                if l.load(&depth, u as usize) == level && l.load(&depth, v as usize) == next_depth {
                     let su = l.load(&sigma, u as usize);
                     let sv = l.load(&sigma, v as usize);
                     let dv = l.load(&delta, v as usize);
@@ -368,7 +366,16 @@ mod tests {
     fn correct_on_small_graph() {
         let host = CsrHost::from_edges_weighted(
             6,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (4, 5), (5, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (4, 5),
+                (5, 4),
+            ],
             Some(&[1.0, 1.0, 2.0, 2.0, 1.5, 1.5, 1.0, 1.0]),
         );
         check_all(&host, 0);

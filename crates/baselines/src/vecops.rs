@@ -182,7 +182,9 @@ mod tests {
         let fin = VectorFrontier::with_capacity(&q, 100, 4).unwrap();
         let fout = VectorFrontier::with_capacity(&q, 100, 128).unwrap();
         fin.insert_host(0);
-        advance_vector(&q, "adv", &g, &fin, Some(&fout), |_l, _u, v, _e, _w| v % 2 == 1);
+        advance_vector(&q, "adv", &g, &fin, Some(&fout), |_l, _u, v, _e, _w| {
+            v % 2 == 1
+        });
         assert_eq!(fout.len(), 50);
     }
 }

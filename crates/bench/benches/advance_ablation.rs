@@ -15,7 +15,11 @@ fn bench_ablation(c: &mut Criterion) {
         let q = Queue::new(Device::new(DeviceProfile::v100s()));
         let g = Graph::new(&q, &ds.host).unwrap();
         group.bench_function(label, |b| {
-            b.iter(|| sygraph_algos::bfs::run(&q, &g.csr, 0, &opts).unwrap().sim_ms)
+            b.iter(|| {
+                sygraph_algos::bfs::run(&q, &g.csr, 0, &opts)
+                    .unwrap()
+                    .sim_ms
+            })
         });
     }
     group.finish();
@@ -24,7 +28,7 @@ fn bench_ablation(c: &mut Criterion) {
 fn bench_advance_only(c: &mut Criterion) {
     use sygraph_core::frontier::{Frontier, TwoLayerFrontier};
     use sygraph_core::inspector::inspect;
-    use sygraph_core::operators::advance;
+    use sygraph_core::operators::advance::Advance;
     let ds = sygraph_gen::datasets::kron(sygraph_gen::Scale::Test);
     let q = Queue::new(Device::new(DeviceProfile::v100s()));
     let g = Graph::new(&q, &ds.host).unwrap();
@@ -39,12 +43,49 @@ fn bench_advance_only(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("kron_sparse_frontier", |b| {
         b.iter(|| {
-            advance::frontier(&q, &g.csr, &fin, &fout, &tuning, |_l, _u, _v, _e, _w| true);
+            let (ev, _) = Advance::new(&q, &g.csr, &fin)
+                .output(&fout)
+                .tuning(&tuning)
+                .run(|_l, _u, _v, _e, _w| true);
+            ev.wait();
             fout.clear(&q);
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_ablation, bench_advance_only);
+/// The fused-vs-unfused superstep dimension: same BFS on the R-MAT
+/// stand-in, once with a separate `compute` pass per superstep and once
+/// with the distance stamp fused into the advance kernel. The fused path
+/// launches strictly fewer kernels per superstep (no per-superstep
+/// compute sweep and its extra compaction), which shows up directly as a
+/// lower simulated `sim_ms` per run.
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::kron(sygraph_gen::Scale::Test);
+    let mut group = c.benchmark_group("fused_vs_unfused_bfs");
+    group.sample_size(10);
+    for (label, fused) in [("unfused", false), ("fused", true)] {
+        let q = Queue::new(Device::new(DeviceProfile::v100s()));
+        let g = Graph::new(&q, &ds.host).unwrap();
+        let opts = OptConfig::all();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let r = if fused {
+                    sygraph_algos::bfs::run_fused(&q, &g.csr, 0, &opts).unwrap()
+                } else {
+                    sygraph_algos::bfs::run(&q, &g.csr, 0, &opts).unwrap()
+                };
+                r.sim_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation,
+    bench_advance_only,
+    bench_fused_vs_unfused
+);
 criterion_main!(benches);

@@ -21,16 +21,32 @@ fn bench_algorithms(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("algos_{}", ds.key));
         group.sample_size(10);
         group.bench_function("bfs", |b| {
-            b.iter(|| sygraph_algos::bfs::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+            b.iter(|| {
+                sygraph_algos::bfs::run(&q, &g.csr, 0, &opts)
+                    .unwrap()
+                    .iterations
+            })
         });
         group.bench_function("sssp", |b| {
-            b.iter(|| sygraph_algos::sssp::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+            b.iter(|| {
+                sygraph_algos::sssp::run(&q, &g.csr, 0, &opts)
+                    .unwrap()
+                    .iterations
+            })
         });
         group.bench_function("cc", |b| {
-            b.iter(|| sygraph_algos::cc::run(&q, &gu.csr, &opts).unwrap().iterations)
+            b.iter(|| {
+                sygraph_algos::cc::run(&q, &gu.csr, &opts)
+                    .unwrap()
+                    .iterations
+            })
         });
         group.bench_function("bc", |b| {
-            b.iter(|| sygraph_algos::bc::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+            b.iter(|| {
+                sygraph_algos::bc::run(&q, &g.csr, 0, &opts)
+                    .unwrap()
+                    .iterations
+            })
         });
         group.finish();
     }
@@ -58,7 +74,11 @@ fn bench_extensions(c: &mut Criterion) {
         })
     });
     group.bench_function("bellman_ford_for_comparison", |b| {
-        b.iter(|| sygraph_algos::sssp::run(&q, &g.csr, 0, &opts).unwrap().iterations)
+        b.iter(|| {
+            sygraph_algos::sssp::run(&q, &g.csr, 0, &opts)
+                .unwrap()
+                .iterations
+        })
     });
     group.bench_function("pagerank", |b| {
         b.iter(|| {

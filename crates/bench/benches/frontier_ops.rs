@@ -79,5 +79,11 @@ fn bench_clear(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_count, bench_compact, bench_set_ops, bench_clear);
+criterion_group!(
+    benches,
+    bench_count,
+    bench_compact,
+    bench_set_ops,
+    bench_clear
+);
 criterion_main!(benches);

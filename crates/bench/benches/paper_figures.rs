@@ -16,12 +16,12 @@ fn fig8_cells(c: &mut Criterion) {
     group.sample_size(10);
     for fw in FrameworkKind::all() {
         group.bench_function(fw.name(), |b| {
-            b.iter(|| {
-                match run_cell(&DeviceProfile::v100s(), &ds, fw, AlgoKind::Bfs, &sources) {
+            b.iter(
+                || match run_cell(&DeviceProfile::v100s(), &ds, fw, AlgoKind::Bfs, &sources) {
                     CellOutcome::Ok(cell) => cell.median_ms,
                     _ => f64::NAN,
-                }
-            })
+                },
+            )
         });
     }
     group.finish();
@@ -76,7 +76,13 @@ fn fig10_devices(c: &mut Criterion) {
         let name = profile.name.clone();
         group.bench_function(name, |b| {
             b.iter(|| {
-                match run_cell(&profile, &ds, FrameworkKind::Sygraph, AlgoKind::Bfs, &sources) {
+                match run_cell(
+                    &profile,
+                    &ds,
+                    FrameworkKind::Sygraph,
+                    AlgoKind::Bfs,
+                    &sources,
+                ) {
                     CellOutcome::Ok(cell) => cell.median_ms,
                     _ => f64::NAN,
                 }

@@ -5,7 +5,9 @@
 //! `cargo run --release -p sygraph-bench --bin fig10`
 
 use sygraph_baselines::AlgoKind;
-use sygraph_bench::{run_cell, sample_useful_sources, scale_from_env, sources_from_env, CellOutcome, FrameworkKind};
+use sygraph_bench::{
+    run_cell, sample_useful_sources, scale_from_env, sources_from_env, CellOutcome, FrameworkKind,
+};
 use sygraph_sim::DeviceProfile;
 
 fn main() {
@@ -13,9 +15,7 @@ fn main() {
     let sources = sources_from_env().min(10);
     let datasets = sygraph_gen::paper_suite(scale);
     let machines = DeviceProfile::paper_machines();
-    println!(
-        "Figure 10 — SYgraph across devices ({scale:?} scale, {sources} sources/cell)\n"
-    );
+    println!("Figure 10 — SYgraph across devices ({scale:?} scale, {sources} sources/cell)\n");
 
     for algo in AlgoKind::all() {
         println!("== {} — median simulated ms ==", algo.name());

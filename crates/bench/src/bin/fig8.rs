@@ -7,7 +7,9 @@
 //! (env: SYG_SCALE=test|bench, SYG_SOURCES=N, SYG_REFRESH=1)
 
 use sygraph_baselines::AlgoKind;
-use sygraph_bench::{load_or_run_grid, scale_from_env, sources_from_env, CellOutcome, FrameworkKind};
+use sygraph_bench::{
+    load_or_run_grid, scale_from_env, sources_from_env, CellOutcome, FrameworkKind,
+};
 
 fn main() {
     let scale = scale_from_env();

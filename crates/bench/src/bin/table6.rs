@@ -22,12 +22,7 @@ fn main() {
         FrameworkKind::SepGraph,
         FrameworkKind::Tigr,
     ];
-    let fw_index = |fw: FrameworkKind| {
-        FrameworkKind::all()
-            .iter()
-            .position(|&f| f == fw)
-            .unwrap()
-    };
+    let fw_index = |fw: FrameworkKind| FrameworkKind::all().iter().position(|&f| f == fw).unwrap();
     let sy = fw_index(FrameworkKind::Sygraph);
 
     let mut all_wpp: Vec<(FrameworkKind, Vec<f64>)> = Vec::new();

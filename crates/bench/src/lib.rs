@@ -65,7 +65,11 @@ pub fn stats(xs: &[f64]) -> Stats {
 
 /// Geometric mean (ignores non-finite and non-positive entries).
 pub fn geomean(xs: &[f64]) -> f64 {
-    let vals: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite() && *x > 0.0).collect();
+    let vals: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
     if vals.is_empty() {
         return f64::NAN;
     }
@@ -149,8 +153,8 @@ impl FrameworkKind {
 /// graph itself (plus minimal working state) always loadable.
 pub fn scaled_vram(profile: &DeviceProfile, ds: &Dataset) -> u64 {
     let scaled = profile.vram_bytes as f64 * ds.scale_ratio();
-    let floor = (ds.host.edge_count() as u64 * 16 + ds.host.vertex_count() as u64 * 64)
-        .max(8 << 20);
+    let floor =
+        (ds.host.edge_count() as u64 * 16 + ds.host.vertex_count() as u64 * 64).max(8 << 20);
     (scaled as u64).max(floor)
 }
 

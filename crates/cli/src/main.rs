@@ -164,10 +164,8 @@ fn main() -> ExitCode {
             .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
         "bc" => sygraph_algos::bc::run(&q, &g.csr, src, &opts)
             .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "pagerank" => {
-            sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
-                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms))
-        }
+        "pagerank" => sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
+            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
         "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts, Default::default())
             .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
         "delta" => sygraph_algos::delta::run(&q, &g.csr, src, &opts, delta)
@@ -196,8 +194,16 @@ fn main() -> ExitCode {
         }
         Out::F32(v, i, ms) => {
             let finite = v.iter().filter(|x| x.is_finite()).count();
-            let max = v.iter().copied().filter(|x| x.is_finite()).fold(0f32, f32::max);
-            (*i, *ms, format!("{finite}/{} finite values, max {max:.4}", v.len()))
+            let max = v
+                .iter()
+                .copied()
+                .filter(|x| x.is_finite())
+                .fold(0f32, f32::max);
+            (
+                *i,
+                *ms,
+                format!("{finite}/{} finite values, max {max:.4}", v.len()),
+            )
         }
     };
 
@@ -238,10 +244,7 @@ fn main() -> ExitCode {
         for (name, (ms, count)) in rows {
             println!("    {name:<22} {ms:>9.3} ms  ×{count}");
         }
-        println!(
-            "  device memory peak: {} KB",
-            q.device().mem_peak() / 1024
-        );
+        println!("  device memory peak: {} KB", q.device().mem_peak() / 1024);
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,530 @@
+//! The superstep execution engine: owns the advance → compute → swap →
+//! clear cycle that every frontier algorithm in §3.4 hand-rolled before.
+//!
+//! One [`SuperstepEngine::step`] performs a whole BSP superstep with a
+//! *single* host-visible synchronization:
+//!
+//! 1. **Advance** — expands the input frontier through the graph. Under
+//!    the two-layer layout the pre-advance compaction's word count doubles
+//!    as the convergence check (`Some(0)` ⇒ the frontier is empty), so no
+//!    separate count kernel or extra host read-back is needed.
+//! 2. **Compute** — either *fused* into the advance kernel (the functor
+//!    runs the moment a destination bit is first set, via
+//!    [`BitmapLike::insert_lane_checked`]), or as a follow-up
+//!    [`compute::over_compacted`] pass sized by the output frontier's
+//!    non-zero words rather than its full capacity.
+//! 3. **Rotate** — [`SuperstepEngine::rotate`] swaps the frontiers and
+//!    *lazily* clears the old input: only the words the superstep's
+//!    compaction found non-zero are zeroed ([`BitmapLike::lazy_clear`]),
+//!    valid because every insert of the superstep went to the other
+//!    frontier.
+//!
+//! Per superstep on the two-layer layout this is 3 kernels fused
+//! (compact, advance+compute, lazy clear) versus 4+ for the classic
+//! unfused sequence — and exactly one host sync (the compaction count)
+//! either way. Events are chained internally; the engine only surfaces
+//! the per-step convergence result.
+
+use sygraph_sim::{ItemCtx, Queue, SimError, SimResult};
+
+use crate::frontier::word::Word;
+use crate::frontier::{swap, BitmapLike};
+use crate::graph::traits::DeviceGraphView;
+use crate::inspector::Tuning;
+use crate::operators::advance::Advance;
+use crate::operators::compute;
+use crate::types::{EdgeId, VertexId, Weight};
+
+/// Iteration-aware advance functor:
+/// `(lane, iter, src, dst, edge, weight) -> bool`.
+pub trait StepAdvance:
+    Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+impl<F> StepAdvance for F where
+    F: Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
+{
+}
+
+/// Iteration-aware compute functor: `(lane, iter, vertex)`. Passed as
+/// `Option<&dyn StepComputeDyn>`; `None` means the algorithm has no
+/// compute phase (e.g. SSSP relaxes inside the advance functor).
+pub type StepComputeDyn<'f> = dyn Fn(&mut ItemCtx<'_>, u32, VertexId) + Sync + 'f;
+
+/// Convenience for advance-only algorithms: `engine.step(f, NO_COMPUTE)`.
+pub const NO_COMPUTE: Option<&StepComputeDyn<'static>> = None;
+
+/// Host-side hook run after each superstep's advance+compute, before the
+/// rotate: `(queue, iter, output_frontier)`. May launch kernels and insert
+/// vertices into the output frontier (e.g. Connected Components'
+/// shortcutting pass re-activating vertices whose label chain collapsed).
+pub type PostStep<'a, W> = &'a dyn Fn(&Queue, u32, &dyn BitmapLike<W>);
+
+/// The superstep engine. Owns the ping-pong frontier pair and the
+/// advance→compute→swap→clear cycle; algorithms supply functors and
+/// (optionally) inspect or reseed the frontiers between steps.
+pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
+    q: &'a Queue,
+    graph: &'a G,
+    tuning: Tuning,
+    fin: Box<dyn BitmapLike<W>>,
+    fout: Box<dyn BitmapLike<W>>,
+    fused: bool,
+    mark_prefix: String,
+    max_iters: usize,
+    diverge_msg: String,
+    iter: u32,
+    /// Whether `fin`'s compaction metadata is fresh (set by [`step`]: the
+    /// advance compacted `fin` and every insert since went to `fout`), so
+    /// the next [`rotate`] may clear it lazily.
+    ///
+    /// [`step`]: SuperstepEngine::step
+    /// [`rotate`]: SuperstepEngine::rotate
+    lazy_ok: bool,
+}
+
+impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
+    /// Creates an engine over a seeded input frontier and an empty output
+    /// frontier (both supplied by the caller, so any
+    /// [`BitmapLike`] layout works).
+    pub fn new(
+        q: &'a Queue,
+        graph: &'a G,
+        tuning: Tuning,
+        fin: Box<dyn BitmapLike<W>>,
+        fout: Box<dyn BitmapLike<W>>,
+    ) -> Self {
+        SuperstepEngine {
+            q,
+            graph,
+            tuning,
+            fin,
+            fout,
+            fused: false,
+            mark_prefix: "superstep".into(),
+            max_iters: usize::MAX,
+            diverge_msg: "superstep loop failed to converge".into(),
+            iter: 0,
+            lazy_ok: false,
+        }
+    }
+
+    /// Fuses the compute functor into the advance kernel (see the module
+    /// docs). Off by default; a bit-identical but cheaper execution for
+    /// compute functors that depend only on `(iter, vertex)`.
+    pub fn fused(mut self, yes: bool) -> Self {
+        self.fused = yes;
+        self
+    }
+
+    /// Profiler-marker prefix: each superstep records `"{prefix}{iter}"`.
+    pub fn mark_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.mark_prefix = prefix.into();
+        self
+    }
+
+    /// Errors out of [`run`](SuperstepEngine::run) with `msg` once the
+    /// iteration count exceeds `n` (divergence guard).
+    pub fn max_iters(mut self, n: usize, msg: impl Into<String>) -> Self {
+        self.max_iters = n;
+        self.diverge_msg = msg.into();
+        self
+    }
+
+    /// Supersteps completed so far.
+    pub fn iteration(&self) -> u32 {
+        self.iter
+    }
+
+    /// The current input frontier.
+    pub fn input(&self) -> &dyn BitmapLike<W> {
+        self.fin.as_ref()
+    }
+
+    /// The current output frontier.
+    pub fn output(&self) -> &dyn BitmapLike<W> {
+        self.fout.as_ref()
+    }
+
+    /// The queue the engine launches on.
+    pub fn queue(&self) -> &Queue {
+        self.q
+    }
+
+    /// The tuning every launch uses.
+    pub fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// Runs one superstep: advance (with compute fused in or following as
+    /// an [`compute::over_compacted`] pass) and the single convergence
+    /// check. Returns `false` if the input frontier was empty — the
+    /// algorithm has converged and nothing was launched — `true` after a
+    /// full superstep, in which case the caller advances the cycle with
+    /// [`rotate`](SuperstepEngine::rotate).
+    pub fn step(
+        &mut self,
+        advance_f: impl StepAdvance,
+        compute_f: Option<&StepComputeDyn<'_>>,
+    ) -> bool {
+        let iter = self.iter;
+        self.q.mark(format!("{}{}", self.mark_prefix, iter));
+        let adv = |l: &mut ItemCtx<'_>, s: VertexId, d: VertexId, e: EdgeId, w: Weight| {
+            advance_f(l, iter, s, d, e, w)
+        };
+        let fused_wrap;
+        let mut builder = Advance::new(self.q, self.graph, self.fin.as_ref())
+            .output(self.fout.as_ref())
+            .tuning(&self.tuning);
+        if let (true, Some(cf)) = (self.fused, compute_f) {
+            fused_wrap = move |l: &mut ItemCtx<'_>, v: VertexId| cf(l, iter, v);
+            builder = builder.fuse(&fused_wrap);
+        }
+        let (ev, words) = builder.run(adv);
+        ev.wait();
+        // The one host-visible check of the superstep: the compaction
+        // count (already read back to size the launch) doubles as the
+        // convergence test. Single-layer bitmaps have no compaction and
+        // fall back to an emptiness kernel.
+        if words == Some(0) || (words.is_none() && self.fin.is_empty(self.q)) {
+            return false;
+        }
+        if !self.fused {
+            if let Some(cf) = compute_f {
+                compute::over_compacted(self.q, self.fout.as_ref(), |l, v| cf(l, iter, v)).wait();
+            }
+        }
+        self.lazy_ok = true;
+        true
+    }
+
+    /// Swaps the frontiers and clears the new output (the superstep's old
+    /// input) — lazily when its compaction metadata is still fresh, i.e.
+    /// the words zeroed are exactly those the advance's compaction listed.
+    pub fn rotate(&mut self) {
+        swap(&mut self.fin, &mut self.fout);
+        if self.lazy_ok {
+            self.fout.lazy_clear(self.q);
+        } else {
+            self.fout.clear(self.q);
+        }
+        self.lazy_ok = false;
+        self.iter += 1;
+    }
+
+    /// Like [`rotate`](SuperstepEngine::rotate), but *retains* the old
+    /// input frontier (returning it) and installs `fresh` as the new
+    /// output — Brandes-style algorithms keep each level's frontier for
+    /// the backward sweep.
+    pub fn rotate_retaining(&mut self, fresh: Box<dyn BitmapLike<W>>) -> Box<dyn BitmapLike<W>> {
+        let retained = std::mem::replace(&mut self.fin, std::mem::replace(&mut self.fout, fresh));
+        self.lazy_ok = false;
+        self.iter += 1;
+        retained
+    }
+
+    /// Marks `fin`'s compaction metadata stale, forcing the next
+    /// [`rotate`](SuperstepEngine::rotate) to a full clear. Call after
+    /// mutating the frontiers outside [`step`](SuperstepEngine::step)
+    /// (e.g. direction-optimizing BFS's manual pull iterations).
+    pub fn invalidate_compaction(&mut self) {
+        self.lazy_ok = false;
+    }
+
+    /// Mutable access to the frontier pair `(input, output)` for manual
+    /// supersteps (the engine cannot know what such a step does to the
+    /// compaction metadata — pair with
+    /// [`invalidate_compaction`](SuperstepEngine::invalidate_compaction)).
+    pub fn frontiers(&self) -> (&dyn BitmapLike<W>, &dyn BitmapLike<W>) {
+        (self.fin.as_ref(), self.fout.as_ref())
+    }
+
+    /// Drives `step` + `rotate` to convergence, returning the superstep
+    /// count. Errors with the configured divergence message if
+    /// [`max_iters`](SuperstepEngine::max_iters) is exceeded.
+    pub fn run(
+        &mut self,
+        advance_f: impl StepAdvance,
+        compute_f: Option<&StepComputeDyn<'_>>,
+    ) -> SimResult<u32> {
+        self.run_with_post(advance_f, compute_f, None)
+    }
+
+    /// [`run`](SuperstepEngine::run) with a host-side post-step hook,
+    /// executed after each superstep's advance+compute and before the
+    /// rotate (it may insert vertices into the output frontier).
+    pub fn run_with_post(
+        &mut self,
+        advance_f: impl StepAdvance,
+        compute_f: Option<&StepComputeDyn<'_>>,
+        post: Option<PostStep<'_, W>>,
+    ) -> SimResult<u32> {
+        loop {
+            if !self.step(&advance_f, compute_f) {
+                return Ok(self.iter);
+            }
+            if let Some(hook) = post {
+                hook(self.q, self.iter, self.fout.as_ref());
+            }
+            self.rotate();
+            if self.iter as usize > self.max_iters {
+                return Err(SimError::Algorithm(self.diverge_msg.clone()));
+            }
+        }
+    }
+}
+
+/// Generic fixed-point iteration driver for algorithms without a frontier
+/// convergence condition (e.g. PageRank's residual test): marks
+/// `"{mark_prefix}{iter}"` and calls `body(q, iter)` until it returns
+/// `Ok(false)` or `max_iters` is reached. Returns the iteration count.
+pub fn fixed_point(
+    q: &Queue,
+    max_iters: u32,
+    mark_prefix: &str,
+    mut body: impl FnMut(&Queue, u32) -> SimResult<bool>,
+) -> SimResult<u32> {
+    let mut iter = 0u32;
+    while iter < max_iters {
+        q.mark(format!("{mark_prefix}{iter}"));
+        let proceed = body(q, iter)?;
+        iter += 1;
+        if !proceed {
+            break;
+        }
+    }
+    Ok(iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{BitmapFrontier, Frontier, TwoLayerFrontier};
+    use crate::graph::device::DeviceCsr;
+    use crate::graph::host::CsrHost;
+    use crate::inspector::{inspect, OptConfig};
+    use crate::types::INF_DIST;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    fn chain(q: &Queue, n: u32) -> DeviceCsr {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        DeviceCsr::upload(q, &CsrHost::from_edges(n as usize, &edges)).unwrap()
+    }
+
+    fn bfs_via_engine(q: &Queue, g: &DeviceCsr, n: usize, fused: bool) -> (Vec<u32>, u32) {
+        let tuning = inspect(q.profile(), &OptConfig::all(), n);
+        let dist = q.malloc_device::<u32>(n).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(0, 0);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        fin.insert_host(0);
+        let mut engine = SuperstepEngine::new(q, g, tuning, fin, fout)
+            .fused(fused)
+            .mark_prefix("ebfs_iter")
+            .max_iters(n + 1, "test BFS diverged");
+        let iters = engine
+            .run(
+                |l, _i, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+                Some(&|l, i, v| l.store(&dist, v as usize, i + 1)),
+            )
+            .unwrap();
+        (dist.to_vec(), iters)
+    }
+
+    #[test]
+    fn engine_bfs_matches_expected_distances() {
+        let q = queue();
+        let g = chain(&q, 6);
+        let (dist, iters) = bfs_via_engine(&q, &g, 6, false);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(iters, 6, "5 expansion levels + final empty check");
+    }
+
+    #[test]
+    fn fused_and_unfused_are_bit_identical() {
+        let q = queue();
+        let g = chain(&q, 40);
+        let (a, ia) = bfs_via_engine(&q, &g, 40, false);
+        let (b, ib) = bfs_via_engine(&q, &g, 40, true);
+        assert_eq!(a, b);
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn fused_superstep_launches_fewer_kernels() {
+        let q = queue();
+        let g = chain(&q, 32);
+        let k0 = q.profiler().kernel_count();
+        let (_, iters_unfused) = bfs_via_engine(&q, &g, 32, false);
+        let k1 = q.profiler().kernel_count();
+        let (_, iters_fused) = bfs_via_engine(&q, &g, 32, true);
+        let k2 = q.profiler().kernel_count();
+        assert_eq!(iters_unfused, iters_fused);
+        let unfused = k1 - k0;
+        let fused = k2 - k1;
+        assert!(
+            fused < unfused,
+            "fused path must launch strictly fewer kernels ({fused} vs {unfused})"
+        );
+        // Per full superstep: compact + advance(+fused compute) + lazy
+        // clear = 3 fused, versus compact + advance + compute's
+        // (compact + kernel) + lazy clear = 5 unfused.
+        let supersteps = (iters_fused as usize).max(1);
+        assert!(fused / supersteps < unfused / supersteps);
+    }
+
+    #[test]
+    fn lazy_clear_keeps_frontier_correct_across_steps() {
+        // Random-ish fan-out graph: rotating with lazy clears must leave
+        // no stale bits behind.
+        let q = queue();
+        let n = 200u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|v| {
+                [
+                    (v, (v * 7 + 3) % n),
+                    (v, (v * 13 + 11) % n),
+                    (v, (v + 1) % n),
+                ]
+            })
+            .collect();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(n as usize, &edges)).unwrap();
+        let (dist_engine, _) = bfs_via_engine(&q, &g, n as usize, true);
+        // Reference: host BFS.
+        let mut want = vec![INF_DIST; n as usize];
+        want[0] = 0;
+        let mut queue_ = std::collections::VecDeque::from([0u32]);
+        let host = CsrHost::from_edges(n as usize, &edges);
+        while let Some(u) = queue_.pop_front() {
+            let (lo, hi) = (host.offsets[u as usize], host.offsets[u as usize + 1]);
+            for e in lo..hi {
+                let v = host.indices[e as usize];
+                if want[v as usize] == INF_DIST {
+                    want[v as usize] = want[u as usize] + 1;
+                    queue_.push_back(v);
+                }
+            }
+        }
+        assert_eq!(dist_engine, want);
+    }
+
+    #[test]
+    fn single_layer_bitmap_falls_back_cleanly() {
+        let q = queue();
+        let n = 20usize;
+        let g = chain(&q, n as u32);
+        let tuning = inspect(q.profile(), &OptConfig::baseline(), n);
+        let dist = q.malloc_device::<u32>(n).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(0, 0);
+        let fin = Box::new(BitmapFrontier::<u64>::new(&q, n).unwrap());
+        let fout = Box::new(BitmapFrontier::<u64>::new(&q, n).unwrap());
+        fin.insert_host(0);
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, fin, fout)
+            .fused(true)
+            .max_iters(n + 1, "diverged");
+        let iters = engine
+            .run(
+                |l, _i, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+                Some(&|l, i, v| l.store(&dist, v as usize, i + 1)),
+            )
+            .unwrap();
+        assert_eq!(iters, 20);
+        assert_eq!(dist.to_vec(), (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn post_step_hook_reactivates_vertices() {
+        // A hook that keeps re-inserting vertex 0 for three extra rounds:
+        // the engine must keep stepping until the hook stops.
+        let q = queue();
+        let g = chain(&q, 4);
+        let tuning = inspect(q.profile(), &OptConfig::all(), 4);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(&q, 4).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(&q, 4).unwrap());
+        fin.insert_host(0);
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, fin, fout).max_iters(64, "diverged");
+        let iters = engine
+            .run_with_post(
+                |_l, _i, _u, _v, _e, _w| false,
+                NO_COMPUTE,
+                Some(&|q: &Queue, iter: u32, out: &dyn BitmapLike<u32>| {
+                    if iter < 3 {
+                        let _ = q;
+                        out.insert_host(0);
+                    }
+                }),
+            )
+            .unwrap();
+        // steps at iter 0,1,2 re-seed; step at iter 3 produces nothing;
+        // step at iter 4 sees an empty frontier and converges.
+        assert_eq!(iters, 4);
+    }
+
+    #[test]
+    fn rotate_retaining_keeps_levels() {
+        let q = queue();
+        let g = chain(&q, 5);
+        let tuning = inspect(q.profile(), &OptConfig::all(), 5);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(&q, 5).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(&q, 5).unwrap());
+        fin.insert_host(0);
+        let seen = q.malloc_device::<u32>(5).unwrap();
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, fin, fout);
+        let mut levels: Vec<Box<dyn BitmapLike<u32>>> = Vec::new();
+        while engine.step(
+            |l, _i, _u, v, _e, _w| l.fetch_or(&seen, v as usize, 1) == 0,
+            NO_COMPUTE,
+        ) {
+            let fresh = Box::new(TwoLayerFrontier::<u32>::new(&q, 5).unwrap());
+            levels.push(engine.rotate_retaining(fresh));
+        }
+        assert_eq!(levels.len(), 5, "every level retained, deepest included");
+        for (d, level) in levels.iter().enumerate() {
+            assert_eq!(level.to_sorted_vec(), vec![d as u32]);
+        }
+    }
+
+    #[test]
+    fn max_iters_guard_errors() {
+        let q = queue();
+        // Self-loop keeps the frontier alive forever.
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(2, &[(0, 0)])).unwrap();
+        let tuning = inspect(q.profile(), &OptConfig::all(), 2);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(&q, 2).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(&q, 2).unwrap());
+        fin.insert_host(0);
+        let mut engine =
+            SuperstepEngine::new(&q, &g, tuning, fin, fout).max_iters(5, "went forever");
+        let err = engine
+            .run(|_l, _i, _u, _v, _e, _w| true, NO_COMPUTE)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Algorithm(m) if m == "went forever"));
+    }
+
+    #[test]
+    fn fixed_point_runs_until_body_stops() {
+        let q = queue();
+        let mut sum = 0u32;
+        let iters = fixed_point(&q, 100, "fp_iter", |_q, i| {
+            sum += i;
+            Ok(i < 4)
+        })
+        .unwrap();
+        assert_eq!(iters, 5);
+        assert_eq!(sum, 10, "0+1+2+3+4");
+        assert!(q.profiler().markers().iter().any(|m| m.label == "fp_iter4"));
+    }
+
+    #[test]
+    fn fixed_point_respects_max_iters() {
+        let q = queue();
+        let iters = fixed_point(&q, 3, "fp", |_q, _i| Ok(true)).unwrap();
+        assert_eq!(iters, 3);
+    }
+}

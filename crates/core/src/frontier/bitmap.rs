@@ -194,6 +194,12 @@ impl<W: Word> BitmapLike<W> for BitmapFrontier<W> {
         lane.fetch_or(&self.storage.words, wi, W::one_bit(b));
     }
 
+    fn insert_lane_checked(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> bool {
+        let (wi, b) = locate::<W>(v);
+        let old = lane.fetch_or(&self.storage.words, wi, W::one_bit(b));
+        !old.test_bit(b)
+    }
+
     fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
         let (wi, b) = locate::<W>(v);
         lane.fetch_and(&self.storage.words, wi, W::one_bit(b).not());

@@ -66,6 +66,12 @@ pub trait BitmapLike<W: Word>: Frontier {
     /// Device-side insert from a kernel lane (atomic OR; updates the
     /// second layer when present).
     fn insert_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId);
+    /// Like [`BitmapLike::insert_lane`], but reports whether this lane's
+    /// atomic OR was the one that set the bit. Exactly one inserting lane
+    /// observes `true` per vertex per superstep — the property the fused
+    /// advance+compute path relies on to run the compute functor exactly
+    /// once per newly-activated vertex.
+    fn insert_lane_checked(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> bool;
     /// Device-side remove from a kernel lane (atomic AND-NOT; clears the
     /// second-layer bit when the word empties).
     fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId);
@@ -73,6 +79,16 @@ pub trait BitmapLike<W: Word>: Frontier {
     /// Returns `Some((nonzero_word_count, offsets))` for two-layer
     /// frontiers, `None` when the advance must visit every word.
     fn compact(&self, q: &Queue) -> Option<(usize, &DeviceBuffer<u32>)>;
+    /// Clears the frontier touching only the words the last [`compact`]
+    /// found non-zero (the superstep engine's lazy clear). **Precondition:**
+    /// no insertions since the last `compact` call — the engine satisfies
+    /// this because a superstep's inserts all go to the *other* frontier.
+    /// Layouts without a compaction step fall back to a full clear.
+    ///
+    /// [`compact`]: BitmapLike::compact
+    fn lazy_clear(&self, q: &Queue) {
+        self.clear(q);
+    }
 }
 
 /// Swaps two frontiers (Listing 1 line 18: `frontier::swap(in, out)`).

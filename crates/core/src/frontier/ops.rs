@@ -130,7 +130,15 @@ mod tests {
         Queue::new(Device::new(DeviceProfile::host_test()))
     }
 
-    fn setup(q: &Queue, a: &[u32], b: &[u32]) -> (BitmapFrontier<u32>, BitmapFrontier<u32>, BitmapFrontier<u32>) {
+    fn setup(
+        q: &Queue,
+        a: &[u32],
+        b: &[u32],
+    ) -> (
+        BitmapFrontier<u32>,
+        BitmapFrontier<u32>,
+        BitmapFrontier<u32>,
+    ) {
         let n = 200;
         let fa = BitmapFrontier::<u32>::new(q, n).unwrap();
         let fb = BitmapFrontier::<u32>::new(q, n).unwrap();

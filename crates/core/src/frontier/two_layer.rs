@@ -156,6 +156,10 @@ impl<W: Word> BitmapLike<W> for TwoLayerFrontier<W> {
     }
 
     fn insert_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
+        self.insert_lane_checked(lane, v);
+    }
+
+    fn insert_lane_checked(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> bool {
         let (wi, b) = locate::<W>(v);
         let old = lane.fetch_or(&self.storage.words, wi, W::one_bit(b));
         if old.is_zero() {
@@ -163,6 +167,7 @@ impl<W: Word> BitmapLike<W> for TwoLayerFrontier<W> {
             let (l2i, l2b) = locate::<W>(wi as u32);
             lane.fetch_or(&self.layer2, l2i, W::one_bit(l2b));
         }
+        !old.test_bit(b)
     }
 
     fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
@@ -207,6 +212,29 @@ impl<W: Word> BitmapLike<W> for TwoLayerFrontier<W> {
             }
         });
         Some((self.offsets_count.load(0) as usize, &self.offsets))
+    }
+
+    /// Lazy clear (superstep engine, §4.3 discussion): instead of sweeping
+    /// all `⌈n/b⌉` first-layer words, zero only the words the last
+    /// [`BitmapLike::compact`] found non-zero, plus the (much smaller)
+    /// second layer. One kernel over `max(nz, ⌈n/b²⌉)` items versus one
+    /// over `⌈n/b⌉` — on sparse frontiers this clears a handful of words
+    /// instead of the whole bitmap.
+    fn lazy_clear(&self, q: &Queue) {
+        let nz = self.offsets_count.load(0) as usize;
+        let l2_len = self.layer2.len();
+        let words = &self.storage.words;
+        let layer2 = &self.layer2;
+        let offsets = &self.offsets;
+        q.parallel_for("frontier_lazy_clear", nz.max(l2_len), |lane, i| {
+            if i < nz {
+                let wi = lane.load(offsets, i) as usize;
+                lane.store(words, wi, W::ZERO);
+            }
+            if i < l2_len {
+                lane.store(layer2, i, W::ZERO);
+            }
+        });
     }
 }
 
@@ -281,6 +309,38 @@ mod tests {
         });
         f.check_invariant().unwrap();
         assert_eq!(f.to_sorted_vec(), vec![1]);
+    }
+
+    #[test]
+    fn lazy_clear_after_compact_empties_frontier() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 10_000).unwrap();
+        f.insert_host(5);
+        f.insert_host(70);
+        f.insert_host(3205);
+        f.compact(&q).unwrap();
+        f.lazy_clear(&q);
+        f.check_invariant().unwrap();
+        assert!(f.is_empty(&q));
+        let (nz, _) = f.compact(&q).unwrap();
+        assert_eq!(nz, 0);
+        // the frontier stays fully usable afterwards
+        f.insert_host(42);
+        assert_eq!(f.to_sorted_vec(), vec![42]);
+    }
+
+    #[test]
+    fn insert_lane_checked_reports_first_insert_only() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 128).unwrap();
+        let firsts = q.malloc_device::<u32>(1).unwrap();
+        q.parallel_for("ins", 8, |ctx, _| {
+            if f.insert_lane_checked(ctx, 7) {
+                ctx.fetch_add(&firsts, 0, 1);
+            }
+        });
+        assert_eq!(firsts.load(0), 1, "exactly one lane saw the fresh bit");
+        assert_eq!(f.to_sorted_vec(), vec![7]);
     }
 
     #[test]

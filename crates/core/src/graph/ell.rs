@@ -142,7 +142,17 @@ mod tests {
     fn sample() -> CsrHost {
         CsrHost::from_edges(
             8,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 7), (2, 7), (7, 0)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 7),
+                (2, 7),
+                (7, 0),
+            ],
         )
     }
 
@@ -189,18 +199,17 @@ mod tests {
         let fin = TwoLayerFrontier::<u32>::new(&q, 8).unwrap();
         let fout = TwoLayerFrontier::<u32>::new(&q, 8).unwrap();
         fin.insert_host(0);
-        advance::frontier(&q, &g, &fin, &fout, &t, |_l, _u, _v, _e, _w| true);
+        advance::Advance::new(&q, &g, &fin)
+            .output(&fout)
+            .tuning(&t)
+            .run(|_l, _u, _v, _e, _w| true);
         assert_eq!(fout.to_sorted_vec(), vec![1, 2, 3, 4, 5, 6]);
     }
 
     #[test]
     fn weighted_rows() {
         let q = queue();
-        let h = CsrHost::from_edges_weighted(
-            3,
-            &[(0, 1), (0, 2), (1, 2)],
-            Some(&[1.0, 2.0, 4.0]),
-        );
+        let h = CsrHost::from_edges_weighted(3, &[(0, 1), (0, 2), (1, 2)], Some(&[1.0, 2.0, 4.0]));
         let g = EllGraph::upload(&q, &h).unwrap();
         let sum = q.malloc_device::<f32>(1).unwrap();
         q.parallel_for("wsum", 3, |l, v| {

@@ -254,11 +254,8 @@ mod tests {
 
     #[test]
     fn weighted_build_keeps_weight_edge_pairing() {
-        let g = CsrHost::from_edges_weighted(
-            3,
-            &[(0, 2), (0, 1), (1, 2)],
-            Some(&[20.0, 10.0, 12.0]),
-        );
+        let g =
+            CsrHost::from_edges_weighted(3, &[(0, 2), (0, 1), (1, 2)], Some(&[20.0, 10.0, 12.0]));
         assert_eq!(g.neighbors(0), &[1, 2]);
         assert_eq!(g.neighbor_weights(0).unwrap(), &[10.0, 20.0]);
         assert_eq!(g.neighbor_weights(1).unwrap(), &[12.0]);

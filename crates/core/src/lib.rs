@@ -19,27 +19,34 @@
 //! let input = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
 //! let output = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
 //! input.insert_host(0);
-//! operators::advance::frontier(&q, &g.csr, &input, &output, &tuning,
-//!     |_lane, _src, _dst, _e, _w| true).wait();
+//! let (ev, _words) = Advance::new(&q, &g.csr, &input)
+//!     .output(&output)
+//!     .tuning(&tuning)
+//!     .run(|_lane, _src, _dst, _e, _w| true);
+//! ev.wait();
 //! assert_eq!(output.to_sorted_vec(), vec![1, 2]);
 //! ```
 
+pub mod engine;
 pub mod frontier;
 pub mod graph;
 pub mod inspector;
 pub mod operators;
 pub mod types;
 
+pub use engine::{fixed_point, SuperstepEngine, NO_COMPUTE};
 pub use frontier::{
     swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier, VectorFrontier,
     Word,
 };
 pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
 pub use inspector::{inspect, OptConfig, Tuning};
+pub use operators::advance::Advance;
 pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 
 /// Convenience re-exports for examples and downstream crates.
 pub mod prelude {
+    pub use crate::engine::{fixed_point, SuperstepEngine, NO_COMPUTE};
     pub use crate::frontier::ops::{
         intersection, rebuild_layer2, subtraction, symmetric_difference, union, SetOp,
     };
@@ -50,5 +57,6 @@ pub mod prelude {
     pub use crate::graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
     pub use crate::inspector::{inspect, OptConfig, Tuning};
     pub use crate::operators;
+    pub use crate::operators::advance::{Advance, FusedCompute};
     pub use crate::types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 }

@@ -23,7 +23,7 @@ use sygraph_sim::{full_mask, Event, ItemCtx, LaunchConfig, Queue, SubgroupCtx, M
 use crate::frontier::word::Word;
 use crate::frontier::BitmapLike;
 use crate::graph::traits::DeviceGraphView;
-use crate::inspector::Tuning;
+use crate::inspector::{inspect, OptConfig, Tuning};
 use crate::types::{EdgeId, VertexId, Weight};
 
 /// The advance functor: `(lane, src, dst, edge, weight) -> bool`,
@@ -37,6 +37,130 @@ pub trait AdvanceFunctor:
 impl<F> AdvanceFunctor for F where
     F: Fn(&mut ItemCtx<'_>, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
 {
+}
+
+/// A compute functor fused into the advance kernel: runs on each vertex the
+/// moment its frontier bit is first set, inside the expanding kernel — the
+/// superstep engine's replacement for a separate full-range `compute` pass.
+pub type FusedCompute<'a> = &'a (dyn Fn(&mut ItemCtx<'_>, VertexId) + Sync);
+
+/// Unified builder over every vertex-frontier advance variant — the one
+/// entry point that replaces the old `frontier` / `frontier_discard` /
+/// `frontier_counted` / `frontier_discard_counted` quartet.
+///
+/// ```ignore
+/// let (ev, words) = Advance::new(&q, &g, &input)
+///     .output(&out)            // omit to discard accepted destinations
+///     .tuning(&t)              // omit to let the inspector tune
+///     .fuse(&|l, v| { ... })   // optional: compute fused into the kernel
+///     .run(|l, src, dst, e, w| ...);
+/// ```
+///
+/// `run` always reports the counted compaction result: `Some(n_nonzero)`
+/// under the two-layer layout (`Some(0)` ⇒ the input frontier was empty, so
+/// superstep loops converge without a separate count kernel), `None` for
+/// single-layer bitmaps.
+pub struct Advance<'a, W: Word, G: DeviceGraphView + ?Sized> {
+    q: &'a Queue,
+    graph: &'a G,
+    /// `None` means "treat every vertex as active" (the old `vertices`).
+    input: Option<&'a dyn BitmapLike<W>>,
+    output: Option<&'a dyn BitmapLike<W>>,
+    tuning: Option<&'a Tuning>,
+    fused: Option<FusedCompute<'a>>,
+}
+
+impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
+    /// An advance expanding `input` over the out-edges of `graph`.
+    pub fn new(q: &'a Queue, graph: &'a G, input: &'a dyn BitmapLike<W>) -> Self {
+        Advance {
+            q,
+            graph,
+            input: Some(input),
+            output: None,
+            tuning: None,
+            fused: None,
+        }
+    }
+
+    /// An advance treating *every* vertex as active (e.g. PageRank's
+    /// scatter sweep, or Betweenness Centrality initialization).
+    pub fn all_vertices(q: &'a Queue, graph: &'a G) -> Self {
+        Advance {
+            q,
+            graph,
+            input: None,
+            output: None,
+            tuning: None,
+            fused: None,
+        }
+    }
+
+    /// Stores accepted destinations in `out`. Without an output, the
+    /// functor still runs per edge but destinations are discarded.
+    pub fn output(mut self, out: &'a dyn BitmapLike<W>) -> Self {
+        self.output = Some(out);
+        self
+    }
+
+    /// Uses explicit tuning instead of the inspector's default.
+    pub fn tuning(mut self, t: &'a Tuning) -> Self {
+        self.tuning = Some(t);
+        self
+    }
+
+    /// Fuses a compute functor into the advance kernel: it runs exactly
+    /// once per *newly inserted* output vertex (first-setter wins via
+    /// [`BitmapLike::insert_lane_checked`]), eliminating the separate
+    /// full-capacity `compute` kernel and its host sync. Requires an
+    /// [`output`](Advance::output) frontier to deduplicate against.
+    pub fn fuse(mut self, compute: FusedCompute<'a>) -> Self {
+        self.fused = Some(compute);
+        self
+    }
+
+    /// Launches the advance. Returns the completion event plus the counted
+    /// compaction result (see the type-level docs).
+    pub fn run(self, functor: impl AdvanceFunctor) -> (Event, Option<usize>) {
+        assert!(
+            self.fused.is_none() || self.output.is_some(),
+            "Advance::fuse requires an output frontier to deduplicate against"
+        );
+        let derived;
+        let tuning = match self.tuning {
+            Some(t) => t,
+            None => {
+                derived = inspect(
+                    self.q.profile(),
+                    &OptConfig::all(),
+                    self.graph.vertex_count(),
+                );
+                &derived
+            }
+        };
+        match self.input {
+            Some(input) => frontier_impl(
+                self.q,
+                self.graph,
+                input,
+                self.output,
+                tuning,
+                self.fused,
+                &functor,
+            ),
+            None => (
+                vertices_impl(
+                    self.q,
+                    self.graph,
+                    self.output,
+                    tuning,
+                    self.fused,
+                    &functor,
+                ),
+                None,
+            ),
+        }
+    }
 }
 
 /// Stage ① + ② for the bit range `[bit_lo, bit_hi)` of one bitmap word.
@@ -55,6 +179,7 @@ fn process_word<W: Word, G: DeviceGraphView + ?Sized>(
     bit_hi: u32,
     local_base: usize,
     output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) {
     let sgw = sg.width();
@@ -105,7 +230,15 @@ fn process_word<W: Word, G: DeviceGraphView + ?Sized>(
                 item.compute(2);
                 if functor(item, v, dst, eid, w) {
                     if let Some(out) = output {
-                        out.insert_lane(item, dst);
+                        // The fused compute runs only on the lane whose
+                        // atomic OR first set the destination bit, giving
+                        // the same exactly-once-per-vertex semantics as a
+                        // separate compute pass over the output frontier.
+                        if out.insert_lane_checked(item, dst) {
+                            if let Some(fc) = fused {
+                                fc(item, dst);
+                            }
+                        }
                     }
                 }
             });
@@ -114,6 +247,7 @@ fn process_word<W: Word, G: DeviceGraphView + ?Sized>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -121,6 +255,7 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
     n_words: usize,
     resolve: impl Fn(&mut SubgroupCtx<'_, '_>, usize) -> (usize, W) + Sync,
     output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) -> Event {
     debug_assert_eq!(tuning.sg_size.min(64), tuning.sg_size);
@@ -164,6 +299,7 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
                         W::BITS,
                         slot * word_slots,
                         output,
+                        fused,
                         functor,
                     );
                 }
@@ -194,6 +330,7 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
                         bit_hi,
                         c * word_slots + bit_lo as usize,
                         output,
+                        fused,
                         functor,
                     );
                 }
@@ -204,6 +341,7 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
 
 /// `advance::frontier(G, In, Out, Functor)` — expands `input`, storing
 /// accepted destinations in `output`.
+#[deprecated(note = "use the unified `advance::Advance` builder instead")]
 pub fn frontier<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -212,10 +350,11 @@ pub fn frontier<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    frontier_impl(q, graph, input, Some(output), tuning, &functor).0
+    frontier_impl(q, graph, input, Some(output), tuning, None, &functor).0
 }
 
 /// `advance::frontier(G, In, Functor)` — same, without storing results.
+#[deprecated(note = "use the unified `advance::Advance` builder instead")]
 pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -223,7 +362,7 @@ pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    frontier_impl(q, graph, input, None, tuning, &functor).0
+    frontier_impl(q, graph, input, None, tuning, None, &functor).0
 }
 
 /// Like [`frontier`], but also reports how many non-zero bitmap words the
@@ -231,6 +370,7 @@ pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
 /// frontier was empty, letting superstep loops terminate without a
 /// separate count kernel (a 2LB-specific win; `None` for single-layer
 /// bitmaps, which have no compaction step).
+#[deprecated(note = "use the unified `advance::Advance` builder instead")]
 pub fn frontier_counted<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -239,10 +379,11 @@ pub fn frontier_counted<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, Some(output), tuning, &functor)
+    frontier_impl(q, graph, input, Some(output), tuning, None, &functor)
 }
 
 /// Counted variant of [`frontier_discard`].
+#[deprecated(note = "use the unified `advance::Advance` builder instead")]
 pub fn frontier_discard_counted<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -250,7 +391,7 @@ pub fn frontier_discard_counted<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, None, tuning, &functor)
+    frontier_impl(q, graph, input, None, tuning, None, &functor)
 }
 
 fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
@@ -259,6 +400,7 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
     input: &dyn BitmapLike<W>,
     output: Option<&dyn BitmapLike<W>>,
     tuning: &Tuning,
+    fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
     match input.compact(q) {
@@ -287,6 +429,7 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
                     (word_idx, sg.load_uniform(words, word_idx))
                 },
                 output,
+                fused,
                 functor,
             );
             (ev, Some(n_nonzero))
@@ -301,6 +444,7 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
                 input.num_words(),
                 |sg, pos| (pos, sg.load_uniform(words, pos)),
                 output,
+                fused,
                 functor,
             );
             (ev, None)
@@ -310,6 +454,7 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
 
 /// `advance::vertices(G, Out, Functor)` — treats *every* vertex as active
 /// (e.g. the initialization advance of Betweenness Centrality).
+#[deprecated(note = "use `advance::Advance::all_vertices` instead")]
 pub fn vertices<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
@@ -317,17 +462,18 @@ pub fn vertices<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    vertices_impl(q, graph, Some(output), tuning, &functor)
+    vertices_impl(q, graph, Some(output), tuning, None, &functor)
 }
 
 /// `advance::vertices(G, Functor)` — same, without storing results.
+#[deprecated(note = "use `advance::Advance::all_vertices` instead")]
 pub fn vertices_discard<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    vertices_impl::<W, G>(q, graph, None, tuning, &functor)
+    vertices_impl::<W, G>(q, graph, None, tuning, None, &functor)
 }
 
 fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
@@ -335,6 +481,7 @@ fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
     graph: &G,
     output: Option<&dyn BitmapLike<W>>,
     tuning: &Tuning,
+    fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) -> Event {
     let n = graph.vertex_count();
@@ -346,6 +493,7 @@ fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
         n_words,
         |_sg, pos| (pos, W::ZERO.not()),
         output,
+        fused,
         functor,
     )
 }
@@ -412,57 +560,67 @@ pub fn edges<W: Word, G: DeviceGraphView + ?Sized>(
                 );
             }
             let words = input.words();
-            let sgs = tuning.subgroups_per_wg as usize;
-            let wpg = sgs * tuning.coarsening as usize;
-            let groups = nz.div_ceil(wpg.max(1));
-            let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
-            let coarsening = tuning.coarsening as usize;
-            let ev = q.launch(cfg, |ctx| {
-                let base = ctx.group_id * wpg;
-                ctx.for_each_subgroup(|sg| {
-                    for c in 0..coarsening {
-                        let pos = base + sg.sg_id() as usize * coarsening + c;
-                        if pos >= nz {
-                            break;
-                        }
-                        let word_idx = sg.load_uniform(offsets, pos) as usize;
-                        let word = sg.load_uniform(words, word_idx);
-                        if !word.is_zero() {
-                            process(sg, word_idx, word);
-                        }
-                    }
-                });
-            });
+            let ev = launch_edges(
+                q,
+                tuning,
+                nz,
+                |sg, pos| {
+                    let word_idx = sg.load_uniform(offsets, pos) as usize;
+                    (word_idx, sg.load_uniform(words, word_idx))
+                },
+                &process,
+            );
             (ev, Some(nz))
         }
         None => {
-            let n_words = input.num_words();
             let words = input.words();
-            let sgs = tuning.subgroups_per_wg as usize;
-            let wpg = sgs * tuning.coarsening as usize;
-            let groups = n_words.div_ceil(wpg.max(1));
-            let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
-            let coarsening = tuning.coarsening as usize;
-            let ev = q.launch(cfg, |ctx| {
-                let base = ctx.group_id * wpg;
-                ctx.for_each_subgroup(|sg| {
-                    for c in 0..coarsening {
-                        let pos = base + sg.sg_id() as usize * coarsening + c;
-                        if pos >= n_words {
-                            break;
-                        }
-                        let word = sg.load_uniform(words, pos);
-                        if word.is_zero() {
-                            sg.compute(1);
-                            continue;
-                        }
-                        process(sg, pos, word);
-                    }
-                });
-            });
+            let ev = launch_edges(
+                q,
+                tuning,
+                input.num_words(),
+                |sg, pos| (pos, sg.load_uniform(words, pos)),
+                &process,
+            );
             (ev, None)
         }
     }
+}
+
+/// Shared launch shell for [`edges`]: `resolve` maps a schedule position to
+/// a `(word_idx, word)` pair — from the compaction offsets buffer under the
+/// two-layer layout, or the position itself for flat bitmaps — and
+/// `process` expands one non-zero word.
+fn launch_edges<W: Word>(
+    q: &Queue,
+    tuning: &Tuning,
+    n_positions: usize,
+    resolve: impl Fn(&mut SubgroupCtx<'_, '_>, usize) -> (usize, W) + Sync,
+    process: &(impl Fn(&mut SubgroupCtx<'_, '_>, usize, W) + Sync),
+) -> Event {
+    let sgs = tuning.subgroups_per_wg as usize;
+    let coarsening = tuning.coarsening as usize;
+    let wpg = sgs * coarsening;
+    let groups = n_positions.div_ceil(wpg.max(1));
+    let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * wpg;
+        ctx.for_each_subgroup(|sg| {
+            for c in 0..coarsening {
+                let pos = base + sg.sg_id() as usize * coarsening + c;
+                if pos >= n_positions {
+                    break;
+                }
+                let (word_idx, word) = resolve(sg, pos);
+                if word.is_zero() {
+                    // Only reachable on the flat path: compacted positions
+                    // always resolve to non-zero words.
+                    sg.compute(1);
+                    continue;
+                }
+                process(sg, word_idx, word);
+            }
+        });
+    })
 }
 
 #[cfg(test)]
@@ -497,7 +655,10 @@ mod tests {
         let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         input.insert_host(0);
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         output.check_invariant().unwrap();
         assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
     }
@@ -510,7 +671,10 @@ mod tests {
         let input = BitmapFrontier::<u32>::new(&q, 22).unwrap();
         let output = BitmapFrontier::<u32>::new(&q, 22).unwrap();
         input.insert_host(0);
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
     }
 
@@ -522,7 +686,10 @@ mod tests {
         let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         input.insert_host(0);
-        frontier(&q, &g, &input, &output, &t, |_l, _s, d, _e, _w| d % 2 == 0);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, d, _e, _w| d % 2 == 0);
         assert_eq!(
             output.to_sorted_vec(),
             (1..=20).filter(|v| v % 2 == 0).collect::<Vec<u32>>()
@@ -540,11 +707,14 @@ mod tests {
         input.insert_host(1);
         let seen = q.malloc_device::<f32>(1).unwrap();
         let srcs = q.malloc_device::<u32>(1).unwrap();
-        frontier(&q, &g, &input, &output, &t, |l, s, _d, e, w| {
-            l.fetch_add_f32(&seen, 0, w + e as f32);
-            l.fetch_add(&srcs, 0, s);
-            true
-        });
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|l, s, _d, e, w| {
+                l.fetch_add_f32(&seen, 0, w + e as f32);
+                l.fetch_add(&srcs, 0, s);
+                true
+            });
         assert_eq!(seen.load(0), 7.5 + 1.0);
         assert_eq!(srcs.load(0), 1);
         assert_eq!(output.to_sorted_vec(), vec![2]);
@@ -561,7 +731,10 @@ mod tests {
         let output = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
         input.insert_host(0);
         input.insert_host(1);
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(output.count(&q), 1);
         output.check_invariant().unwrap();
     }
@@ -574,10 +747,12 @@ mod tests {
         let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         input.insert_host(0);
         let visits = q.malloc_device::<u32>(1).unwrap();
-        frontier_discard(&q, &g, &input, &t, |l, _s, _d, _e, _w| {
-            l.fetch_add(&visits, 0, 1);
-            false
-        });
+        Advance::new(&q, &g, &input)
+            .tuning(&t)
+            .run(|l, _s, _d, _e, _w| {
+                l.fetch_add(&visits, 0, 1);
+                false
+            });
         assert_eq!(visits.load(0), 20);
     }
 
@@ -589,13 +764,18 @@ mod tests {
         let g = DeviceCsr::upload(&q, &CsrHost::from_edges(10, &edges)).unwrap();
         let t = tuning(&q, 10);
         let output = TwoLayerFrontier::<u32>::new(&q, 10).unwrap();
-        vertices(&q, &g, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::all_vertices(&q, &g)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(output.to_sorted_vec(), (1..10).collect::<Vec<u32>>());
         let visits = q.malloc_device::<u32>(1).unwrap();
-        vertices_discard::<u32, _>(&q, &g, &t, |l, _s, _d, _e, _w| {
-            l.fetch_add(&visits, 0, 1);
-            false
-        });
+        Advance::<u32, _>::all_vertices(&q, &g)
+            .tuning(&t)
+            .run(|l, _s, _d, _e, _w| {
+                l.fetch_add(&visits, 0, 1);
+                false
+            });
         assert_eq!(visits.load(0), 9, "one visit per edge");
     }
 
@@ -611,7 +791,10 @@ mod tests {
         for v in 0..64 {
             input.insert_host(v);
         }
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(output.to_sorted_vec(), (1..64).collect::<Vec<u32>>());
     }
 
@@ -623,17 +806,25 @@ mod tests {
         let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         // empty input: Some(0), no kernels beyond the compaction
-        let (_, words) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        let (_, words) = Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(words, Some(0));
         input.insert_host(0);
         input.insert_host(21); // same 32-bit word as vertex 0
-        let (_, words) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        let (_, words) = Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(words, Some(1));
         // plain bitmaps have no compaction: None
         let flat_in = BitmapFrontier::<u32>::new(&q, 22).unwrap();
         let flat_out = BitmapFrontier::<u32>::new(&q, 22).unwrap();
-        let (_, words) =
-            frontier_counted(&q, &g, &flat_in, &flat_out, &t, |_l, _s, _d, _e, _w| true);
+        let (_, words) = Advance::new(&q, &g, &flat_in)
+            .output(&flat_out)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert_eq!(words, None);
     }
 
@@ -666,7 +857,11 @@ mod tests {
         );
         assert_eq!(nz, Some(1));
         assert_eq!(vert_out.to_sorted_vec(), vec![2, 3]);
-        assert_eq!(seen_srcs.load(0), 0 + 1, "functor saw both sources");
+        assert_eq!(
+            seen_srcs.load(0),
+            1,
+            "functor saw both sources (ids 0 and 1)"
+        );
     }
 
     #[test]
@@ -718,8 +913,14 @@ mod tests {
         );
         ia.insert_host(0);
         ib.insert_host(0);
-        let ea = frontier(&qa, &ga, &ia, &oa, &t, |_l, _s, _d, _e, _w| true);
-        let eb = frontier(&qb, &gb, &ib, &ob, &t, |_l, _s, d, _e, _w| d < 10);
+        let (ea, _) = Advance::new(&qa, &ga, &ia)
+            .output(&oa)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
+        let (eb, _) = Advance::new(&qb, &gb, &ib)
+            .output(&ob)
+            .tuning(&t)
+            .run(|_l, _s, d, _e, _w| d < 10);
         ea.wait();
         eb.wait();
         assert_eq!(oa.to_sorted_vec().len(), 20);
@@ -736,7 +937,112 @@ mod tests {
         let t = tuning(&q, 22);
         let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
         let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
         assert!(output.is_empty(&q));
+    }
+
+    #[test]
+    fn builder_defaults_tuning_via_inspector() {
+        let q = queue();
+        let g = star_graph(&q);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fused_compute_runs_once_per_new_vertex() {
+        let q = queue();
+        // Two sources both point at 3; a chain edge reaches 2: the fused
+        // functor must fire once for 3 (despite two discovering edges) and
+        // once for 2.
+        let h = CsrHost::from_edges(4, &[(0, 3), (1, 3), (0, 2)]);
+        let g = DeviceCsr::upload(&q, &h).unwrap();
+        let t = tuning(&q, 4);
+        let input = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 4).unwrap();
+        input.insert_host(0);
+        input.insert_host(1);
+        let fired = q.malloc_device::<u32>(4).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .fuse(&|l, v| {
+                l.fetch_add(&fired, v as usize, 1);
+            })
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(fired.to_vec(), vec![0, 0, 1, 1]);
+        assert_eq!(output.to_sorted_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn fused_skips_already_set_destinations() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        // Pre-populate half the destinations: fused compute must not fire
+        // for them (their bits were already set).
+        for v in (1..=20).filter(|v| v % 2 == 0) {
+            output.insert_host(v);
+        }
+        let fired = q.malloc_device::<u32>(1).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .fuse(&|l, _v| {
+                l.fetch_add(&fired, 0, 1);
+            })
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(fired.load(0), 10, "only first-time insertions fire");
+    }
+
+    #[test]
+    #[should_panic(expected = "output frontier")]
+    fn fuse_without_output_panics() {
+        let q = queue();
+        let g = star_graph(&q);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        Advance::new(&q, &g, &input)
+            .fuse(&|_l, _v| {})
+            .run(|_l, _s, _d, _e, _w| true);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(output.count(&q), 20);
+        output.clear(&q);
+        let (_, nz) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(nz, Some(1));
+        let visits = q.malloc_device::<u32>(1).unwrap();
+        frontier_discard(&q, &g, &input, &t, |l, _s, _d, _e, _w| {
+            l.fetch_add(&visits, 0, 1);
+            false
+        });
+        let (_, nz) = frontier_discard_counted(&q, &g, &input, &t, |_l, _s, _d, _e, _w| false);
+        assert_eq!(nz, Some(1));
+        assert_eq!(visits.load(0), 20);
+        let all_out = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        vertices(&q, &g, &all_out, &t, |_l, _s, _d, _e, _w| true);
+        assert_eq!(all_out.count(&q), 20);
+        vertices_discard::<u32, _>(&q, &g, &t, |_l, _s, _d, _e, _w| false);
     }
 }

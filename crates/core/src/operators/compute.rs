@@ -36,6 +36,39 @@ pub fn execute_all(q: &Queue, n: usize, functor: impl ComputeFunctor) -> Event {
     q.parallel_for("compute_all", n, |lane, v| functor(lane, v as u32))
 }
 
+/// Like [`execute`], but sized by the frontier's compaction: instead of
+/// scanning all `capacity()` bit slots, only the non-zero words reported
+/// by [`BitmapLike::compact`] are visited (the superstep engine's unfused
+/// compute path). Falls back to [`execute`] for layouts without a
+/// compaction step.
+pub fn over_compacted<W: Word>(
+    q: &Queue,
+    frontier: &dyn BitmapLike<W>,
+    functor: impl ComputeFunctor,
+) -> Event {
+    let Some((nz, offsets)) = frontier.compact(q) else {
+        return execute(q, frontier, functor);
+    };
+    if nz == 0 {
+        let now = q.now_ns();
+        return Event {
+            start_ns: now,
+            end_ns: now,
+        };
+    }
+    let words = frontier.words();
+    let n = frontier.capacity() as u32;
+    let bits = W::BITS as usize;
+    q.parallel_for("compute_compacted", nz * bits, |lane, i| {
+        let wi = lane.load(offsets, i / bits) as usize;
+        let b = (i % bits) as u32;
+        let v = wi as u32 * W::BITS + b;
+        if v < n && lane.load(words, wi).test_bit(b) {
+            functor(lane, v);
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +100,42 @@ mod tests {
         let vals = q.malloc_device::<u32>(500).unwrap();
         execute_all(&q, 500, |l, v| l.store(&vals, v as usize, 7));
         assert!(vals.to_vec().iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn over_compacted_matches_execute() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 1000).unwrap();
+        for v in (0..1000).step_by(97) {
+            f.insert_host(v);
+        }
+        let a = q.malloc_device::<u32>(1000).unwrap();
+        let b = q.malloc_device::<u32>(1000).unwrap();
+        execute(&q, &f, |l, v| l.store(&a, v as usize, v + 1));
+        over_compacted(&q, &f, |l, v| l.store(&b, v as usize, v + 1));
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn over_compacted_falls_back_without_compaction() {
+        let q = queue();
+        let f = crate::frontier::BitmapFrontier::<u32>::new(&q, 100).unwrap();
+        f.insert_host(42);
+        let hits = q.malloc_device::<u32>(1).unwrap();
+        over_compacted(&q, &f, |l, _v| {
+            l.fetch_add(&hits, 0, 1);
+        });
+        assert_eq!(hits.load(0), 1);
+    }
+
+    #[test]
+    fn over_compacted_empty_frontier_launches_nothing() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 100).unwrap();
+        let before = q.profiler().kernel_count();
+        over_compacted(&q, &f, |_l, _v| {});
+        // only the compaction kernel ran; no compute kernel
+        assert_eq!(q.profiler().kernel_count(), before + 1);
     }
 
     #[test]

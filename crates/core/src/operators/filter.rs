@@ -75,10 +75,7 @@ mod tests {
         inplace(&q, &f, |_l, v| v % 3 == 0);
         assert_eq!(f.count(&q), 100);
         f.check_invariant().unwrap();
-        assert_eq!(
-            f.to_sorted_vec(),
-            (0..300).step_by(3).collect::<Vec<u32>>()
-        );
+        assert_eq!(f.to_sorted_vec(), (0..300).step_by(3).collect::<Vec<u32>>());
     }
 
     #[test]
@@ -116,7 +113,7 @@ mod tests {
         let keep = q.malloc_device::<u32>(64).unwrap();
         for v in 0..64 {
             f.insert_host(v);
-            keep.store(v as usize, (v % 2) as u32);
+            keep.store(v as usize, v % 2);
         }
         inplace(&q, &f, |l, v| l.load(&keep, v as usize) != 0);
         assert_eq!(f.count(&q), 32);

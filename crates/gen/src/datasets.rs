@@ -105,7 +105,14 @@ pub fn road_ca(scale: Scale) -> Dataset {
         0xCA,
     );
     let host = CsrHost::from_edges_weighted(el.n, &el.edges, el.weights.as_deref());
-    build("ca", "roadNet-CA", DatasetKind::Road, host, 2_000_000, 2_800_000)
+    build(
+        "ca",
+        "roadNet-CA",
+        DatasetKind::Road,
+        host,
+        2_000_000,
+        2_800_000,
+    )
 }
 
 /// road-USA stand-in: 23.9 M vertices / 28.9 M edges at full size.
@@ -125,7 +132,14 @@ pub fn road_usa(scale: Scale) -> Dataset {
         0x05A,
     );
     let host = CsrHost::from_edges_weighted(el.n, &el.edges, el.weights.as_deref());
-    build("usa", "road-USA", DatasetKind::Road, host, 23_900_000, 28_900_000)
+    build(
+        "usa",
+        "road-USA",
+        DatasetKind::Road,
+        host,
+        23_900_000,
+        28_900_000,
+    )
 }
 
 /// Hollywood-2009 stand-in: 1.1 M vertices / 56.9 M edges at full size.

@@ -12,15 +12,9 @@ pub fn generate(n: usize, m: usize, weight_max: Option<f32>, seed: u64) -> EdgeL
     assert!(n > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let edges: Vec<(u32, u32)> = (0..m)
-        .map(|_| {
-            (
-                rng.random_range(0..n as u32),
-                rng.random_range(0..n as u32),
-            )
-        })
+        .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
         .collect();
-    let weights =
-        weight_max.map(|mx| (0..m).map(|_| rng.random_range(0.0..mx) + 1e-3).collect());
+    let weights = weight_max.map(|mx| (0..m).map(|_| rng.random_range(0.0..mx) + 1e-3).collect());
     EdgeList { n, edges, weights }
 }
 

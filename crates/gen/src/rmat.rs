@@ -100,6 +100,9 @@ mod tests {
     #[test]
     fn vertex_ids_in_range() {
         let el = generate(8, 2000, RmatParams::graph500(), 3);
-        assert!(el.edges.iter().all(|&(u, v)| (u as usize) < el.n && (v as usize) < el.n));
+        assert!(el
+            .edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < el.n && (v as usize) < el.n));
     }
 }

@@ -38,10 +38,10 @@ pub fn generate(width: usize, height: usize, params: RoadParams, seed: u64) -> E
     let mut edges = Vec::with_capacity(n * 3);
     let mut weights = params.weighted.then(|| Vec::with_capacity(n * 3));
     let push = |edges: &mut Vec<(u32, u32)>,
-                    weights: &mut Option<Vec<f32>>,
-                    u: usize,
-                    v: usize,
-                    w: f32| {
+                weights: &mut Option<Vec<f32>>,
+                u: usize,
+                v: usize,
+                w: f32| {
         edges.push((u as u32, v as u32));
         edges.push((v as u32, u as u32));
         if let Some(ws) = weights {
@@ -118,7 +118,15 @@ mod tests {
 
     #[test]
     fn weighted_variant_attaches_positive_weights() {
-        let el = generate(10, 10, RoadParams { weighted: true, ..Default::default() }, 2);
+        let el = generate(
+            10,
+            10,
+            RoadParams {
+                weighted: true,
+                ..Default::default()
+            },
+            2,
+        );
         let w = el.weights.as_ref().unwrap();
         assert_eq!(w.len(), el.edges.len());
         assert!(w.iter().all(|&x| x > 0.0));

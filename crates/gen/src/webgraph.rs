@@ -115,7 +115,10 @@ mod tests {
         let g = CsrHost::from_edges(el.n, &el.edges);
         let max = g.max_degree() as f64;
         let avg = g.avg_degree();
-        assert!(max / avg > 15.0, "directory hubs expected: max {max} avg {avg}");
+        assert!(
+            max / avg > 15.0,
+            "directory hubs expected: max {max} avg {avg}"
+        );
         assert!(avg > 5.0, "web graphs are dense-ish: avg {avg}");
     }
 

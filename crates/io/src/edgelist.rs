@@ -47,7 +47,11 @@ pub fn read(r: impl BufRead, min_vertices: usize) -> IoResult<CsrHost> {
         edges.push((u, v));
         weights.push(w);
     }
-    let n = min_vertices.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = min_vertices.max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(CsrHost::from_edges_weighted(
         n,
         &edges,
@@ -57,7 +61,12 @@ pub fn read(r: impl BufRead, min_vertices: usize) -> IoResult<CsrHost> {
 
 /// Writes an edge list (weights included when present).
 pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
-    writeln!(w, "# sygraph edge list: {} vertices, {} edges", g.vertex_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# sygraph edge list: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
     for u in 0..g.vertex_count() as u32 {
         let ws = g.neighbor_weights(u);
         for (k, &v) in g.neighbors(u).iter().enumerate() {

@@ -27,7 +27,10 @@ pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
         .ok_or_else(|| IoError::Format("empty file".into()))?;
     let header = header?;
     let h: Vec<&str> = header.split_whitespace().collect();
-    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") || h[1] != "matrix" || h[2] != "coordinate"
+    if h.len() < 5
+        || !h[0].starts_with("%%MatrixMarket")
+        || h[1] != "matrix"
+        || h[2] != "coordinate"
     {
         return Err(IoError::Format(format!("unsupported header: {header}")));
     }
@@ -105,7 +108,11 @@ pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
 
 /// Writes a general MatrixMarket file (pattern when unweighted).
 pub fn write(g: &CsrHost, mut w: impl Write) -> IoResult<()> {
-    let field = if g.weights.is_some() { "real" } else { "pattern" };
+    let field = if g.weights.is_some() {
+        "real"
+    } else {
+        "pattern"
+    };
     writeln!(w, "%%MatrixMarket matrix coordinate {field} general")?;
     writeln!(w, "% written by sygraph-io")?;
     let n = g.vertex_count();
@@ -174,8 +181,7 @@ mod tests {
 
     #[test]
     fn comments_in_body() {
-        let text =
-            "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 1\n% mid\n1 2\n";
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 1\n% mid\n1 2\n";
         let g = read(text.as_bytes()).unwrap();
         assert_eq!(g.edge_count(), 1);
     }

@@ -244,7 +244,10 @@ mod tests {
                 l2_hits += 1;
             }
         }
-        assert!(l2_hits > 48, "most lines should be served from L2, got {l2_hits}");
+        assert!(
+            l2_hits > 48,
+            "most lines should be served from L2, got {l2_hits}"
+        );
     }
 
     #[test]

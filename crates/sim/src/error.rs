@@ -57,6 +57,8 @@ mod tests {
             capacity: 12,
         };
         assert!(e.to_string().contains("requested 10 B"));
-        assert!(SimError::Unsupported("cc".into()).to_string().contains("cc"));
+        assert!(SimError::Unsupported("cc".into())
+            .to_string()
+            .contains("cc"));
     }
 }

@@ -188,14 +188,15 @@ impl<'a> GroupCtx<'a> {
         let line_bytes = self.line_bytes as u64;
         let stats = &mut self.stats;
         if let Some(cache) = self.cache.as_deref_mut() {
-            self.coalescer.flush(|line_addr| match cache.access(line_addr) {
-                CacheLevel::L1 => stats.l1_hits += 1,
-                CacheLevel::L2 => stats.l2_hits += 1,
-                CacheLevel::Dram => {
-                    stats.dram_transactions += 1;
-                    stats.dram_bytes += line_bytes;
-                }
-            });
+            self.coalescer
+                .flush(|line_addr| match cache.access(line_addr) {
+                    CacheLevel::L1 => stats.l1_hits += 1,
+                    CacheLevel::L2 => stats.l2_hits += 1,
+                    CacheLevel::Dram => {
+                        stats.dram_transactions += 1;
+                        stats.dram_bytes += line_bytes;
+                    }
+                });
         } else {
             // No cache model attached: everything counts as DRAM traffic.
             let n = self.coalescer.flush(|_| {});
@@ -855,7 +856,12 @@ mod tests {
             let m = sg.full_mask();
             sg.store(&b, m, |lane| (lane as usize, lane * 10));
             let mut got = [0u32; 8];
-            sg.load(&b, m, |lane| lane as usize, |lane, v| got[lane as usize] = v);
+            sg.load(
+                &b,
+                m,
+                |lane| lane as usize,
+                |lane, v| got[lane as usize] = v,
+            );
             assert_eq!(got, [0, 10, 20, 30, 40, 50, 60, 70]);
         });
     }
@@ -884,7 +890,11 @@ mod tests {
             sg.load(&b, 0b1111, |lane| lane as usize, |_, _| {});
         });
         let s = g.take_stats();
-        assert_eq!(s.transactions(), 4, "one tx per subgroup (4 subgroups of 8 in wg of 32)");
+        assert_eq!(
+            s.transactions(),
+            4,
+            "one tx per subgroup (4 subgroups of 8 in wg of 32)"
+        );
         assert!(s.simd_efficiency() < 1.0);
         assert!(s.dram_bytes > 0);
     }

@@ -487,9 +487,8 @@ mod tests {
     #[test]
     fn f32_atomic_add_concurrent() {
         use std::sync::Arc as StdArc;
-        let b = StdArc::new(
-            DeviceBuffer::<f32>::new(tracker(1 << 20), 1, AllocKind::Device).unwrap(),
-        );
+        let b =
+            StdArc::new(DeviceBuffer::<f32>::new(tracker(1 << 20), 1, AllocKind::Device).unwrap());
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let b = b.clone();

@@ -5,8 +5,8 @@
 use std::collections::{HashSet, VecDeque};
 
 use proptest::prelude::*;
-use sygraph_sim::coalesce::Coalescer;
 use sygraph_sim::cache::CacheModel;
+use sygraph_sim::coalesce::Coalescer;
 use sygraph_sim::{Device, DeviceProfile, Queue};
 
 proptest! {

@@ -23,10 +23,7 @@ fn main() {
     // Triangles: the local clustering signal.
     let tri = sygraph::algos::triangles::run(&q, &g.csr, &opts).expect("triangles");
     let total = sygraph::algos::triangles::total(&tri.values);
-    println!(
-        "{total} triangles in {:.3} simulated ms",
-        tri.sim_ms
-    );
+    println!("{total} triangles in {:.3} simulated ms", tri.sim_ms);
     let (champ, champ_t) = tri
         .values
         .iter()

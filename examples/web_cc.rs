@@ -7,7 +7,6 @@
 use std::collections::HashMap;
 
 use sygraph::prelude::*;
-use sygraph_core::operators::advance;
 
 fn main() {
     let q = Queue::new(Device::new(DeviceProfile::v100s()));
@@ -51,7 +50,11 @@ fn main() {
         let fin = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
         let fout = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
         fin.insert_host(s);
-        advance::frontier(&q, &g.csr, &fin, &fout, &tuning, |_l, _u, _v, _e, _w| true).wait();
+        let (ev, _) = Advance::new(&q, &g.csr, &fin)
+            .output(&fout)
+            .tuning(&tuning)
+            .run(|_l, _u, _v, _e, _w| true);
+        ev.wait();
         hops.push(fout);
     }
     let both = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
@@ -71,12 +74,11 @@ fn main() {
     );
     assert_eq!(
         either.count(&q),
-        both.count(&q) + only_first.count(&q)
-            + {
-                let only_second = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
-                subtraction(&q, &hops[1], &hops[0], &only_second);
-                only_second.count(&q)
-            },
+        both.count(&q) + only_first.count(&q) + {
+            let only_second = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+            subtraction(&q, &hops[1], &hops[0], &only_second);
+            only_second.count(&q)
+        },
         "inclusion-exclusion holds"
     );
     println!("set algebra checks out ✓");

@@ -46,7 +46,10 @@ fn bfs_all_ablation_configs_agree() {
 
 #[test]
 fn sssp_matches_dijkstra_on_weighted_roads() {
-    for d in [datasets::road_ca(Scale::Test), datasets::road_usa(Scale::Test)] {
+    for d in [
+        datasets::road_ca(Scale::Test),
+        datasets::road_usa(Scale::Test),
+    ] {
         let q = queue();
         let g = Graph::new(&q, &d.host).unwrap();
         let got = sygraph::algos::sssp::run(&q, &g.csr, 0, &OptConfig::all()).unwrap();

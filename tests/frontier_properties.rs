@@ -57,7 +57,7 @@ proptest! {
         }
         prop_assert_eq!(f.to_sorted_vec(), model.iter().copied().collect::<Vec<_>>());
         prop_assert_eq!(f.count(&q), model.len());
-        f.check_invariant().map_err(|e| TestCaseError::fail(e))?;
+        f.check_invariant().map_err(TestCaseError::fail)?;
         // compaction finds exactly the words that hold members
         let expect_words: BTreeSet<u32> = model.iter().map(|v| v / 32).collect();
         let (nz, offsets) = f.compact(&q).unwrap();
@@ -126,6 +126,6 @@ proptest! {
         }
         sygraph_core::operators::filter::inplace(&q, &f, |l, v| l.load(&flags, v as usize) != 0);
         prop_assert_eq!(f.to_sorted_vec(), keep_vec);
-        f.check_invariant().map_err(|e| TestCaseError::fail(e))?;
+        f.check_invariant().map_err(TestCaseError::fail)?;
     }
 }

@@ -56,7 +56,10 @@ fn dimacs_roundtrip_weighted() {
 
 #[test]
 fn binary_roundtrip_is_bit_exact_and_fast_path() {
-    for d in [datasets::hollywood(Scale::Test), datasets::indochina(Scale::Test)] {
+    for d in [
+        datasets::hollywood(Scale::Test),
+        datasets::indochina(Scale::Test),
+    ] {
         let bytes = sygraph::io::binary::to_bytes(&d.host);
         let back = sygraph::io::binary::from_bytes(&bytes).unwrap();
         assert_eq!(back, d.host, "{}", d.key);

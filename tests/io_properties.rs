@@ -5,13 +5,14 @@ use proptest::prelude::*;
 use sygraph_core::graph::CsrHost;
 
 fn graph_strategy() -> impl Strategy<Value = CsrHost> {
-    (2u32..60, prop::collection::vec((0u32..60, 0u32..60), 0..120)).prop_map(|(n, edges)| {
-        let edges: Vec<(u32, u32)> = edges
-            .into_iter()
-            .map(|(u, v)| (u % n, v % n))
-            .collect();
-        CsrHost::from_edges(n as usize, &edges)
-    })
+    (
+        2u32..60,
+        prop::collection::vec((0u32..60, 0u32..60), 0..120),
+    )
+        .prop_map(|(n, edges)| {
+            let edges: Vec<(u32, u32)> = edges.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            CsrHost::from_edges(n as usize, &edges)
+        })
 }
 
 fn weighted_graph_strategy() -> impl Strategy<Value = CsrHost> {
@@ -20,7 +21,8 @@ fn weighted_graph_strategy() -> impl Strategy<Value = CsrHost> {
         prop::collection::vec(((0u32..40, 0u32..40), 1u32..1000), 0..80),
     )
         .prop_map(|(n, entries)| {
-            let edges: Vec<(u32, u32)> = entries.iter().map(|&((u, v), _)| (u % n, v % n)).collect();
+            let edges: Vec<(u32, u32)> =
+                entries.iter().map(|&((u, v), _)| (u % n, v % n)).collect();
             // quantized weights so text round-trips are exact
             let weights: Vec<f32> = entries.iter().map(|&(_, w)| w as f32 / 4.0).collect();
             CsrHost::from_edges_weighted(n as usize, &edges, Some(&weights))

@@ -17,17 +17,26 @@ fn cell(ds: &sygraph_gen::Dataset, fw: FrameworkKind, algo: AlgoKind) -> CellOut
 fn gunrock_cc_ooms_on_indochina_and_twitter_but_not_kron() {
     let indo = datasets::indochina(Scale::Bench);
     assert!(
-        matches!(cell(&indo, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Oom),
+        matches!(
+            cell(&indo, FrameworkKind::Gunrock, AlgoKind::Cc),
+            CellOutcome::Oom
+        ),
         "paper: Gunrock CC exhausts memory on Indochina"
     );
     let twitter = datasets::twitter(Scale::Bench);
     assert!(
-        matches!(cell(&twitter, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Oom),
+        matches!(
+            cell(&twitter, FrameworkKind::Gunrock, AlgoKind::Cc),
+            CellOutcome::Oom
+        ),
         "paper: Gunrock CC OOM on twitter"
     );
     let kron = datasets::kron(Scale::Bench);
     assert!(
-        matches!(cell(&kron, FrameworkKind::Gunrock, AlgoKind::Cc), CellOutcome::Ok(_)),
+        matches!(
+            cell(&kron, FrameworkKind::Gunrock, AlgoKind::Cc),
+            CellOutcome::Ok(_)
+        ),
         "paper: Gunrock CC runs on kron (2.53x cell)"
     );
 }
@@ -36,15 +45,24 @@ fn gunrock_cc_ooms_on_indochina_and_twitter_but_not_kron() {
 fn bc_on_road_usa_ooms_for_gunrock_and_sep_but_sygraph_runs() {
     let usa = datasets::road_usa(Scale::Bench);
     assert!(
-        matches!(cell(&usa, FrameworkKind::Gunrock, AlgoKind::Bc), CellOutcome::Oom),
+        matches!(
+            cell(&usa, FrameworkKind::Gunrock, AlgoKind::Bc),
+            CellOutcome::Oom
+        ),
         "paper: Gunrock BC OOM on road-USA"
     );
     assert!(
-        matches!(cell(&usa, FrameworkKind::SepGraph, AlgoKind::Bc), CellOutcome::Oom),
+        matches!(
+            cell(&usa, FrameworkKind::SepGraph, AlgoKind::Bc),
+            CellOutcome::Oom
+        ),
         "paper: SEP-Graph BC OOM on road-USA"
     );
     assert!(
-        matches!(cell(&usa, FrameworkKind::Sygraph, AlgoKind::Bc), CellOutcome::Ok(_)),
+        matches!(
+            cell(&usa, FrameworkKind::Sygraph, AlgoKind::Bc),
+            CellOutcome::Ok(_)
+        ),
         "paper: SYgraph's compact frontiers survive road-USA BC"
     );
 }
@@ -53,7 +71,11 @@ fn bc_on_road_usa_ooms_for_gunrock_and_sep_but_sygraph_runs() {
 fn bc_on_road_ca_fits_for_everyone() {
     // The paper's CA column has no OOM: the smaller road graph fits.
     let ca = datasets::road_ca(Scale::Bench);
-    for fw in [FrameworkKind::Sygraph, FrameworkKind::Gunrock, FrameworkKind::SepGraph] {
+    for fw in [
+        FrameworkKind::Sygraph,
+        FrameworkKind::Gunrock,
+        FrameworkKind::SepGraph,
+    ] {
         assert!(
             matches!(cell(&ca, fw, AlgoKind::Bc), CellOutcome::Ok(_)),
             "{} BC on roadNet-CA should fit",
