@@ -1,0 +1,38 @@
+//! Criterion version of the load-balancing ablation: one BFS per
+//! `Balancing` strategy on the R-MAT stand-in (test scale so
+//! `cargo bench` stays fast; the `advance_balancing` binary runs the
+//! full suite with equivalence checks and JSON output).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::{Balancing, OptConfig};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+fn bench_balancing(c: &mut Criterion) {
+    let ds = sygraph_gen::datasets::kron(sygraph_gen::Scale::Test);
+    let src = (0..ds.host.vertex_count() as u32)
+        .max_by_key(|&v| ds.host.degree(v))
+        .unwrap();
+    let mut group = c.benchmark_group("advance_balancing_bfs");
+    group.sample_size(10);
+    for (label, balancing) in [
+        ("wg", Balancing::WorkgroupMapped),
+        ("bucketed", Balancing::Bucketed),
+        ("auto", Balancing::Auto),
+    ] {
+        let q = Queue::new(Device::new(DeviceProfile::v100s()));
+        let g = Graph::new(&q, &ds.host).unwrap();
+        let opts = OptConfig::with_balancing(balancing);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                sygraph_algos::bfs::run(&q, &g.csr, src, &opts)
+                    .unwrap()
+                    .sim_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_balancing);
+criterion_main!(benches);

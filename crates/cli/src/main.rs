@@ -12,6 +12,7 @@
 //!   --device <name>   v100s | max1100 | mi100 | host (default v100s)
 //!   --undirected      symmetrize the graph before running
 //!   --no-msi --no-cf --no-2lb    disable individual optimizations
+//!   --balancing <s>   advance load balancing: wg | bucketed | auto (default auto)
 //!   --delta <x>       bucket width for the delta algorithm (default 2)
 //!   --json            machine-readable output
 //!   --profile         print the per-kernel profile afterwards
@@ -21,14 +22,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use sygraph_core::graph::{CsrHost, Graph};
-use sygraph_core::inspector::OptConfig;
+use sygraph_core::inspector::{Balancing, OptConfig};
 use sygraph_sim::{Device, DeviceProfile, Queue};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
          [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
-         [--no-msi] [--no-cf] [--no-2lb] [--delta X] [--json] [--profile]"
+         [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] [--delta X] [--json] [--profile]"
     );
     ExitCode::from(2)
 }
@@ -93,6 +94,12 @@ fn main() -> ExitCode {
             "--no-msi" => opts.msi = false,
             "--no-cf" => opts.coarsening = false,
             "--no-2lb" => opts.two_layer = false,
+            "--balancing" => match it.next().map(String::as_str) {
+                Some("wg") => opts.balancing = Balancing::WorkgroupMapped,
+                Some("bucketed") => opts.balancing = Balancing::Bucketed,
+                Some("auto") => opts.balancing = Balancing::Auto,
+                _ => return usage(),
+            },
             "--delta" | "--k" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => delta = v,
                 None => return usage(),
@@ -232,17 +239,24 @@ fn main() -> ExitCode {
     }
 
     if profile {
-        let mut per: HashMap<String, (f64, usize)> = HashMap::new();
+        // (total ms, launches, worst max/mean group-cycle imbalance,
+        //  worst idle-lane fraction) per kernel name.
+        let mut per: HashMap<String, (f64, usize, f64, f64)> = HashMap::new();
         for k in q.profiler().kernels() {
-            let e = per.entry(k.name).or_default();
+            let e = per.entry(k.name).or_insert((0.0, 0, 1.0, 0.0));
             e.0 += k.stats.total_ns() / 1e6;
             e.1 += 1;
+            e.2 = e.2.max(k.stats.load_imbalance());
+            e.3 = e.3.max(k.stats.idle_lane_fraction());
         }
         let mut rows: Vec<_> = per.into_iter().collect();
         rows.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
         println!("  kernel profile:");
-        for (name, (ms, count)) in rows {
-            println!("    {name:<22} {ms:>9.3} ms  ×{count}");
+        for (name, (ms, count, imbalance, idle)) in rows {
+            println!(
+                "    {name:<22} {ms:>9.3} ms  ×{count:<5} imbal {imbalance:>6.2}×  idle {:>5.1}%",
+                idle * 100.0
+            );
         }
         println!("  device memory peak: {} KB", q.device().mem_peak() / 1024);
     }

@@ -27,10 +27,11 @@
 
 use sygraph_sim::{ItemCtx, Queue, SimError, SimResult};
 
+use crate::frontier::bucket::{BucketPool, BucketSpec};
 use crate::frontier::word::Word;
 use crate::frontier::{swap, BitmapLike};
 use crate::graph::traits::DeviceGraphView;
-use crate::inspector::Tuning;
+use crate::inspector::{Balancing, Tuning};
 use crate::operators::advance::Advance;
 use crate::operators::compute;
 use crate::types::{EdgeId, VertexId, Weight};
@@ -81,6 +82,13 @@ pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
     /// [`step`]: SuperstepEngine::step
     /// [`rotate`]: SuperstepEngine::rotate
     lazy_ok: bool,
+    /// Bucket buffers shared by every superstep's degree-bucketed advance
+    /// (satellite of the §4.2 hybrid dispatch: allocate once per engine,
+    /// not once per `advance`). Allocated lazily on the first superstep
+    /// that can actually go bucketed; `pool_attempted` stops us retrying
+    /// a failed allocation every step.
+    bucket_pool: Option<BucketPool>,
+    pool_attempted: bool,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
@@ -106,7 +114,34 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             diverge_msg: "superstep loop failed to converge".into(),
             iter: 0,
             lazy_ok: false,
+            bucket_pool: None,
+            pool_attempted: false,
         }
+    }
+
+    /// Lazily allocates the engine-owned bucket pool the first time a
+    /// superstep could dispatch bucketed. Kept out of `new` so engines on
+    /// `WorkgroupMapped` tuning (or on graphs with no hub vertices under
+    /// `Auto`) never pay the allocation — which also keeps OOM behaviour
+    /// identical to the pre-bucketing engine for those runs.
+    fn ensure_bucket_pool(&mut self) {
+        if self.pool_attempted || self.tuning.balancing == Balancing::WorkgroupMapped {
+            return;
+        }
+        if self.tuning.balancing == Balancing::Auto
+            && !self.tuning.graph_is_skewed(self.graph.degree_profile())
+        {
+            return; // Auto can never pick Bucketed on this graph
+        }
+        self.pool_attempted = true;
+        let spec = BucketSpec::from_tuning(&self.tuning);
+        self.bucket_pool = BucketPool::new(
+            self.q,
+            self.graph.vertex_count(),
+            self.graph.edge_count(),
+            &spec,
+        )
+        .ok();
     }
 
     /// Fuses the compute functor into the advance kernel (see the module
@@ -169,13 +204,15 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     ) -> bool {
         let iter = self.iter;
         self.q.mark(format!("{}{}", self.mark_prefix, iter));
+        self.ensure_bucket_pool();
         let adv = |l: &mut ItemCtx<'_>, s: VertexId, d: VertexId, e: EdgeId, w: Weight| {
             advance_f(l, iter, s, d, e, w)
         };
         let fused_wrap;
         let mut builder = Advance::new(self.q, self.graph, self.fin.as_ref())
             .output(self.fout.as_ref())
-            .tuning(&self.tuning);
+            .tuning(&self.tuning)
+            .pool(self.bucket_pool.as_ref());
         if let (true, Some(cf)) = (self.fused, compute_f) {
             fused_wrap = move |l: &mut ItemCtx<'_>, v: VertexId| cf(l, iter, v);
             builder = builder.fuse(&fused_wrap);
@@ -488,6 +525,48 @@ mod tests {
         for (d, level) in levels.iter().enumerate() {
             assert_eq!(level.to_sorted_vec(), vec![d as u32]);
         }
+    }
+
+    #[test]
+    fn bucketed_engine_matches_and_pools_buffers() {
+        use crate::inspector::Balancing;
+        let q = queue();
+        // Hub 0 → 1..=40, then a chain off vertex 1: several supersteps,
+        // the first of which is hub-dominated.
+        let mut edges: Vec<(u32, u32)> = (1..=40).map(|v| (0, v)).collect();
+        edges.extend([(1, 41), (41, 42), (42, 43)]);
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(44, &edges)).unwrap();
+        let bfs = |balancing: Balancing| {
+            let mut t = inspect(q.profile(), &OptConfig::all(), 44);
+            t.balancing = balancing;
+            t.small_max_degree = 2;
+            t.large_min_degree = 8;
+            let dist = q.malloc_device::<u32>(44).unwrap();
+            q.fill(&dist, INF_DIST);
+            dist.store(0, 0);
+            let fin = Box::new(TwoLayerFrontier::<u32>::new(&q, 44).unwrap());
+            let fout = Box::new(TwoLayerFrontier::<u32>::new(&q, 44).unwrap());
+            fin.insert_host(0);
+            let mut engine = SuperstepEngine::new(&q, &g, t, fin, fout).max_iters(64, "diverged");
+            let allocs_before = q.profiler().mem_events().len();
+            let iters = engine
+                .run(
+                    |l, _i, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+                    Some(&|l, i, v| l.store(&dist, v as usize, i + 1)),
+                )
+                .unwrap();
+            let allocs = q.profiler().mem_events().len() - allocs_before;
+            (dist.to_vec(), iters, allocs)
+        };
+        let (d_wg, i_wg, _) = bfs(Balancing::WorkgroupMapped);
+        let (d_bk, i_bk, allocs_bk) = bfs(Balancing::Bucketed);
+        assert_eq!(d_wg, d_bk, "balancing must not change BFS results");
+        assert_eq!(i_wg, i_bk);
+        assert!(
+            allocs_bk <= 5,
+            "bucket pool allocated once per engine (5 buffers), not per \
+             superstep; saw {allocs_bk} allocations"
+        );
     }
 
     #[test]

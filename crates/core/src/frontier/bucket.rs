@@ -1,0 +1,279 @@
+//! Degree buckets for the hybrid advance (§4.2 load balancing).
+//!
+//! After the counted compaction produces the non-zero word offsets, a
+//! binning kernel walks the set bits and sorts each active vertex into one
+//! of three buckets by out-degree:
+//!
+//! * **small** (`d ≤ small_max`): one lane walks the whole adjacency —
+//!   cooperative expansion would waste `sg_size − 1` lanes on it.
+//! * **medium** (`small_max < d < large_min`): subgroup-cooperative, the
+//!   original workgroup-mapped expansion.
+//! * **large** (`d ≥ large_min`): the adjacency is split into
+//!   `chunk`-sized neighbor ranges and each range becomes its own work
+//!   item, so one hub's edge mass spreads across many workgroups — and
+//!   therefore many compute units — instead of serializing on one.
+//!
+//! The buffers live in a [`BucketPool`] so the superstep engine can reuse
+//! them across supersteps instead of reallocating per `advance`.
+
+use sygraph_sim::{DeviceBuffer, ItemCtx, Queue, SimResult};
+
+use crate::frontier::word::Word;
+use crate::inspector::Tuning;
+use crate::types::VertexId;
+
+/// Per-lane degree lookup the binning kernel uses (the `Advance` builder
+/// derives it from the graph's row offsets, keeping this module
+/// representation-agnostic).
+pub type DegreeOf<'a> = &'a (dyn Fn(&mut ItemCtx<'_>, VertexId) -> u32 + Sync);
+
+/// Degree thresholds + chunk size of a bucketed dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketSpec {
+    /// Inclusive upper degree bound of the small (lane-mapped) bucket.
+    pub small_max: u32,
+    /// Inclusive lower degree bound of the large (chunked) bucket.
+    pub large_min: u32,
+    /// Neighbor-range chunk size for large vertices (≥ 1).
+    pub chunk: u32,
+}
+
+impl BucketSpec {
+    pub fn from_tuning(t: &Tuning) -> Self {
+        BucketSpec {
+            small_max: t.small_max_degree,
+            large_min: t.large_min_degree.max(t.small_max_degree + 1),
+            chunk: t.large_chunk(),
+        }
+    }
+}
+
+/// Host-visible result of a binning pass. `large` counts *chunk entries*,
+/// not vertices — a degree-10·chunk hub contributes 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketCounts {
+    pub small: u32,
+    pub medium: u32,
+    pub large: u32,
+}
+
+impl BucketCounts {
+    pub fn total(&self) -> u64 {
+        self.small as u64 + self.medium as u64 + self.large as u64
+    }
+}
+
+/// Device buffers backing the three buckets, pooled across supersteps.
+pub struct BucketPool {
+    /// Vertex ids with degree ≤ `small_max`.
+    pub small: DeviceBuffer<u32>,
+    /// Vertex ids in the subgroup-cooperative band.
+    pub medium: DeviceBuffer<u32>,
+    /// Vertex id of each large-bucket chunk entry.
+    pub large_v: DeviceBuffer<u32>,
+    /// Chunk index (0-based within the vertex's adjacency) per entry.
+    pub large_c: DeviceBuffer<u32>,
+    /// Three append counters: small, medium, large.
+    pub counts: DeviceBuffer<u32>,
+    vertex_capacity: usize,
+    large_capacity: usize,
+}
+
+/// Worst-case large-bucket entries for a graph with `m` edges: every edge
+/// mass split into `chunk`-sized ranges, plus one partial chunk per
+/// possible hub (`m / large_min` vertices can reach the threshold).
+fn large_capacity_for(m: usize, spec: &BucketSpec) -> usize {
+    m / spec.chunk.max(1) as usize + m / spec.large_min.max(1) as usize + 1
+}
+
+impl BucketPool {
+    /// Allocates buckets sized for a graph with `n` vertices and `m`
+    /// edges under `spec`. Small/medium can hold every vertex; the large
+    /// buffers hold the worst-case chunk count.
+    pub fn new(q: &Queue, n: usize, m: usize, spec: &BucketSpec) -> SimResult<Self> {
+        let vcap = n.max(1);
+        let lcap = large_capacity_for(m, spec);
+        Ok(BucketPool {
+            small: q.malloc_device::<u32>(vcap)?,
+            medium: q.malloc_device::<u32>(vcap)?,
+            large_v: q.malloc_device::<u32>(lcap)?,
+            large_c: q.malloc_device::<u32>(lcap)?,
+            counts: q.malloc_device::<u32>(3)?,
+            vertex_capacity: vcap,
+            large_capacity: lcap,
+        })
+    }
+
+    /// Whether this pool can serve a graph of `n` vertices / `m` edges
+    /// under `spec` (pools are per-engine, but `Advance` double-checks
+    /// before trusting a caller-provided pool).
+    pub fn fits(&self, n: usize, m: usize, spec: &BucketSpec) -> bool {
+        n.max(1) <= self.vertex_capacity && large_capacity_for(m, spec) <= self.large_capacity
+    }
+
+    /// Device bytes held by the pool.
+    pub fn device_bytes(&self) -> u64 {
+        self.small.bytes()
+            + self.medium.bytes()
+            + self.large_v.bytes()
+            + self.large_c.bytes()
+            + self.counts.bytes()
+    }
+
+    /// Reads the three bucket counters back to the host.
+    pub fn read_counts(&self) -> BucketCounts {
+        BucketCounts {
+            small: self.counts.load(0),
+            medium: self.counts.load(1),
+            large: self.counts.load(2),
+        }
+    }
+}
+
+/// The binning kernel: one lane per compacted (non-zero) first-layer
+/// word; each lane walks its word's set bits and appends every active
+/// vertex to the bucket its out-degree selects, reserving large-bucket
+/// slots one whole adjacency at a time (`⌈d / chunk⌉` entries).
+///
+/// Runs over the `nz` offsets the counted compaction just produced — the
+/// same scheduling domain the advance itself uses, so an empty frontier
+/// costs nothing extra.
+pub fn bin_compacted<W: Word>(
+    q: &Queue,
+    words: &DeviceBuffer<W>,
+    offsets: &DeviceBuffer<u32>,
+    nz: usize,
+    pool: &BucketPool,
+    degree_of: DegreeOf<'_>,
+    spec: &BucketSpec,
+) -> BucketCounts {
+    pool.counts.store(0, 0);
+    pool.counts.store(1, 0);
+    pool.counts.store(2, 0);
+    if nz == 0 {
+        return BucketCounts::default();
+    }
+    let spec = *spec;
+    let counts = &pool.counts;
+    let small = &pool.small;
+    let medium = &pool.medium;
+    let large_v = &pool.large_v;
+    let large_c = &pool.large_c;
+    q.parallel_for("advance_bucket_bin", nz, |lane, i| {
+        let word_idx = lane.load(offsets, i);
+        let mut w = lane.load(words, word_idx as usize);
+        while !w.is_zero() {
+            let b = w.trailing_zeros();
+            w = w.and(W::one_bit(b).not());
+            let v = word_idx * W::BITS + b;
+            let d = degree_of(lane, v);
+            lane.compute(2);
+            if d == 0 {
+                continue;
+            }
+            if d <= spec.small_max {
+                let idx = lane.fetch_add(counts, 0, 1);
+                lane.store(small, idx as usize, v);
+            } else if d < spec.large_min {
+                let idx = lane.fetch_add(counts, 1, 1);
+                lane.store(medium, idx as usize, v);
+            } else {
+                let chunks = d.div_ceil(spec.chunk);
+                let base = lane.fetch_add(counts, 2, chunks);
+                for c in 0..chunks {
+                    lane.store(large_v, (base + c) as usize, v);
+                    lane.store(large_c, (base + c) as usize, c);
+                }
+            }
+        }
+    });
+    pool.read_counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontier::{BitmapLike, Frontier, TwoLayerFrontier};
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    const SPEC: BucketSpec = BucketSpec {
+        small_max: 4,
+        large_min: 16,
+        chunk: 16,
+    };
+
+    /// Synthetic degrees: v → v (vertex id doubles as its degree).
+    fn degree_is_id(lane: &mut ItemCtx<'_>, v: VertexId) -> u32 {
+        lane.compute(1);
+        v
+    }
+
+    #[test]
+    fn bins_by_degree_with_chunked_large() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 256).unwrap();
+        // degree 0 (dropped), 3 (small), 4 (small), 5 (medium),
+        // 15 (medium), 16 (one chunk), 40 (3 chunks of 16)
+        for v in [0, 3, 4, 5, 15, 16, 40] {
+            f.insert_host(v);
+        }
+        let (nz, offsets) = f.compact(&q).unwrap();
+        let pool = BucketPool::new(&q, 256, 4096, &SPEC).unwrap();
+        let c = bin_compacted(&q, f.words(), offsets, nz, &pool, &degree_is_id, &SPEC);
+        assert_eq!(
+            c,
+            BucketCounts {
+                small: 2,
+                medium: 2,
+                large: 4
+            }
+        );
+
+        let mut small = pool.small.to_vec()[..c.small as usize].to_vec();
+        small.sort_unstable();
+        assert_eq!(small, vec![3, 4]);
+        let mut medium = pool.medium.to_vec()[..c.medium as usize].to_vec();
+        medium.sort_unstable();
+        assert_eq!(medium, vec![5, 15]);
+        let mut large: Vec<(u32, u32)> = pool.large_v.to_vec()[..c.large as usize]
+            .iter()
+            .zip(&pool.large_c.to_vec()[..c.large as usize])
+            .map(|(&v, &ci)| (v, ci))
+            .collect();
+        large.sort_unstable();
+        assert_eq!(large, vec![(16, 0), (40, 0), (40, 1), (40, 2)]);
+    }
+
+    #[test]
+    fn empty_frontier_bins_nothing_without_launch() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u64>::new(&q, 256).unwrap();
+        let (nz, offsets) = f.compact(&q).unwrap();
+        let pool = BucketPool::new(&q, 256, 1024, &SPEC).unwrap();
+        let launched = q.profiler().kernel_count();
+        let c = bin_compacted(&q, f.words(), offsets, nz, &pool, &degree_is_id, &SPEC);
+        assert_eq!(c.total(), 0);
+        assert_eq!(
+            q.profiler().kernel_count(),
+            launched,
+            "nz == 0 must not launch the binning kernel"
+        );
+    }
+
+    #[test]
+    fn pool_capacity_bounds_worst_case_chunks() {
+        let q = queue();
+        let pool = BucketPool::new(&q, 100, 10_000, &SPEC).unwrap();
+        assert!(pool.fits(100, 10_000, &SPEC));
+        assert!(!pool.fits(101, 10_000, &SPEC));
+        assert!(!pool.fits(100, 1_000_000, &SPEC));
+        // A tighter spec (smaller chunks) needs more entries than the
+        // pool reserved.
+        let tight = BucketSpec { chunk: 1, ..SPEC };
+        assert!(!pool.fits(100, 10_000, &tight));
+    }
+}

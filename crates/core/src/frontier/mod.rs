@@ -16,6 +16,7 @@
 
 pub mod bitmap;
 pub mod boolmap;
+pub mod bucket;
 pub mod ops;
 pub mod two_layer;
 pub mod vector;
@@ -23,6 +24,7 @@ pub mod word;
 
 pub use bitmap::BitmapFrontier;
 pub use boolmap::BoolmapFrontier;
+pub use bucket::{BucketCounts, BucketPool, BucketSpec};
 pub use two_layer::TwoLayerFrontier;
 pub use vector::VectorFrontier;
 pub use word::{locate, words_for, Word};

@@ -10,6 +10,7 @@
 use sygraph_sim::{DeviceBuffer, ItemCtx, Queue};
 
 use crate::frontier::bitmap::BitmapStorage;
+use crate::frontier::bucket::{self, BucketCounts, BucketPool, BucketSpec, DegreeOf};
 use crate::frontier::word::{locate, words_for, Word};
 use crate::frontier::{BitmapLike, Frontier};
 use crate::types::VertexId;
@@ -47,6 +48,24 @@ impl<W: Word> TwoLayerFrontier<W> {
     /// The second-layer word array.
     pub fn layer2(&self) -> &DeviceBuffer<W> {
         &self.layer2
+    }
+
+    /// Counted compaction extended with degree binning (§4.2 hybrid load
+    /// balancing): runs [`BitmapLike::compact`], then bins the compacted
+    /// vertices into `pool`'s three degree buckets. Returns the non-zero
+    /// word count alongside the bucket counts; skips the binning launch
+    /// entirely when the frontier is empty.
+    pub fn compact_binned(
+        &self,
+        q: &Queue,
+        pool: &BucketPool,
+        degree_of: DegreeOf<'_>,
+        spec: &BucketSpec,
+    ) -> (usize, BucketCounts) {
+        let (nz, offsets) = self.compact(q).expect("two-layer frontier always compacts");
+        let counts =
+            bucket::bin_compacted(q, &self.storage.words, offsets, nz, pool, degree_of, spec);
+        (nz, counts)
     }
 
     /// Checks the 2LB invariant host-side: second-layer bit `i` is set iff
@@ -376,6 +395,37 @@ mod tests {
         f.fill_all(&q);
         f.check_invariant().unwrap();
         assert_eq!(f.count(&q), 128);
+    }
+
+    #[test]
+    fn compact_binned_partitions_by_degree() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 256).unwrap();
+        for v in [2, 10, 40, 200] {
+            f.insert_host(v);
+        }
+        let spec = BucketSpec {
+            small_max: 4,
+            large_min: 32,
+            chunk: 32,
+        };
+        let pool = BucketPool::new(&q, 256, 4096, &spec).unwrap();
+        // degree = vertex id: 2 small, 10 medium, 40 → 2 chunks,
+        // 200 → 7 chunks
+        let (nz, counts) = f.compact_binned(
+            &q,
+            &pool,
+            &|lane, v| {
+                lane.compute(1);
+                v
+            },
+            &spec,
+        );
+        // vertices 2 and 10 share word 0; 40 is in word 1, 200 in word 6
+        assert_eq!(nz, 3);
+        assert_eq!(counts.small, 1);
+        assert_eq!(counts.medium, 1);
+        assert_eq!(counts.large, 2 + 7);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use sygraph_sim::{DeviceBuffer, ItemCtx, Queue, SimResult, SubgroupCtx};
 
 use crate::graph::host::CsrHost;
 use crate::graph::traits::DeviceGraphView;
+use crate::inspector::DegreeProfile;
 use crate::types::{VertexId, Weight};
 
 /// CSR stored in device memory. A CSC is simply the `DeviceCsr` of the
@@ -19,6 +20,9 @@ pub struct DeviceCsr {
     pub weights: Option<DeviceBuffer<f32>>,
     /// Host copy of out-degrees (used by host-side planners only).
     degrees: Vec<u32>,
+    /// Degree histogram the inspector consults when resolving
+    /// `Balancing::Auto` per superstep (computed once at upload).
+    profile: DegreeProfile,
 }
 
 impl DeviceCsr {
@@ -38,7 +42,8 @@ impl DeviceCsr {
             }
             None => None,
         };
-        let degrees = (0..n as u32).map(|v| host.degree(v)).collect();
+        let degrees: Vec<u32> = (0..n as u32).map(|v| host.degree(v)).collect();
+        let profile = DegreeProfile::from_degrees(&degrees);
         Ok(DeviceCsr {
             n,
             m,
@@ -46,6 +51,7 @@ impl DeviceCsr {
             col_indices,
             weights,
             degrees,
+            profile,
         })
     }
 
@@ -120,6 +126,10 @@ impl DeviceGraphView for DeviceCsr {
 
     fn out_degree_host(&self, v: VertexId) -> u32 {
         self.degrees[v as usize]
+    }
+
+    fn degree_profile(&self) -> Option<&DegreeProfile> {
+        Some(&self.profile)
     }
 }
 

@@ -10,6 +10,7 @@
 
 use sygraph_sim::{ItemCtx, SubgroupCtx};
 
+use crate::inspector::DegreeProfile;
 use crate::types::{VertexId, Weight};
 
 /// A graph representation usable by the SYgraph primitives.
@@ -36,4 +37,11 @@ pub trait DeviceGraphView: Sync {
 
     /// Host-side out-degree (used by planners and load-balancing setup).
     fn out_degree_host(&self, v: VertexId) -> u32;
+
+    /// Degree histogram precomputed at graph load, consulted by
+    /// `Balancing::Auto`. Custom representations may return `None`, in
+    /// which case `Auto` conservatively stays workgroup-mapped.
+    fn degree_profile(&self) -> Option<&DegreeProfile> {
+        None
+    }
 }

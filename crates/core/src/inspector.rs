@@ -5,6 +5,26 @@
 use serde::{Deserialize, Serialize};
 use sygraph_sim::{DeviceProfile, Vendor};
 
+/// Advance load-balancing policy (§4.2): how compacted frontier vertices
+/// are mapped onto execution resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Balancing {
+    /// The original single-path mapping: every non-zero bitmap word is
+    /// owned by one subgroup (MSI) or workgroup, and every vertex in it is
+    /// expanded subgroup-cooperatively regardless of degree.
+    WorkgroupMapped,
+    /// Degree-aware three-bucket dispatch: small-degree vertices are
+    /// lane-mapped, medium-degree vertices subgroup-cooperative, and
+    /// large-degree vertices split into workgroup-sized neighbor chunks
+    /// that spread across compute units (Gunrock-TWC / Tigr style).
+    Bucketed,
+    /// Pick per superstep: bucketed when the frontier is big enough to
+    /// amortize the binning kernel *and* the graph's degree histogram
+    /// (precomputed at load) shows hub vertices; workgroup-mapped
+    /// otherwise.
+    Auto,
+}
+
 /// Which of the paper's §4 optimizations are enabled. Figure 7 ablates:
 /// plain bitmap (all off), *MSI*, *CF*, *2LB* and *All*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,6 +37,10 @@ pub struct OptConfig {
     pub coarsening: bool,
     /// Two-Layer Bitmap: skip all-zero words via the second layer.
     pub two_layer: bool,
+    /// Advance load-balancing policy. Bucketed dispatch needs the counted
+    /// compaction, so it degrades to workgroup-mapped on single-layer
+    /// bitmaps.
+    pub balancing: Balancing,
 }
 
 impl OptConfig {
@@ -26,6 +50,7 @@ impl OptConfig {
             msi: true,
             coarsening: true,
             two_layer: true,
+            balancing: Balancing::Auto,
         }
     }
 
@@ -35,6 +60,16 @@ impl OptConfig {
             msi: false,
             coarsening: false,
             two_layer: false,
+            balancing: Balancing::WorkgroupMapped,
+        }
+    }
+
+    /// `all()` with an explicit balancing strategy — the configuration
+    /// axis of the `advance_balancing` ablation.
+    pub fn with_balancing(balancing: Balancing) -> Self {
+        OptConfig {
+            balancing,
+            ..Self::all()
         }
     }
 
@@ -88,6 +123,15 @@ pub struct Tuning {
     pub subgroups_per_wg: u32,
     /// Bitmap words each subgroup processes per advance (≥ 1).
     pub coarsening: u32,
+    /// Advance load-balancing policy (see [`Balancing`]).
+    pub balancing: Balancing,
+    /// Bucketed dispatch: vertices with out-degree ≤ this go to the
+    /// lane-mapped small bucket (one lane walks the whole adjacency).
+    pub small_max_degree: u32,
+    /// Bucketed dispatch: vertices with out-degree ≥ this go to the
+    /// chunked large bucket (one workgroup per neighbor chunk). The chunk
+    /// size equals this threshold, so every chunk saturates a workgroup.
+    pub large_min_degree: u32,
 }
 
 impl Tuning {
@@ -117,6 +161,151 @@ impl Tuning {
     /// range of a bitmap's single integer").
     pub fn advance_local_bytes(&self) -> u32 {
         self.words_per_group() * self.word_bits * 4
+    }
+
+    /// Neighbor-range chunk size for the large bucket. Chunks are exactly
+    /// `large_min_degree` edges so every chunk is at least one full
+    /// workgroup-wide pass (`wg_size × 4` edges by default).
+    pub fn large_chunk(&self) -> u32 {
+        self.large_min_degree.max(1)
+    }
+
+    /// Resolve `Auto` against the superstep's compacted word count and
+    /// the graph's degree profile (None = unknown, stay conservative).
+    ///
+    /// Bucketed dispatch pays an extra binning kernel plus a host
+    /// round-trip for three counters, so it must clear two bars:
+    ///
+    /// * the frontier spans at least [`AUTO_MIN_WORDS`] non-zero words —
+    ///   tiny frontiers (BFS warm-up, road-network wavefronts) can't
+    ///   amortize the binning launch;
+    /// * the graph actually has hub vertices: its maximum out-degree
+    ///   reaches `large_min_degree`. Uniform-degree graphs (meshes, road
+    ///   grids, chains) would bin everything into one bucket and gain
+    ///   nothing;
+    /// * the hubs are *clustered*: the edge mass of the heaviest 32-vertex
+    ///   ID window dwarfs the average window
+    ///   ([`DegreeProfile::word_skew`] ≥ [`AUTO_MIN_WORD_SKEW`]). The
+    ///   workgroup-mapped path's unit of work is a bitmap word, so it only
+    ///   suffers when one word concentrates far more edges than its peers
+    ///   — a graph whose hubs are spread evenly across words (e.g. the
+    ///   indochina stand-in) keeps every workgroup equally fed and pays
+    ///   the binning pass for nothing.
+    pub fn effective_balancing(
+        &self,
+        nz_words: usize,
+        profile: Option<&DegreeProfile>,
+    ) -> Balancing {
+        match self.balancing {
+            Balancing::WorkgroupMapped => Balancing::WorkgroupMapped,
+            Balancing::Bucketed => Balancing::Bucketed,
+            Balancing::Auto => {
+                if self.graph_is_skewed(profile) && nz_words >= AUTO_MIN_WORDS {
+                    Balancing::Bucketed
+                } else {
+                    Balancing::WorkgroupMapped
+                }
+            }
+        }
+    }
+
+    /// The graph-shape half of the `Auto` decision: hubs exist (max degree
+    /// reaches the large bucket) *and* they cluster into hot bitmap words.
+    /// `None` (no profile available) stays conservative.
+    pub fn graph_is_skewed(&self, profile: Option<&DegreeProfile>) -> bool {
+        profile.is_some_and(|p| {
+            p.max_degree >= self.large_min_degree && p.word_skew >= AUTO_MIN_WORD_SKEW
+        })
+    }
+}
+
+/// Minimum compacted (non-zero) word count before `Auto` switches to
+/// bucketed dispatch.
+pub const AUTO_MIN_WORDS: usize = 4;
+
+/// Minimum [`DegreeProfile::word_skew`] before `Auto` considers the
+/// graph's hubs clustered enough for bucketed dispatch to pay off. The
+/// generator suite separates cleanly: R-MAT/social stand-ins measure
+/// 16–43, the web stand-in ≈ 3.4 and road networks ≈ 1.2.
+pub const AUTO_MIN_WORD_SKEW: f64 = 8.0;
+
+/// Vertex-ID window used for [`DegreeProfile::word_skew`]: one 32-bit
+/// bitmap word's worth of vertices (the workgroup-mapped advance's unit
+/// of work; close enough for 64-bit words too).
+const WORD_SKEW_WINDOW: usize = 32;
+
+/// Out-degree histogram the inspector precomputes once at graph upload
+/// (log₂ buckets), plus the summary statistics `Auto` consults per
+/// superstep. Computing this on the host during CSR upload is free next
+/// to the edge-list sort the upload already does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeProfile {
+    /// Maximum out-degree over all vertices.
+    pub max_degree: u32,
+    /// Mean out-degree (edges / vertices).
+    pub avg_degree: f64,
+    /// `buckets[0]` counts degree-0 vertices; for `d ≥ 1` a vertex lands
+    /// in bucket `1 + ceil(log2(d))` — so `buckets[1]` is degree 1,
+    /// `buckets[2]` degree 2, `buckets[3]` degrees 3–4, `buckets[4]`
+    /// degrees 5–8, and so on (clamped at 32).
+    pub buckets: Vec<u64>,
+    /// Hub clustering: max edge mass of any 32-consecutive-vertex ID
+    /// window over the mean window mass (1.0 = uniform, 0.0 = empty).
+    /// Predicts the workgroup-mapped path's load imbalance, whose unit of
+    /// work is one bitmap word of vertices.
+    pub word_skew: f64,
+}
+
+impl DegreeProfile {
+    pub fn from_degrees(degrees: &[u32]) -> Self {
+        let mut max_degree = 0u32;
+        let mut sum = 0u64;
+        let mut buckets = vec![0u64; 33];
+        for &d in degrees {
+            max_degree = max_degree.max(d);
+            sum += d as u64;
+            let b = if d == 0 {
+                0
+            } else {
+                (32 - (d - 1).max(1).leading_zeros()) as usize + usize::from(d > 1)
+            };
+            buckets[b.min(32)] += 1;
+        }
+        // Trim trailing empty buckets so the histogram's length tracks
+        // log2(max_degree).
+        while buckets.len() > 1 && *buckets.last().unwrap() == 0 {
+            buckets.pop();
+        }
+        let word_skew = if sum == 0 {
+            0.0
+        } else {
+            let windows = degrees.len().div_ceil(WORD_SKEW_WINDOW);
+            let max_mass = degrees
+                .chunks(WORD_SKEW_WINDOW)
+                .map(|w| w.iter().map(|&d| d as u64).sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            max_mass as f64 * windows as f64 / sum as f64
+        };
+        DegreeProfile {
+            max_degree,
+            avg_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                sum as f64 / degrees.len() as f64
+            },
+            buckets,
+            word_skew,
+        }
+    }
+
+    /// Skew ratio: max degree over mean degree (∞-free; 0 for empty).
+    pub fn skew(&self) -> f64 {
+        if self.avg_degree > 0.0 {
+            self.max_degree as f64 / self.avg_degree
+        } else {
+            0.0
+        }
     }
 }
 
@@ -148,11 +337,19 @@ pub fn inspect(profile: &DeviceProfile, opts: &OptConfig, num_vertices: usize) -
     } else {
         1
     };
+    // Bucket thresholds scale with the device's execution widths: a lane
+    // can absorb up to half a subgroup-width of edges serially before
+    // cooperative expansion wins, and a vertex only deserves whole
+    // workgroups once its adjacency covers several full wg-wide passes.
+    let wg_size = sg_size * subgroups_per_wg;
     Tuning {
         word_bits,
         sg_size,
         subgroups_per_wg,
         coarsening,
+        balancing: opts.balancing,
+        small_max_degree: (sg_size / 2).max(2),
+        large_min_degree: wg_size * 4,
     }
 }
 
@@ -209,9 +406,98 @@ mod tests {
             sg_size: 32,
             subgroups_per_wg: 4,
             coarsening: 2,
+            balancing: Balancing::WorkgroupMapped,
+            small_max_degree: 16,
+            large_min_degree: 512,
         };
         assert_eq!(t.wg_size(), 128);
         assert_eq!(t.words_per_group(), 8);
         assert_eq!(t.advance_local_bytes(), 8 * 32 * 4);
+    }
+
+    #[test]
+    fn inspect_derives_bucket_thresholds() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), 1 << 20);
+        assert_eq!(t.small_max_degree, 16);
+        assert_eq!(t.large_min_degree, t.wg_size() * 4);
+        assert_eq!(t.large_chunk(), t.large_min_degree);
+        assert_eq!(t.balancing, Balancing::Auto);
+        let base = inspect(&DeviceProfile::v100s(), &OptConfig::baseline(), 1 << 20);
+        assert_eq!(base.balancing, Balancing::WorkgroupMapped);
+    }
+
+    #[test]
+    fn degree_profile_histogram() {
+        let p = DegreeProfile::from_degrees(&[0, 1, 2, 3, 4, 8, 1000]);
+        assert_eq!(p.max_degree, 1000);
+        assert_eq!(p.buckets[0], 1); // degree 0
+        assert_eq!(p.buckets[1], 1); // degree 1
+        assert_eq!(p.buckets[2], 1); // degree 2
+        assert_eq!(p.buckets[3], 2); // degrees 3-4
+        assert_eq!(p.buckets[4], 1); // degrees 5-8
+        assert_eq!(p.buckets[11], 1); // degrees 513-1024
+        assert_eq!(p.buckets.len(), 12, "trailing empty buckets trimmed");
+        assert!(p.skew() > 1.0);
+        assert_eq!(p.word_skew, 1.0, "a single window is its own mean");
+        let empty = DegreeProfile::from_degrees(&[]);
+        assert_eq!(empty.max_degree, 0);
+        assert_eq!(empty.skew(), 0.0);
+        assert_eq!(empty.word_skew, 0.0);
+    }
+
+    #[test]
+    fn word_skew_measures_hub_clustering() {
+        // One hot window among 16: all edge mass in vertices 0..32.
+        let mut clustered = vec![0u32; 512];
+        for d in clustered.iter_mut().take(32) {
+            *d = 100;
+        }
+        let p = DegreeProfile::from_degrees(&clustered);
+        assert!((p.word_skew - 16.0).abs() < 1e-9);
+        // Same total mass spread evenly: every window identical.
+        let uniform = vec![100u32 / 16; 512];
+        let p = DegreeProfile::from_degrees(&uniform);
+        assert!((p.word_skew - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_resolution_needs_skew_and_volume() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), 1 << 20);
+        // A hub clustered into one hot window among many quiet ones.
+        let mut hub_degrees = vec![1u32; 1024];
+        hub_degrees[0] = t.large_min_degree + 1;
+        let hubby = DegreeProfile::from_degrees(&hub_degrees);
+        assert!(hubby.word_skew >= AUTO_MIN_WORD_SKEW);
+        let flat = DegreeProfile::from_degrees(&[2, 3, 4]);
+        // A hub per window: heavy vertices exist but no word is hotter
+        // than any other (the web-crawl shape).
+        let mut spread_degrees = vec![1u32; 1024];
+        for i in (0..1024).step_by(32) {
+            spread_degrees[i] = t.large_min_degree + 1;
+        }
+        let spread = DegreeProfile::from_degrees(&spread_degrees);
+        // Auto: needs a skewed graph AND hub clustering AND a big-enough
+        // frontier.
+        assert_eq!(t.effective_balancing(64, Some(&hubby)), Balancing::Bucketed);
+        assert_eq!(
+            t.effective_balancing(1, Some(&hubby)),
+            Balancing::WorkgroupMapped
+        );
+        assert_eq!(
+            t.effective_balancing(64, Some(&flat)),
+            Balancing::WorkgroupMapped
+        );
+        assert_eq!(
+            t.effective_balancing(64, Some(&spread)),
+            Balancing::WorkgroupMapped,
+            "unclustered hubs keep the workgroup-mapped path"
+        );
+        assert_eq!(t.effective_balancing(64, None), Balancing::WorkgroupMapped);
+        // Explicit strategies ignore the inputs.
+        let forced = Tuning {
+            balancing: Balancing::Bucketed,
+            ..t
+        };
+        assert_eq!(forced.effective_balancing(0, None), Balancing::Bucketed);
     }
 }

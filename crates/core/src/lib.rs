@@ -40,7 +40,7 @@ pub use frontier::{
     Word,
 };
 pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
-pub use inspector::{inspect, OptConfig, Tuning};
+pub use inspector::{inspect, Balancing, DegreeProfile, OptConfig, Tuning};
 pub use operators::advance::Advance;
 pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 
@@ -55,7 +55,7 @@ pub mod prelude {
         VectorFrontier, Word,
     };
     pub use crate::graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
-    pub use crate::inspector::{inspect, OptConfig, Tuning};
+    pub use crate::inspector::{inspect, Balancing, DegreeProfile, OptConfig, Tuning};
     pub use crate::operators;
     pub use crate::operators::advance::{Advance, FusedCompute};
     pub use crate::types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};

@@ -20,10 +20,11 @@
 
 use sygraph_sim::{full_mask, Event, ItemCtx, LaunchConfig, Queue, SubgroupCtx, MAX_SUBGROUP};
 
+use crate::frontier::bucket::{self, BucketPool, BucketSpec};
 use crate::frontier::word::Word;
 use crate::frontier::BitmapLike;
 use crate::graph::traits::DeviceGraphView;
-use crate::inspector::{inspect, OptConfig, Tuning};
+use crate::inspector::{inspect, Balancing, OptConfig, Tuning};
 use crate::types::{EdgeId, VertexId, Weight};
 
 /// The advance functor: `(lane, src, dst, edge, weight) -> bool`,
@@ -68,6 +69,7 @@ pub struct Advance<'a, W: Word, G: DeviceGraphView + ?Sized> {
     output: Option<&'a dyn BitmapLike<W>>,
     tuning: Option<&'a Tuning>,
     fused: Option<FusedCompute<'a>>,
+    pool: Option<&'a BucketPool>,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
@@ -80,6 +82,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
             output: None,
             tuning: None,
             fused: None,
+            pool: None,
         }
     }
 
@@ -93,6 +96,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
             output: None,
             tuning: None,
             fused: None,
+            pool: None,
         }
     }
 
@@ -106,6 +110,16 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
     /// Uses explicit tuning instead of the inspector's default.
     pub fn tuning(mut self, t: &'a Tuning) -> Self {
         self.tuning = Some(t);
+        self
+    }
+
+    /// Reuses caller-owned bucket buffers for the degree-bucketed dispatch
+    /// (the superstep engine pools these across supersteps). Without a
+    /// pool, a bucketed advance allocates transient buffers; if even that
+    /// fails the advance silently degrades to the workgroup-mapped path,
+    /// which needs no extra memory and computes the same result.
+    pub fn pool(mut self, pool: Option<&'a BucketPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -145,6 +159,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
                 input,
                 self.output,
                 tuning,
+                self.pool,
                 self.fused,
                 &functor,
             ),
@@ -159,6 +174,50 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
                 ),
                 None,
             ),
+        }
+    }
+}
+
+/// A zero-duration event for advances that need no kernel at all (empty
+/// frontier, empty bucket, zero-vertex graph): the host learns this from
+/// the compaction count, so no empty grid is ever launched.
+fn no_launch(q: &Queue) -> Event {
+    let now = q.now_ns();
+    Event {
+        start_ns: now,
+        end_ns: now,
+    }
+}
+
+/// The per-edge tail every expansion path shares: load the edge, run the
+/// functor, insert accepted destinations, fire the fused compute on the
+/// first-setter lane. Keeping this in one place is what guarantees the
+/// balancing strategies are bit-identical — they only differ in *which
+/// lane* reaches an edge, never in what happens to it.
+#[inline]
+fn visit_edge<W: Word, G: DeviceGraphView + ?Sized>(
+    item: &mut ItemCtx<'_>,
+    graph: &G,
+    src: VertexId,
+    eid: EdgeId,
+    output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) {
+    let dst = graph.edge_dest(item, eid);
+    let w = graph.edge_weight(item, eid);
+    item.compute(2);
+    if functor(item, src, dst, eid, w) {
+        if let Some(out) = output {
+            // The fused compute runs only on the lane whose atomic OR
+            // first set the destination bit, giving the same
+            // exactly-once-per-vertex semantics as a separate compute
+            // pass over the output frontier.
+            if out.insert_lane_checked(item, dst) {
+                if let Some(fc) = fused {
+                    fc(item, dst);
+                }
+            }
         }
     }
 }
@@ -224,23 +283,7 @@ fn process_word<W: Word, G: DeviceGraphView + ?Sized>(
             let lanes = (hi - e).min(sgw);
             let mask = full_mask(lanes);
             sg.lanes(mask, |lane, item| {
-                let eid = e + lane;
-                let dst = graph.edge_dest(item, eid);
-                let w = graph.edge_weight(item, eid);
-                item.compute(2);
-                if functor(item, v, dst, eid, w) {
-                    if let Some(out) = output {
-                        // The fused compute runs only on the lane whose
-                        // atomic OR first set the destination bit, giving
-                        // the same exactly-once-per-vertex semantics as a
-                        // separate compute pass over the output frontier.
-                        if out.insert_lane_checked(item, dst) {
-                            if let Some(fc) = fused {
-                                fc(item, dst);
-                            }
-                        }
-                    }
-                }
+                visit_edge(item, graph, v, e + lane, output, fused, functor);
             });
             e += lanes;
         }
@@ -271,6 +314,10 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
         coarsening
     };
     let groups = n_words.div_ceil(wpg.max(1));
+    if groups == 0 {
+        // Zero-vertex graph or empty word list: nothing to schedule.
+        return no_launch(q);
+    }
     let word_slots = W::BITS as usize;
     let cfg = LaunchConfig::new("advance", groups, tuning.wg_size(), tuning.sg_size)
         .with_local_mem((wpg * word_slots * 4) as u32);
@@ -339,6 +386,223 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Degree-bucketed dispatch (§4.2 hybrid load balancing)
+// ---------------------------------------------------------------------------
+
+/// The bucketed advance: bin the compacted vertices by degree, then run
+/// up to three kernels, each shaped for its degree band. Returns `None`
+/// when no bucket buffers could be obtained (caller falls back to the
+/// workgroup-mapped path).
+#[allow(clippy::too_many_arguments)]
+fn bucketed_impl<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    offsets: &sygraph_sim::DeviceBuffer<u32>,
+    nz: usize,
+    output: Option<&dyn BitmapLike<W>>,
+    tuning: &Tuning,
+    pool: Option<&BucketPool>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) -> Option<Event> {
+    let spec = BucketSpec::from_tuning(tuning);
+    let n = graph.vertex_count();
+    let m = graph.edge_count();
+    // Caller-provided pool when it fits, else a transient allocation for
+    // this advance only; allocation failure degrades, never errors.
+    let transient;
+    let pool = match pool {
+        Some(p) if p.fits(n, m, &spec) => p,
+        _ => {
+            transient = BucketPool::new(q, n, m, &spec).ok()?;
+            &transient
+        }
+    };
+    let nv = n as u32;
+    let degree_of = |lane: &mut ItemCtx<'_>, v: VertexId| -> u32 {
+        if v >= nv {
+            return 0; // tail bits past the last vertex
+        }
+        let (lo, hi) = graph.row_bounds(lane, v);
+        hi - lo
+    };
+    let counts = bucket::bin_compacted(q, input.words(), offsets, nz, pool, &degree_of, &spec);
+    let mut last = no_launch(q);
+    if counts.small > 0 {
+        last = launch_small(q, graph, tuning, pool, counts.small, output, fused, functor);
+    }
+    if counts.medium > 0 {
+        last = launch_medium(
+            q,
+            graph,
+            tuning,
+            pool,
+            counts.medium,
+            output,
+            fused,
+            functor,
+        );
+    }
+    if counts.large > 0 {
+        last = launch_large(
+            q,
+            graph,
+            tuning,
+            pool,
+            counts.large,
+            &spec,
+            output,
+            fused,
+            functor,
+        );
+    }
+    Some(last)
+}
+
+/// Small bucket: one lane per vertex, walking its whole (≤ `small_max`)
+/// adjacency serially — cooperative expansion would idle `sg_size − 1`
+/// lanes per leaf vertex.
+#[allow(clippy::too_many_arguments)]
+fn launch_small<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    pool: &BucketPool,
+    count: u32,
+    output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) -> Event {
+    let sgw = tuning.sg_size as usize;
+    let sgs = tuning.subgroups_per_wg as usize;
+    let coarsening = tuning.coarsening as usize;
+    // Each subgroup covers `coarsening` lane-wide slabs of vertices.
+    let per_sg = sgw * coarsening;
+    let vpg = per_sg * sgs;
+    let n_items = count as usize;
+    let groups = n_items.div_ceil(vpg.max(1));
+    let small = &pool.small;
+    let cfg = LaunchConfig::new("advance_small", groups, tuning.wg_size(), tuning.sg_size);
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * vpg;
+        ctx.for_each_subgroup(|sg| {
+            for c in 0..coarsening {
+                let slab = base + sg.sg_id() as usize * per_sg + c * sgw;
+                if slab >= n_items {
+                    break;
+                }
+                let lanes = (n_items - slab).min(sgw) as u32;
+                sg.lanes(full_mask(lanes), |lane, item| {
+                    let v = item.load(small, slab + lane as usize);
+                    let (lo, hi) = graph.row_bounds(item, v);
+                    for e in lo..hi {
+                        visit_edge(item, graph, v, e, output, fused, functor);
+                    }
+                });
+            }
+        });
+    })
+}
+
+/// Medium bucket: one subgroup per vertex, all lanes striding the
+/// adjacency together — the same cooperative expansion as the
+/// workgroup-mapped path, minus the bitmap walk (vertices arrive
+/// pre-compacted from the binning kernel).
+#[allow(clippy::too_many_arguments)]
+fn launch_medium<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    pool: &BucketPool,
+    count: u32,
+    output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) -> Event {
+    let sgw = tuning.sg_size;
+    let sgs = tuning.subgroups_per_wg as usize;
+    let coarsening = tuning.coarsening as usize;
+    let vpg = sgs * coarsening;
+    let n_items = count as usize;
+    let groups = n_items.div_ceil(vpg.max(1));
+    let medium = &pool.medium;
+    let cfg = LaunchConfig::new("advance_medium", groups, tuning.wg_size(), tuning.sg_size);
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * vpg;
+        ctx.for_each_subgroup(|sg| {
+            for c in 0..coarsening {
+                let pos = base + sg.sg_id() as usize * coarsening + c;
+                if pos >= n_items {
+                    break;
+                }
+                let v = sg.load_uniform(medium, pos);
+                let (lo, hi) = graph.row_bounds_uniform(sg, v);
+                let mut e = lo;
+                while e < hi {
+                    let lanes = (hi - e).min(sgw);
+                    sg.lanes(full_mask(lanes), |lane, item| {
+                        visit_edge(item, graph, v, e + lane, output, fused, functor);
+                    });
+                    e += lanes;
+                }
+            }
+        });
+    })
+}
+
+/// Large bucket: one *workgroup* per neighbor chunk. A hub's edge mass
+/// was pre-split into `chunk`-sized ranges by the binning kernel, so its
+/// chunks land on different workgroups — and, under the cyclic
+/// workgroup→CU striping, on different compute units — instead of
+/// serializing one subgroup (the Figure 4c pathology on power-law
+/// graphs). All subgroups of the group stride the chunk together.
+#[allow(clippy::too_many_arguments)]
+fn launch_large<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    pool: &BucketPool,
+    count: u32,
+    spec: &BucketSpec,
+    output: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) -> Event {
+    let sgw = tuning.sg_size;
+    let wg_stride = tuning.wg_size();
+    let chunk = spec.chunk;
+    let large_v = &pool.large_v;
+    let large_c = &pool.large_c;
+    let cfg = LaunchConfig::new(
+        "advance_large",
+        count as usize,
+        tuning.wg_size(),
+        tuning.sg_size,
+    );
+    q.launch(cfg, |ctx| {
+        let entry = ctx.group_id;
+        ctx.for_each_subgroup(|sg| {
+            let v = sg.load_uniform(large_v, entry);
+            let ci = sg.load_uniform(large_c, entry);
+            let (lo, hi) = graph.row_bounds_uniform(sg, v);
+            let clo = lo + ci * chunk;
+            let chi = (clo + chunk).min(hi);
+            // Subgroup `i` starts at lane-slab `i`; the whole workgroup
+            // advances `wg_size` edges per round.
+            let mut e = clo + sg.sg_id() * sgw;
+            while e < chi {
+                let lanes = (chi - e).min(sgw);
+                sg.lanes(full_mask(lanes), |lane, item| {
+                    visit_edge(item, graph, v, e + lane, output, fused, functor);
+                });
+                e += wg_stride;
+            }
+        });
+    })
+}
+
 /// `advance::frontier(G, In, Out, Functor)` — expands `input`, storing
 /// accepted destinations in `output`.
 #[deprecated(note = "use the unified `advance::Advance` builder instead")]
@@ -350,7 +614,7 @@ pub fn frontier<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    frontier_impl(q, graph, input, Some(output), tuning, None, &functor).0
+    frontier_impl(q, graph, input, Some(output), tuning, None, None, &functor).0
 }
 
 /// `advance::frontier(G, In, Functor)` — same, without storing results.
@@ -362,7 +626,7 @@ pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> Event {
-    frontier_impl(q, graph, input, None, tuning, None, &functor).0
+    frontier_impl(q, graph, input, None, tuning, None, None, &functor).0
 }
 
 /// Like [`frontier`], but also reports how many non-zero bitmap words the
@@ -379,7 +643,7 @@ pub fn frontier_counted<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, Some(output), tuning, None, &functor)
+    frontier_impl(q, graph, input, Some(output), tuning, None, None, &functor)
 }
 
 /// Counted variant of [`frontier_discard`].
@@ -391,15 +655,17 @@ pub fn frontier_discard_counted<W: Word, G: DeviceGraphView + ?Sized>(
     tuning: &Tuning,
     functor: impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, None, tuning, None, &functor)
+    frontier_impl(q, graph, input, None, tuning, None, None, &functor)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
     input: &dyn BitmapLike<W>,
     output: Option<&dyn BitmapLike<W>>,
     tuning: &Tuning,
+    pool: Option<&BucketPool>,
     fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
@@ -408,14 +674,20 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
             if n_nonzero == 0 {
                 // The host reads the compaction count to size the launch
                 // (§4.3); an empty frontier needs no advance kernel at all.
-                let now = q.now_ns();
-                return (
-                    Event {
-                        start_ns: now,
-                        end_ns: now,
-                    },
-                    Some(0),
-                );
+                return (no_launch(q), Some(0));
+            }
+            // Bucketed dispatch only exists on the counted-compaction
+            // path: the binning kernel runs over the offsets buffer.
+            let strategy = tuning.effective_balancing(n_nonzero, graph.degree_profile());
+            if strategy == Balancing::Bucketed {
+                if let Some(ev) = bucketed_impl(
+                    q, graph, input, offsets, n_nonzero, output, tuning, pool, fused, functor,
+                ) {
+                    return (ev, Some(n_nonzero));
+                }
+                // Bucket buffers unavailable (allocation failed): fall
+                // through to the workgroup-mapped path, which computes
+                // the identical result with no extra memory.
             }
             // Two-layer path: workgroups iterate the offsets buffer.
             let words = input.words();
@@ -550,14 +822,7 @@ pub fn edges<W: Word, G: DeviceGraphView + ?Sized>(
     match input.compact(q) {
         Some((nz, offsets)) => {
             if nz == 0 {
-                let now = q.now_ns();
-                return (
-                    Event {
-                        start_ns: now,
-                        end_ns: now,
-                    },
-                    Some(0),
-                );
+                return (no_launch(q), Some(0));
             }
             let words = input.words();
             let ev = launch_edges(
@@ -601,6 +866,9 @@ fn launch_edges<W: Word>(
     let coarsening = tuning.coarsening as usize;
     let wpg = sgs * coarsening;
     let groups = n_positions.div_ceil(wpg.max(1));
+    if groups == 0 {
+        return no_launch(q);
+    }
     let cfg = LaunchConfig::new("advance_edges", groups, tuning.wg_size(), tuning.sg_size);
     q.launch(cfg, |ctx| {
         let base = ctx.group_id * wpg;
@@ -631,6 +899,32 @@ mod tests {
     use crate::graph::host::CsrHost;
     use crate::inspector::{inspect, OptConfig};
     use sygraph_sim::{Device, DeviceProfile};
+
+    /// Kernel names launched on `q` after the first `skip` records.
+    fn kernel_names_after(q: &Queue, skip: usize) -> Vec<String> {
+        q.profiler().kernels()[skip..]
+            .iter()
+            .map(|k| k.name.clone())
+            .collect()
+    }
+
+    /// Tuning forcing the bucketed path with test-sized thresholds:
+    /// degree ≤ 2 small, 3..=7 medium, ≥ 8 large (chunks of 8).
+    fn bucket_tuning(q: &Queue, n: usize) -> Tuning {
+        let mut t = inspect(q.profile(), &OptConfig::all(), n);
+        t.balancing = Balancing::Bucketed;
+        t.small_max_degree = 2;
+        t.large_min_degree = 8;
+        t
+    }
+
+    /// Hub 0 → 1..=20 (large), 1 → 2 (small), 2 → {3,4,5} (medium).
+    fn mixed_degree_graph(q: &Queue) -> DeviceCsr {
+        let mut edges: Vec<(u32, u32)> = (1..=20).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        edges.extend([(2, 3), (2, 4), (2, 5)]);
+        DeviceCsr::upload(q, &CsrHost::from_edges(22, &edges)).unwrap()
+    }
 
     fn queue() -> Queue {
         Queue::new(Device::new(DeviceProfile::host_test()))
@@ -1016,6 +1310,197 @@ mod tests {
         Advance::new(&q, &g, &input)
             .fuse(&|_l, _v| {})
             .run(|_l, _s, _d, _e, _w| true);
+    }
+
+    #[test]
+    fn bucketed_matches_workgroup_mapped() {
+        let q = queue();
+        let g = mixed_degree_graph(&q);
+        let t_wg = tuning(&q, 22);
+        let t_bk = bucket_tuning(&q, 22);
+        let run = |t: &Tuning| {
+            let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            for v in [0, 1, 2] {
+                input.insert_host(v);
+            }
+            let (_, nz) = Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(t)
+                .run(|_l, _s, d, _e, _w| d != 7);
+            (output.words().to_vec(), nz)
+        };
+        let (wg_words, wg_nz) = run(&t_wg);
+        let (bk_words, bk_nz) = run(&t_bk);
+        assert_eq!(wg_words, bk_words, "output frontiers bit-identical");
+        assert_eq!(wg_nz, bk_nz);
+    }
+
+    #[test]
+    fn bucketed_launches_only_nonempty_buckets() {
+        let q = queue();
+        let g = mixed_degree_graph(&q);
+        let t = bucket_tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(1); // degree 1 → small bucket only
+        let before = q.profiler().kernel_count();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
+        let names = kernel_names_after(&q, before);
+        assert!(names.contains(&"advance_bucket_bin".to_string()));
+        assert!(names.contains(&"advance_small".to_string()));
+        assert!(!names.contains(&"advance_medium".to_string()));
+        assert!(!names.contains(&"advance_large".to_string()));
+        assert_eq!(output.to_sorted_vec(), vec![2]);
+    }
+
+    #[test]
+    fn bucketed_large_chunks_cover_whole_adjacency() {
+        let q = queue();
+        // hub with degree 100 → 13 chunks of 8 under bucket_tuning
+        let edges: Vec<(u32, u32)> = (1..=100).map(|v| (0, v)).collect();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(101, &edges)).unwrap();
+        let t = bucket_tuning(&q, 101);
+        let input = TwoLayerFrontier::<u32>::new(&q, 101).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 101).unwrap();
+        input.insert_host(0);
+        let visits = q.malloc_device::<u32>(1).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|l, _s, _d, _e, _w| {
+                l.fetch_add(&visits, 0, 1);
+                true
+            });
+        assert_eq!(visits.load(0), 100, "each edge visited exactly once");
+        assert_eq!(output.to_sorted_vec(), (1..=100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn auto_needs_skew_and_frontier_volume() {
+        let q = queue();
+        // hub 0 → 1..=30 plus leaves scattered over five bitmap words;
+        // enough quiet words (n = 512 → 16 windows) that the hub's window
+        // clears the Auto clustering bar.
+        let mut edges: Vec<(u32, u32)> = (1..=30).map(|v| (0, v)).collect();
+        for v in [33u32, 65, 97, 129] {
+            edges.push((v, v + 1));
+        }
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(512, &edges)).unwrap();
+        let mut t = tuning(&q, 512);
+        t.word_bits = 32;
+        t.balancing = Balancing::Auto;
+        t.small_max_degree = 2;
+        t.large_min_degree = 16; // hub (30) qualifies
+        let run_and_names = |actives: &[u32]| {
+            let input = TwoLayerFrontier::<u32>::new(&q, 512).unwrap();
+            let output = TwoLayerFrontier::<u32>::new(&q, 512).unwrap();
+            for &v in actives {
+                input.insert_host(v);
+            }
+            let before = q.profiler().kernel_count();
+            Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(&t)
+                .run(|_l, _s, _d, _e, _w| true);
+            kernel_names_after(&q, before)
+        };
+        // 5 non-zero words on a skewed graph: Auto goes bucketed.
+        let names = run_and_names(&[0, 33, 65, 97, 129]);
+        assert!(names.contains(&"advance_bucket_bin".to_string()));
+        // 1 word: stays workgroup-mapped, no binning launch.
+        let names = run_and_names(&[0]);
+        assert!(!names.contains(&"advance_bucket_bin".to_string()));
+        assert!(names.contains(&"advance".to_string()));
+    }
+
+    #[test]
+    fn empty_frontier_launches_only_the_compaction() {
+        let q = queue();
+        let g = star_graph(&q);
+        for t in [tuning(&q, 22), bucket_tuning(&q, 22)] {
+            let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            let before = q.profiler().kernel_count();
+            let (_, nz) = Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(&t)
+                .run(|_l, _s, _d, _e, _w| true);
+            assert_eq!(nz, Some(0));
+            assert_eq!(
+                kernel_names_after(&q, before),
+                vec!["frontier_compact".to_string()],
+                "no empty advance grid may be launched"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_vertex_graph_launches_nothing() {
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(0, &[])).unwrap();
+        let t = tuning(&q, 1);
+        let output = TwoLayerFrontier::<u32>::new(&q, 1).unwrap();
+        let before = q.profiler().kernel_count();
+        Advance::<u32, _>::all_vertices(&q, &g)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(q.profiler().kernel_count(), before);
+    }
+
+    #[test]
+    fn fused_fires_once_per_vertex_across_buckets() {
+        let q = queue();
+        // 0 → 2..=21 (large bucket), 1 → 2 (small bucket): vertex 2 is
+        // discovered by both paths but the fused compute runs once.
+        let mut edges: Vec<(u32, u32)> = (2..=21).map(|v| (0, v)).collect();
+        edges.push((1, 2));
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(22, &edges)).unwrap();
+        let t = bucket_tuning(&q, 22);
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        input.insert_host(1);
+        let fired = q.malloc_device::<u32>(22).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .fuse(&|l, v| {
+                l.fetch_add(&fired, v as usize, 1);
+            })
+            .run(|_l, _s, _d, _e, _w| true);
+        let fired = fired.to_vec();
+        for (v, &count) in fired.iter().enumerate().take(22).skip(2) {
+            assert_eq!(count, 1, "vertex {v} fused exactly once");
+        }
+    }
+
+    #[test]
+    fn pooled_buffers_are_reused() {
+        let q = queue();
+        let g = mixed_degree_graph(&q);
+        let t = bucket_tuning(&q, 22);
+        let spec = BucketSpec::from_tuning(&t);
+        let pool = BucketPool::new(&q, 22, g.edge_count(), &spec).unwrap();
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        for v in [0, 1, 2] {
+            input.insert_host(v);
+        }
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .pool(Some(&pool))
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(output.to_sorted_vec(), (1..=20).collect::<Vec<u32>>());
+        let counts = pool.read_counts();
+        assert_eq!(counts.small, 1, "pool holds the last binning result");
+        assert_eq!(counts.medium, 1);
+        assert!(counts.large >= 3, "hub split into ≥3 chunks of 8");
     }
 
     #[test]

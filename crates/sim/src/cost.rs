@@ -18,6 +18,22 @@ use crate::stats::{GroupStats, KernelStats};
 pub struct CuAgg {
     pub stats: GroupStats,
     pub groups: u64,
+    /// Cycles of the single most expensive workgroup this CU ran
+    /// (per-group cost via [`group_cycles`]).
+    pub max_group_cycles: f64,
+    /// Sum of per-workgroup cycles — with `groups`, yields the mean.
+    pub sum_group_cycles: f64,
+}
+
+impl CuAgg {
+    /// Folds one finished workgroup into the aggregate.
+    pub fn add_group(&mut self, profile: &DeviceProfile, cfg: &LaunchConfig, stats: &GroupStats) {
+        let gc = group_cycles(profile, cfg, stats);
+        self.stats.merge(stats);
+        self.groups += 1;
+        self.max_group_cycles = self.max_group_cycles.max(gc);
+        self.sum_group_cycles += gc;
+    }
 }
 
 /// Subgroup instructions the CU can issue per cycle (schedulers per SM).
@@ -47,7 +63,24 @@ pub fn theoretical_occupancy(profile: &DeviceProfile, cfg: &LaunchConfig) -> f64
 }
 
 fn cu_cycles(profile: &DeviceProfile, cfg: &LaunchConfig, agg: &CuAgg, active_cus: u32) -> f64 {
-    let s = &agg.stats;
+    cycles_for(profile, cfg, &agg.stats, agg.groups, active_cus)
+}
+
+/// Modelled cycles for a *single* workgroup's statistics, costed as if it
+/// had a CU to itself. Absolute values are optimistic (no contention from
+/// co-resident groups), but the *ratios* across workgroups of one kernel
+/// are exactly the load-imbalance signal the profiler reports.
+pub fn group_cycles(profile: &DeviceProfile, cfg: &LaunchConfig, stats: &GroupStats) -> f64 {
+    cycles_for(profile, cfg, stats, 1, profile.compute_units)
+}
+
+fn cycles_for(
+    profile: &DeviceProfile,
+    cfg: &LaunchConfig,
+    s: &GroupStats,
+    groups: u64,
+    active_cus: u32,
+) -> f64 {
     let compute = s.compute_cycles as f64 / ISSUE_WIDTH;
     let l1 = s.l1_hits as f64 / L1_THROUGHPUT;
     let l2 = s.l2_hits as f64 / profile.l2_throughput
@@ -61,7 +94,7 @@ fn cu_cycles(profile: &DeviceProfile, cfg: &LaunchConfig, agg: &CuAgg, active_cu
     let mem = l1 + l2 + dram_bw.max(dram_lat);
     let local = s.local_accesses as f64 / L1_THROUGHPUT;
     let serial = s.atomic_conflict_cycles as f64;
-    compute.max(mem + local) + serial + agg.groups as f64 * GROUP_SCHED_CYCLES
+    compute.max(mem + local) + serial + groups as f64 * GROUP_SCHED_CYCLES
 }
 
 /// Combines per-CU aggregates into final kernel statistics.
@@ -71,6 +104,8 @@ pub fn finalize(profile: &DeviceProfile, cfg: &LaunchConfig, cus: &[CuAgg]) -> K
     let mut workgroups = 0;
     let mut max_cycles = 0f64;
     let mut sum_cycles = 0f64;
+    let mut max_group_cycles = 0f64;
+    let mut sum_group_cycles = 0f64;
     for agg in cus {
         totals.merge(&agg.stats);
         workgroups += agg.groups;
@@ -79,6 +114,8 @@ pub fn finalize(profile: &DeviceProfile, cfg: &LaunchConfig, cus: &[CuAgg]) -> K
         if agg.groups > 0 {
             sum_cycles += c;
         }
+        max_group_cycles = max_group_cycles.max(agg.max_group_cycles);
+        sum_group_cycles += agg.sum_group_cycles;
     }
     let balance = if max_cycles > 0.0 {
         (sum_cycles / active_cus as f64) / max_cycles
@@ -108,6 +145,12 @@ pub fn finalize(profile: &DeviceProfile, cfg: &LaunchConfig, cus: &[CuAgg]) -> K
         exec_ns,
         overhead_ns: profile.launch_overhead_us * 1000.0,
         occupancy: occupancy.min(1.0),
+        max_group_cycles,
+        mean_group_cycles: if workgroups == 0 {
+            0.0
+        } else {
+            sum_group_cycles / workgroups as f64
+        },
     }
 }
 
@@ -130,6 +173,7 @@ mod tests {
                 ..Default::default()
             },
             groups,
+            ..Default::default()
         }
     }
 
@@ -178,6 +222,45 @@ mod tests {
         let s = finalize(&p, &c, &skewed);
         assert!(s.exec_ns > b.exec_ns);
         assert!(s.occupancy < b.occupancy);
+    }
+
+    #[test]
+    fn group_cycle_aggregation_tracks_imbalance() {
+        let p = DeviceProfile::v100s();
+        let c = cfg(80, 256, 32, 0);
+        // Balanced: every group identical -> max == mean, imbalance 1.0.
+        let balanced: Vec<CuAgg> = (0..80)
+            .map(|_| {
+                let mut a = CuAgg::default();
+                a.add_group(
+                    &p,
+                    &c,
+                    &GroupStats {
+                        compute_cycles: 10_000,
+                        ..Default::default()
+                    },
+                );
+                a
+            })
+            .collect();
+        let b = finalize(&p, &c, &balanced);
+        assert!(b.mean_group_cycles > 0.0);
+        assert!((b.load_imbalance() - 1.0).abs() < 1e-9);
+
+        // One hub group 100x heavier -> max/mean well above 1.
+        let mut skewed = balanced;
+        skewed[0] = CuAgg::default();
+        skewed[0].add_group(
+            &p,
+            &c,
+            &GroupStats {
+                compute_cycles: 1_000_000,
+                ..Default::default()
+            },
+        );
+        let s = finalize(&p, &c, &skewed);
+        assert!(s.max_group_cycles > s.mean_group_cycles * 5.0);
+        assert!(s.load_imbalance() > 5.0);
     }
 
     #[test]

@@ -145,6 +145,19 @@ impl Profiler {
             .fold(0.0, f64::max)
     }
 
+    /// Worst (largest) load imbalance — max/mean per-workgroup cycles —
+    /// over kernels matching `filter`. Returns 1.0 when nothing matches:
+    /// an absent kernel cannot be imbalanced.
+    pub fn worst_load_imbalance(&self, filter: impl Fn(&str) -> bool) -> f64 {
+        self.inner
+            .lock()
+            .kernels
+            .iter()
+            .filter(|k| filter(&k.name))
+            .map(|k| k.stats.load_imbalance())
+            .fold(1.0, f64::max)
+    }
+
     /// DRAM bytes per phase: slices kernel records at marker watermarks.
     /// Returns `(label, bytes)` per phase; kernels after the last marker
     /// are attributed to a trailing `"(tail)"` phase if any exist.
@@ -233,6 +246,23 @@ mod tests {
         assert_eq!(phases.len(), 2);
         assert_eq!(phases[0], ("iter0".to_string(), 15 * 128));
         assert_eq!(phases[1], ("iter1".to_string(), 128));
+    }
+
+    #[test]
+    fn worst_imbalance_respects_filter() {
+        let p = Profiler::new();
+        let mut a = krec("advance", 0, 0, 10, 0.5);
+        a.stats.max_group_cycles = 900.0;
+        a.stats.mean_group_cycles = 100.0;
+        let mut b = krec("compute", 1, 0, 10, 0.5);
+        b.stats.max_group_cycles = 200.0;
+        b.stats.mean_group_cycles = 100.0;
+        p.record_kernel(a);
+        p.record_kernel(b);
+        assert!((p.worst_load_imbalance(|n| n == "advance") - 9.0).abs() < 1e-9);
+        assert!((p.worst_load_imbalance(|n| n == "compute") - 2.0).abs() < 1e-9);
+        // No matches -> neutral 1.0.
+        assert!((p.worst_load_imbalance(|n| n == "absent") - 1.0).abs() < 1e-9);
     }
 
     #[test]

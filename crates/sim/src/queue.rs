@@ -210,8 +210,7 @@ impl Queue {
                     kernel(&mut ctx);
                     let (stats, returned) = ctx.finish();
                     cache = returned;
-                    agg.stats.merge(&stats);
-                    agg.groups += 1;
+                    agg.add_group(profile, &cfg, &stats);
                     g += cus;
                 }
                 agg

@@ -97,6 +97,11 @@ pub struct KernelStats {
     /// Achieved occupancy in `[0, 1]` (resident warps / max warps, scaled
     /// by tail effects), comparable to NCU's "Achieved Occupancy".
     pub occupancy: f64,
+    /// Modelled cycles of the single most expensive workgroup (each costed
+    /// as if alone on a CU; see `cost::group_cycles`).
+    pub max_group_cycles: f64,
+    /// Mean modelled cycles across all workgroups of the launch.
+    pub mean_group_cycles: f64,
 }
 
 impl KernelStats {
@@ -111,6 +116,23 @@ impl KernelStats {
     /// Total modelled wall time including launch overhead, nanoseconds.
     pub fn total_ns(&self) -> f64 {
         self.exec_ns + self.overhead_ns
+    }
+
+    /// Load imbalance across workgroups: max / mean per-group cycles.
+    /// 1.0 means perfectly balanced (or no work); large values mean one
+    /// workgroup dominated the launch — the signal the bucketed advance
+    /// is designed to flatten.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.mean_group_cycles <= 0.0 {
+            1.0
+        } else {
+            self.max_group_cycles / self.mean_group_cycles
+        }
+    }
+
+    /// Fraction of SIMD lane slots that sat idle (`1 − simd_efficiency`).
+    pub fn idle_lane_fraction(&self) -> f64 {
+        1.0 - self.simd_efficiency()
     }
 }
 

@@ -93,7 +93,13 @@ fn run_unfused<W: Word>(
 
 fn check_all_configs(edges: &[(u32, u32)], src: u32) -> Result<(), TestCaseError> {
     let host = CsrHost::from_edges(N, edges);
-    for (label, opts) in OptConfig::ablation_suite() {
+    // The load-balancing policy is part of the configuration space too:
+    // the fused/unfused equivalence must hold on the bucketed dispatch
+    // path, not just the workgroup-mapped one.
+    let mut configs = OptConfig::ablation_suite();
+    configs.push(("Bucketed", OptConfig::with_balancing(Balancing::Bucketed)));
+    configs.push(("AutoLB", OptConfig::with_balancing(Balancing::Auto)));
+    for (label, opts) in configs {
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let (fd, fs) = run_fused::<u32>(&q, &g, src, &opts);
