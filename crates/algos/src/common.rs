@@ -2,8 +2,10 @@
 //! dispatch.
 
 use serde::{Deserialize, Serialize};
-use sygraph_core::frontier::{BitmapFrontier, BitmapLike, TwoLayerFrontier, Word};
-use sygraph_core::inspector::{inspect, OptConfig, Tuning};
+use sygraph_core::frontier::{
+    BitmapFrontier, BitmapLike, HybridFrontier, SparseFrontier, TwoLayerFrontier, Word,
+};
+use sygraph_core::inspector::{inspect, OptConfig, Representation, Tuning};
 use sygraph_sim::{Queue, SimResult};
 
 /// Result of one algorithm run: per-vertex values plus run metadata.
@@ -17,17 +19,25 @@ pub struct AlgoResult<T> {
     pub sim_ms: f64,
 }
 
-/// Creates a frontier of the layout selected by `opts` (`two_layer` on →
-/// the 2LB layout, off → the plain §4.1 bitmap used as Figure 7 baseline).
+/// Creates a frontier of the layout selected by `opts`: the
+/// representation policy picks the family (forced-sparse list, hybrid for
+/// auto-switching, or dense), and `two_layer` picks between the 2LB
+/// layout and the plain §4.1 bitmap used as Figure 7 baseline. Sparse and
+/// auto build on the two-layer machinery (their conversion kernels need
+/// the counted compaction), so with `two_layer` off they degrade to the
+/// plain dense bitmap.
 pub fn make_frontier<W: Word>(
     q: &Queue,
     n: usize,
     opts: &OptConfig,
 ) -> SimResult<Box<dyn BitmapLike<W>>> {
-    if opts.two_layer {
-        Ok(Box::new(TwoLayerFrontier::<W>::new(q, n)?))
-    } else {
-        Ok(Box::new(BitmapFrontier::<W>::new(q, n)?))
+    if !opts.two_layer {
+        return Ok(Box::new(BitmapFrontier::<W>::new(q, n)?));
+    }
+    match opts.representation {
+        Representation::Dense => Ok(Box::new(TwoLayerFrontier::<W>::new(q, n)?)),
+        Representation::Sparse => Ok(Box::new(SparseFrontier::<W>::new(q, n)?)),
+        Representation::Auto => Ok(Box::new(HybridFrontier::<W>::new(q, n)?)),
     }
 }
 

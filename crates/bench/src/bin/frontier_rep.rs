@@ -1,0 +1,175 @@
+//! Frontier-representation ablation: the three `Representation` policies
+//! compared on the generator suite, with result-equivalence checks and a
+//! JSON record of the modelled frontier-pipeline cycles per policy per
+//! dataset.
+//!
+//! For each dataset, BFS and SSSP run from the highest-out-degree source
+//! under `Dense`, `Sparse` and `Auto`. Outputs must be bit-identical
+//! across representations (the expansion *order* changes, the visited set
+//! and distances must not). The cost metric sums the modelled cycles of
+//! the whole frontier pipeline — the advance family plus every
+//! maintenance kernel either representation pays (dense: the §4.3
+//! `frontier_compact` scan and lazy clears; sparse: the conversion and
+//! list-clear kernels) — because that scan, which runs over *all* bitmap
+//! words regardless of how few are set, is exactly the cost the sparse
+//! list removes on high-diameter road graphs.
+//!
+//! `cargo run --release -p sygraph-bench --bin frontier_rep`
+//! writes `BENCH_frontier_rep.json` into the working directory.
+
+use sygraph_bench::{scale_from_env, scaled_profile};
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::{OptConfig, Representation};
+use sygraph_gen::{Dataset, Scale};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+const REPRESENTATIONS: [(&str, Representation); 3] = [
+    ("dense", Representation::Dense),
+    ("sparse", Representation::Sparse),
+    ("auto", Representation::Auto),
+];
+
+/// One representation's measurements on one dataset.
+struct Cell {
+    rep: &'static str,
+    frontier_cycles: f64,
+    sim_ms: f64,
+    rep_switches: usize,
+    bfs: Vec<u32>,
+    sssp: Vec<f32>,
+}
+
+/// Modelled cycles over the frontier pipeline: expansion ("advance",
+/// "advance_sparse", the bucket kernels) plus the per-representation
+/// maintenance kernels (compaction scan, lazy clears, conversions).
+fn frontier_cycles(q: &Queue) -> f64 {
+    const MAINTENANCE: [&str; 5] = [
+        "frontier_compact",
+        "frontier_lazy_clear",
+        "frontier_sparse_lazy_clear",
+        "frontier_sparsify",
+        "frontier_densify",
+    ];
+    let per_ns = q.profile().cycles_per_ns();
+    q.profiler()
+        .kernels()
+        .iter()
+        .filter(|k| k.name.starts_with("advance") || MAINTENANCE.contains(&k.name.as_str()))
+        .map(|k| k.stats.exec_ns * per_ns)
+        .sum()
+}
+
+fn run_rep(ds: &Dataset, src: u32, rep: (&'static str, Representation)) -> Cell {
+    let q = Queue::new(Device::new(scaled_profile(&DeviceProfile::v100s(), ds)));
+    let g = Graph::new(&q, &ds.host).expect("upload");
+    let opts = OptConfig::with_representation(rep.1);
+    let bfs = sygraph_algos::bfs::run(&q, &g.csr, src, &opts).expect("bfs");
+    let sssp = sygraph_algos::sssp::run(&q, &g.csr, src, &opts).expect("sssp");
+    Cell {
+        rep: rep.0,
+        frontier_cycles: frontier_cycles(&q),
+        sim_ms: bfs.sim_ms + sssp.sim_ms,
+        rep_switches: q.profiler().rep_switch_count(),
+        bfs: bfs.values,
+        sssp: sssp.values,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::Bench => "bench",
+    };
+    let datasets: Vec<(Dataset, bool)> = vec![
+        (sygraph_gen::datasets::road_ca(scale), true),
+        (sygraph_gen::datasets::road_usa(scale), true),
+        (sygraph_gen::datasets::kron(scale), false),
+        (sygraph_gen::datasets::hollywood(scale), false),
+        (sygraph_gen::datasets::indochina(scale), false),
+    ];
+    println!("frontier representation ablation (scale: {scale_name})\n");
+    println!(
+        "{:<10} {:<7} {:>15} {:>11} {:>9} {:>9}",
+        "dataset", "rep", "frontier cyc", "sim ms", "switches", "speedup"
+    );
+
+    let mut best_road_speedup = 0f64;
+    let mut auto_always_wins = true;
+    let mut json_datasets = Vec::new();
+    for (ds, road) in &datasets {
+        let src = (0..ds.host.vertex_count() as u32)
+            .max_by_key(|&v| ds.host.degree(v))
+            .expect("non-empty graph");
+        let cells: Vec<Cell> = REPRESENTATIONS
+            .iter()
+            .map(|&r| run_rep(ds, src, r))
+            .collect();
+
+        // Equivalence: which representation holds the frontier must never
+        // change which vertices get visited or what distance they get.
+        let base = &cells[0];
+        for c in &cells[1..] {
+            assert_eq!(
+                base.bfs, c.bfs,
+                "BFS diverged on {} under {}",
+                ds.key, c.rep
+            );
+            assert_eq!(
+                base.sssp, c.sssp,
+                "SSSP diverged on {} under {}",
+                ds.key, c.rep
+            );
+        }
+
+        let mut cell_json = Vec::new();
+        for c in &cells {
+            let speedup = base.frontier_cycles / c.frontier_cycles.max(1e-9);
+            if *road && c.rep != "dense" {
+                best_road_speedup = best_road_speedup.max(speedup);
+            }
+            if c.rep == "auto" && c.frontier_cycles > base.frontier_cycles * 1.02 {
+                auto_always_wins = false;
+            }
+            println!(
+                "{:<10} {:<7} {:>15.0} {:>11.4} {:>9} {:>8.2}x",
+                ds.key, c.rep, c.frontier_cycles, c.sim_ms, c.rep_switches, speedup
+            );
+            cell_json.push(format!(
+                "{{\"rep\":\"{}\",\"frontier_cycles\":{:.1},\"sim_ms\":{:.6},\"rep_switches\":{},\"speedup_vs_dense\":{:.4}}}",
+                c.rep, c.frontier_cycles, c.sim_ms, c.rep_switches, speedup
+            ));
+        }
+        json_datasets.push(format!(
+            "{{\"dataset\":\"{}\",\"road\":{},\"vertices\":{},\"edges\":{},\"source\":{},\"cells\":[{}]}}",
+            ds.key,
+            road,
+            ds.host.vertex_count(),
+            ds.host.edge_count(),
+            src,
+            cell_json.join(",")
+        ));
+        println!();
+    }
+
+    println!("best road-graph speedup vs dense: {best_road_speedup:.2}x (target: > 1.0x)");
+    println!("auto never loses to dense (within 2%): {auto_always_wins}");
+    let doc = format!(
+        "{{\"bench\":\"frontier_rep\",\"scale\":\"{scale_name}\",\"device\":\"v100s\",\"best_road_speedup\":{best_road_speedup:.4},\"auto_always_wins\":{auto_always_wins},\"datasets\":[{}]}}\n",
+        json_datasets.join(",")
+    );
+    std::fs::write("BENCH_frontier_rep.json", doc).expect("write BENCH_frontier_rep.json");
+    println!("wrote BENCH_frontier_rep.json");
+    // The acceptance bars hold at bench scale; at test scale the graphs
+    // are a few hundred vertices and every kernel is launch-dominated.
+    if scale == Scale::Bench {
+        assert!(
+            best_road_speedup > 1.0,
+            "expected the sparse list to beat the dense compaction scan on a road graph"
+        );
+        assert!(
+            auto_always_wins,
+            "auto must never lose to dense on a benched dataset"
+        );
+    }
+}

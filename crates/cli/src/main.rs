@@ -6,6 +6,8 @@
 //! algo    bfs | sssp | cc | bc | pagerank | dobfs | delta | triangles | kcore
 //! graph   a file (.mtx, .el, .gr, .sygb) or a generated dataset:
 //!         gen:ca gen:usa gen:hollyw gen:indo gen:journal gen:kron gen:twitter
+//!         (generated at bench scale; set SYG_SCALE=test for the
+//!         small CI-sized variants)
 //!
 //! options
 //!   --src <v>         source vertex (default 0; ignored by cc/pagerank)
@@ -13,30 +15,38 @@
 //!   --undirected      symmetrize the graph before running
 //!   --no-msi --no-cf --no-2lb    disable individual optimizations
 //!   --balancing <s>   advance load balancing: wg | bucketed | auto (default auto)
+//!   --frontier <r>    frontier representation: dense | sparse | auto (default auto)
 //!   --delta <x>       bucket width for the delta algorithm (default 2)
 //!   --json            machine-readable output
-//!   --profile         print the per-kernel profile afterwards
+//!   --profile         print the per-kernel profile afterwards (with
+//!                     --frontier auto, includes the per-superstep
+//!                     representation trace and switch counts)
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use sygraph_core::graph::{CsrHost, Graph};
-use sygraph_core::inspector::{Balancing, OptConfig};
+use sygraph_core::inspector::{Balancing, OptConfig, Representation};
 use sygraph_sim::{Device, DeviceProfile, Queue};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
          [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
-         [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] [--delta X] [--json] [--profile]"
+         [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
+         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile]"
     );
     ExitCode::from(2)
 }
 
 fn load_graph(spec: &str) -> Result<CsrHost, String> {
     if let Some(name) = spec.strip_prefix("gen:") {
-        let scale = sygraph_gen::Scale::Bench;
+        // Same convention as the bench binaries' scale_from_env.
+        let scale = match std::env::var("SYG_SCALE").as_deref() {
+            Ok("test") => sygraph_gen::Scale::Test,
+            _ => sygraph_gen::Scale::Bench,
+        };
         let ds = match name {
             "ca" => sygraph_gen::datasets::road_ca(scale),
             "usa" => sygraph_gen::datasets::road_usa(scale),
@@ -98,6 +108,12 @@ fn main() -> ExitCode {
                 Some("wg") => opts.balancing = Balancing::WorkgroupMapped,
                 Some("bucketed") => opts.balancing = Balancing::Bucketed,
                 Some("auto") => opts.balancing = Balancing::Auto,
+                _ => return usage(),
+            },
+            "--frontier" => match it.next().map(String::as_str) {
+                Some("dense") => opts.representation = Representation::Dense,
+                Some("sparse") => opts.representation = Representation::Sparse,
+                Some("auto") => opts.representation = Representation::Auto,
                 _ => return usage(),
             },
             "--delta" | "--k" => match it.next().and_then(|v| v.parse().ok()) {
@@ -256,6 +272,49 @@ fn main() -> ExitCode {
             println!(
                 "    {name:<22} {ms:>9.3} ms  ×{count:<5} imbal {imbalance:>6.2}×  idle {:>5.1}%",
                 idle * 100.0
+            );
+        }
+        // Per-superstep frontier-representation trace (recorded by the
+        // engine whenever the run went through it), run-length encoded,
+        // plus greppable switch counters and the frontier-maintenance
+        // kernel cost split by representation.
+        let reps = q.profiler().rep_events();
+        if !reps.is_empty() {
+            let mut rle: Vec<(String, usize)> = Vec::new();
+            for e in &reps {
+                match rle.last_mut() {
+                    Some((r, c)) if *r == e.rep => *c += 1,
+                    _ => rle.push((e.rep.clone(), 1)),
+                }
+            }
+            let trace: Vec<String> = rle.iter().map(|(r, c)| format!("{r}\u{d7}{c}")).collect();
+            println!("  frontier representation: {}", trace.join(" -> "));
+            let s2d = reps
+                .iter()
+                .filter(|e| e.switched && e.rep == "dense")
+                .count();
+            let d2s = reps
+                .iter()
+                .filter(|e| e.switched && e.rep == "sparse")
+                .count();
+            println!("  sparse->dense switches: {s2d}");
+            println!("  dense->sparse switches: {d2s}");
+            let cost_of = |names: &[&str]| -> f64 {
+                q.profiler()
+                    .kernels()
+                    .iter()
+                    .filter(|k| names.contains(&k.name.as_str()))
+                    .map(|k| k.stats.total_ns() / 1e6)
+                    .sum()
+            };
+            println!(
+                "  frontier maintenance: dense compaction {:.3} ms, sparse upkeep {:.3} ms",
+                cost_of(&["frontier_compact", "frontier_lazy_clear"]),
+                cost_of(&[
+                    "frontier_sparsify",
+                    "frontier_densify",
+                    "frontier_sparse_lazy_clear"
+                ]),
             );
         }
         println!("  device memory peak: {} KB", q.device().mem_peak() / 1024);

@@ -29,7 +29,7 @@ use sygraph_sim::{ItemCtx, Queue, SimError, SimResult};
 
 use crate::frontier::bucket::{BucketPool, BucketSpec};
 use crate::frontier::word::Word;
-use crate::frontier::{swap, BitmapLike};
+use crate::frontier::{swap, BitmapLike, RepKind};
 use crate::graph::traits::DeviceGraphView;
 use crate::inspector::{Balancing, Tuning};
 use crate::operators::advance::Advance;
@@ -89,6 +89,27 @@ pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
     /// a failed allocation every step.
     bucket_pool: Option<BucketPool>,
     pool_attempted: bool,
+    /// Representation the input frontier ran under last superstep. The
+    /// engine owns the switch policy: each step it resolves
+    /// [`Tuning::choose_representation`] against `last_estimate` and asks
+    /// the frontier to adopt the result — layouts that can't (plain
+    /// bitmaps, two-layer) report back `Dense` and nothing changes.
+    rep: RepKind,
+    /// Representation *switches* performed so far (transitions between
+    /// consecutive supersteps; the initial adoption is not a switch).
+    rep_switches: u32,
+    /// Estimated input-frontier population for the next rep decision:
+    /// the counted-compaction result the engine already reads back for
+    /// convergence — exact entries under sparse, `nz_words × word_bits`
+    /// under dense — so the policy costs no extra host round-trip.
+    last_estimate: usize,
+    /// Forward population estimate for the frontier the last superstep
+    /// *wrote* (i.e. this superstep's input): what the output-side
+    /// adoption was decided on. Folded into the next rep decision so a
+    /// wavefront that just exploded — the one case `last_estimate`, being
+    /// one step behind, always mispredicts — is not asked to go sparse
+    /// and pay a doomed list rebuild.
+    predicted: usize,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
@@ -116,6 +137,14 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             lazy_ok: false,
             bucket_pool: None,
             pool_attempted: false,
+            rep: RepKind::Dense,
+            rep_switches: 0,
+            // Engines start from seed frontiers (a vertex or two), so the
+            // first Auto decision leans sparse; frontiers that can't go
+            // sparse (or whose bounded list overflowed, e.g. after
+            // `fill_all`) adopt back to dense on their own.
+            last_estimate: 0,
+            predicted: 0,
         }
     }
 
@@ -191,6 +220,18 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         &self.tuning
     }
 
+    /// The representation the input frontier ran under on the most recent
+    /// superstep (`Dense` before the first one).
+    pub fn representation(&self) -> RepKind {
+        self.rep
+    }
+
+    /// Representation switches performed so far — transitions between
+    /// consecutive supersteps; the initial adoption does not count.
+    pub fn rep_switches(&self) -> u32 {
+        self.rep_switches
+    }
+
     /// Runs one superstep: advance (with compute fused in or following as
     /// an [`compute::over_compacted`] pass) and the single convergence
     /// check. Returns `false` if the input frontier was empty — the
@@ -205,6 +246,43 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         let iter = self.iter;
         self.q.mark(format!("{}{}", self.mark_prefix, iter));
         self.ensure_bucket_pool();
+        // Resolve the representation policy against last superstep's
+        // population estimate and ask the frontier to adopt it *before*
+        // building the advance (dispatch keys off the adopted layout).
+        // Frontiers without a sparse mode report back `Dense` and nothing
+        // changes, so this is free for the classic layouts.
+        let policy_est = self.last_estimate.max(self.predicted);
+        let desired = self
+            .tuning
+            .choose_representation(policy_est, self.fin.capacity(), self.rep);
+        let adopted = self.fin.adopt_rep(self.q, desired);
+        let switched = iter > 0 && adopted != self.rep;
+        // The output adopts *before* the advance inserts into it, on a
+        // forward estimate: when the input runs sparse its exact
+        // population is a free host read (the list length). The hysteresis
+        // gap absorbs ordinary growth, but a frontier no wider than one
+        // bitmap word can hide a hub whose degree the mean conceals —
+        // that is the explosion superstep of every hub-seeded search, so
+        // add `max_degree` there. A hybrid output adopted dense stops
+        // maintaining its item list (inserts cost a bare bitmap OR), so
+        // the widest superstep pays no per-insert list tax.
+        let in_pop = match self.fin.sparse_view(self.q) {
+            Some(view) => view.len,
+            None => policy_est,
+        };
+        let mut out_est = in_pop;
+        if in_pop <= self.tuning.word_bits as usize {
+            out_est = out_est.saturating_add(
+                self.graph
+                    .degree_profile()
+                    .map_or(0, |p| p.max_degree as usize),
+            );
+        }
+        let out_desired = self
+            .tuning
+            .choose_representation(out_est, self.fout.capacity(), adopted);
+        self.fout.adopt_rep(self.q, out_desired);
+        self.predicted = out_est;
         let adv = |l: &mut ItemCtx<'_>, s: VertexId, d: VertexId, e: EdgeId, w: Weight| {
             advance_f(l, iter, s, d, e, w)
         };
@@ -219,6 +297,15 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         }
         let (ev, words) = builder.run(adv);
         ev.wait();
+        // Feed the next rep decision from the count the advance already
+        // read back: exact entries under sparse, `nz_words × word_bits`
+        // (an upper bound) under dense. Single-layer bitmaps report no
+        // count — pin the estimate at capacity so Auto never goes sparse.
+        self.last_estimate = match words {
+            Some(c) if adopted == RepKind::Sparse => c,
+            Some(c) => c.saturating_mul(self.tuning.word_bits.max(1) as usize),
+            None => self.fin.capacity(),
+        };
         // The one host-visible check of the superstep: the compaction
         // count (already read back to size the launch) doubles as the
         // convergence test. Single-layer bitmaps have no compaction and
@@ -226,6 +313,13 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         if words == Some(0) || (words.is_none() && self.fin.is_empty(self.q)) {
             return false;
         }
+        if switched {
+            self.rep_switches += 1;
+        }
+        self.rep = adopted;
+        self.q
+            .profiler()
+            .record_rep(self.q.now_ns(), iter, adopted.label(), switched);
         if !self.fused {
             if let Some(cf) = compute_f {
                 compute::over_compacted(self.q, self.fout.as_ref(), |l, v| cf(l, iter, v)).wait();
@@ -566,6 +660,129 @@ mod tests {
             allocs_bk <= 5,
             "bucket pool allocated once per engine (5 buffers), not per \
              superstep; saw {allocs_bk} allocations"
+        );
+    }
+
+    /// BFS over `edges` with the frontier pair matching the requested
+    /// representation policy (mirroring what `make_frontier` hands the
+    /// algorithms). Returns distances, superstep count, switch count and
+    /// the profiler's per-superstep representation trace.
+    fn bfs_with_rep(
+        rep: crate::inspector::Representation,
+        edges: &[(u32, u32)],
+        n: usize,
+    ) -> (Vec<u32>, u32, u32, Vec<sygraph_sim::RepEvent>) {
+        use crate::frontier::{HybridFrontier, SparseFrontier};
+        use crate::inspector::Representation;
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &CsrHost::from_edges(n, edges)).unwrap();
+        let tuning = inspect(q.profile(), &OptConfig::with_representation(rep), n);
+        let dist = q.malloc_device::<u32>(n).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(0, 0);
+        let (fin, fout): (Box<dyn BitmapLike<u32>>, Box<dyn BitmapLike<u32>>) = match rep {
+            Representation::Dense => (
+                Box::new(TwoLayerFrontier::<u32>::new(&q, n).unwrap()),
+                Box::new(TwoLayerFrontier::<u32>::new(&q, n).unwrap()),
+            ),
+            Representation::Sparse => (
+                Box::new(SparseFrontier::<u32>::new(&q, n).unwrap()),
+                Box::new(SparseFrontier::<u32>::new(&q, n).unwrap()),
+            ),
+            Representation::Auto => (
+                Box::new(HybridFrontier::<u32>::new(&q, n).unwrap()),
+                Box::new(HybridFrontier::<u32>::new(&q, n).unwrap()),
+            ),
+        };
+        fin.insert_host(0);
+        let mut engine =
+            SuperstepEngine::new(&q, &g, tuning, fin, fout).max_iters(n + 2, "rep BFS diverged");
+        engine
+            .run(
+                |l, _i, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
+                Some(&|l, i, v| l.store(&dist, v as usize, i + 1)),
+            )
+            .unwrap();
+        let switches = engine.rep_switches();
+        let iters = engine.iteration();
+        (dist.to_vec(), iters, switches, q.profiler().rep_events())
+    }
+
+    /// Chain into a 4-way split whose branches each fan 10 wide, staying
+    /// 40 wide one more level: the frontier sequence is 1, 1, 4, 40, 40
+    /// with max degree 10, small enough that the one-word hub guard never
+    /// forces dense — only the exact count of 40 > 640/32 does, at the
+    /// hysteresis exit.
+    fn fan_edges() -> (Vec<(u32, u32)>, usize) {
+        let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+        edges.extend((2..6).map(|v| (1u32, v)));
+        for v in 2..6u32 {
+            edges.extend((0..10).map(|t| (v, 10 + (v - 2) * 10 + t)));
+        }
+        edges.extend((10..50).map(|v| (v, v + 100)));
+        (edges, 640)
+    }
+
+    #[test]
+    fn representation_policies_are_bit_identical() {
+        use crate::inspector::Representation;
+        let (edges, n) = fan_edges();
+        let (d_dense, i_dense, s_dense, _) = bfs_with_rep(Representation::Dense, &edges, n);
+        let (d_sparse, i_sparse, s_sparse, ev_sparse) =
+            bfs_with_rep(Representation::Sparse, &edges, n);
+        let (d_auto, i_auto, s_auto, _) = bfs_with_rep(Representation::Auto, &edges, n);
+        assert_eq!(d_dense, d_sparse, "sparse BFS must be bit-identical");
+        assert_eq!(d_dense, d_auto, "auto BFS must be bit-identical");
+        assert_eq!(i_dense, i_sparse);
+        assert_eq!(i_dense, i_auto);
+        assert_eq!(s_dense, 0, "dense policy never switches");
+        assert_eq!(s_sparse, 0, "forced sparse never switches");
+        assert!(s_auto >= 1, "auto must switch on the widening fan");
+        assert!(ev_sparse.iter().all(|e| e.rep == "sparse"));
+    }
+
+    #[test]
+    fn auto_representation_switches_at_the_hysteresis_exit() {
+        use crate::inspector::Representation;
+        let (edges, n) = fan_edges();
+        let (_, iters, switches, events) = bfs_with_rep(Representation::Auto, &edges, n);
+        // Supersteps 0–3 run sparse (populations 1, 1, 4 and 40 — the
+        // 40-wide step still *enters* on the lagged estimate); the exact
+        // count of 40 > 640/32 then forces dense for superstep 4.
+        assert_eq!(iters, 5);
+        assert_eq!(switches, 1);
+        let reps: Vec<&str> = events.iter().map(|e| e.rep.as_str()).collect();
+        assert_eq!(reps, vec!["sparse", "sparse", "sparse", "sparse", "dense"]);
+        assert_eq!(
+            events.iter().filter(|e| e.switched).count(),
+            switches as usize,
+            "profiler switch trace must agree with the engine counter"
+        );
+        assert!(events[4].switched && events[4].superstep == 4);
+    }
+
+    #[test]
+    fn auto_handles_list_overflow_by_falling_back_dense() {
+        use crate::inspector::Representation;
+        // 33 mid-degree parents — wider than one word, so the hub guard
+        // stays out of it — fan to 3300 targets. The output estimate
+        // (33 ≤ n/32) keeps the output's list live, the 3300 inserts
+        // overflow its n/8 = 512 slots, and the next adoption refuses
+        // sparse on the overflow proof alone: the wide superstep runs
+        // dense and correctness is unaffected.
+        let n = 4096usize;
+        let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+        edges.extend((2..35).map(|v| (1u32, v)));
+        for p in 2..35u32 {
+            edges.extend((0..100).map(|t| (p, 100 + (p - 2) * 100 + t)));
+        }
+        let (d_auto, _, _, events) = bfs_with_rep(Representation::Auto, &edges, n);
+        let (d_dense, _, _, _) = bfs_with_rep(Representation::Dense, &edges, n);
+        assert_eq!(d_auto, d_dense);
+        assert_eq!(
+            events.last().map(|e| e.rep.as_str()),
+            Some("dense"),
+            "the 3300-wide superstep must have run dense after overflow"
         );
     }
 

@@ -126,6 +126,11 @@ impl<W: Word> BitmapStorage<W> {
     pub(crate) fn len(&self) -> usize {
         self.n
     }
+
+    /// Device bytes held: the word array plus the 4-byte count scratch.
+    pub(crate) fn device_bytes(&self) -> u64 {
+        self.words.bytes() + self.count_buf.bytes()
+    }
 }
 
 /// The plain single-layer bitmap frontier of §4.1: one bit per vertex,
@@ -146,7 +151,7 @@ impl<W: Word> BitmapFrontier<W> {
 
     /// Device bytes held by this frontier.
     pub fn device_bytes(&self) -> u64 {
-        self.storage.words.bytes() + 4
+        self.storage.device_bytes()
     }
 }
 

@@ -190,6 +190,55 @@ pub fn bin_compacted<W: Word>(
     pool.read_counts()
 }
 
+/// Binning over a sparse item list: one lane per list entry (entries are
+/// duplicate-free vertex ids, so no bit-walk is needed). Shares the
+/// bucket layout and append protocol with [`bin_compacted`] — the three
+/// expansion kernels cannot tell which binning pass filled the pool.
+pub fn bin_list(
+    q: &Queue,
+    items: &DeviceBuffer<u32>,
+    len: usize,
+    pool: &BucketPool,
+    degree_of: DegreeOf<'_>,
+    spec: &BucketSpec,
+) -> BucketCounts {
+    pool.counts.store(0, 0);
+    pool.counts.store(1, 0);
+    pool.counts.store(2, 0);
+    if len == 0 {
+        return BucketCounts::default();
+    }
+    let spec = *spec;
+    let counts = &pool.counts;
+    let small = &pool.small;
+    let medium = &pool.medium;
+    let large_v = &pool.large_v;
+    let large_c = &pool.large_c;
+    q.parallel_for("advance_bucket_bin", len, |lane, i| {
+        let v = lane.load(items, i);
+        let d = degree_of(lane, v);
+        lane.compute(2);
+        if d == 0 {
+            return;
+        }
+        if d <= spec.small_max {
+            let idx = lane.fetch_add(counts, 0, 1);
+            lane.store(small, idx as usize, v);
+        } else if d < spec.large_min {
+            let idx = lane.fetch_add(counts, 1, 1);
+            lane.store(medium, idx as usize, v);
+        } else {
+            let chunks = d.div_ceil(spec.chunk);
+            let base = lane.fetch_add(counts, 2, chunks);
+            for c in 0..chunks {
+                lane.store(large_v, (base + c) as usize, v);
+                lane.store(large_c, (base + c) as usize, c);
+            }
+        }
+    });
+    pool.read_counts()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +295,55 @@ mod tests {
             .collect();
         large.sort_unstable();
         assert_eq!(large, vec![(16, 0), (40, 0), (40, 1), (40, 2)]);
+    }
+
+    #[test]
+    fn bin_list_matches_bin_compacted() {
+        let q = queue();
+        let f = TwoLayerFrontier::<u32>::new(&q, 256).unwrap();
+        for v in [0, 3, 4, 5, 15, 16, 40] {
+            f.insert_host(v);
+        }
+        let (nz, offsets) = f.compact(&q).unwrap();
+        let pool = BucketPool::new(&q, 256, 4096, &SPEC).unwrap();
+        let from_words = bin_compacted(&q, f.words(), offsets, nz, &pool, &degree_is_id, &SPEC);
+
+        let items = q.malloc_device::<u32>(8).unwrap();
+        for (i, v) in [0u32, 3, 4, 5, 15, 16, 40].iter().enumerate() {
+            items.store(i, *v);
+        }
+        let pool_l = BucketPool::new(&q, 256, 4096, &SPEC).unwrap();
+        let from_list = bin_list(&q, &items, 7, &pool_l, &degree_is_id, &SPEC);
+        assert_eq!(from_words, from_list);
+
+        let sorted = |b: &DeviceBuffer<u32>, c: u32| {
+            let mut v = b.to_vec()[..c as usize].to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            sorted(&pool.small, from_words.small),
+            sorted(&pool_l.small, from_list.small)
+        );
+        assert_eq!(
+            sorted(&pool.medium, from_words.medium),
+            sorted(&pool_l.medium, from_list.medium)
+        );
+        assert_eq!(
+            sorted(&pool.large_v, from_words.large),
+            sorted(&pool_l.large_v, from_list.large)
+        );
+    }
+
+    #[test]
+    fn empty_list_bins_nothing_without_launch() {
+        let q = queue();
+        let items = q.malloc_device::<u32>(1).unwrap();
+        let pool = BucketPool::new(&q, 256, 1024, &SPEC).unwrap();
+        let launched = q.profiler().kernel_count();
+        let c = bin_list(&q, &items, 0, &pool, &degree_is_id, &SPEC);
+        assert_eq!(c.total(), 0);
+        assert_eq!(q.profiler().kernel_count(), launched);
     }
 
     #[test]

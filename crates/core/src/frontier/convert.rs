@@ -1,0 +1,137 @@
+//! Device-side conversion kernels between the dense (bitmap) and sparse
+//! (item-list) frontier representations.
+//!
+//! Both directions mirror the §4.3 compaction idiom: one thread per
+//! source element, atomic-reservation appends, no host round-trips beyond
+//! the counter reads the callers already do. The sparse→dense direction
+//! is an atomic-OR scatter; the dense→sparse direction walks set bits the
+//! way `frontier_compact` walks second-layer words.
+
+use sygraph_sim::{DeviceBuffer, Queue};
+
+use crate::frontier::word::{locate, Word};
+
+/// Dense → sparse ("frontier_sparsify"): appends the vertex id of every
+/// set bit in `words` to `items`, reserving slots through the atomic
+/// `len` counter (reset here first). Appends past `items`' capacity are
+/// dropped and `overflow` is set to 1 instead — the caller must treat the
+/// list as absent when the flag comes back set. Tail bits beyond the
+/// vertex range never appear because the bitmap invariant keeps them
+/// clear.
+pub fn sparsify<W: Word>(
+    q: &Queue,
+    words: &DeviceBuffer<W>,
+    items: &DeviceBuffer<u32>,
+    len: &DeviceBuffer<u32>,
+    overflow: &DeviceBuffer<u32>,
+) {
+    len.store(0, 0);
+    let cap = items.len();
+    q.parallel_for("frontier_sparsify", words.len(), |lane, wi| {
+        let w = lane.load(words, wi);
+        if w.is_zero() {
+            return;
+        }
+        let base = lane.fetch_add(len, 0, w.count_ones());
+        let mut w = w;
+        let mut k = 0;
+        while !w.is_zero() {
+            let b = w.trailing_zeros();
+            let idx = (base + k) as usize;
+            if idx < cap {
+                lane.store(items, idx, wi as u32 * W::BITS + b);
+            } else {
+                lane.store(overflow, 0, 1);
+            }
+            k += 1;
+            w = w.and(W::one_bit(b).not());
+            lane.compute(2);
+        }
+    });
+}
+
+/// Sparse → dense ("frontier_densify"): scatters `items[..len]` into the
+/// bitmap with atomic ORs, maintaining the second layer when one is
+/// given. Duplicate items are tolerated (the OR is idempotent; the
+/// second-layer mark only fires for the winning lane).
+pub fn densify<W: Word>(
+    q: &Queue,
+    items: &DeviceBuffer<u32>,
+    len: usize,
+    words: &DeviceBuffer<W>,
+    layer2: Option<&DeviceBuffer<W>>,
+) {
+    if len == 0 {
+        return;
+    }
+    q.parallel_for("frontier_densify", len, |lane, i| {
+        let v = lane.load(items, i);
+        let (wi, b) = locate::<W>(v);
+        let old = lane.fetch_or(words, wi, W::one_bit(b));
+        if let Some(l2) = layer2 {
+            if old.is_zero() {
+                let (l2i, l2b) = locate::<W>(wi as u32);
+                lane.fetch_or(l2, l2i, W::one_bit(l2b));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queue() -> Queue {
+        Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn sparsify_collects_all_set_bits() {
+        let q = queue();
+        let words = q.malloc_device::<u32>(4).unwrap();
+        words.store(0, 0b1010);
+        words.store(3, 1 << 31);
+        let items = q.malloc_device::<u32>(16).unwrap();
+        let len = q.malloc_device::<u32>(1).unwrap();
+        let overflow = q.malloc_device::<u32>(1).unwrap();
+        overflow.store(0, 0);
+        sparsify::<u32>(&q, &words, &items, &len, &overflow);
+        assert_eq!(overflow.load(0), 0);
+        let n = len.load(0) as usize;
+        let mut got = items.to_vec()[..n].to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 127]);
+    }
+
+    #[test]
+    fn sparsify_flags_overflow_without_corruption() {
+        let q = queue();
+        let words = q.malloc_device::<u32>(1).unwrap();
+        words.store(0, 0xFF); // 8 set bits
+        let items = q.malloc_device::<u32>(4).unwrap();
+        let len = q.malloc_device::<u32>(1).unwrap();
+        let overflow = q.malloc_device::<u32>(1).unwrap();
+        overflow.store(0, 0);
+        sparsify::<u32>(&q, &words, &items, &len, &overflow);
+        assert_eq!(overflow.load(0), 1);
+    }
+
+    #[test]
+    fn densify_round_trips_sparsify() {
+        let q = queue();
+        let words = q.malloc_device::<u64>(8).unwrap();
+        for (i, bits) in [(0usize, 0x8001u64), (5, 0xF0F0)] {
+            words.store(i, bits);
+        }
+        let items = q.malloc_device::<u32>(64).unwrap();
+        let len = q.malloc_device::<u32>(1).unwrap();
+        let overflow = q.malloc_device::<u32>(1).unwrap();
+        overflow.store(0, 0);
+        sparsify::<u64>(&q, &words, &items, &len, &overflow);
+        let back = q.malloc_device::<u64>(8).unwrap();
+        q.fill(&back, 0u64);
+        densify::<u64>(&q, &items, len.load(0) as usize, &back, None);
+        assert_eq!(words.to_vec(), back.to_vec());
+    }
+}

@@ -13,11 +13,21 @@
 //!   of a bitmap (§4.1 discussion).
 //! * [`VectorFrontier`] — the Gunrock-style append vector used by the
 //!   baseline frameworks (duplicates allowed, post-processing required).
+//! * [`SparseFrontier`] — a duplicate-free item list (dedup-on-insert via a
+//!   visited bitmap): advance cost proportional to the frontier population
+//!   instead of the bitmap extent.
+//! * [`HybridFrontier`] — two-layer bitmap plus a bounded item list,
+//!   switching representation per superstep (GraphBLAST-style
+//!   sparse/dense masks behind Gunrock's one-frontier-object API).
 
 pub mod bitmap;
 pub mod boolmap;
 pub mod bucket;
+pub mod convert;
+pub mod hybrid;
 pub mod ops;
+pub mod rep;
+pub mod sparse;
 pub mod two_layer;
 pub mod vector;
 pub mod word;
@@ -25,6 +35,9 @@ pub mod word;
 pub use bitmap::BitmapFrontier;
 pub use boolmap::BoolmapFrontier;
 pub use bucket::{BucketCounts, BucketPool, BucketSpec};
+pub use hybrid::HybridFrontier;
+pub use rep::{RepKind, SparseView};
+pub use sparse::SparseFrontier;
 pub use two_layer::TwoLayerFrontier;
 pub use vector::VectorFrontier;
 pub use word::{locate, words_for, Word};
@@ -90,6 +103,41 @@ pub trait BitmapLike<W: Word>: Frontier {
     /// [`compact`]: BitmapLike::compact
     fn lazy_clear(&self, q: &Queue) {
         self.clear(q);
+    }
+
+    /// The representation this frontier currently presents to the
+    /// operators. Bitmap layouts are always dense; [`SparseFrontier`] and
+    /// [`HybridFrontier`] override.
+    fn rep_kind(&self) -> RepKind {
+        RepKind::Dense
+    }
+
+    /// The frontier's sparse item-list view, when it maintains one that is
+    /// currently exact (duplicate-free and mirroring the bitmap). `None`
+    /// means the consumer must take the dense (word-walking) path. Reading
+    /// the list length costs the one host sync the dense path would have
+    /// spent on its compaction count.
+    fn sparse_view(&self, q: &Queue) -> Option<SparseView<'_>> {
+        let _ = q;
+        None
+    }
+
+    /// Asks the frontier to present `kind` for the upcoming superstep,
+    /// running a conversion kernel if its current state requires one.
+    /// Returns the representation actually adopted — a frontier may
+    /// refuse (pure bitmaps are always dense; a hybrid whose population
+    /// overflowed its list capacity stays dense).
+    fn adopt_rep(&self, q: &Queue, kind: RepKind) -> RepKind {
+        let _ = (q, kind);
+        RepKind::Dense
+    }
+
+    /// Re-derives secondary state (second bitmap layer, sparse item list)
+    /// after the first-layer words were rewritten wholesale — the
+    /// obligation frontier set-operators discharge on their output (see
+    /// [`ops::apply`]). Plain bitmaps have nothing to rebuild.
+    fn rebuild_from_words(&self, q: &Queue) {
+        let _ = q;
     }
 }
 

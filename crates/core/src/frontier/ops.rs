@@ -45,6 +45,13 @@ impl SetOp {
 
 /// Applies `op` word-wise: `out = a <op> b`. All three frontiers must
 /// cover the same vertex range.
+///
+/// Operands may mix representations freely: every layout keeps its word
+/// array authoritative, so the sparse side needs no materialization pass.
+/// Only the *output* needs fixing up — the word-wise stores bypass its
+/// insert path, so [`BitmapLike::rebuild_from_words`] runs at the end
+/// (layer-2 rebuild for the two-layer layouts, a stale-list mark for the
+/// sparse ones; a no-op for plain bitmaps).
 pub fn apply<W: Word, A, B, O>(q: &Queue, op: SetOp, a: &A, b: &B, out: &O)
 where
     A: BitmapLike<W>,
@@ -62,6 +69,7 @@ where
         lane.store(ow, i, op.apply(x, y));
         lane.compute(1);
     });
+    out.rebuild_from_words(q);
 }
 
 /// `out = a ∩ b`.
@@ -199,6 +207,47 @@ mod tests {
         assert_eq!(fo.to_sorted_vec(), vec![3, 100, 301, 400]);
         let (nz, _) = fo.compact(&q).unwrap();
         assert_eq!(nz, 4, "words 0, 3, 9, 12");
+    }
+
+    #[test]
+    fn mixed_representation_operands_and_output() {
+        let q = queue();
+        let n = 500;
+        // Sparse ∪ two-layer → hybrid: the sparse operand's words are read
+        // directly (no materialization kernel), and the hybrid output
+        // comes back with a valid layer2 and a stale list that the next
+        // sparse adoption rebuilds.
+        let fa = crate::frontier::SparseFrontier::<u32>::new(&q, n).unwrap();
+        let fb = TwoLayerFrontier::<u32>::new(&q, n).unwrap();
+        let fo = crate::frontier::HybridFrontier::<u32>::new(&q, n).unwrap();
+        for v in [3u32, 100, 301] {
+            fa.insert_host(v);
+        }
+        for v in [100u32, 301, 400] {
+            fb.insert_host(v);
+        }
+        union(&q, &fa, &fb, &fo);
+        assert_eq!(fo.to_sorted_vec(), vec![3, 100, 301, 400]);
+        assert_eq!(fo.count(&q), 4);
+        // layer2 was rebuilt: the counted compaction sees all four words.
+        let (nz, _) = fo.compact(&q).unwrap();
+        assert_eq!(nz, 4);
+        // The word-wise stores bypassed the list: it must not be trusted
+        // until re-adopted, and re-adoption recovers the exact contents.
+        assert!(fo.sparse_view(&q).is_none());
+        assert_eq!(
+            fo.adopt_rep(&q, crate::frontier::RepKind::Sparse),
+            crate::frontier::RepKind::Sparse
+        );
+        assert_eq!(fo.sparse_view(&q).unwrap().len, 4);
+
+        // Sparse output: the stale mark applies there too.
+        let fs = crate::frontier::SparseFrontier::<u32>::new(&q, n).unwrap();
+        subtraction(&q, &fb, &fa, &fs);
+        assert_eq!(fs.to_sorted_vec(), vec![400]);
+        assert!(fs.sparse_view(&q).is_none(), "list stale after set op");
+        fs.adopt_rep(&q, crate::frontier::RepKind::Sparse);
+        assert_eq!(fs.sparse_view(&q).unwrap().len, 1);
     }
 
     #[test]

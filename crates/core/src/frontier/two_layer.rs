@@ -40,9 +40,14 @@ impl<W: Word> TwoLayerFrontier<W> {
         })
     }
 
-    /// Device bytes held by this frontier (both layers + offsets buffer).
+    /// Device bytes held by this frontier: the sum of every constituent
+    /// buffer — first layer (words + count scratch), second layer, offsets
+    /// buffer and its count.
     pub fn device_bytes(&self) -> u64 {
-        self.storage.words.bytes() + self.layer2.bytes() + self.offsets.bytes() + 8
+        self.storage.device_bytes()
+            + self.layer2.bytes()
+            + self.offsets.bytes()
+            + self.offsets_count.bytes()
     }
 
     /// The second-layer word array.
@@ -255,6 +260,11 @@ impl<W: Word> BitmapLike<W> for TwoLayerFrontier<W> {
             }
         });
     }
+
+    /// Recomputes the second layer from the (rewritten) first layer.
+    fn rebuild_from_words(&self, q: &Queue) {
+        crate::frontier::ops::rebuild_layer2(q, self);
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +274,35 @@ mod tests {
 
     fn queue() -> Queue {
         Queue::new(Device::new(DeviceProfile::host_test()))
+    }
+
+    #[test]
+    fn device_bytes_equals_sum_of_constituent_buffers() {
+        let q = queue();
+        let before: i64 = q
+            .profiler()
+            .mem_events()
+            .iter()
+            .map(|e| e.delta_bytes)
+            .sum();
+        let f = TwoLayerFrontier::<u32>::new(&q, 10_000).unwrap();
+        let after: i64 = q
+            .profiler()
+            .mem_events()
+            .iter()
+            .map(|e| e.delta_bytes)
+            .sum();
+        assert_eq!(
+            f.device_bytes(),
+            (after - before) as u64,
+            "device_bytes must account for every constituent allocation \
+             (words + count scratch + layer2 + offsets + offsets count)"
+        );
+        // And against the layout formula directly: the offsets count is a
+        // real u32 buffer, not a hard-coded constant.
+        let nw = 10_000usize.div_ceil(32);
+        let expected = (nw * 4) + 4 + (nw.div_ceil(32) * 4) + (nw * 4) + 4;
+        assert_eq!(f.device_bytes(), expected as u64);
     }
 
     #[test]

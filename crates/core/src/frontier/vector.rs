@@ -17,6 +17,7 @@ pub struct VectorFrontier {
     n: usize,
     items: DeviceBuffer<u32>,
     size: DeviceBuffer<u32>,
+    high_water: std::sync::atomic::AtomicUsize,
 }
 
 impl VectorFrontier {
@@ -26,6 +27,7 @@ impl VectorFrontier {
             n,
             items: q.malloc_device::<u32>(capacity.max(1))?,
             size: q.malloc_device::<u32>(1)?,
+            high_water: std::sync::atomic::AtomicUsize::new(capacity.max(1)),
         })
     }
 
@@ -62,6 +64,33 @@ impl VectorFrontier {
         lane.store(&self.items, idx, v);
     }
 
+    /// Device-side append that reports instead of overflowing: returns
+    /// `false` (and stores nothing) when the reserved slot is past
+    /// capacity. Lets bounded consumers (the hybrid frontier's item list)
+    /// detect overflow and fall back rather than corrupt memory. The tail
+    /// counter still advances, so `len()` is only trustworthy while every
+    /// append returned `true`.
+    pub fn append_lane_checked(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> bool {
+        let idx = lane.fetch_add(&self.size, 0, 1) as usize;
+        if idx < self.items.len() {
+            lane.store(&self.items, idx, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Host-side append that reports instead of asserting on overflow.
+    pub fn try_insert_host(&self, v: VertexId) -> bool {
+        let idx = self.size.fetch_add(0, 1) as usize;
+        if idx < self.items.len() {
+            self.items.store(idx, v);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Device-side indexed read.
     pub fn get_lane(&self, lane: &mut ItemCtx<'_>, i: usize) -> VertexId {
         lane.load(&self.items, i)
@@ -81,6 +110,11 @@ impl VectorFrontier {
         &self.items
     }
 
+    /// The device tail counter (conversion kernels append through it).
+    pub(crate) fn size_buffer(&self) -> &DeviceBuffer<u32> {
+        &self.size
+    }
+
     /// Grows (2× policy) until at least `needed` slots exist: allocates
     /// the new buffer, copies, then frees the old one — transiently
     /// holding both, which is the realloc memory spike of Figure 9.
@@ -96,7 +130,71 @@ impl VectorFrontier {
         q.copy(&self.items, &bigger);
         let old = std::mem::replace(&mut self.items, bigger);
         q.free(old);
+        self.note_high_water();
         Ok(())
+    }
+
+    /// Releases slack capacity down to the current element count: without
+    /// this, one duplicate-inflated superstep pins its 2×-grown buffer for
+    /// the rest of the run (the plateau after each spike in Figure 9).
+    /// Records the capacity high-water mark as a profiler marker so the
+    /// sim memory stats retain it after the buffer shrinks.
+    pub fn shrink_to_fit(&mut self, q: &Queue) -> SimResult<()> {
+        self.note_high_water();
+        let len = self.len();
+        let target = len.max(1);
+        if target >= self.items.len() {
+            return Ok(());
+        }
+        q.mark(format!(
+            "vector_high_water_bytes:{}",
+            self.high_water_bytes()
+        ));
+        let smaller = q.malloc_device::<u32>(target)?;
+        let old_items = &self.items;
+        q.parallel_for("vector_shrink_copy", len, |lane, i| {
+            let v = lane.load(old_items, i);
+            lane.store(&smaller, i, v);
+        });
+        let old = std::mem::replace(&mut self.items, smaller);
+        q.free(old);
+        Ok(())
+    }
+
+    /// Empties the frontier *and* returns its buffer to `capacity` slots —
+    /// the between-supersteps reset that keeps a transient duplicate burst
+    /// from pinning peak memory. Also records the high-water marker.
+    pub fn reset(&mut self, q: &Queue, capacity: usize) -> SimResult<()> {
+        self.note_high_water();
+        self.set_len(0);
+        let target = capacity.max(1);
+        if target < self.items.len() {
+            q.mark(format!(
+                "vector_high_water_bytes:{}",
+                self.high_water_bytes()
+            ));
+            let fresh = q.malloc_device::<u32>(target)?;
+            let old = std::mem::replace(&mut self.items, fresh);
+            q.free(old);
+        }
+        Ok(())
+    }
+
+    /// Largest slot capacity this frontier has ever held.
+    pub fn high_water_slots(&self) -> usize {
+        self.high_water
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .max(self.items.len())
+    }
+
+    /// [`VectorFrontier::high_water_slots`] in bytes (items buffer only).
+    pub fn high_water_bytes(&self) -> u64 {
+        (self.high_water_slots() * std::mem::size_of::<u32>()) as u64
+    }
+
+    fn note_high_water(&self) {
+        self.high_water
+            .fetch_max(self.items.len(), std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -213,6 +311,63 @@ mod tests {
         assert!(evs.iter().any(|e| e.delta_bytes < 0), "old buffer freed");
         let peak_during = evs.iter().map(|e| e.usage_after).max().unwrap();
         assert!(peak_during >= (4 + 128) * 4, "both buffers coexisted");
+    }
+
+    #[test]
+    fn shrink_to_fit_releases_slack_and_keeps_high_water() {
+        let q = queue();
+        let mut f = VectorFrontier::with_capacity(&q, 1000, 4).unwrap();
+        f.ensure_capacity(&q, 600).unwrap();
+        assert_eq!(f.capacity_slots(), 1024, "2x growth");
+        for v in 0..5u32 {
+            f.insert_host(v);
+        }
+        f.shrink_to_fit(&q).unwrap();
+        assert_eq!(f.capacity_slots(), 5, "slack released down to len");
+        assert_eq!(f.to_sorted_vec(), vec![0, 1, 2, 3, 4], "contents survive");
+        assert_eq!(f.high_water_slots(), 1024, "peak capacity remembered");
+        // The peak is surfaced to the sim memory stats as a marker...
+        let markers = q.profiler().markers();
+        assert!(
+            markers
+                .iter()
+                .any(|m| m.label == format!("vector_high_water_bytes:{}", 1024 * 4)),
+            "high-water marker recorded: {markers:?}"
+        );
+        // ...and the old buffer shows up as freed in the mem events.
+        assert!(q
+            .profiler()
+            .mem_events()
+            .iter()
+            .any(|e| e.delta_bytes == -(1024 * 4)));
+    }
+
+    #[test]
+    fn shrink_to_fit_without_slack_is_free() {
+        let q = queue();
+        let mut f = VectorFrontier::with_capacity(&q, 100, 3).unwrap();
+        for v in 0..3u32 {
+            f.insert_host(v);
+        }
+        let events = q.profiler().mem_events().len();
+        f.shrink_to_fit(&q).unwrap();
+        assert_eq!(f.capacity_slots(), 3);
+        assert_eq!(q.profiler().mem_events().len(), events, "no realloc");
+    }
+
+    #[test]
+    fn reset_empties_and_restores_baseline_capacity() {
+        let q = queue();
+        let mut f = VectorFrontier::with_capacity(&q, 1000, 8).unwrap();
+        f.ensure_capacity(&q, 512).unwrap();
+        for v in 0..100u32 {
+            f.insert_host(v);
+        }
+        f.reset(&q, 8).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(f.capacity_slots(), 8, "buffer back at baseline");
+        assert_eq!(f.high_water_slots(), 512, "spike retained in stats");
+        assert!(f.high_water_bytes() >= 512 * 4);
     }
 
     #[test]

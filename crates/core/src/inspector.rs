@@ -5,6 +5,8 @@
 use serde::{Deserialize, Serialize};
 use sygraph_sim::{DeviceProfile, Vendor};
 
+use crate::frontier::RepKind;
+
 /// Advance load-balancing policy (§4.2): how compacted frontier vertices
 /// are mapped onto execution resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,6 +27,23 @@ pub enum Balancing {
     Auto,
 }
 
+/// Frontier representation policy: how the active set is materialized for
+/// the advance (GraphBLAST-style sparse/dense mask switching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Representation {
+    /// Always the bitmap path — the paper's §4.3 two-layer layout with
+    /// its per-superstep compaction scan.
+    Dense,
+    /// Always the item-list path: advance walks an explicit duplicate-free
+    /// vertex list, skipping the compaction scan entirely.
+    Sparse,
+    /// Pick per superstep from the population count the engine already
+    /// syncs for convergence, with hysteresis (see
+    /// [`Tuning::choose_representation`]).
+    #[default]
+    Auto,
+}
+
 /// Which of the paper's §4 optimizations are enabled. Figure 7 ablates:
 /// plain bitmap (all off), *MSI*, *CF*, *2LB* and *All*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,6 +60,10 @@ pub struct OptConfig {
     /// compaction, so it degrades to workgroup-mapped on single-layer
     /// bitmaps.
     pub balancing: Balancing,
+    /// Frontier representation policy. Sparse and auto need the hybrid /
+    /// list frontiers, which build on the two-layer machinery; with
+    /// `two_layer` off the engine stays on the plain dense bitmap.
+    pub representation: Representation,
 }
 
 impl OptConfig {
@@ -51,6 +74,7 @@ impl OptConfig {
             coarsening: true,
             two_layer: true,
             balancing: Balancing::Auto,
+            representation: Representation::Auto,
         }
     }
 
@@ -61,6 +85,7 @@ impl OptConfig {
             coarsening: false,
             two_layer: false,
             balancing: Balancing::WorkgroupMapped,
+            representation: Representation::Dense,
         }
     }
 
@@ -69,6 +94,16 @@ impl OptConfig {
     pub fn with_balancing(balancing: Balancing) -> Self {
         OptConfig {
             balancing,
+            ..Self::all()
+        }
+    }
+
+    /// `all()` with an explicit frontier representation — the
+    /// configuration axis of the `frontier_rep` ablation and the CLI's
+    /// `--frontier` flag.
+    pub fn with_representation(representation: Representation) -> Self {
+        OptConfig {
+            representation,
             ..Self::all()
         }
     }
@@ -132,6 +167,17 @@ pub struct Tuning {
     /// chunked large bucket (one workgroup per neighbor chunk). The chunk
     /// size equals this threshold, so every chunk saturates a workgroup.
     pub large_min_degree: u32,
+    /// Frontier representation policy (see [`Representation`]).
+    pub representation: Representation,
+    /// Auto representation: adopt the sparse list when the estimated
+    /// active-vertex count drops below `capacity / sparse_enter_div`.
+    pub sparse_enter_div: u32,
+    /// Auto representation: fall back to the dense bitmap when the
+    /// estimated active-vertex count exceeds `capacity / sparse_exit_div`.
+    /// Kept at half of `sparse_enter_div` so the two thresholds form a 2×
+    /// hysteresis band — a frontier oscillating around one boundary does
+    /// not convert back and forth every superstep.
+    pub sparse_exit_div: u32,
 }
 
 impl Tuning {
@@ -209,6 +255,38 @@ impl Tuning {
         }
     }
 
+    /// Resolve the [`Representation`] policy for the upcoming superstep.
+    ///
+    /// `est_active` is an upper bound on the input frontier's population:
+    /// exact when the previous superstep ran sparse (the list length), and
+    /// `nonzero_words × word_bits` when it ran dense — both are counts the
+    /// engine already read back for convergence, so the decision costs no
+    /// extra host round-trip. `current` feeds the hysteresis: a dense
+    /// frontier goes sparse only below `capacity / sparse_enter_div`
+    /// (default n/64) and a sparse one goes dense only above
+    /// `capacity / sparse_exit_div` (default n/32), so a wavefront sitting
+    /// on one boundary never pays conversion every superstep.
+    pub fn choose_representation(
+        &self,
+        est_active: usize,
+        capacity: usize,
+        current: RepKind,
+    ) -> RepKind {
+        match self.representation {
+            Representation::Dense => RepKind::Dense,
+            Representation::Sparse => RepKind::Sparse,
+            Representation::Auto => {
+                let enter = capacity / (self.sparse_enter_div.max(1) as usize);
+                let exit = capacity / (self.sparse_exit_div.max(1) as usize);
+                match current {
+                    RepKind::Dense if est_active <= enter => RepKind::Sparse,
+                    RepKind::Sparse if est_active > exit => RepKind::Dense,
+                    unchanged => unchanged,
+                }
+            }
+        }
+    }
+
     /// The graph-shape half of the `Auto` decision: hubs exist (max degree
     /// reaches the large bucket) *and* they cluster into hot bitmap words.
     /// `None` (no profile available) stays conservative.
@@ -228,6 +306,18 @@ pub const AUTO_MIN_WORDS: usize = 4;
 /// generator suite separates cleanly: R-MAT/social stand-ins measure
 /// 16–43, the web stand-in ≈ 3.4 and road networks ≈ 1.2.
 pub const AUTO_MIN_WORD_SKEW: f64 = 8.0;
+
+/// Default `Auto` representation entry divisor: a dense frontier adopts
+/// the sparse list once its estimated population drops below n/64. The
+/// dense estimate is `nonzero_words × word_bits` — an upper bound that
+/// already over-counts scattered frontiers — so the divisor is kept
+/// conservative.
+pub const SPARSE_ENTER_DIV: u32 = 64;
+
+/// Default `Auto` representation exit divisor: a sparse frontier falls
+/// back to the dense bitmap once its (exact) population exceeds n/32.
+/// Half the entry divisor — a 2× hysteresis band.
+pub const SPARSE_EXIT_DIV: u32 = 32;
 
 /// Vertex-ID window used for [`DegreeProfile::word_skew`]: one 32-bit
 /// bitmap word's worth of vertices (the workgroup-mapped advance's unit
@@ -350,6 +440,9 @@ pub fn inspect(profile: &DeviceProfile, opts: &OptConfig, num_vertices: usize) -
         balancing: opts.balancing,
         small_max_degree: (sg_size / 2).max(2),
         large_min_degree: wg_size * 4,
+        representation: opts.representation,
+        sparse_enter_div: SPARSE_ENTER_DIV,
+        sparse_exit_div: SPARSE_EXIT_DIV,
     }
 }
 
@@ -409,10 +502,73 @@ mod tests {
             balancing: Balancing::WorkgroupMapped,
             small_max_degree: 16,
             large_min_degree: 512,
+            representation: Representation::Dense,
+            sparse_enter_div: SPARSE_ENTER_DIV,
+            sparse_exit_div: SPARSE_EXIT_DIV,
         };
         assert_eq!(t.wg_size(), 128);
         assert_eq!(t.words_per_group(), 8);
         assert_eq!(t.advance_local_bytes(), 8 * 32 * 4);
+    }
+
+    #[test]
+    fn representation_hysteresis() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), 1 << 20);
+        assert_eq!(t.representation, Representation::Auto);
+        let n = 6400usize;
+        let enter = n / SPARSE_ENTER_DIV as usize; // 100
+        let exit = n / SPARSE_EXIT_DIV as usize; // 200
+                                                 // Dense stays dense until the population drops to the entry bar.
+        assert_eq!(
+            t.choose_representation(enter + 1, n, RepKind::Dense),
+            RepKind::Dense
+        );
+        assert_eq!(
+            t.choose_representation(enter, n, RepKind::Dense),
+            RepKind::Sparse
+        );
+        // Sparse stays sparse inside the hysteresis band…
+        assert_eq!(
+            t.choose_representation(exit, n, RepKind::Sparse),
+            RepKind::Sparse
+        );
+        // …and exits only above the (2× higher) exit bar.
+        assert_eq!(
+            t.choose_representation(exit + 1, n, RepKind::Sparse),
+            RepKind::Dense
+        );
+        // Forced policies ignore the estimate.
+        let dense = Tuning {
+            representation: Representation::Dense,
+            ..t
+        };
+        assert_eq!(
+            dense.choose_representation(0, n, RepKind::Sparse),
+            RepKind::Dense
+        );
+        let sparse = Tuning {
+            representation: Representation::Sparse,
+            ..t
+        };
+        assert_eq!(
+            sparse.choose_representation(n, n, RepKind::Dense),
+            RepKind::Sparse
+        );
+    }
+
+    #[test]
+    fn baseline_and_ablation_configs_stay_dense() {
+        assert_eq!(OptConfig::baseline().representation, Representation::Dense);
+        assert_eq!(OptConfig::all().representation, Representation::Auto);
+        assert_eq!(
+            OptConfig::with_representation(Representation::Sparse).representation,
+            Representation::Sparse
+        );
+        for (label, cfg) in OptConfig::ablation_suite() {
+            if label != "All" {
+                assert_eq!(cfg.representation, Representation::Dense, "{label}");
+            }
+        }
     }
 
     #[test]

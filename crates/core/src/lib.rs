@@ -36,11 +36,11 @@ pub mod types;
 
 pub use engine::{fixed_point, SuperstepEngine, NO_COMPUTE};
 pub use frontier::{
-    swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier, VectorFrontier,
-    Word,
+    swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, HybridFrontier, RepKind,
+    SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
 };
 pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
-pub use inspector::{inspect, Balancing, DegreeProfile, OptConfig, Tuning};
+pub use inspector::{inspect, Balancing, DegreeProfile, OptConfig, Representation, Tuning};
 pub use operators::advance::Advance;
 pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 
@@ -51,11 +51,13 @@ pub mod prelude {
         intersection, rebuild_layer2, subtraction, symmetric_difference, union, SetOp,
     };
     pub use crate::frontier::{
-        swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, TwoLayerFrontier,
-        VectorFrontier, Word,
+        swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, HybridFrontier, RepKind,
+        SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
     };
     pub use crate::graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
-    pub use crate::inspector::{inspect, Balancing, DegreeProfile, OptConfig, Tuning};
+    pub use crate::inspector::{
+        inspect, Balancing, DegreeProfile, OptConfig, Representation, Tuning,
+    };
     pub use crate::operators;
     pub use crate::operators::advance::{Advance, FusedCompute};
     pub use crate::types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};

@@ -18,7 +18,9 @@
 //! [`crate::frontier::BitmapLike::compact`], so no workgroup is ever
 //! scheduled onto an all-zero word (Figure 5a).
 
-use sygraph_sim::{full_mask, Event, ItemCtx, LaunchConfig, Queue, SubgroupCtx, MAX_SUBGROUP};
+use sygraph_sim::{
+    full_mask, DeviceBuffer, Event, ItemCtx, LaunchConfig, Queue, SubgroupCtx, MAX_SUBGROUP,
+};
 
 use crate::frontier::bucket::{self, BucketPool, BucketSpec};
 use crate::frontier::word::Word;
@@ -390,7 +392,24 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
 // Degree-bucketed dispatch (§4.2 hybrid load balancing)
 // ---------------------------------------------------------------------------
 
-/// The bucketed advance: bin the compacted vertices by degree, then run
+/// What the binning kernel reads: the compacted non-zero words of a dense
+/// frontier, or a sparse frontier's duplicate-free item list. Either way
+/// the pool ends up holding the same three degree buckets, so the
+/// expansion kernels downstream cannot tell the representations apart —
+/// the load-balancing and representation axes compose freely.
+enum BinInput<'a, W: Word> {
+    Compacted {
+        words: &'a DeviceBuffer<W>,
+        offsets: &'a DeviceBuffer<u32>,
+        nz: usize,
+    },
+    List {
+        items: &'a DeviceBuffer<u32>,
+        len: usize,
+    },
+}
+
+/// The bucketed advance: bin the active vertices by degree, then run
 /// up to three kernels, each shaped for its degree band. Returns `None`
 /// when no bucket buffers could be obtained (caller falls back to the
 /// workgroup-mapped path).
@@ -398,9 +417,7 @@ fn launch_advance<W: Word, G: DeviceGraphView + ?Sized>(
 fn bucketed_impl<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
-    input: &dyn BitmapLike<W>,
-    offsets: &sygraph_sim::DeviceBuffer<u32>,
-    nz: usize,
+    bin: BinInput<'_, W>,
     output: Option<&dyn BitmapLike<W>>,
     tuning: &Tuning,
     pool: Option<&BucketPool>,
@@ -428,17 +445,23 @@ fn bucketed_impl<W: Word, G: DeviceGraphView + ?Sized>(
         let (lo, hi) = graph.row_bounds(lane, v);
         hi - lo
     };
-    let counts = bucket::bin_compacted(q, input.words(), offsets, nz, pool, &degree_of, &spec);
+    let counts = match bin {
+        BinInput::Compacted { words, offsets, nz } => {
+            bucket::bin_compacted(q, words, offsets, nz, pool, &degree_of, &spec)
+        }
+        BinInput::List { items, len } => bucket::bin_list(q, items, len, pool, &degree_of, &spec),
+    };
     let mut last = no_launch(q);
     if counts.small > 0 {
         last = launch_small(q, graph, tuning, pool, counts.small, output, fused, functor);
     }
     if counts.medium > 0 {
-        last = launch_medium(
+        last = launch_list(
             q,
             graph,
             tuning,
-            pool,
+            "advance_medium",
+            &pool.medium,
             counts.medium,
             output,
             fused,
@@ -506,16 +529,18 @@ fn launch_small<W: Word, G: DeviceGraphView + ?Sized>(
     })
 }
 
-/// Medium bucket: one subgroup per vertex, all lanes striding the
-/// adjacency together — the same cooperative expansion as the
-/// workgroup-mapped path, minus the bitmap walk (vertices arrive
-/// pre-compacted from the binning kernel).
+/// Subgroup-per-vertex expansion over an explicit vertex list: all lanes
+/// stride the adjacency together — the same cooperative expansion as the
+/// workgroup-mapped path, minus the bitmap walk. Serves two callers that
+/// differ only in where the list came from: the medium degree bucket
+/// ("advance_medium") and a sparse frontier's item list ("advance_sparse").
 #[allow(clippy::too_many_arguments)]
-fn launch_medium<W: Word, G: DeviceGraphView + ?Sized>(
+fn launch_list<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
     graph: &G,
     tuning: &Tuning,
-    pool: &BucketPool,
+    name: &'static str,
+    items: &DeviceBuffer<u32>,
     count: u32,
     output: Option<&dyn BitmapLike<W>>,
     fused: Option<FusedCompute<'_>>,
@@ -527,8 +552,7 @@ fn launch_medium<W: Word, G: DeviceGraphView + ?Sized>(
     let vpg = sgs * coarsening;
     let n_items = count as usize;
     let groups = n_items.div_ceil(vpg.max(1));
-    let medium = &pool.medium;
-    let cfg = LaunchConfig::new("advance_medium", groups, tuning.wg_size(), tuning.sg_size);
+    let cfg = LaunchConfig::new(name, groups, tuning.wg_size(), tuning.sg_size);
     q.launch(cfg, |ctx| {
         let base = ctx.group_id * vpg;
         ctx.for_each_subgroup(|sg| {
@@ -537,7 +561,7 @@ fn launch_medium<W: Word, G: DeviceGraphView + ?Sized>(
                 if pos >= n_items {
                     break;
                 }
-                let v = sg.load_uniform(medium, pos);
+                let v = sg.load_uniform(items, pos);
                 let (lo, hi) = graph.row_bounds_uniform(sg, v);
                 let mut e = lo;
                 while e < hi {
@@ -603,61 +627,6 @@ fn launch_large<W: Word, G: DeviceGraphView + ?Sized>(
     })
 }
 
-/// `advance::frontier(G, In, Out, Functor)` — expands `input`, storing
-/// accepted destinations in `output`.
-#[deprecated(note = "use the unified `advance::Advance` builder instead")]
-pub fn frontier<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    input: &dyn BitmapLike<W>,
-    output: &dyn BitmapLike<W>,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> Event {
-    frontier_impl(q, graph, input, Some(output), tuning, None, None, &functor).0
-}
-
-/// `advance::frontier(G, In, Functor)` — same, without storing results.
-#[deprecated(note = "use the unified `advance::Advance` builder instead")]
-pub fn frontier_discard<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    input: &dyn BitmapLike<W>,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> Event {
-    frontier_impl(q, graph, input, None, tuning, None, None, &functor).0
-}
-
-/// Like [`frontier`], but also reports how many non-zero bitmap words the
-/// pre-advance compaction found in `input` — `Some(0)` means the input
-/// frontier was empty, letting superstep loops terminate without a
-/// separate count kernel (a 2LB-specific win; `None` for single-layer
-/// bitmaps, which have no compaction step).
-#[deprecated(note = "use the unified `advance::Advance` builder instead")]
-pub fn frontier_counted<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    input: &dyn BitmapLike<W>,
-    output: &dyn BitmapLike<W>,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, Some(output), tuning, None, None, &functor)
-}
-
-/// Counted variant of [`frontier_discard`].
-#[deprecated(note = "use the unified `advance::Advance` builder instead")]
-pub fn frontier_discard_counted<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    input: &dyn BitmapLike<W>,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> (Event, Option<usize>) {
-    frontier_impl(q, graph, input, None, tuning, None, None, &functor)
-}
-
 #[allow(clippy::too_many_arguments)]
 fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
@@ -669,6 +638,42 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
     fused: Option<FusedCompute<'_>>,
     functor: &impl AdvanceFunctor,
 ) -> (Event, Option<usize>) {
+    // Sparse (item-list) dispatch: when the input presents a valid list,
+    // skip the bitmap scan entirely — the list length *is* the frontier
+    // population, read back with no kernel at all. The counted result
+    // reports entries instead of non-zero words; `Some(0)` still means
+    // "converged" to superstep loops.
+    if let Some(view) = input.sparse_view(q) {
+        let entries = view.len;
+        if entries == 0 {
+            return (no_launch(q), Some(0));
+        }
+        // The balancing bar is keyed on non-zero words; entries compress
+        // into at least ⌈entries/word_bits⌉ of them.
+        let est_words = entries.div_ceil(tuning.word_bits.max(1) as usize);
+        let strategy = tuning.effective_balancing(est_words, graph.degree_profile());
+        if strategy == Balancing::Bucketed {
+            let bin = BinInput::List {
+                items: view.items,
+                len: entries,
+            };
+            if let Some(ev) = bucketed_impl(q, graph, bin, output, tuning, pool, fused, functor) {
+                return (ev, Some(entries));
+            }
+        }
+        let ev = launch_list(
+            q,
+            graph,
+            tuning,
+            "advance_sparse",
+            view.items,
+            entries as u32,
+            output,
+            fused,
+            functor,
+        );
+        return (ev, Some(entries));
+    }
     match input.compact(q) {
         Some((n_nonzero, offsets)) => {
             if n_nonzero == 0 {
@@ -680,9 +685,13 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
             // path: the binning kernel runs over the offsets buffer.
             let strategy = tuning.effective_balancing(n_nonzero, graph.degree_profile());
             if strategy == Balancing::Bucketed {
-                if let Some(ev) = bucketed_impl(
-                    q, graph, input, offsets, n_nonzero, output, tuning, pool, fused, functor,
-                ) {
+                let bin = BinInput::Compacted {
+                    words: input.words(),
+                    offsets,
+                    nz: n_nonzero,
+                };
+                if let Some(ev) = bucketed_impl(q, graph, bin, output, tuning, pool, fused, functor)
+                {
                     return (ev, Some(n_nonzero));
                 }
                 // Bucket buffers unavailable (allocation failed): fall
@@ -722,30 +731,6 @@ fn frontier_impl<W: Word, G: DeviceGraphView + ?Sized>(
             (ev, None)
         }
     }
-}
-
-/// `advance::vertices(G, Out, Functor)` — treats *every* vertex as active
-/// (e.g. the initialization advance of Betweenness Centrality).
-#[deprecated(note = "use `advance::Advance::all_vertices` instead")]
-pub fn vertices<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    output: &dyn BitmapLike<W>,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> Event {
-    vertices_impl(q, graph, Some(output), tuning, None, &functor)
-}
-
-/// `advance::vertices(G, Functor)` — same, without storing results.
-#[deprecated(note = "use `advance::Advance::all_vertices` instead")]
-pub fn vertices_discard<W: Word, G: DeviceGraphView + ?Sized>(
-    q: &Queue,
-    graph: &G,
-    tuning: &Tuning,
-    functor: impl AdvanceFunctor,
-) -> Event {
-    vertices_impl::<W, G>(q, graph, None, tuning, None, &functor)
 }
 
 fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
@@ -894,7 +879,7 @@ fn launch_edges<W: Word>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frontier::{BitmapFrontier, Frontier, TwoLayerFrontier};
+    use crate::frontier::{BitmapFrontier, Frontier, SparseFrontier, TwoLayerFrontier};
     use crate::graph::device::DeviceCsr;
     use crate::graph::host::CsrHost;
     use crate::inspector::{inspect, OptConfig};
@@ -1504,30 +1489,94 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
+    fn sparse_input_skips_compaction_and_matches_dense() {
         let q = queue();
         let g = star_graph(&q);
         let t = tuning(&q, 22);
-        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
-        let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
-        input.insert_host(0);
-        frontier(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
-        assert_eq!(output.count(&q), 20);
-        output.clear(&q);
-        let (_, nz) = frontier_counted(&q, &g, &input, &output, &t, |_l, _s, _d, _e, _w| true);
-        assert_eq!(nz, Some(1));
-        let visits = q.malloc_device::<u32>(1).unwrap();
-        frontier_discard(&q, &g, &input, &t, |l, _s, _d, _e, _w| {
-            l.fetch_add(&visits, 0, 1);
-            false
-        });
-        let (_, nz) = frontier_discard_counted(&q, &g, &input, &t, |_l, _s, _d, _e, _w| false);
-        assert_eq!(nz, Some(1));
-        assert_eq!(visits.load(0), 20);
-        let all_out = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
-        vertices(&q, &g, &all_out, &t, |_l, _s, _d, _e, _w| true);
-        assert_eq!(all_out.count(&q), 20);
-        vertices_discard::<u32, _>(&q, &g, &t, |_l, _s, _d, _e, _w| false);
+        let dense_in = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let dense_out = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        dense_in.insert_host(0);
+        Advance::new(&q, &g, &dense_in)
+            .output(&dense_out)
+            .tuning(&t)
+            .run(|_l, _s, d, _e, _w| d != 7);
+
+        let sparse_in = SparseFrontier::<u32>::new(&q, 22).unwrap();
+        let sparse_out = SparseFrontier::<u32>::new(&q, 22).unwrap();
+        sparse_in.insert_host(0);
+        let before = q.profiler().kernel_count();
+        let (_, counted) = Advance::new(&q, &g, &sparse_in)
+            .output(&sparse_out)
+            .tuning(&t)
+            .run(|_l, _s, d, _e, _w| d != 7);
+        let names = kernel_names_after(&q, before);
+        assert_eq!(counted, Some(1), "counted result is the list length");
+        assert!(names.contains(&"advance_sparse".to_string()));
+        assert!(
+            !names
+                .iter()
+                .any(|n| n == "frontier_compact" || n == "advance"),
+            "sparse dispatch must skip the bitmap scan: {names:?}"
+        );
+        assert_eq!(sparse_out.words().to_vec(), dense_out.words().to_vec());
+    }
+
+    #[test]
+    fn sparse_empty_input_launches_nothing() {
+        let q = queue();
+        let g = star_graph(&q);
+        let t = tuning(&q, 22);
+        let input = SparseFrontier::<u32>::new(&q, 22).unwrap();
+        let output = SparseFrontier::<u32>::new(&q, 22).unwrap();
+        let before = q.profiler().kernel_count();
+        let (_, counted) = Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(counted, Some(0));
+        assert_eq!(
+            q.profiler().kernel_count(),
+            before,
+            "an empty sparse frontier costs zero kernels — not even a compaction"
+        );
+    }
+
+    #[test]
+    fn sparse_input_through_bucketed_path_matches() {
+        let q = queue();
+        let g = mixed_degree_graph(&q);
+        let t = bucket_tuning(&q, 22);
+        let run_dense = || {
+            let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            let output = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+            for v in [0, 1, 2] {
+                input.insert_host(v);
+            }
+            let (_, nz) = Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(&t)
+                .run(|_l, _s, d, _e, _w| d != 7);
+            (output.words().to_vec(), nz)
+        };
+        let run_sparse = || {
+            let input = SparseFrontier::<u32>::new(&q, 22).unwrap();
+            let output = SparseFrontier::<u32>::new(&q, 22).unwrap();
+            for v in [0, 1, 2] {
+                input.insert_host(v);
+            }
+            let before = q.profiler().kernel_count();
+            let (_, counted) = Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(&t)
+                .run(|_l, _s, d, _e, _w| d != 7);
+            let names = kernel_names_after(&q, before);
+            assert!(names.contains(&"advance_bucket_bin".to_string()));
+            assert!(!names.contains(&"frontier_compact".to_string()));
+            (output.words().to_vec(), counted)
+        };
+        let (dense_words, _) = run_dense();
+        let (sparse_words, counted) = run_sparse();
+        assert_eq!(dense_words, sparse_words, "bit-identical across reps");
+        assert_eq!(counted, Some(3), "three active vertices in the list");
     }
 }

@@ -51,6 +51,6 @@ pub use device::{DeviceProfile, Vendor};
 pub use error::{SimError, SimResult};
 pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupCtx, MAX_SUBGROUP};
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
-pub use profiler::{KernelRecord, Marker, MemEvent, Profiler};
+pub use profiler::{KernelRecord, Marker, MemEvent, Profiler, RepEvent};
 pub use queue::{Device, Event, Queue};
 pub use stats::{GroupStats, KernelStats};

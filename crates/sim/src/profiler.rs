@@ -44,11 +44,26 @@ pub struct Marker {
     pub kernel_watermark: usize,
 }
 
+/// One superstep's frontier-representation choice, as recorded by the
+/// engine: which representation the input frontier ran under and whether
+/// that was a switch from the previous superstep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepEvent {
+    pub t_ns: f64,
+    /// Superstep index within the engine run (0-based).
+    pub superstep: u32,
+    /// Representation label ("dense" / "sparse").
+    pub rep: String,
+    /// Whether this superstep changed representation.
+    pub switched: bool,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     kernels: Vec<KernelRecord>,
     mem_events: Vec<MemEvent>,
     markers: Vec<Marker>,
+    rep_events: Vec<RepEvent>,
 }
 
 /// Thread-safe profiler attached to a queue.
@@ -94,6 +109,32 @@ impl Profiler {
     /// Snapshot of markers.
     pub fn markers(&self) -> Vec<Marker> {
         self.inner.lock().markers.clone()
+    }
+
+    /// Records a frontier-representation choice for one superstep.
+    pub fn record_rep(&self, t_ns: f64, superstep: u32, rep: &str, switched: bool) {
+        self.inner.lock().rep_events.push(RepEvent {
+            t_ns,
+            superstep,
+            rep: rep.to_string(),
+            switched,
+        });
+    }
+
+    /// Snapshot of representation events.
+    pub fn rep_events(&self) -> Vec<RepEvent> {
+        self.inner.lock().rep_events.clone()
+    }
+
+    /// Number of representation *switches* recorded (events with
+    /// `switched == true`).
+    pub fn rep_switch_count(&self) -> usize {
+        self.inner
+            .lock()
+            .rep_events
+            .iter()
+            .filter(|e| e.switched)
+            .count()
     }
 
     /// Number of kernels recorded so far.
@@ -193,6 +234,7 @@ impl Profiler {
         inner.kernels.clear();
         inner.mem_events.clear();
         inner.markers.clear();
+        inner.rep_events.clear();
     }
 }
 
@@ -271,8 +313,23 @@ mod tests {
         p.record_kernel(krec("a", 0, 0, 10, 0.5));
         assert_eq!(p.total_dram_bytes(), 1280);
         assert_eq!(p.kernel_count(), 1);
+        p.record_rep(0.0, 0, "dense", false);
         p.reset();
         assert_eq!(p.kernel_count(), 0);
         assert_eq!(p.total_dram_bytes(), 0);
+        assert!(p.rep_events().is_empty());
+    }
+
+    #[test]
+    fn rep_events_count_switches() {
+        let p = Profiler::new();
+        p.record_rep(0.0, 0, "dense", false);
+        p.record_rep(1.0, 1, "sparse", true);
+        p.record_rep(2.0, 2, "sparse", false);
+        p.record_rep(3.0, 3, "dense", true);
+        assert_eq!(p.rep_events().len(), 4);
+        assert_eq!(p.rep_switch_count(), 2);
+        assert_eq!(p.rep_events()[1].rep, "sparse");
+        assert_eq!(p.rep_events()[3].superstep, 3);
     }
 }
