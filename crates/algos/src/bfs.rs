@@ -62,9 +62,13 @@ fn run_impl<W: Word>(
         .fused(fused)
         .mark_prefix("bfs_iter")
         .max_iters(n + 1, "BFS failed to converge");
+    // Atomic access to dist[]: in the fused path the stamp runs in the
+    // same launch as the functor's unvisited check, so lanes read cells
+    // other lanes are writing. Racing lanes all write the same `iter+1`
+    // (a benign same-value race on real GPUs, made explicit here).
     let iterations = engine.run(
-        |l, _iter, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
-        Some(&|l, iter, v| l.store(&dist, v as usize, iter + 1)),
+        |l, _iter, _u, v, _e, _w| l.load_atomic(&dist, v as usize) == INF_DIST,
+        Some(&|l, iter, v| l.store_atomic(&dist, v as usize, iter + 1)),
     )?;
 
     Ok(AlgoResult {

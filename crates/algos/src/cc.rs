@@ -54,12 +54,16 @@ fn run_shortcut_impl<W: Word>(
     // Shortcut pass (post-step hook): chase label chains to their root
     // (pointer jumping, as in union-find's find). A change re-activates
     // the vertex so the shortened label keeps propagating.
+    // All labels[] traffic in the shortcut pass is atomic: lanes chase
+    // chains through cells other lanes are rewriting in the same launch.
+    // A racing write only ever replaces a label with a smaller one from
+    // the same chain, so any interleaving converges to the same roots.
     let shortcut = |q: &Queue, _iter: u32, out: &dyn BitmapLike<W>| {
         q.parallel_for("cc_shortcut", n, |l, v| {
-            let start = l.load(&labels, v);
+            let start = l.load_atomic(&labels, v);
             let mut root = start;
             loop {
-                let next = l.load(&labels, root as usize);
+                let next = l.load_atomic(&labels, root as usize);
                 if next >= root {
                     break;
                 }
@@ -67,14 +71,14 @@ fn run_shortcut_impl<W: Word>(
                 l.compute(2);
             }
             if root < start {
-                l.store(&labels, v, root);
+                l.store_atomic(&labels, v, root);
                 out.insert_lane(l, v as u32);
             }
         });
     };
     let iterations = engine.run_with_post(
         |l, _iter, u, v, _e, _w| {
-            let lu = l.load(&labels, u as usize);
+            let lu = l.load_atomic(&labels, u as usize);
             let old = l.fetch_min(&labels, v as usize, lu);
             lu < old
         },
@@ -111,9 +115,12 @@ fn run_impl<W: Word>(
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .mark_prefix("cc_iter")
         .max_iters(n + 1, "CC failed to converge");
+    // labels[u] is read atomically: neighbours may be lowering it via
+    // fetch_min in this same launch; a stale value only costs an extra
+    // superstep of propagation.
     let iterations = engine.run(
         |l, _iter, u, v, _e, _w| {
-            let lu = l.load(&labels, u as usize);
+            let lu = l.load_atomic(&labels, u as usize);
             let old = l.fetch_min(&labels, v as usize, lu);
             lu < old
         },

@@ -51,9 +51,12 @@ fn run_impl<W: Word>(
             n + 1,
             "Bellman-Ford exceeded |V| iterations (negative cycle?)",
         );
+    // dist[u] is read atomically: other lanes may be relaxing u's own
+    // distance (fetch_min) in this same launch. A stale read only delays
+    // convergence by a superstep; it never corrupts a distance.
     let iterations = engine.run(
         |l, _iter, u, v, _e, w| {
-            let du = l.load(&dist, u as usize);
+            let du = l.load_atomic(&dist, u as usize);
             let nd = du + w;
             let old = l.fetch_min_f32(&dist, v as usize, nd);
             nd < old

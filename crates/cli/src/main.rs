@@ -21,6 +21,12 @@
 //!   --profile         print the per-kernel profile afterwards (with
 //!                     --frontier auto, includes the per-superstep
 //!                     representation trace and switch counts)
+//!   --sanitize        run under the device-memory sanitizer: every kernel
+//!                     access is shadow-tracked for out-of-bounds,
+//!                     use-after-free and non-atomic data races, and racy
+//!                     launches are re-executed under a shuffled workgroup
+//!                     order to surface order dependence. Prints the
+//!                     findings report; exits non-zero if any were found.
 //! ```
 
 use std::collections::HashMap;
@@ -35,7 +41,7 @@ fn usage() -> ExitCode {
         "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
          [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
          [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
-         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile]"
+         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile] [--sanitize]"
     );
     ExitCode::from(2)
 }
@@ -89,6 +95,7 @@ fn main() -> ExitCode {
     let mut delta = 2.0f32;
     let mut json = false;
     let mut profile = false;
+    let mut sanitize = false;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -122,6 +129,7 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--profile" => profile = true,
+            "--sanitize" => sanitize = true,
             other => {
                 eprintln!("unknown option {other}");
                 return usage();
@@ -159,7 +167,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let q = Queue::new(Device::new(profile_dev.clone()));
+    let q = if sanitize {
+        // Fixed seed so a reported order dependence reproduces exactly.
+        Queue::with_sanitizer(Device::new(profile_dev.clone()), 0xBADC0DE)
+    } else {
+        Queue::new(Device::new(profile_dev.clone()))
+    };
     let needs_pull = algo == "dobfs";
     let g = match if needs_pull {
         Graph::with_pull(&q, &host)
@@ -318,6 +331,13 @@ fn main() -> ExitCode {
             );
         }
         println!("  device memory peak: {} KB", q.device().mem_peak() / 1024);
+    }
+
+    if let Some(san) = q.sanitizer() {
+        println!("{}", san.report());
+        if !san.is_clean() {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

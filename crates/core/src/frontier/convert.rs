@@ -41,7 +41,8 @@ pub fn sparsify<W: Word>(
             if idx < cap {
                 lane.store(items, idx, wi as u32 * W::BITS + b);
             } else {
-                lane.store(overflow, 0, 1);
+                // fetch_or: every overflowing lane raises the same flag.
+                lane.fetch_or(overflow, 0, 1);
             }
             k += 1;
             w = w.and(W::one_bit(b).not());

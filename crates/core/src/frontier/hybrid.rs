@@ -169,19 +169,21 @@ impl<W: Word> BitmapLike<W> for HybridFrontier<W> {
         // bitmap insert. While maintaining, the overflow short-circuit
         // caps what an exploding superstep pays once the list fills — one
         // (cached) flag load instead of a dead reservation per insert.
+        // Atomic load/or on the overflow flag: other lanes may be raising
+        // it in this same launch (a plain load/store pair would race).
         if fresh
             && self.maintain.load(Ordering::Relaxed) == 1
-            && lane.load(&self.overflow, 0) == 0
+            && lane.load_atomic(&self.overflow, 0) == 0
             && !self.list.append_lane_checked(lane, v)
         {
-            lane.store(&self.overflow, 0, 1);
+            lane.fetch_or(&self.overflow, 0, 1);
         }
         fresh
     }
 
     fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
         self.inner.remove_lane(lane, v);
-        lane.store(&self.stale, 0, 1);
+        lane.fetch_or(&self.stale, 0, 1);
     }
 
     fn compact(&self, q: &Queue) -> Option<(usize, &DeviceBuffer<u32>)> {
@@ -204,12 +206,14 @@ impl<W: Word> BitmapLike<W> for HybridFrontier<W> {
                 q.parallel_for("frontier_sparse_lazy_clear", len, |lane, i| {
                     let v = lane.load(items, i);
                     let (wi, _) = locate::<W>(v);
-                    lane.store(words, wi, W::ZERO);
+                    // fetch_and: entries sharing a word (or second-layer
+                    // word) zero it from several lanes concurrently.
+                    lane.fetch_and(words, wi, W::ZERO);
                     // Zeroing the whole second-layer word is safe: every
                     // non-zero first-layer word has an entry here, so all
                     // of them are being zeroed in this same kernel.
                     let (l2i, _) = locate::<W>(wi as u32);
-                    lane.store(layer2, l2i, W::ZERO);
+                    lane.fetch_and(layer2, l2i, W::ZERO);
                 });
             }
             self.reset_list_flags();

@@ -143,7 +143,8 @@ impl<W: Word> BitmapLike<W> for SparseFrontier<W> {
         if fresh && !self.list.append_lane_checked(lane, v) {
             // Only reachable through remove→reinsert cycles, which marked
             // the list stale already; keep the flag set for good measure.
-            lane.store(&self.stale, 0, 1);
+            // fetch_or: several lanes may overflow in the same launch.
+            lane.fetch_or(&self.stale, 0, 1);
         }
         fresh
     }
@@ -151,7 +152,7 @@ impl<W: Word> BitmapLike<W> for SparseFrontier<W> {
     fn remove_lane(&self, lane: &mut ItemCtx<'_>, v: VertexId) {
         let (wi, b) = locate::<W>(v);
         lane.fetch_and(&self.storage.words, wi, W::one_bit(b).not());
-        lane.store(&self.stale, 0, 1);
+        lane.fetch_or(&self.stale, 0, 1);
     }
 
     /// No dense compaction structure: a forced-dense advance walks every
@@ -173,7 +174,9 @@ impl<W: Word> BitmapLike<W> for SparseFrontier<W> {
             q.parallel_for("frontier_sparse_lazy_clear", len, |lane, i| {
                 let v = lane.load(items, i);
                 let (wi, _) = locate::<W>(v);
-                lane.store(words, wi, W::ZERO);
+                // fetch_and: list entries sharing a word zero it from
+                // several lanes; a plain store would be a write/write race.
+                lane.fetch_and(words, wi, W::ZERO);
             });
         }
         self.list.set_len(0);

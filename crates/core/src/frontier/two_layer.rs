@@ -136,7 +136,8 @@ impl<W: Word> Frontier for TwoLayerFrontier<W> {
         flag.store(0, 0);
         q.parallel_for("frontier_empty_check", layer2.len(), |lane, i| {
             if !lane.load(layer2, i).is_zero() {
-                lane.store(flag, 0, 1);
+                // fetch_or: many lanes may raise the flag concurrently.
+                lane.fetch_or(flag, 0, 1);
             }
         });
         flag.load(0) == 0

@@ -53,7 +53,9 @@ pub fn inplace<W: Word>(
     let words = frontier.words();
     q.parallel_for("filter_inplace", frontier.capacity(), |lane, v| {
         let (wi, b) = locate::<W>(v as u32);
-        let w = lane.load(words, wi);
+        // Atomic read: other lanes remove bits from this same word via
+        // fetch_and in this launch.
+        let w = lane.load_atomic(words, wi);
         if w.test_bit(b) {
             lane.compute(1);
             if !functor(lane, v as u32) {

@@ -15,6 +15,7 @@
 use crate::cache::{CacheHierarchy, CacheLevel};
 use crate::coalesce::Coalescer;
 use crate::memory::{AtomicInt, DeviceBuffer, DeviceScalar};
+use crate::sanitize::{SanGroup, SanScope};
 use crate::stats::GroupStats;
 
 /// Maximum subgroup width the simulator supports (AMD wavefront).
@@ -92,6 +93,8 @@ pub struct GroupCtx<'a> {
     addr_scratch: Vec<u64>,
     /// Reusable per-instruction access log for lane-level lambdas.
     lane_log: AccessLog,
+    /// Sanitizer shadow log, present only under `--sanitize`.
+    san: Option<SanGroup>,
 }
 
 impl<'a> GroupCtx<'a> {
@@ -101,6 +104,7 @@ impl<'a> GroupCtx<'a> {
         accounting: Accounting,
         cache: Option<&'a mut CacheHierarchy>,
         line_bytes: u32,
+        san: Option<SanGroup>,
     ) -> Self {
         debug_assert!(cfg.wg_size.is_multiple_of(cfg.sg_size));
         GroupCtx {
@@ -116,6 +120,24 @@ impl<'a> GroupCtx<'a> {
             local: vec![0; (cfg.local_mem_bytes as usize).div_ceil(4)],
             addr_scratch: Vec::with_capacity(MAX_SUBGROUP),
             lane_log: AccessLog::default(),
+            san,
+        }
+    }
+
+    /// Shadow-records one access for the sanitizer (no-op when off).
+    /// Must run *before* `addr_of`, whose always-on bounds check panics
+    /// on the very OOB access the sanitizer wants to classify first.
+    #[inline]
+    fn san_note<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        i: usize,
+        write: bool,
+        atomic: bool,
+        lane: u32,
+    ) {
+        if let Some(s) = self.san.as_mut() {
+            s.access(buf, i, write, atomic, lane);
         }
     }
 
@@ -219,10 +241,11 @@ impl<'a> GroupCtx<'a> {
         self.stats
     }
 
-    /// Consumes the context, returning its stats and handing the borrowed
-    /// cache hierarchy back so the next workgroup on the same CU reuses it.
-    pub(crate) fn finish(self) -> (GroupStats, Option<&'a mut CacheHierarchy>) {
-        (self.stats, self.cache)
+    /// Consumes the context, returning its stats, handing the borrowed
+    /// cache hierarchy back so the next workgroup on the same CU reuses
+    /// it, and surfacing the shadow log for the post-launch race scan.
+    pub(crate) fn finish(self) -> (GroupStats, Option<&'a mut CacheHierarchy>, Option<SanGroup>) {
+        (self.stats, self.cache, self.san)
     }
 }
 
@@ -380,10 +403,12 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
     ) {
         self.g.addr_scratch.clear();
         let w = self.width();
+        let base_lane = self.sg_id * w;
         let mut active = 0;
         for lane in 0..w {
             if mask & (1 << lane) != 0 {
                 let i = idx(lane);
+                self.g.san_note(buf, i, false, false, base_lane + lane);
                 if self.g.accounting == Accounting::Full {
                     self.g.addr_scratch.push(buf.addr_of(i));
                 }
@@ -403,10 +428,12 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
     ) {
         self.g.addr_scratch.clear();
         let w = self.width();
+        let base_lane = self.sg_id * w;
         let mut active = 0;
         for lane in 0..w {
             if mask & (1 << lane) != 0 {
                 let (i, v) = src(lane);
+                self.g.san_note(buf, i, true, false, base_lane + lane);
                 if self.g.accounting == Accounting::Full {
                     self.g.addr_scratch.push(buf.addr_of(i));
                 }
@@ -420,6 +447,9 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
     /// Uniform (scalar) load broadcast to the subgroup — one transaction.
     pub fn load_uniform<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
         self.g.addr_scratch.clear();
+        // Representative lane: the subgroup's lane 0.
+        let base_lane = self.sg_id * self.width();
+        self.g.san_note(buf, i, false, false, base_lane);
         if self.g.accounting == Accounting::Full {
             self.g.addr_scratch.push(buf.addr_of(i));
         }
@@ -432,6 +462,8 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
     /// Uniform store from one lane.
     pub fn store_uniform<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
         self.g.addr_scratch.clear();
+        let base_lane = self.sg_id * self.width();
+        self.g.san_note(buf, i, true, false, base_lane);
         if self.g.accounting == Accounting::Full {
             self.g.addr_scratch.push(buf.addr_of(i));
         }
@@ -449,10 +481,12 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
     ) {
         self.g.addr_scratch.clear();
         let w = self.width();
+        let base_lane = self.sg_id * w;
         let mut active = 0;
         for lane in 0..w {
             if mask & (1 << lane) != 0 {
                 let (i, v) = src(lane);
+                self.g.san_note(buf, i, true, true, base_lane + lane);
                 if self.g.accounting == Accounting::Full {
                     self.g.addr_scratch.push(buf.addr_of(i));
                 }
@@ -527,6 +561,7 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
         let mut log = std::mem::take(&mut self.g.lane_log);
         log.clear();
         let w = self.width();
+        let base_lane = self.sg_id * w;
         let mut max_compute = 0u64;
         let mut active = 0u32;
         for lane in 0..w {
@@ -536,6 +571,10 @@ impl<'g, 'a> SubgroupCtx<'g, 'a> {
                     seq: 0,
                     lane_compute: 0,
                     log: if account { Some(&mut log) } else { None },
+                    san: self.g.san.as_mut().map(|grp| SanScope {
+                        grp,
+                        lane: base_lane + lane,
+                    }),
                 };
                 f(lane, &mut item);
                 max_compute = max_compute.max(item.lane_compute);
@@ -657,6 +696,7 @@ pub struct ItemCtx<'l> {
     seq: usize,
     lane_compute: u64,
     log: Option<&'l mut AccessLog>,
+    san: Option<SanScope<'l>>,
 }
 
 impl<'l> ItemCtx<'l> {
@@ -669,9 +709,19 @@ impl<'l> ItemCtx<'l> {
         }
     }
 
+    /// Sanitizer shadow-record; must run before `addr_of` (whose
+    /// always-on bounds check panics on the OOB access being classified).
+    #[inline]
+    fn pre<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, write: bool, atomic: bool) {
+        if let Some(s) = self.san.as_mut() {
+            s.grp.access(buf, i, write, atomic, s.lane);
+        }
+    }
+
     /// Loads `buf[i]`.
     #[inline]
     pub fn load<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        self.pre(buf, i, false, false);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Read);
         buf.load(i)
     }
@@ -679,48 +729,75 @@ impl<'l> ItemCtx<'l> {
     /// Stores `buf[i] = v`.
     #[inline]
     pub fn store<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
+        self.pre(buf, i, true, false);
+        self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Write);
+        buf.store(i, v);
+    }
+
+    /// Relaxed *atomic* load of `buf[i]` — the idiom for reading a cell
+    /// that other lanes may be writing concurrently (all device memory is
+    /// atomic-backed, so this costs the same as `load`; the distinction
+    /// is declared intent, which the sanitizer's race detector honours).
+    #[inline]
+    pub fn load_atomic<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize) -> T {
+        self.pre(buf, i, false, true);
+        self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Read);
+        buf.load(i)
+    }
+
+    /// Relaxed atomic store counterpart of [`ItemCtx::load_atomic`].
+    #[inline]
+    pub fn store_atomic<T: DeviceScalar>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Write);
         buf.store(i, v);
     }
 
     #[inline]
     pub fn fetch_add<T: AtomicInt>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.fetch_add(i, v)
     }
 
     #[inline]
     pub fn fetch_min<T: AtomicInt>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.fetch_min(i, v)
     }
 
     #[inline]
     pub fn fetch_max<T: AtomicInt>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.fetch_max(i, v)
     }
 
     #[inline]
     pub fn fetch_or<T: AtomicInt>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.fetch_or(i, v)
     }
 
     #[inline]
     pub fn fetch_and<T: AtomicInt>(&mut self, buf: &DeviceBuffer<T>, i: usize, v: T) -> T {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.fetch_and(i, v)
     }
 
     #[inline]
     pub fn fetch_min_f32(&mut self, buf: &DeviceBuffer<f32>, i: usize, v: f32) -> f32 {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), 4, AccessKind::Atomic);
         buf.fetch_min_f32(i, v)
     }
 
     #[inline]
     pub fn fetch_add_f32(&mut self, buf: &DeviceBuffer<f32>, i: usize, v: f32) -> f32 {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), 4, AccessKind::Atomic);
         buf.fetch_add_f32(i, v)
     }
@@ -734,6 +811,7 @@ impl<'l> ItemCtx<'l> {
         current: T,
         new: T,
     ) -> Result<T, T> {
+        self.pre(buf, i, true, true);
         self.note(buf.addr_of(i), T::BYTES as u32, AccessKind::Atomic);
         buf.compare_exchange(i, current, new)
     }
@@ -767,6 +845,10 @@ pub(crate) fn run_range_group(
                 seq: 0,
                 lane_compute: 0,
                 log: if account { Some(&mut log) } else { None },
+                san: ctx.san.as_mut().map(|grp| SanScope {
+                    grp,
+                    lane: (chunk + l - start) as u32,
+                }),
             };
             f(&mut item, chunk + l);
             max_compute = max_compute.max(item.lane_compute);
@@ -803,11 +885,11 @@ mod tests {
     }
 
     fn ctx_off(cfg: &LaunchConfig) -> GroupCtx<'static> {
-        GroupCtx::new(0, cfg, Accounting::Off, None, 128)
+        GroupCtx::new(0, cfg, Accounting::Off, None, 128, None)
     }
 
     fn ctx_acct(cfg: &LaunchConfig) -> GroupCtx<'static> {
-        GroupCtx::new(0, cfg, Accounting::Full, None, 128)
+        GroupCtx::new(0, cfg, Accounting::Full, None, 128, None)
     }
 
     #[test]

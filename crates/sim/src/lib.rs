@@ -45,6 +45,7 @@ pub mod exec;
 pub mod memory;
 pub mod profiler;
 pub mod queue;
+pub mod sanitize;
 pub mod stats;
 
 pub use device::{DeviceProfile, Vendor};
@@ -53,4 +54,5 @@ pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupC
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
 pub use profiler::{KernelRecord, Marker, MemEvent, Profiler, RepEvent};
 pub use queue::{Device, Event, Queue};
+pub use sanitize::{Finding, FindingKind, Sanitizer};
 pub use stats::{GroupStats, KernelStats};

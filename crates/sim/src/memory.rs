@@ -10,9 +10,14 @@
 //! VRAM capacity — exceeding it yields [`SimError::OutOfMemory`], which is
 //! how the paper's OOM entries (Gunrock on road-USA BC, etc.) reproduce.
 
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{
+    AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering,
+};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
 
 use crate::error::SimError;
 
@@ -138,6 +143,18 @@ pub enum AllocKind {
     Shared,
 }
 
+/// Allocation-ledger entry: enough metadata to name any simulated address
+/// after the fact, even once the owning buffer is gone (addresses are
+/// monotonic and never reused, so dead entries stay resolvable).
+#[derive(Debug)]
+pub(crate) struct LedgerEntry {
+    pub(crate) bytes: u64,
+    pub(crate) gen: u64,
+    pub(crate) kind: AllocKind,
+    pub(crate) live: Arc<AtomicBool>,
+    pub(crate) storage: Weak<RawStorage>,
+}
+
 /// Tracks VRAM usage for one device and hands out simulated addresses.
 #[derive(Debug)]
 pub struct MemTracker {
@@ -146,6 +163,9 @@ pub struct MemTracker {
     peak: AtomicU64,
     next_addr: AtomicU64,
     allocs: AtomicU64,
+    generation: AtomicU64,
+    release_underflows: AtomicU64,
+    ledger: Mutex<BTreeMap<u64, LedgerEntry>>,
 }
 
 impl MemTracker {
@@ -157,18 +177,29 @@ impl MemTracker {
             // Leave a zero page unused so address 0 never appears.
             next_addr: AtomicU64::new(4096),
             allocs: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            release_underflows: AtomicU64::new(0),
+            ledger: Mutex::new(BTreeMap::new()),
         }
     }
 
+    /// 256-B allocator granularity; used/peak/release all charge this.
+    pub(crate) fn aligned(bytes: u64) -> u64 {
+        (bytes + 255) & !255
+    }
+
     /// Reserves `bytes`, failing when capacity would be exceeded.
-    /// Returns the simulated base address.
+    /// Returns the simulated base address. The amount charged against
+    /// capacity is the 256-B-aligned size — the same granularity the
+    /// address space advances by — so reserve/release stay symmetric.
     pub fn reserve(&self, bytes: u64) -> Result<u64, SimError> {
+        let charged = Self::aligned(bytes);
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
-            let new = cur + bytes;
+            let new = cur + charged;
             if new > self.capacity {
                 return Err(SimError::OutOfMemory {
-                    requested: bytes,
+                    requested: charged,
                     used: cur,
                     capacity: self.capacity,
                 });
@@ -185,13 +216,65 @@ impl MemTracker {
             }
         }
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        // Align simulated addresses to 256 B like real allocators do.
-        let sz = (bytes + 255) & !255;
-        Ok(self.next_addr.fetch_add(sz.max(256), Ordering::Relaxed))
+        Ok(self
+            .next_addr
+            .fetch_add(charged.max(256), Ordering::Relaxed))
     }
 
+    /// Returns `bytes` to the pool, saturating at zero. An underflow
+    /// (releasing more than is outstanding) is an accounting bug; it is
+    /// counted for the sanitizer instead of silently wrapping the counter
+    /// around to ~2^64 and wedging every later allocation into OOM.
     pub fn release(&self, bytes: u64) {
-        self.used.fetch_sub(bytes, Ordering::Relaxed);
+        let mut underflowed = false;
+        let _ = self
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                underflowed = cur < bytes;
+                Some(cur.saturating_sub(bytes))
+            });
+        if underflowed {
+            self.release_underflows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// How many `release` calls would have wrapped below zero.
+    pub fn release_underflows(&self) -> u64 {
+        self.release_underflows.load(Ordering::Relaxed)
+    }
+
+    /// Reads and resets the underflow counter (sanitizer drains this
+    /// once per kernel launch).
+    pub(crate) fn drain_release_underflows(&self) -> u64 {
+        self.release_underflows.swap(0, Ordering::Relaxed)
+    }
+
+    pub(crate) fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn register(&self, base_addr: u64, entry: LedgerEntry) {
+        self.ledger.lock().insert(base_addr, entry);
+    }
+
+    /// Resolves a simulated address to (kind, base address, generation)
+    /// of the allocation containing it, live or dead.
+    pub(crate) fn locate(&self, addr: u64) -> Option<(AllocKind, u64, u64)> {
+        let ledger = self.ledger.lock();
+        let (&base, entry) = ledger.range(..=addr).next_back()?;
+        let extent = Self::aligned(entry.bytes).max(256);
+        (addr < base + extent).then_some((entry.kind, base, entry.gen))
+    }
+
+    /// All currently live allocations with their backing storage (for
+    /// sanitizer memory snapshots).
+    pub(crate) fn live_allocations(&self) -> Vec<(u64, AllocKind, Arc<RawStorage>)> {
+        self.ledger
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.live.load(Ordering::Relaxed))
+            .filter_map(|(&base, e)| e.storage.upgrade().map(|s| (base, e.kind, s)))
+            .collect()
     }
 
     pub fn used(&self) -> u64 {
@@ -218,7 +301,7 @@ impl MemTracker {
 
 /// Word-aligned raw backing storage (always a whole number of u64 words so
 /// any 4- or 8-byte element is aligned).
-struct RawStorage {
+pub(crate) struct RawStorage {
     words: Box<[AtomicU64]>,
 }
 
@@ -239,6 +322,27 @@ impl RawStorage {
     fn base(&self) -> *const u8 {
         self.words.as_ptr() as *const u8
     }
+
+    /// Word-level copy of the contents (sanitizer snapshots).
+    pub(crate) fn snapshot_words(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Writes a snapshot back over the contents.
+    pub(crate) fn restore_words(&self, words: &[u64]) {
+        for (dst, &src) in self.words.iter().zip(words) {
+            dst.store(src, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for RawStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawStorage({} words)", self.words.len())
+    }
 }
 
 /// Typed simulated device memory.
@@ -253,6 +357,15 @@ pub struct DeviceBuffer<T: DeviceScalar> {
     base_addr: u64,
     len: usize,
     kind: AllocKind,
+    /// Allocation generation tag (1-based, unique per device).
+    gen: u64,
+    /// Shared liveness flag: cleared when the owning buffer drops, so
+    /// dangling [`DeviceBuffer::alias`] views are detectable.
+    live: Arc<AtomicBool>,
+    /// Only the owning buffer releases tracker bytes and clears `live`.
+    owned: bool,
+    /// Aligned byte count charged at allocation (released on drop).
+    charged: u64,
     _pd: PhantomData<T>,
 }
 
@@ -264,14 +377,62 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
     ) -> Result<Self, SimError> {
         let bytes = (len * T::BYTES) as u64;
         let base_addr = tracker.reserve(bytes)?;
+        let storage = Arc::new(RawStorage::zeroed(len * T::BYTES));
+        let live = Arc::new(AtomicBool::new(true));
+        let gen = tracker.next_generation();
+        tracker.register(
+            base_addr,
+            LedgerEntry {
+                bytes,
+                gen,
+                kind,
+                live: live.clone(),
+                storage: Arc::downgrade(&storage),
+            },
+        );
         Ok(DeviceBuffer {
-            storage: Arc::new(RawStorage::zeroed(len * T::BYTES)),
+            storage,
             tracker,
             base_addr,
             len,
             kind,
+            gen,
+            live,
+            owned: true,
+            charged: MemTracker::aligned(bytes),
             _pd: PhantomData,
         })
+    }
+
+    /// A non-owning view of the same allocation, modelling a raw device
+    /// pointer that outlives its allocation. The view shares storage (so
+    /// the simulation itself never has UB) but does not keep the
+    /// allocation *live*: once the owning buffer drops, any access
+    /// through the view is a use-after-free that the sanitizer reports
+    /// via the allocation's generation tag.
+    pub fn alias(&self) -> DeviceBuffer<T> {
+        DeviceBuffer {
+            storage: Arc::clone(&self.storage),
+            tracker: Arc::clone(&self.tracker),
+            base_addr: self.base_addr,
+            len: self.len,
+            kind: self.kind,
+            gen: self.gen,
+            live: Arc::clone(&self.live),
+            owned: false,
+            charged: 0,
+            _pd: PhantomData,
+        }
+    }
+
+    /// False once the owning buffer has been dropped.
+    pub fn is_live(&self) -> bool {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Allocation generation tag (unique per device, 1-based).
+    pub fn generation(&self) -> u64 {
+        self.gen
     }
 
     pub fn len(&self) -> usize {
@@ -291,16 +452,32 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
         (self.len * T::BYTES) as u64
     }
 
+    /// Always-on bounds check (release builds included) whose panic
+    /// message names the allocation kind and length, so a tier-1 failure
+    /// is diagnosable without a debug rebuild.
+    #[inline]
+    #[track_caller]
+    fn check_index(&self, i: usize) {
+        if i >= self.len {
+            panic!(
+                "device buffer index {i} out of bounds (len {}, kind {:?})",
+                self.len, self.kind
+            );
+        }
+    }
+
     /// Simulated global address of element `i` (feeds the cache model).
     #[inline]
+    #[track_caller]
     pub fn addr_of(&self, i: usize) -> u64 {
-        debug_assert!(i < self.len);
+        self.check_index(i);
         self.base_addr + (i * T::BYTES) as u64
     }
 
     #[inline]
+    #[track_caller]
     fn ptr(&self, i: usize) -> *const u8 {
-        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.check_index(i);
         unsafe { self.storage.base().add(i * T::BYTES) }
     }
 
@@ -366,15 +543,26 @@ impl<T: AtomicInt> DeviceBuffer<T> {
 
 impl DeviceBuffer<f32> {
     /// Atomic min on an `f32` via a CAS loop (GPU frameworks emulate this
-    /// the same way). NaN is never stored over a non-NaN value.
+    /// the same way).
+    ///
+    /// NaN policy (shared with [`DeviceBuffer::fetch_add_f32`]): a NaN
+    /// operand never poisons the cell — it is ignored and the current
+    /// value returned. A NaN already *in* the cell is repaired by the
+    /// first non-NaN operand. `-0.0` orders below `+0.0`, matching IEEE
+    /// `minimum` rather than the `<` comparison that treats them equal.
     pub fn fetch_min_f32(&self, i: usize, v: f32) -> f32 {
         let p = self.ptr(i) as *const AtomicU32;
         let a = unsafe { &*p };
         let mut cur = a.load(Ordering::Relaxed);
         loop {
             let cf = f32::from_bits(cur);
-            // NaN-safe: only store when strictly smaller.
-            if v >= cf || v.is_nan() {
+            if v.is_nan() {
+                return cf;
+            }
+            let smaller = v < cf
+                || (v == cf && v.is_sign_negative() && !cf.is_sign_negative())
+                || cf.is_nan();
+            if !smaller {
                 return cf;
             }
             match a.compare_exchange(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
@@ -384,11 +572,17 @@ impl DeviceBuffer<f32> {
         }
     }
 
-    /// Atomic add on an `f32` via a CAS loop.
+    /// Atomic add on an `f32` via a CAS loop. A NaN operand is ignored
+    /// (current value returned) — same NaN policy as
+    /// [`DeviceBuffer::fetch_min_f32`], so one bad contribution cannot
+    /// poison an accumulator shared by thousands of lanes.
     pub fn fetch_add_f32(&self, i: usize, v: f32) -> f32 {
         let p = self.ptr(i) as *const AtomicU32;
         let a = unsafe { &*p };
         let mut cur = a.load(Ordering::Relaxed);
+        if v.is_nan() {
+            return f32::from_bits(cur);
+        }
         loop {
             let cf = f32::from_bits(cur);
             let new = (cf + v).to_bits();
@@ -402,7 +596,10 @@ impl DeviceBuffer<f32> {
 
 impl<T: DeviceScalar> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
-        self.tracker.release((self.len * T::BYTES) as u64);
+        if self.owned {
+            self.live.store(false, Ordering::Relaxed);
+            self.tracker.release(self.charged);
+        }
     }
 }
 
@@ -485,6 +682,55 @@ mod tests {
     }
 
     #[test]
+    fn f32_atomic_min_orders_negative_zero() {
+        let b = DeviceBuffer::<f32>::new(tracker(1024), 1, AllocKind::Device).unwrap();
+        b.store(0, 0.0);
+        b.fetch_min_f32(0, -0.0);
+        assert!(b.load(0).is_sign_negative(), "-0.0 wins over +0.0");
+        // And +0.0 never displaces -0.0.
+        b.fetch_min_f32(0, 0.0);
+        assert!(b.load(0).is_sign_negative());
+    }
+
+    #[test]
+    fn f32_atomic_min_repairs_nan_cell() {
+        let b = DeviceBuffer::<f32>::new(tracker(1024), 1, AllocKind::Device).unwrap();
+        b.store(0, f32::NAN);
+        b.fetch_min_f32(0, 5.0);
+        assert_eq!(b.load(0), 5.0, "first non-NaN operand repairs the cell");
+    }
+
+    #[test]
+    fn f32_atomic_add_ignores_nan_operand() {
+        let b = DeviceBuffer::<f32>::new(tracker(1024), 1, AllocKind::Device).unwrap();
+        b.store(0, 3.0);
+        assert_eq!(b.fetch_add_f32(0, f32::NAN), 3.0);
+        assert_eq!(b.load(0), 3.0, "NaN contribution never poisons the cell");
+    }
+
+    #[test]
+    fn f32_atomic_min_contended_multi_lane() {
+        use std::sync::Arc as StdArc;
+        let b = StdArc::new(DeviceBuffer::<f32>::new(tracker(1024), 1, AllocKind::Device).unwrap());
+        b.store(0, f32::INFINITY);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        b.fetch_min_f32(0, (t * 1000 + k) as f32);
+                        if k % 7 == 0 {
+                            b.fetch_min_f32(0, f32::NAN);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(b.load(0), 0.0, "global min survives contention + NaNs");
+        assert!(!b.load(0).is_nan());
+    }
+
+    #[test]
     fn f32_atomic_add_concurrent() {
         use std::sync::Arc as StdArc;
         let b =
@@ -514,12 +760,76 @@ mod tests {
                 used,
                 capacity,
             }) => {
-                assert_eq!(requested, 800);
+                // 800 raw bytes charge as one 1024-B aligned block.
+                assert_eq!(requested, 1024);
                 assert_eq!(used, 512);
                 assert_eq!(capacity, 1024);
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn accounting_is_alignment_granular() {
+        let t = tracker(4096);
+        let a = DeviceBuffer::<u32>::new(t.clone(), 10, AllocKind::Device).unwrap();
+        assert_eq!(t.used(), 256, "40 raw bytes charge one 256-B block");
+        let b = DeviceBuffer::<u32>::new(t.clone(), 100, AllocKind::Device).unwrap();
+        assert_eq!(t.used(), 256 + 512);
+        drop(a);
+        drop(b);
+        assert_eq!(t.used(), 0, "aligned charge is fully returned");
+        assert_eq!(t.release_underflows(), 0);
+    }
+
+    #[test]
+    fn release_saturates_and_counts_underflow() {
+        let t = tracker(1024);
+        t.release(100);
+        assert_eq!(t.used(), 0, "saturates instead of wrapping");
+        assert_eq!(t.release_underflows(), 1);
+        // Later allocations still work.
+        assert!(DeviceBuffer::<u32>::new(t.clone(), 16, AllocKind::Device).is_ok());
+    }
+
+    #[test]
+    fn bounds_check_is_always_on() {
+        let b = DeviceBuffer::<u32>::new(tracker(1024), 4, AllocKind::Device).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.load(4)))
+            .expect_err("OOB load must panic in all build profiles");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("len 4"), "panic names the length: {msg}");
+        assert!(msg.contains("Device"), "panic names the AllocKind: {msg}");
+    }
+
+    #[test]
+    fn alias_detects_use_after_free() {
+        let t = tracker(1024);
+        let b = DeviceBuffer::<u32>::new(t.clone(), 8, AllocKind::Device).unwrap();
+        b.store(3, 99);
+        let view = b.alias();
+        assert!(view.is_live());
+        assert_eq!(t.used(), 256, "alias charges nothing");
+        drop(b);
+        assert!(!view.is_live(), "owner drop kills liveness");
+        assert_eq!(t.used(), 0, "alias does not hold the reservation");
+        assert_eq!(view.load(3), 99, "storage stays valid (no host UB)");
+        assert!(view.generation() > 0);
+    }
+
+    #[test]
+    fn ledger_locates_addresses() {
+        let t = tracker(1 << 20);
+        let a = DeviceBuffer::<u32>::new(t.clone(), 10, AllocKind::Device).unwrap();
+        let b = DeviceBuffer::<u64>::new(t.clone(), 10, AllocKind::Shared).unwrap();
+        let (kind, base, _) = t.locate(a.addr_of(3)).unwrap();
+        assert_eq!(kind, AllocKind::Device);
+        assert_eq!(base, a.addr_of(0));
+        let (kind, base, gen_b) = t.locate(b.addr_of(9)).unwrap();
+        assert_eq!(kind, AllocKind::Shared);
+        assert_eq!(base, b.addr_of(0));
+        assert_eq!(gen_b, b.generation());
+        assert!(t.locate(0).is_none(), "zero page maps to nothing");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::{SimError, SimResult};
 use crate::exec::{run_range_group, Accounting, GroupCtx, ItemCtx, LaunchConfig};
 use crate::memory::{AllocKind, DeviceBuffer, DeviceScalar, MemTracker};
 use crate::profiler::{KernelRecord, MemEvent, Profiler};
+use crate::sanitize::{AccessRec, SanGroup, Sanitizer, Snapshot};
 
 /// A simulated GPU: a profile plus its memory tracker.
 #[derive(Debug)]
@@ -76,6 +77,8 @@ pub struct Queue {
     clock_ns: Mutex<f64>,
     seq: Mutex<u64>,
     profiler: Arc<Profiler>,
+    /// Shadow-tracking sanitizer, attached via [`Queue::with_sanitizer`].
+    sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl Queue {
@@ -94,7 +97,25 @@ impl Queue {
             clock_ns: Mutex::new(0.0),
             seq: Mutex::new(0),
             profiler: Arc::new(Profiler::new()),
+            sanitizer: None,
         }
+    }
+
+    /// A queue whose launches run under the sanitizer: every buffer
+    /// access is shadow-tracked, races/OOB/use-after-free are reported,
+    /// and flagged launches are re-executed under a seeded workgroup-
+    /// order shuffle to confirm order dependence. `seed` drives the
+    /// shuffle deterministically. Perf statistics are still collected,
+    /// but kernels run noticeably slower.
+    pub fn with_sanitizer(device: Arc<Device>, seed: u64) -> Self {
+        let mut q = Self::with_accounting(device, Accounting::Full);
+        q.sanitizer = Some(Arc::new(Sanitizer::new(seed)));
+        q
+    }
+
+    /// The attached sanitizer, if this queue was built with one.
+    pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -185,15 +206,38 @@ impl Queue {
             cfg.sg_size
         );
         assert!(cfg.sg_size as usize <= crate::exec::MAX_SUBGROUP);
+        if let Some(san) = self.sanitizer.clone() {
+            return self.launch_sanitized(cfg, &kernel, san);
+        }
+        let (aggs, _) = self.run_groups(&cfg, &kernel, self.accounting, None, None);
+        let kstats = cost::finalize(&self.device.profile, &cfg, &aggs);
+        self.commit(cfg.name, kstats)
+    }
+
+    /// Executes every workgroup of a launch across the simulated CUs,
+    /// optionally under a permuted workgroup order and/or with sanitizer
+    /// shadow logging. Returns the per-CU cost aggregates and the merged
+    /// shadow log (empty unless `san` is given).
+    fn run_groups<F>(
+        &self,
+        cfg: &LaunchConfig,
+        kernel: &F,
+        accounting: Accounting,
+        order: Option<&[usize]>,
+        san: Option<(&Arc<Sanitizer>, &Arc<str>)>,
+    ) -> (Vec<CuAgg>, Vec<AccessRec>)
+    where
+        F: Fn(&mut GroupCtx<'_>) + Sync,
+    {
         let profile = &self.device.profile;
         let cus = profile.compute_units as usize;
-        let accounting = self.accounting;
         let line_bytes = profile.line_bytes;
 
-        let aggs: Vec<CuAgg> = (0..cus)
+        let per_cu: Vec<(CuAgg, Vec<AccessRec>)> = (0..cus)
             .into_par_iter()
             .map(|cu| {
                 let mut agg = CuAgg::default();
+                let mut recs = Vec::new();
                 let mut guard = self.caches[cu].lock();
                 guard.kernel_boundary();
                 // GroupCtx borrows the CU's cache hierarchy for its
@@ -206,18 +250,70 @@ impl Queue {
                 };
                 let mut g = cu;
                 while g < cfg.workgroups {
-                    let mut ctx = GroupCtx::new(g, &cfg, accounting, cache.take(), line_bytes);
+                    // Under a shuffle, slot `g` runs workgroup `order[g]`.
+                    let gid = order.map_or(g, |p| p[g]);
+                    let sg = san.map(|(s, label)| {
+                        SanGroup::new(Arc::clone(s), Arc::clone(label), gid as u32)
+                    });
+                    let mut ctx = GroupCtx::new(gid, cfg, accounting, cache.take(), line_bytes, sg);
                     kernel(&mut ctx);
-                    let (stats, returned) = ctx.finish();
+                    let (stats, returned, sg) = ctx.finish();
                     cache = returned;
-                    agg.add_group(profile, &cfg, &stats);
+                    if let Some(sg) = sg {
+                        recs.extend(sg.into_recs());
+                    }
+                    agg.add_group(profile, cfg, &stats);
                     g += cus;
                 }
-                agg
+                (agg, recs)
             })
             .collect();
 
-        let kstats = cost::finalize(profile, &cfg, &aggs);
+        let mut aggs = Vec::with_capacity(per_cu.len());
+        let mut recs = Vec::new();
+        for (agg, r) in per_cu {
+            aggs.push(agg);
+            recs.extend(r);
+        }
+        (aggs, recs)
+    }
+
+    /// Sanitized launch path: run with shadow logging, scan the merged
+    /// log for conflicts, and re-execute flagged launches from a memory
+    /// snapshot under a seeded workgroup-order shuffle, diffing the final
+    /// images to confirm order dependence. The first run's result is
+    /// always restored, so algorithm output is unchanged by the re-run.
+    fn launch_sanitized<F>(&self, cfg: LaunchConfig, kernel: &F, san: Arc<Sanitizer>) -> Event
+    where
+        F: Fn(&mut GroupCtx<'_>) + Sync,
+    {
+        let label: Arc<str> = Arc::from(cfg.name.as_str());
+        let tracker = &self.device.tracker;
+        let snap = Snapshot::capture_live(tracker);
+
+        let (aggs, mut recs) =
+            self.run_groups(&cfg, kernel, self.accounting, None, Some((&san, &label)));
+        let flagged = san.analyze_launch(&label, &mut recs, tracker);
+        let underflows = tracker.drain_release_underflows();
+        if underflows > 0 {
+            san.record_underflow(&label, underflows);
+        }
+
+        if flagged && cfg.workgroups > 1 {
+            self.profiler
+                .mark(format!("sanitize:flagged:{label}"), self.now_ns());
+            let first = snap.current();
+            snap.restore();
+            let perm = san.permutation(cfg.workgroups, *self.seq.lock());
+            // Re-run is diagnostic only: no accounting, no shadow log,
+            // and nothing is committed to the profiler or clock.
+            let _ = self.run_groups(&cfg, kernel, Accounting::Off, Some(&perm), None);
+            let second = snap.current();
+            san.diff_order(&label, &snap, &first, &second);
+            snap.restore_to(&first);
+        }
+
+        let kstats = cost::finalize(&self.device.profile, &cfg, &aggs);
         self.commit(cfg.name, kstats)
     }
 

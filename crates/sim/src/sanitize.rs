@@ -1,0 +1,654 @@
+//! Device-sim sanitizer: TSAN/ASAN-style shadow tracking for the
+//! simulated device.
+//!
+//! When a [`Sanitizer`] is attached to a queue (see
+//! `Queue::with_sanitizer`), every kernel launch records a shadow log of
+//! each `DeviceBuffer` access — address, workgroup, lane, read/write and
+//! whether it was atomic — and the runtime flags three defect classes:
+//!
+//! 1. **Out-of-bounds / use-after-free** — checked per access against the
+//!    buffer's length and the allocation's liveness (allocations carry
+//!    generation tags; simulated addresses are never reused, so a freed
+//!    region can always be named).
+//! 2. **Write/write and read/write conflicts** — two accesses to the same
+//!    address from *different* (workgroup, lane) agents within one launch
+//!    where at least one participant is a write and at least one is
+//!    non-atomic. Atomic-vs-atomic contention is legal and never flagged.
+//! 3. **Order dependence** — a launch that produced a race finding is
+//!    re-executed from a snapshot of device memory under a seeded
+//!    deterministic shuffle of the workgroup order; any bitwise
+//!    difference in the final memory image is reported, then the
+//!    first-run result is restored so algorithm output stays
+//!    deterministic.
+//!
+//! Findings are deduplicated per (kind, kernel, address) so a racy kernel
+//! relaunched every superstep reports once with an occurrence count.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::memory::{AllocKind, DeviceBuffer, DeviceScalar, MemTracker, RawStorage};
+
+/// Classification of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Access past the end of a buffer.
+    OutOfBounds,
+    /// Access through a view of an allocation whose owner was dropped.
+    UseAfterFree,
+    /// Two writes to one address from different agents, not both atomic.
+    RaceWriteWrite,
+    /// A write and a read of one address from different agents, at least
+    /// one of them non-atomic.
+    RaceReadWrite,
+    /// A flagged launch produced a different memory image when its
+    /// workgroups ran in a shuffled order.
+    OrderDependence,
+    /// `MemTracker::release` was asked to return more bytes than were
+    /// outstanding (the counter saturates instead of wrapping).
+    AccountingUnderflow,
+}
+
+impl FindingKind {
+    fn label(self) -> &'static str {
+        match self {
+            FindingKind::OutOfBounds => "out-of-bounds",
+            FindingKind::UseAfterFree => "use-after-free",
+            FindingKind::RaceWriteWrite => "race-write-write",
+            FindingKind::RaceReadWrite => "race-read-write",
+            FindingKind::OrderDependence => "order-dependence",
+            FindingKind::AccountingUnderflow => "accounting-underflow",
+        }
+    }
+}
+
+/// One sanitizer finding, actionable on its own: the allocation kind, the
+/// kernel label and the conflicting (workgroup, lane) agents are all
+/// named.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub kind: FindingKind,
+    /// Label of the kernel launch that produced the finding.
+    pub kernel: String,
+    /// Allocation kind of the buffer involved, when it could be resolved.
+    pub alloc: Option<AllocKind>,
+    /// Element index within the buffer (byte offset within the
+    /// allocation for [`FindingKind::OrderDependence`]).
+    pub index: Option<usize>,
+    /// The (workgroup, lane-within-group) agents involved: one for
+    /// OOB/UAF, the two conflicting agents for races.
+    pub agents: Vec<(u32, u32)>,
+    /// How many deduplicated repeats of this finding were seen.
+    pub occurrences: u64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] kernel '{}'", self.kind.label(), self.kernel)?;
+        if let Some(k) = self.alloc {
+            write!(f, " {k:?} buffer")?;
+        }
+        if let Some(i) = self.index {
+            if self.kind == FindingKind::OrderDependence {
+                write!(f, " byte {i}")?;
+            } else {
+                write!(f, " index {i}")?;
+            }
+        }
+        write!(f, ": {}", self.detail)?;
+        match self.agents.as_slice() {
+            [a] => write!(f, " at (wg {}, lane {})", a.0, a.1)?,
+            [a, b] => write!(
+                f,
+                " between (wg {}, lane {}) and (wg {}, lane {})",
+                a.0, a.1, b.0, b.1
+            )?,
+            _ => {}
+        }
+        if self.occurrences > 1 {
+            write!(f, " (×{})", self.occurrences)?;
+        }
+        Ok(())
+    }
+}
+
+/// One shadow-logged device-memory access.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AccessRec {
+    pub addr: u64,
+    pub bytes: u32,
+    pub group: u32,
+    pub lane: u32,
+    pub write: bool,
+    pub atomic: bool,
+}
+
+/// Per-workgroup shadow log. Lives inside `GroupCtx` so recording is
+/// lock-free; the queue merges logs after the launch.
+pub(crate) struct SanGroup {
+    san: Arc<Sanitizer>,
+    kernel: Arc<str>,
+    group: u32,
+    recs: Vec<AccessRec>,
+}
+
+impl SanGroup {
+    pub(crate) fn new(san: Arc<Sanitizer>, kernel: Arc<str>, group: u32) -> Self {
+        SanGroup {
+            san,
+            kernel,
+            group,
+            recs: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_recs(self) -> Vec<AccessRec> {
+        self.recs
+    }
+
+    /// Shadow-records one access; OOB and UAF are reported immediately
+    /// (an OOB access panics right after in the always-on bounds check,
+    /// so the finding must already be in the shared sanitizer state).
+    pub(crate) fn access<T: DeviceScalar>(
+        &mut self,
+        buf: &DeviceBuffer<T>,
+        i: usize,
+        write: bool,
+        atomic: bool,
+        lane: u32,
+    ) {
+        if i >= buf.len() {
+            self.san.record(
+                i as u64,
+                Finding {
+                    kind: FindingKind::OutOfBounds,
+                    kernel: self.kernel.to_string(),
+                    alloc: Some(buf.kind()),
+                    index: Some(i),
+                    agents: vec![(self.group, lane)],
+                    occurrences: 0,
+                    detail: format!(
+                        "{} of index {i} past the end (len {})",
+                        if write { "write" } else { "read" },
+                        buf.len()
+                    ),
+                },
+            );
+            return;
+        }
+        if !buf.is_live() {
+            self.san.record(
+                buf.addr_of(i),
+                Finding {
+                    kind: FindingKind::UseAfterFree,
+                    kernel: self.kernel.to_string(),
+                    alloc: Some(buf.kind()),
+                    index: Some(i),
+                    agents: vec![(self.group, lane)],
+                    occurrences: 0,
+                    detail: format!(
+                        "{} through a dangling view of freed allocation gen {}",
+                        if write { "write" } else { "read" },
+                        buf.generation()
+                    ),
+                },
+            );
+            return;
+        }
+        self.recs.push(AccessRec {
+            addr: buf.addr_of(i),
+            bytes: T::BYTES as u32,
+            group: self.group,
+            lane,
+            write,
+            atomic,
+        });
+    }
+}
+
+/// Borrow handed to an `ItemCtx` so per-lane accessors can shadow-record
+/// with their agent identity attached.
+pub(crate) struct SanScope<'l> {
+    pub(crate) grp: &'l mut SanGroup,
+    pub(crate) lane: u32,
+}
+
+/// Keep reports readable even if a kernel races on thousands of
+/// addresses: beyond this many distinct findings the sanitizer only
+/// counts suppressions.
+const MAX_FINDINGS: usize = 256;
+
+#[derive(Default)]
+struct State {
+    findings: Vec<Finding>,
+    dedup: HashMap<(FindingKind, String, u64), usize>,
+    suppressed: u64,
+}
+
+/// Shared sanitizer state: findings survive kernel panics (they are
+/// recorded before the always-on bounds check fires) and `Queue::reset`
+/// (which clears the profiler but not the sanitizer).
+pub struct Sanitizer {
+    seed: u64,
+    state: Mutex<State>,
+}
+
+impl Sanitizer {
+    pub fn new(seed: u64) -> Self {
+        Sanitizer {
+            seed,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// All findings recorded so far, in first-seen order.
+    pub fn findings(&self) -> Vec<Finding> {
+        self.state.lock().findings.clone()
+    }
+
+    /// True when nothing has been flagged.
+    pub fn is_clean(&self) -> bool {
+        let st = self.state.lock();
+        st.findings.is_empty() && st.suppressed == 0
+    }
+
+    /// Findings dropped once [`MAX_FINDINGS`] distinct ones were held.
+    pub fn suppressed(&self) -> u64 {
+        self.state.lock().suppressed
+    }
+
+    /// Drops all recorded findings.
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.findings.clear();
+        st.dedup.clear();
+        st.suppressed = 0;
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        let st = self.state.lock();
+        if st.findings.is_empty() && st.suppressed == 0 {
+            return "sanitizer: clean (0 findings)".to_string();
+        }
+        let mut out = format!("sanitizer: {} finding(s)", st.findings.len());
+        for f in &st.findings {
+            out.push_str("\n  ");
+            out.push_str(&f.to_string());
+        }
+        if st.suppressed > 0 {
+            out.push_str(&format!("\n  ... and {} suppressed", st.suppressed));
+        }
+        out
+    }
+
+    /// Records a finding, deduplicating on (kind, kernel, `key`).
+    pub(crate) fn record(&self, key: u64, mut finding: Finding) {
+        let mut st = self.state.lock();
+        let dk = (finding.kind, finding.kernel.clone(), key);
+        if let Some(&idx) = st.dedup.get(&dk) {
+            st.findings[idx].occurrences += 1;
+            return;
+        }
+        if st.findings.len() >= MAX_FINDINGS {
+            st.suppressed += 1;
+            return;
+        }
+        finding.occurrences = 1;
+        let idx = st.findings.len();
+        st.dedup.insert(dk, idx);
+        st.findings.push(finding);
+    }
+
+    pub(crate) fn record_underflow(&self, kernel: &str, count: u64) {
+        self.record(
+            0,
+            Finding {
+                kind: FindingKind::AccountingUnderflow,
+                kernel: kernel.to_string(),
+                alloc: None,
+                index: None,
+                agents: vec![],
+                occurrences: count.saturating_sub(1),
+                detail: "MemTracker::release saturated instead of wrapping below zero".into(),
+            },
+        );
+    }
+
+    /// Scans a launch's merged shadow log for conflicting accesses.
+    /// Returns true when this launch produced at least one race (the
+    /// trigger for the shuffled re-execution).
+    pub(crate) fn analyze_launch(
+        &self,
+        kernel: &str,
+        recs: &mut [AccessRec],
+        tracker: &MemTracker,
+    ) -> bool {
+        if recs.is_empty() {
+            return false;
+        }
+        recs.sort_unstable_by_key(|r| (r.addr, r.group, r.lane));
+        let mut flagged = false;
+        let mut i = 0;
+        while i < recs.len() {
+            let addr = recs[i].addr;
+            let bytes = recs[i].bytes;
+            // First two distinct agents per access category.
+            let mut naw = Agents::default(); // non-atomic writes
+            let mut aw = Agents::default(); // atomic writes (RMW)
+            let mut nar = Agents::default(); // non-atomic reads
+            let mut ar = Agents::default(); // atomic reads
+            let mut j = i;
+            while j < recs.len() && recs[j].addr == addr {
+                let r = &recs[j];
+                let agent = agent_key(r.group, r.lane);
+                match (r.write, r.atomic) {
+                    (true, false) => naw.add(agent),
+                    (true, true) => aw.add(agent),
+                    (false, false) => nar.add(agent),
+                    (false, true) => ar.add(agent),
+                }
+                j += 1;
+            }
+            if let Some((kind, a, b, detail)) = classify(&naw, &aw, &nar, &ar) {
+                flagged = true;
+                let (alloc, index) = match tracker.locate(addr) {
+                    Some((kind, base, _gen)) => (
+                        Some(kind),
+                        Some(((addr - base) / bytes.max(1) as u64) as usize),
+                    ),
+                    None => (None, None),
+                };
+                self.record(
+                    addr,
+                    Finding {
+                        kind,
+                        kernel: kernel.to_string(),
+                        alloc,
+                        index,
+                        agents: vec![agent_unkey(a), agent_unkey(b)],
+                        occurrences: 0,
+                        detail,
+                    },
+                );
+            }
+            i = j;
+        }
+        flagged
+    }
+
+    /// Seeded Fisher–Yates permutation of `0..n`, deterministic per
+    /// (sanitizer seed, launch sequence number).
+    pub(crate) fn permutation(&self, n: usize, salt: u64) -> Vec<usize> {
+        let mut state = self
+            .seed
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    }
+
+    /// Diffs the first run's final memory image against the shuffled
+    /// re-run's, reporting the first divergent byte per allocation.
+    pub(crate) fn diff_order(
+        &self,
+        kernel: &str,
+        snap: &Snapshot,
+        first: &[Vec<u64>],
+        second: &[Vec<u64>],
+    ) {
+        for ((entry, a), b) in snap.entries.iter().zip(first).zip(second) {
+            if let Some(w) = a.iter().zip(b).position(|(x, y)| x != y) {
+                self.record(
+                    entry.base,
+                    Finding {
+                        kind: FindingKind::OrderDependence,
+                        kernel: kernel.to_string(),
+                        alloc: Some(entry.kind),
+                        index: Some(w * 8),
+                        agents: vec![],
+                        occurrences: 0,
+                        detail: "final memory differs under a shuffled workgroup order".into(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Sanitizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "Sanitizer(seed={}, findings={}, suppressed={})",
+            self.seed,
+            st.findings.len(),
+            st.suppressed
+        )
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn agent_key(group: u32, lane: u32) -> u64 {
+    ((group as u64) << 32) | lane as u64
+}
+
+#[inline]
+fn agent_unkey(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// First two *distinct* agents seen in one access category.
+#[derive(Default, Clone, Copy)]
+struct Agents {
+    a: Option<u64>,
+    b: Option<u64>,
+}
+
+impl Agents {
+    fn add(&mut self, agent: u64) {
+        if self.a.is_none() {
+            self.a = Some(agent);
+        } else if self.a != Some(agent) && self.b.is_none() {
+            self.b = Some(agent);
+        }
+    }
+
+    fn first(&self) -> Option<u64> {
+        self.a
+    }
+
+    /// Any recorded agent different from `x`.
+    fn other_than(&self, x: u64) -> Option<u64> {
+        match (self.a, self.b) {
+            (Some(a), _) if a != x => Some(a),
+            (_, Some(b)) if b != x => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// The conflict rule: same address, different agents, at least one write,
+/// at least one of the pair non-atomic. Write/write wins over read/write
+/// when both are present at one address.
+fn classify(
+    naw: &Agents,
+    aw: &Agents,
+    nar: &Agents,
+    ar: &Agents,
+) -> Option<(FindingKind, u64, u64, String)> {
+    if let Some(w) = naw.first() {
+        if let Some(other) = naw.other_than(w).or_else(|| aw.other_than(w)) {
+            return Some((
+                FindingKind::RaceWriteWrite,
+                w,
+                other,
+                "two writes, at least one non-atomic".into(),
+            ));
+        }
+        if let Some(r) = nar.other_than(w).or_else(|| ar.other_than(w)) {
+            return Some((
+                FindingKind::RaceReadWrite,
+                w,
+                r,
+                "non-atomic write racing a concurrent read".into(),
+            ));
+        }
+    }
+    if let Some(w) = aw.first() {
+        if let Some(r) = nar.other_than(w) {
+            return Some((
+                FindingKind::RaceReadWrite,
+                w,
+                r,
+                "non-atomic read racing an atomic write".into(),
+            ));
+        }
+    }
+    None
+}
+
+/// Bitwise snapshot of every live allocation, used by the shuffled
+/// re-execution to restore the pre-launch state and to diff/restore the
+/// post-launch state.
+pub(crate) struct Snapshot {
+    entries: Vec<SnapEntry>,
+}
+
+struct SnapEntry {
+    storage: Arc<RawStorage>,
+    words: Vec<u64>,
+    base: u64,
+    kind: AllocKind,
+}
+
+impl Snapshot {
+    pub(crate) fn capture_live(tracker: &MemTracker) -> Self {
+        let entries = tracker
+            .live_allocations()
+            .into_iter()
+            .map(|(base, kind, storage)| {
+                let words = storage.snapshot_words();
+                SnapEntry {
+                    storage,
+                    words,
+                    base,
+                    kind,
+                }
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Current contents of the snapshotted allocations.
+    pub(crate) fn current(&self) -> Vec<Vec<u64>> {
+        self.entries
+            .iter()
+            .map(|e| e.storage.snapshot_words())
+            .collect()
+    }
+
+    /// Writes the snapshotted (pre-launch) contents back.
+    pub(crate) fn restore(&self) {
+        for e in &self.entries {
+            e.storage.restore_words(&e.words);
+        }
+    }
+
+    /// Writes an externally captured image back (the first run's finals).
+    pub(crate) fn restore_to(&self, images: &[Vec<u64>]) {
+        for (e, img) in self.entries.iter().zip(images) {
+            e.storage.restore_words(img);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agents_of(pairs: &[(u32, u32)]) -> Agents {
+        let mut a = Agents::default();
+        for &(g, l) in pairs {
+            a.add(agent_key(g, l));
+        }
+        a
+    }
+
+    #[test]
+    fn classify_prefers_write_write() {
+        let naw = agents_of(&[(0, 0), (0, 1)]);
+        let nar = agents_of(&[(1, 0)]);
+        let (kind, ..) = classify(&naw, &Agents::default(), &nar, &Agents::default()).unwrap();
+        assert_eq!(kind, FindingKind::RaceWriteWrite);
+    }
+
+    #[test]
+    fn classify_atomic_only_is_clean() {
+        let aw = agents_of(&[(0, 0), (0, 1), (5, 3)]);
+        let ar = agents_of(&[(2, 2)]);
+        assert!(classify(&Agents::default(), &aw, &Agents::default(), &ar).is_none());
+    }
+
+    #[test]
+    fn classify_single_agent_is_clean() {
+        // One lane reading and writing its own cell is program order.
+        let naw = agents_of(&[(3, 7)]);
+        let nar = agents_of(&[(3, 7)]);
+        assert!(classify(&naw, &Agents::default(), &nar, &Agents::default()).is_none());
+    }
+
+    #[test]
+    fn classify_nonatomic_read_vs_atomic_write() {
+        let aw = agents_of(&[(0, 0)]);
+        let nar = agents_of(&[(1, 1)]);
+        let (kind, a, b, _) = classify(&Agents::default(), &aw, &nar, &Agents::default()).unwrap();
+        assert_eq!(kind, FindingKind::RaceReadWrite);
+        assert_eq!(agent_unkey(a), (0, 0));
+        assert_eq!(agent_unkey(b), (1, 1));
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_complete() {
+        let san = Sanitizer::new(42);
+        let p1 = san.permutation(100, 7);
+        let p2 = san.permutation(100, 7);
+        assert_eq!(p1, p2, "same seed+salt ⇒ same order");
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let p3 = san.permutation(100, 8);
+        assert_ne!(p1, p3, "salt changes the order");
+    }
+
+    #[test]
+    fn dedup_counts_occurrences() {
+        let san = Sanitizer::new(0);
+        for _ in 0..3 {
+            san.record_underflow("k", 1);
+        }
+        let fs = san.findings();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].occurrences, 3);
+        assert!(!san.is_clean());
+        san.clear();
+        assert!(san.is_clean());
+    }
+}
