@@ -3,7 +3,7 @@
 //! `compute` stamps their distances, then the frontiers swap — the cycle
 //! the [`SuperstepEngine`] owns.
 
-use sygraph_core::engine::SuperstepEngine;
+use sygraph_core::engine::{CheckpointState, SuperstepEngine};
 use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
@@ -58,10 +58,14 @@ fn run_impl<W: Word>(
     // Advance keeps unvisited destinations (Listing 1 lines 9-13);
     // compute stamps their distances (lines 14-17). The engine owns the
     // swap/clear cycle and the single convergence check per superstep.
+    // The distance buffer is BFS's whole recoverable state: registering
+    // it lets DeviceLost recovery resume from the engine's checkpoints.
+    let ckpt: [&dyn CheckpointState; 1] = [&dist];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .fused(fused)
         .mark_prefix("bfs_iter")
-        .max_iters(n + 1, "BFS failed to converge");
+        .max_iters(n + 1, "BFS failed to converge")
+        .checkpoint_state(&ckpt);
     // Atomic access to dist[]: in the fused path the stamp runs in the
     // same launch as the functor's unvisited check, so lanes read cells
     // other lanes are writing. Racing lanes all write the same `iter+1`

@@ -4,7 +4,7 @@
 //! symmetric (undirected) for component semantics; use
 //! [`sygraph_core::graph::CsrHost::to_undirected`] first if needed.
 
-use sygraph_core::engine::{SuperstepEngine, NO_COMPUTE};
+use sygraph_core::engine::{CheckpointState, SuperstepEngine, NO_COMPUTE};
 use sygraph_core::frontier::{BitmapLike, Word};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
@@ -48,9 +48,11 @@ fn run_shortcut_impl<W: Word>(
     let fout = make_frontier::<W>(q, n, opts)?;
     fin.fill_all(q);
 
+    let ckpt: [&dyn CheckpointState; 1] = [&labels];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .mark_prefix("ccs_iter")
-        .max_iters(n + 1, "shortcutting CC diverged");
+        .max_iters(n + 1, "shortcutting CC diverged")
+        .checkpoint_state(&ckpt);
     // Shortcut pass (post-step hook): chase label chains to their root
     // (pointer jumping, as in union-find's find). A change re-activates
     // the vertex so the shortened label keeps propagating.
@@ -112,9 +114,11 @@ fn run_impl<W: Word>(
     // Every vertex starts by distributing its label to its neighbors.
     fin.fill_all(q);
 
+    let ckpt: [&dyn CheckpointState; 1] = [&labels];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .mark_prefix("cc_iter")
-        .max_iters(n + 1, "CC failed to converge");
+        .max_iters(n + 1, "CC failed to converge")
+        .checkpoint_state(&ckpt);
     // labels[u] is read atomically: neighbours may be lowering it via
     // fetch_min in this same launch; a stale value only costs an extra
     // superstep of propagation.

@@ -3,7 +3,7 @@
 //! distance improved re-enter the frontier. The paper's SSSP deliberately
 //! omits Δ-stepping — that optimization lives in [`crate::delta`].
 
-use sygraph_core::engine::{SuperstepEngine, NO_COMPUTE};
+use sygraph_core::engine::{CheckpointState, SuperstepEngine, NO_COMPUTE};
 use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
@@ -45,12 +45,14 @@ fn run_impl<W: Word>(
 
     // The relaxation lives entirely in the advance functor — no compute
     // phase, so fusion has nothing to add.
+    let ckpt: [&dyn CheckpointState; 1] = [&dist];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .mark_prefix("sssp_iter")
         .max_iters(
             n + 1,
             "Bellman-Ford exceeded |V| iterations (negative cycle?)",
-        );
+        )
+        .checkpoint_state(&ckpt);
     // dist[u] is read atomically: other lanes may be relaxing u's own
     // distance (fetch_min) in this same launch. A stale read only delays
     // convergence by a superstep; it never corrupts a distance.

@@ -83,7 +83,7 @@ impl VectorEngine {
         // and a load-balancing partition pass (binary search of block
         // boundaries) distributes the edges over thread blocks — all
         // launched every superstep.
-        let deg = frontier_degree_sum(q, g, &self.fin);
+        let deg = frontier_degree_sum(q, g, &self.fin)?;
         let len = self.fin.len();
         // Small frontiers take Gunrock's serial path and skip the
         // scan/partition passes.

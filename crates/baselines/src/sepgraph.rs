@@ -55,9 +55,9 @@ impl SepGraphLike {
     /// The per-iteration mode-selection pass: inspects frontier degrees
     /// to choose push vs pull. Its kernel cost is the adaptive runtime
     /// overhead the paper describes.
-    fn select_mode(&self, q: &Queue, fin: &VectorFrontier, n: usize) -> bool {
-        let _deg = frontier_degree_sum(q, self.csr(), fin);
-        fin.len() > n / self.pull_threshold.max(1)
+    fn select_mode(&self, q: &Queue, fin: &VectorFrontier, n: usize) -> SimResult<bool> {
+        let _deg = frontier_degree_sum(q, self.csr(), fin)?;
+        Ok(fin.len() > n / self.pull_threshold.max(1))
     }
 }
 
@@ -134,7 +134,7 @@ impl SepScratch {
         g: &DeviceCsr,
         functor: impl crate::vecops::VecAdvanceFunctor,
     ) -> SimResult<usize> {
-        let deg = frontier_degree_sum(q, g, &self.fin);
+        let deg = frontier_degree_sum(q, g, &self.fin)?;
         self.raw.ensure_capacity(q, deg.max(1))?;
         self.raw.clear(q);
         advance_vector(q, "sep_push", g, &self.fin, Some(&self.raw), functor);
@@ -157,7 +157,7 @@ impl SepGraphLike {
         let mut iter = 0u32;
         loop {
             q.mark(format!("sep_bfs_iter{iter}"));
-            let pull = self.select_mode(q, &s.fin, n);
+            let pull = self.select_mode(q, &s.fin, n)?;
             let next = iter + 1;
             let len = if pull {
                 // Pull: scan in-edges of unvisited vertices against the
@@ -222,7 +222,7 @@ impl SepGraphLike {
         let mut iter = 0u32;
         loop {
             q.mark(format!("sep_sssp_iter{iter}"));
-            let pull = self.select_mode(q, &s.fin, n);
+            let pull = self.select_mode(q, &s.fin, n)?;
             let len = if pull {
                 // Pull relaxation: every vertex recomputes its best
                 // in-distance; improved vertices form the next frontier.

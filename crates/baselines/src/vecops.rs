@@ -5,7 +5,7 @@
 use sygraph_core::frontier::{BitmapFrontier, BitmapLike, Frontier, VectorFrontier};
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::types::{EdgeId, VertexId, Weight};
-use sygraph_sim::{full_mask, ItemCtx, LaunchConfig, Queue};
+use sygraph_sim::{full_mask, ItemCtx, LaunchConfig, Queue, SimResult};
 
 /// Per-edge functor for the vector advance.
 pub trait VecAdvanceFunctor:
@@ -19,12 +19,12 @@ impl<F> VecAdvanceFunctor for F where
 
 /// Sum of out-degrees of the frontier — the sizing scan Gunrock runs
 /// before each advance to allocate its output (§2.2, §4).
-pub fn frontier_degree_sum(q: &Queue, g: &DeviceCsr, f: &VectorFrontier) -> usize {
+pub fn frontier_degree_sum(q: &Queue, g: &DeviceCsr, f: &VectorFrontier) -> SimResult<usize> {
     let len = f.len();
     if len == 0 {
-        return 0;
+        return Ok(0);
     }
-    let acc = q.malloc_device::<u32>(1).expect("tiny alloc");
+    let acc = q.malloc_device::<u32>(1)?;
     let items = f.items();
     let offsets = &g.row_offsets;
     q.parallel_for("gq_degree_scan", len, |l, i| {
@@ -34,7 +34,7 @@ pub fn frontier_degree_sum(q: &Queue, g: &DeviceCsr, f: &VectorFrontier) -> usiz
         l.fetch_add(&acc, 0, hi - lo);
         l.compute(2);
     });
-    acc.load(0) as usize
+    Ok(acc.load(0) as usize)
 }
 
 /// Cooperative advance over a vector frontier: each subgroup takes a
@@ -140,7 +140,7 @@ mod tests {
         let f = VectorFrontier::with_capacity(&q, 4, 8).unwrap();
         f.insert_host(0);
         f.insert_host(2);
-        assert_eq!(frontier_degree_sum(&q, &g, &f), 4);
+        assert_eq!(frontier_degree_sum(&q, &g, &f).unwrap(), 4);
     }
 
     #[test]

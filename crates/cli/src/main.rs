@@ -27,21 +27,30 @@
 //!                     launches are re-executed under a shuffled workgroup
 //!                     order to surface order dependence. Prints the
 //!                     findings report; exits non-zero if any were found.
+//!   --inject-faults <spec>   attach a deterministic fault plan to the
+//!                     device queue, e.g. "transient@4,oom@9,lost@15" or
+//!                     "oom-prob=0.01,seed=7" (see sygraph_sim::FaultPlan)
+//!   --retry <n>       allow n retries per superstep and enable the OOM
+//!                     degradation ladder (default 0 = fail fast)
+//!   --checkpoint-every <k>   checkpoint algorithm state every k
+//!                     supersteps so device-lost faults can resume
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use sygraph_core::engine::RecoveryPolicy;
 use sygraph_core::graph::{CsrHost, Graph};
 use sygraph_core::inspector::{Balancing, OptConfig, Representation};
-use sygraph_sim::{Device, DeviceProfile, Queue};
+use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
          [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
          [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
-         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile] [--sanitize]"
+         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile] [--sanitize] \
+         [--inject-faults SPEC] [--retry N] [--checkpoint-every K]"
     );
     ExitCode::from(2)
 }
@@ -96,6 +105,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut profile = false;
     let mut sanitize = false;
+    let mut fault_spec: Option<String> = None;
+    let mut retry: u32 = 0;
+    let mut checkpoint_every: u32 = 0;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -130,6 +142,18 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--profile" => profile = true,
             "--sanitize" => sanitize = true,
+            "--inject-faults" => match it.next() {
+                Some(s) => fault_spec = Some(s.clone()),
+                None => return usage(),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => retry = v,
+                None => return usage(),
+            },
+            "--checkpoint-every" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => checkpoint_every = v,
+                None => return usage(),
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return usage();
@@ -167,12 +191,31 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let q = if sanitize {
+    if retry > 0 || checkpoint_every > 0 {
+        opts.recovery = RecoveryPolicy {
+            max_retries: retry,
+            backoff_ns: 1_000,
+            degrade_on_oom: retry > 0,
+            checkpoint_every,
+        };
+    }
+
+    let mut q = if sanitize {
         // Fixed seed so a reported order dependence reproduces exactly.
         Queue::with_sanitizer(Device::new(profile_dev.clone()), 0xBADC0DE)
     } else {
         Queue::new(Device::new(profile_dev.clone()))
     };
+    if let Some(spec) = &fault_spec {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => q.attach_faults(plan),
+            Err(e) => {
+                eprintln!("bad --inject-faults spec: {e}");
+                return usage();
+            }
+        }
+    }
+    let q = q;
     let needs_pull = algo == "dobfs";
     let g = match if needs_pull {
         Graph::with_pull(&q, &host)
@@ -252,6 +295,10 @@ fn main() -> ExitCode {
         doc.insert("edges", serde_json::json!(host.edge_count()));
         doc.insert("iterations", serde_json::json!(iterations));
         doc.insert("sim_ms", serde_json::json!(sim_ms));
+        doc.insert(
+            "recovery_events",
+            serde_json::json!(q.profiler().recovery_count()),
+        );
         match &out {
             Out::U32(v, _, _) => doc.insert("values", serde_json::json!(v)),
             Out::F32(v, _, _) => doc.insert("values", serde_json::json!(v)),
@@ -265,6 +312,22 @@ fn main() -> ExitCode {
             profile_dev.name
         );
         println!("  {iterations} supersteps, {sim_ms:.3} simulated ms — {summary}");
+        let recov = q.profiler().recovery_events();
+        if !recov.is_empty() {
+            let mut counts: Vec<(String, usize)> = Vec::new();
+            for e in &recov {
+                let key = format!("{}->{}", e.fault, e.action);
+                match counts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((key, 1)),
+                }
+            }
+            let parts: Vec<String> = counts
+                .iter()
+                .map(|(k, c)| format!("{k}\u{d7}{c}"))
+                .collect();
+            println!("  recovery: {} events ({})", recov.len(), parts.join(", "));
+        }
     }
 
     if profile {
@@ -328,6 +391,16 @@ fn main() -> ExitCode {
                     "frontier_densify",
                     "frontier_sparse_lazy_clear"
                 ]),
+            );
+        }
+        for e in q.profiler().recovery_events() {
+            println!(
+                "  recovery @superstep {:>4}: {} -> {} (attempt {}, t={:.3} ms)",
+                e.superstep,
+                e.fault,
+                e.action,
+                e.attempt,
+                e.t_ns / 1e6
             );
         }
         println!("  device memory peak: {} KB", q.device().mem_peak() / 1024);

@@ -25,16 +25,20 @@
 //! either way. Events are chained internally; the engine only surfaces
 //! the per-step convergence result.
 
-use sygraph_sim::{ItemCtx, Queue, SimError, SimResult};
+pub mod recovery;
+
+use sygraph_sim::{ItemCtx, Queue, RecoveryEvent, SimError, SimResult};
 
 use crate::frontier::bucket::{BucketPool, BucketSpec};
 use crate::frontier::word::Word;
 use crate::frontier::{swap, BitmapLike, RepKind};
 use crate::graph::traits::DeviceGraphView;
-use crate::inspector::{Balancing, Tuning};
+use crate::inspector::{Balancing, Representation, Tuning};
 use crate::operators::advance::Advance;
 use crate::operators::compute;
 use crate::types::{EdgeId, VertexId, Weight};
+
+pub use recovery::{CheckpointState, EngineCheckpoint, RecoveryPolicy};
 
 /// Iteration-aware advance functor:
 /// `(lane, iter, src, dst, edge, weight) -> bool`.
@@ -110,6 +114,10 @@ pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
     /// one step behind, always mispredicts — is not asked to go sparse
     /// and pay a doomed list rebuild.
     predicted: usize,
+    /// Algorithm buffers to capture in checkpoints (registered via
+    /// [`SuperstepEngine::checkpoint_state`]); without them a
+    /// `DeviceLost` cannot be recovered from.
+    ckpt_state: Option<&'a [&'a dyn CheckpointState]>,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
@@ -145,6 +153,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             // `fill_all`) adopt back to dense on their own.
             last_estimate: 0,
             predicted: 0,
+            ckpt_state: None,
         }
     }
 
@@ -184,6 +193,20 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     /// Profiler-marker prefix: each superstep records `"{prefix}{iter}"`.
     pub fn mark_prefix(mut self, prefix: impl Into<String>) -> Self {
         self.mark_prefix = prefix.into();
+        self
+    }
+
+    /// Overrides the recovery policy carried on the tuning.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.tuning.recovery = policy;
+        self
+    }
+
+    /// Registers the algorithm buffers checkpoints must capture (e.g.
+    /// BFS's distance buffer). Required for `DeviceLost` recovery; the
+    /// buffers' contents are snapshot host-side, never via kernels.
+    pub fn checkpoint_state(mut self, state: &'a [&'a dyn CheckpointState]) -> Self {
+        self.ckpt_state = Some(state);
         self
     }
 
@@ -297,6 +320,17 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         }
         let (ev, words) = builder.run(adv);
         ev.wait();
+        // An injected fault mid-superstep leaves skipped kernels behind:
+        // the compaction count is stale and must not drive convergence,
+        // representation or estimate decisions. Report "not converged" and
+        // leave interpretation to the recovery layer ([`try_step`]); with
+        // no fault plan attached this check is free.
+        //
+        // [`try_step`]: SuperstepEngine::try_step
+        if self.q.fault_pending() {
+            self.lazy_ok = false;
+            return true;
+        }
         // Feed the next rep decision from the count the advance already
         // read back: exact entries under sparse, `nz_words × word_bits`
         // (an upper bound) under dense. Single-layer bitmaps report no
@@ -327,6 +361,26 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         }
         self.lazy_ok = true;
         true
+    }
+
+    /// [`step`](SuperstepEngine::step) with injected-fault awareness: any
+    /// fault that fired during the superstep is drained from the queue and
+    /// surfaced as `Err` (the superstep's effects are a partial,
+    /// idempotent prefix — safe to retry from the unchanged input
+    /// frontier). Identical to `step` when no fault plan is attached.
+    pub fn try_step(
+        &mut self,
+        advance_f: impl StepAdvance,
+        compute_f: Option<&StepComputeDyn<'_>>,
+    ) -> SimResult<bool> {
+        let live = self.step(advance_f, compute_f);
+        match self.q.take_fault() {
+            Some(e) => {
+                self.lazy_ok = false;
+                Err(e)
+            }
+            None => Ok(live),
+        }
     }
 
     /// Swaps the frontiers and clears the new output (the superstep's old
@@ -384,24 +438,224 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     /// [`run`](SuperstepEngine::run) with a host-side post-step hook,
     /// executed after each superstep's advance+compute and before the
     /// rotate (it may insert vertices into the output frontier).
+    ///
+    /// When the tuning's [`RecoveryPolicy`] enables it, faults injected by
+    /// the queue's fault plan are handled here instead of propagating:
+    /// transient failures retry the superstep (the input frontier is
+    /// immutable until `rotate`), OOM walks the degradation ladder, and a
+    /// sticky `DeviceLost` resumes from the latest checkpoint. Post-step
+    /// hooks must be idempotent: a fault during or after the hook re-runs
+    /// the whole superstep, hook included.
     pub fn run_with_post(
         &mut self,
         advance_f: impl StepAdvance,
         compute_f: Option<&StepComputeDyn<'_>>,
         post: Option<PostStep<'_, W>>,
     ) -> SimResult<u32> {
+        let policy = self.tuning.recovery;
+        let mut checkpoint: Option<EngineCheckpoint> = None;
+        // Transient retries are per-superstep (reset on success); the OOM
+        // ladder and the resume guard are per-run (degradation persists).
+        let mut retries = 0u32;
+        let mut oom_rung = 0u32;
+        let mut resumes = 0u32;
         loop {
-            if !self.step(&advance_f, compute_f) {
-                return Ok(self.iter);
+            if policy.checkpoint_every > 0
+                && self.iter.is_multiple_of(policy.checkpoint_every)
+                && checkpoint.as_ref().is_none_or(|c| c.iteration != self.iter)
+            {
+                checkpoint = Some(self.take_checkpoint());
+            }
+            match self.try_step(&advance_f, compute_f) {
+                Ok(false) => return Ok(self.iter),
+                Ok(true) => {}
+                Err(e) => {
+                    self.recover(
+                        e,
+                        &policy,
+                        checkpoint.as_ref(),
+                        &mut retries,
+                        &mut oom_rung,
+                        &mut resumes,
+                    )?;
+                    continue;
+                }
             }
             if let Some(hook) = post {
                 hook(self.q, self.iter, self.fout.as_ref());
+                if let Some(e) = self.q.take_fault() {
+                    self.lazy_ok = false;
+                    self.recover(
+                        e,
+                        &policy,
+                        checkpoint.as_ref(),
+                        &mut retries,
+                        &mut oom_rung,
+                        &mut resumes,
+                    )?;
+                    continue; // re-run the superstep, hook included
+                }
             }
+            retries = 0;
             self.rotate();
+            // A fault during the rotate skipped the clear of the new
+            // output frontier. Recover, then clear it for real — it holds
+            // no legitimate inserts yet, so a full clear is always safe.
+            // (A checkpoint resume resets both frontiers itself.)
+            while self.q.fault_pending() {
+                let e = self.q.take_fault().expect("fault_pending implies Some");
+                let resumed = self.recover(
+                    e,
+                    &policy,
+                    checkpoint.as_ref(),
+                    &mut retries,
+                    &mut oom_rung,
+                    &mut resumes,
+                )?;
+                if !resumed {
+                    self.fout.clear(self.q);
+                }
+            }
             if self.iter as usize > self.max_iters {
                 return Err(SimError::Algorithm(self.diverge_msg.clone()));
             }
         }
+    }
+
+    // ---- fault recovery ---------------------------------------------------
+
+    /// Handles one drained fault per the policy. Returns `Ok(true)` when
+    /// recovery restored a checkpoint (the frontiers were reset), and
+    /// `Ok(false)` when the caller should simply re-attempt. Propagates
+    /// the fault when the policy is exhausted or does not cover it.
+    fn recover(
+        &mut self,
+        e: SimError,
+        policy: &RecoveryPolicy,
+        checkpoint: Option<&EngineCheckpoint>,
+        retries: &mut u32,
+        oom_rung: &mut u32,
+        resumes: &mut u32,
+    ) -> SimResult<bool> {
+        /// Resume attempts per run: `DeviceLost` fires once per planned
+        /// ordinal, so this only guards against a pathological plan.
+        const MAX_RESUMES: u32 = 8;
+        match e {
+            SimError::Transient { .. } => {
+                if *retries >= policy.max_retries {
+                    return Err(e);
+                }
+                *retries += 1;
+                self.q
+                    .advance_clock_ns((policy.backoff_ns << (*retries - 1).min(16)) as f64);
+                self.repair_frontiers();
+                self.record_recovery("transient", "retry", *retries);
+                Ok(false)
+            }
+            SimError::OutOfMemory { .. } => {
+                if !policy.degrade_on_oom {
+                    return Err(e);
+                }
+                let action = match *oom_rung {
+                    0 => {
+                        // Rung 1: give back the bucket pool's buffers and
+                        // stop dispatching bucketed.
+                        self.bucket_pool = None;
+                        self.pool_attempted = true;
+                        self.tuning.balancing = Balancing::WorkgroupMapped;
+                        "drop-bucket-pool"
+                    }
+                    1 => {
+                        // Rung 2: force the representation minimizing
+                        // device_bytes — dense drops list maintenance.
+                        self.tuning.representation = Representation::Dense;
+                        "force-dense"
+                    }
+                    2 => {
+                        // Rung 3: halve per-lane work memory by disabling
+                        // coarsening.
+                        self.tuning.coarsening = 1;
+                        "shrink-coarsening"
+                    }
+                    _ => return Err(e),
+                };
+                *oom_rung += 1;
+                self.repair_frontiers();
+                self.record_recovery("oom", action, *oom_rung);
+                Ok(false)
+            }
+            SimError::DeviceLost { .. } => {
+                let Some(ck) = checkpoint else {
+                    return Err(e);
+                };
+                if *resumes >= MAX_RESUMES {
+                    return Err(e);
+                }
+                *resumes += 1;
+                self.restore_checkpoint(ck);
+                self.record_recovery("device-lost", "resume", *resumes);
+                Ok(true)
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Re-establishes frontier invariants after a fault: a skipped
+    /// conversion kernel can leave a hybrid frontier's host-side mode
+    /// flags ahead of its device state, so rebuild the derived layers from
+    /// the bitmap words (the ground truth — inserts land there first) and
+    /// force the next rotate to a full clear.
+    fn repair_frontiers(&mut self) {
+        self.fin.rebuild_from_words(self.q);
+        self.fout.rebuild_from_words(self.q);
+        self.lazy_ok = false;
+    }
+
+    /// Captures a checkpoint of the engine at the current superstep
+    /// boundary. Entirely host-side: no kernels run, nothing is committed
+    /// to the simulated clock or the profiler.
+    pub fn take_checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            iteration: self.iter,
+            frontier: self.fin.to_sorted_vec(),
+            state: self
+                .ckpt_state
+                .map_or_else(Vec::new, |bufs| bufs.iter().map(|b| b.snapshot()).collect()),
+        }
+    }
+
+    /// Revives the queue and rewinds the engine to `ck`: registered state
+    /// buffers are restored word-for-word, the frontier pair is reset and
+    /// reseeded, and memory accounting is recomputed from the allocation
+    /// ledger so it cannot drift across restores.
+    pub fn restore_checkpoint(&mut self, ck: &EngineCheckpoint) {
+        self.q.revive();
+        if let Some(bufs) = self.ckpt_state {
+            for (buf, words) in bufs.iter().zip(&ck.state) {
+                buf.restore(words);
+            }
+        }
+        self.fin.clear(self.q);
+        self.fout.clear(self.q);
+        for &v in &ck.frontier {
+            self.fin.insert_host(v);
+        }
+        self.iter = ck.iteration;
+        self.lazy_ok = false;
+        self.rep = self.fin.rep_kind();
+        self.last_estimate = ck.frontier.len();
+        self.predicted = ck.frontier.len();
+        self.q.device().recompute_mem_accounting();
+    }
+
+    fn record_recovery(&self, fault: &str, action: &str, attempt: u32) {
+        self.q.profiler().record_recovery(RecoveryEvent {
+            t_ns: self.q.now_ns(),
+            superstep: self.iter,
+            fault: fault.into(),
+            action: action.into(),
+            attempt,
+        });
     }
 }
 

@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 use sygraph_sim::{DeviceProfile, Vendor};
 
+use crate::engine::recovery::RecoveryPolicy;
 use crate::frontier::RepKind;
 
 /// Advance load-balancing policy (§4.2): how compacted frontier vertices
@@ -64,6 +65,9 @@ pub struct OptConfig {
     /// list frontiers, which build on the two-layer machinery; with
     /// `two_layer` off the engine stays on the plain dense bitmap.
     pub representation: Representation,
+    /// Fault-recovery policy for the superstep engine (default:
+    /// all-disabled — faults propagate as errors).
+    pub recovery: RecoveryPolicy,
 }
 
 impl OptConfig {
@@ -75,6 +79,7 @@ impl OptConfig {
             two_layer: true,
             balancing: Balancing::Auto,
             representation: Representation::Auto,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -86,6 +91,7 @@ impl OptConfig {
             two_layer: false,
             balancing: Balancing::WorkgroupMapped,
             representation: Representation::Dense,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -178,6 +184,8 @@ pub struct Tuning {
     /// hysteresis band — a frontier oscillating around one boundary does
     /// not convert back and forth every superstep.
     pub sparse_exit_div: u32,
+    /// Fault-recovery policy consulted by the superstep engine.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Tuning {
@@ -443,6 +451,7 @@ pub fn inspect(profile: &DeviceProfile, opts: &OptConfig, num_vertices: usize) -
         representation: opts.representation,
         sparse_enter_div: SPARSE_ENTER_DIV,
         sparse_exit_div: SPARSE_EXIT_DIV,
+        recovery: opts.recovery,
     }
 }
 
@@ -505,6 +514,7 @@ mod tests {
             representation: Representation::Dense,
             sparse_enter_div: SPARSE_ENTER_DIV,
             sparse_exit_div: SPARSE_EXIT_DIV,
+            recovery: RecoveryPolicy::default(),
         };
         assert_eq!(t.wg_size(), 128);
         assert_eq!(t.words_per_group(), 8);

@@ -34,7 +34,9 @@ pub mod inspector;
 pub mod operators;
 pub mod types;
 
-pub use engine::{fixed_point, SuperstepEngine, NO_COMPUTE};
+pub use engine::{
+    fixed_point, CheckpointState, EngineCheckpoint, RecoveryPolicy, SuperstepEngine, NO_COMPUTE,
+};
 pub use frontier::{
     swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, HybridFrontier, RepKind,
     SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
@@ -46,7 +48,9 @@ pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 
 /// Convenience re-exports for examples and downstream crates.
 pub mod prelude {
-    pub use crate::engine::{fixed_point, SuperstepEngine, NO_COMPUTE};
+    pub use crate::engine::{
+        fixed_point, CheckpointState, EngineCheckpoint, RecoveryPolicy, SuperstepEngine, NO_COMPUTE,
+    };
     pub use crate::frontier::ops::{
         intersection, rebuild_layer2, subtraction, symmetric_difference, union, SetOp,
     };

@@ -20,6 +20,15 @@ pub enum SimError {
     /// The framework does not implement the requested algorithm
     /// (SEP-Graph has no CC implementation; rendered as `-` in Table 6).
     Unsupported(String),
+    /// A transient launch failure (injected by a [`FaultPlan`]); the same
+    /// launch is expected to succeed on retry. Carries the kernel label and
+    /// the launch-attempt ordinal at which the fault fired.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    Transient { kernel: String, launch: u64 },
+    /// The device died (sticky): every subsequent launch fails until the
+    /// queue is revived. Recovery requires replaying from a checkpoint.
+    DeviceLost { kernel: String, launch: u64 },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +45,15 @@ impl fmt::Display for SimError {
             SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
             SimError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
             SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            SimError::Transient { kernel, launch } => {
+                write!(
+                    f,
+                    "transient launch failure: kernel `{kernel}` at launch #{launch}"
+                )
+            }
+            SimError::DeviceLost { kernel, launch } => {
+                write!(f, "device lost: kernel `{kernel}` at launch #{launch}")
+            }
         }
     }
 }

@@ -1,0 +1,314 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] is a seeded, declarative description of faults to inject
+//! into a [`Queue`](crate::queue::Queue): transient launch failures at chosen
+//! launch ordinals, synthetic or threshold OOM, and a sticky `DeviceLost`.
+//! Plans are parsed from a compact spec string (the CLI's `--inject-faults`
+//! argument), e.g.
+//!
+//! ```text
+//! transient@4:2,oom@9,lost@40,oom-limit=0.5,oom-prob=0.001,seed=7
+//! ```
+//!
+//! * `transient@K[:N]` — launch attempts `K..K+N` fail with
+//!   [`SimError::Transient`] (`N` defaults to 1).
+//! * `oom@K` — launch attempt `K` fails with a synthetic
+//!   [`SimError::OutOfMemory`].
+//! * `lost@K` — launch attempt `K` fails with [`SimError::DeviceLost`] and
+//!   the device stays dead until [`Queue::revive`](crate::queue::Queue::revive).
+//! * `oom-limit=F` — shrink the effective `MemTracker` capacity to fraction
+//!   `F` of VRAM (real allocations beyond it fail).
+//! * `oom-prob=P` — each launch attempt independently fails with synthetic
+//!   OOM with probability `P`, derived from `seed` (deterministic).
+//! * `seed=S` — seed for probabilistic faults (default 0).
+//!
+//! Launch *attempt* ordinals are 0-based and count launches that reached the
+//! device: launches skipped because a fault is already pending (or the device
+//! is dead) do not consume ordinals, so spec indices stay meaningful across
+//! recovery retries.
+//!
+//! Delivery is sticky-pending, CUDA style: when a fault fires, the queue
+//! records it and every subsequent launch is skipped (returning a
+//! zero-duration event, touching neither the clock nor the profiler) until
+//! the error is drained with [`Queue::take_fault`](crate::queue::Queue::take_fault).
+//! An idle plan is zero-overhead: no clock, profiler, or cost-model state is
+//! touched by the injector on the non-faulting path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{SimError, SimResult};
+
+/// Declarative, seeded description of faults to inject. See module docs for
+/// the spec grammar.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Half-open launch-ordinal ranges that fail transiently: `(start, count)`.
+    pub transient: Vec<(u64, u64)>,
+    /// Launch ordinals that fail with synthetic OOM.
+    pub oom_at: Vec<u64>,
+    /// Launch ordinal at which the device dies (sticky).
+    pub lost_at: Option<u64>,
+    /// Effective-capacity fraction of VRAM (threshold OOM); `None` = full.
+    pub oom_limit: Option<f64>,
+    /// Per-launch probability of synthetic OOM.
+    pub oom_prob: f64,
+    /// Seed for probabilistic faults.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parses a fault spec string (see module docs). Empty string = empty
+    /// plan (valid: attaches the injector but never fires).
+    pub fn parse(spec: &str) -> SimResult<FaultPlan> {
+        let bad = |part: &str, why: &str| {
+            Err(SimError::InvalidLaunch(format!(
+                "bad fault spec `{part}`: {why}"
+            )))
+        };
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(rest) = part.strip_prefix("transient@") {
+                let (at, count) = match rest.split_once(':') {
+                    Some((a, c)) => (a.parse::<u64>(), c.parse::<u64>()),
+                    None => (rest.parse::<u64>(), Ok(1)),
+                };
+                match (at, count) {
+                    (Ok(a), Ok(c)) if c > 0 => plan.transient.push((a, c)),
+                    _ => return bad(part, "expected transient@K or transient@K:N"),
+                }
+            } else if let Some(rest) = part.strip_prefix("oom@") {
+                match rest.parse::<u64>() {
+                    Ok(a) => plan.oom_at.push(a),
+                    Err(_) => return bad(part, "expected oom@K"),
+                }
+            } else if let Some(rest) = part.strip_prefix("lost@") {
+                match rest.parse::<u64>() {
+                    Ok(a) => plan.lost_at = Some(a),
+                    Err(_) => return bad(part, "expected lost@K"),
+                }
+            } else if let Some(rest) = part.strip_prefix("oom-limit=") {
+                match rest.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => plan.oom_limit = Some(f),
+                    _ => return bad(part, "expected oom-limit=F with F in [0,1]"),
+                }
+            } else if let Some(rest) = part.strip_prefix("oom-prob=") {
+                match rest.parse::<f64>() {
+                    Ok(p) if (0.0..=1.0).contains(&p) => plan.oom_prob = p,
+                    _ => return bad(part, "expected oom-prob=P with P in [0,1]"),
+                }
+            } else if let Some(rest) = part.strip_prefix("seed=") {
+                match rest.parse::<u64>() {
+                    Ok(s) => plan.seed = s,
+                    Err(_) => return bad(part, "expected seed=S"),
+                }
+            } else {
+                return bad(part, "unknown clause");
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The fault (if any) that fires at launch-attempt `ordinal`.
+    fn fault_at(&self, ordinal: u64, kernel: &str) -> Option<SimError> {
+        if self.lost_at == Some(ordinal) {
+            return Some(SimError::DeviceLost {
+                kernel: kernel.to_string(),
+                launch: ordinal,
+            });
+        }
+        if self
+            .transient
+            .iter()
+            .any(|&(at, n)| ordinal >= at && ordinal < at + n)
+        {
+            return Some(SimError::Transient {
+                kernel: kernel.to_string(),
+                launch: ordinal,
+            });
+        }
+        if self.oom_at.contains(&ordinal)
+            || (self.oom_prob > 0.0 && unit_hash(self.seed, ordinal) < self.oom_prob)
+        {
+            // Synthetic OOM: accounting fields are zero because no real
+            // allocation was attempted; the ordinal lives in the injector's
+            // recovery event, not the error.
+            return Some(SimError::OutOfMemory {
+                requested: 0,
+                used: 0,
+                capacity: 0,
+            });
+        }
+        None
+    }
+}
+
+/// Deterministic hash of `(seed, ordinal)` mapped to `[0, 1)`.
+fn unit_hash(seed: u64, ordinal: u64) -> f64 {
+    // splitmix64 finalizer.
+    let mut z = seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runtime state of an attached [`FaultPlan`]: the attempt counter, the
+/// pending (undelivered) fault, and the sticky dead flag.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    attempts: AtomicU64,
+    pending: Mutex<Option<SimError>>,
+    dead: AtomicBool,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            attempts: AtomicU64::new(0),
+            pending: Mutex::new(None),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Called at the top of every launch. Returns `true` if the launch must
+    /// be skipped (a fault is pending, the device is dead, or a new fault
+    /// fires at this attempt ordinal).
+    pub(crate) fn intercept(&self, kernel: &str) -> bool {
+        if self.dead.load(Ordering::Relaxed) {
+            let mut p = self.pending.lock();
+            if p.is_none() {
+                *p = Some(SimError::DeviceLost {
+                    kernel: kernel.to_string(),
+                    launch: self.attempts.load(Ordering::Relaxed),
+                });
+            }
+            return true;
+        }
+        if self.pending.lock().is_some() {
+            return true;
+        }
+        let ordinal = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if let Some(fault) = self.plan.fault_at(ordinal, kernel) {
+            if matches!(fault, SimError::DeviceLost { .. }) {
+                self.dead.store(true, Ordering::Relaxed);
+            }
+            *self.pending.lock() = Some(fault);
+            return true;
+        }
+        false
+    }
+
+    /// Drains the pending fault, re-enabling launches (unless dead).
+    pub(crate) fn take(&self) -> Option<SimError> {
+        self.pending.lock().take()
+    }
+
+    pub(crate) fn pending(&self) -> bool {
+        self.pending.lock().is_some() || self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Fault to surface from an allocation attempt (device dead).
+    pub(crate) fn alloc_fault(&self) -> Option<SimError> {
+        if self.dead.load(Ordering::Relaxed) {
+            Some(SimError::DeviceLost {
+                kernel: "malloc".to_string(),
+                launch: self.attempts.load(Ordering::Relaxed),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Clears the dead flag and any pending fault (checkpoint resume got a
+    /// "fresh device").
+    pub(crate) fn revive(&self) {
+        self.dead.store(false, Ordering::Relaxed);
+        self.pending.lock().take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let p = FaultPlan::parse("transient@4:2, oom@9,lost@40,oom-limit=0.5,oom-prob=0.25,seed=7")
+            .unwrap();
+        assert_eq!(p.transient, vec![(4, 2)]);
+        assert_eq!(p.oom_at, vec![9]);
+        assert_eq!(p.lost_at, Some(40));
+        assert_eq!(p.oom_limit, Some(0.5));
+        assert_eq!(p.oom_prob, 0.25);
+        assert_eq!(p.seed, 7);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("bogus@3").is_err());
+        assert!(FaultPlan::parse("transient@x").is_err());
+        assert!(FaultPlan::parse("oom-limit=1.5").is_err());
+        assert!(FaultPlan::parse("transient@3:0").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn transient_fires_in_range_only() {
+        let p = FaultPlan::parse("transient@2:2").unwrap();
+        assert!(p.fault_at(1, "k").is_none());
+        assert!(matches!(
+            p.fault_at(2, "k"),
+            Some(SimError::Transient { launch: 2, .. })
+        ));
+        assert!(matches!(
+            p.fault_at(3, "k"),
+            Some(SimError::Transient { .. })
+        ));
+        assert!(p.fault_at(4, "k").is_none());
+    }
+
+    #[test]
+    fn injector_is_sticky_until_taken() {
+        let inj = FaultInjector::new(FaultPlan::parse("transient@1").unwrap());
+        assert!(!inj.intercept("a")); // ordinal 0
+        assert!(inj.intercept("b")); // ordinal 1: fault fires
+        assert!(inj.intercept("c")); // pending: skipped, no ordinal consumed
+        assert!(matches!(
+            inj.take(),
+            Some(SimError::Transient { launch: 1, .. })
+        ));
+        assert!(!inj.intercept("d")); // ordinal 2: runs again
+    }
+
+    #[test]
+    fn device_lost_is_sticky_until_revive() {
+        let inj = FaultInjector::new(FaultPlan::parse("lost@0").unwrap());
+        assert!(inj.intercept("a"));
+        assert!(matches!(inj.take(), Some(SimError::DeviceLost { .. })));
+        // Still dead: next launch re-surfaces DeviceLost.
+        assert!(inj.intercept("b"));
+        assert!(matches!(inj.take(), Some(SimError::DeviceLost { .. })));
+        assert!(inj.alloc_fault().is_some());
+        inj.revive();
+        assert!(inj.alloc_fault().is_none());
+        assert!(!inj.intercept("c"));
+    }
+
+    #[test]
+    fn prob_oom_is_deterministic() {
+        let p = FaultPlan::parse("oom-prob=0.5,seed=42").unwrap();
+        let fires: Vec<bool> = (0..64).map(|i| p.fault_at(i, "k").is_some()).collect();
+        let again: Vec<bool> = (0..64).map(|i| p.fault_at(i, "k").is_some()).collect();
+        assert_eq!(fires, again);
+        let n = fires.iter().filter(|&&b| b).count();
+        assert!(n > 8 && n < 56, "p=0.5 over 64 draws fired {n} times");
+    }
+}

@@ -42,6 +42,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod profiler;
 pub mod queue;
@@ -51,8 +52,9 @@ pub mod stats;
 pub use device::{DeviceProfile, Vendor};
 pub use error::{SimError, SimResult};
 pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupCtx, MAX_SUBGROUP};
+pub use fault::FaultPlan;
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
-pub use profiler::{KernelRecord, Marker, MemEvent, Profiler, RepEvent};
+pub use profiler::{KernelRecord, Marker, MemEvent, Profiler, RecoveryEvent, RepEvent};
 pub use queue::{Device, Event, Queue};
 pub use sanitize::{Finding, FindingKind, Sanitizer};
 pub use stats::{GroupStats, KernelStats};

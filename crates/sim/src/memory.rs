@@ -159,6 +159,9 @@ pub(crate) struct LedgerEntry {
 #[derive(Debug)]
 pub struct MemTracker {
     capacity: u64,
+    /// Effective-capacity cap below `capacity` (threshold OOM injection);
+    /// `u64::MAX` means "no soft limit".
+    soft_limit: AtomicU64,
     used: AtomicU64,
     peak: AtomicU64,
     next_addr: AtomicU64,
@@ -172,6 +175,7 @@ impl MemTracker {
     pub fn new(capacity: u64) -> Self {
         MemTracker {
             capacity,
+            soft_limit: AtomicU64::new(u64::MAX),
             used: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             // Leave a zero page unused so address 0 never appears.
@@ -194,14 +198,15 @@ impl MemTracker {
     /// address space advances by — so reserve/release stay symmetric.
     pub fn reserve(&self, bytes: u64) -> Result<u64, SimError> {
         let charged = Self::aligned(bytes);
+        let capacity = self.effective_capacity();
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
             let new = cur + charged;
-            if new > self.capacity {
+            if new > capacity {
                 return Err(SimError::OutOfMemory {
                     requested: charged,
                     used: cur,
-                    capacity: self.capacity,
+                    capacity,
                 });
             }
             match self
@@ -287,6 +292,33 @@ impl MemTracker {
 
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Caps allocations below physical capacity (threshold OOM injection);
+    /// `None` removes the cap.
+    pub fn set_soft_limit(&self, bytes: Option<u64>) {
+        self.soft_limit
+            .store(bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// Capacity allocations are checked against: `min(capacity, soft limit)`.
+    pub fn effective_capacity(&self) -> u64 {
+        self.capacity.min(self.soft_limit.load(Ordering::Relaxed))
+    }
+
+    /// Recomputes `used` from the set of live ledger entries and folds it
+    /// into `peak`. After a checkpoint restore the incremental counters can
+    /// have drifted (saturated releases clamp at zero and drop bytes);
+    /// the ledger is the ground truth.
+    pub fn recompute_from_ledger(&self) {
+        let ledger = self.ledger.lock();
+        let used: u64 = ledger
+            .values()
+            .filter(|e| e.live.load(Ordering::Relaxed))
+            .map(|e| Self::aligned(e.bytes))
+            .sum();
+        self.used.store(used, Ordering::Relaxed);
+        self.peak.fetch_max(used, Ordering::Relaxed);
     }
 
     pub fn reset_peak(&self) {
@@ -450,6 +482,18 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
     /// Size in bytes.
     pub fn bytes(&self) -> u64 {
         (self.len * T::BYTES) as u64
+    }
+
+    /// Host-side word-level copy of the contents (checkpointing). No
+    /// kernels run and nothing is committed to the clock or profiler.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.storage.snapshot_words()
+    }
+
+    /// Writes a [`DeviceBuffer::snapshot_words`] image back over the
+    /// contents (checkpoint restore). Host-side, like the snapshot.
+    pub fn restore_words(&self, words: &[u64]) {
+        self.storage.restore_words(words)
     }
 
     /// Always-on bounds check (release builds included) whose panic
@@ -790,6 +834,59 @@ mod tests {
         assert_eq!(t.release_underflows(), 1);
         // Later allocations still work.
         assert!(DeviceBuffer::<u32>::new(t.clone(), 16, AllocKind::Device).is_ok());
+    }
+
+    #[test]
+    fn recompute_from_ledger_heals_drifted_counters() {
+        let t = tracker(1 << 20);
+        let a = DeviceBuffer::<u32>::new(t.clone(), 100, AllocKind::Device).unwrap();
+        let _b = DeviceBuffer::<u64>::new(t.clone(), 32, AllocKind::Shared).unwrap();
+        let truth = t.used();
+        // Drift the incremental counter the way a stray release would
+        // (saturating, so the bytes are silently dropped).
+        t.release(256);
+        assert_ne!(t.used(), truth, "counter drifted");
+        t.recompute_from_ledger();
+        assert_eq!(t.used(), truth, "ledger restores the true live total");
+        assert!(t.peak() >= truth);
+        // Dead entries stop counting: recompute tracks frees too.
+        drop(a);
+        let after_free = t.used();
+        t.recompute_from_ledger();
+        assert_eq!(t.used(), after_free);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_contents() {
+        let b = DeviceBuffer::<f32>::new(tracker(1 << 20), 5, AllocKind::Device).unwrap();
+        for i in 0..5 {
+            b.store(i, i as f32 * 1.5 - 2.0);
+        }
+        let image = b.snapshot_words();
+        b.fill(f32::NAN);
+        b.restore_words(&image);
+        for i in 0..5 {
+            assert_eq!(b.load(i).to_bits(), (i as f32 * 1.5 - 2.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn soft_limit_caps_effective_capacity() {
+        let t = tracker(1 << 20);
+        t.set_soft_limit(Some(512));
+        assert_eq!(t.effective_capacity(), 512);
+        let a = DeviceBuffer::<u32>::new(t.clone(), 64, AllocKind::Device).unwrap(); // 256 B
+        let err = DeviceBuffer::<u32>::new(t.clone(), 128, AllocKind::Device)
+            .expect_err("512-B charge over a 512-B limit with 256 B used");
+        match err {
+            SimError::OutOfMemory { capacity, .. } => {
+                assert_eq!(capacity, 512, "error reports the effective capacity")
+            }
+            other => panic!("expected OutOfMemory, got {other}"),
+        }
+        drop(a);
+        t.set_soft_limit(None);
+        assert!(DeviceBuffer::<u32>::new(t, 128, AllocKind::Device).is_ok());
     }
 
     #[test]

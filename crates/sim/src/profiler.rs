@@ -58,12 +58,29 @@ pub struct RepEvent {
     pub switched: bool,
 }
 
+/// One recovery action taken by the engine in response to an injected (or
+/// real) fault: a transient retry, an OOM degradation rung, or a
+/// checkpoint resume after device loss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    pub t_ns: f64,
+    /// Superstep index at which the fault was handled (0-based).
+    pub superstep: u32,
+    /// Fault class ("transient" / "oom" / "device-lost").
+    pub fault: String,
+    /// Action taken ("retry" / a degradation rung label / "resume").
+    pub action: String,
+    /// 1-based attempt counter within this fault class.
+    pub attempt: u32,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     kernels: Vec<KernelRecord>,
     mem_events: Vec<MemEvent>,
     markers: Vec<Marker>,
     rep_events: Vec<RepEvent>,
+    recovery_events: Vec<RecoveryEvent>,
 }
 
 /// Thread-safe profiler attached to a queue.
@@ -135,6 +152,21 @@ impl Profiler {
             .iter()
             .filter(|e| e.switched)
             .count()
+    }
+
+    /// Records a fault-recovery action.
+    pub fn record_recovery(&self, ev: RecoveryEvent) {
+        self.inner.lock().recovery_events.push(ev);
+    }
+
+    /// Snapshot of recovery events.
+    pub fn recovery_events(&self) -> Vec<RecoveryEvent> {
+        self.inner.lock().recovery_events.clone()
+    }
+
+    /// Number of recovery events recorded so far.
+    pub fn recovery_count(&self) -> usize {
+        self.inner.lock().recovery_events.len()
     }
 
     /// Number of kernels recorded so far.
@@ -235,6 +267,7 @@ impl Profiler {
         inner.mem_events.clear();
         inner.markers.clear();
         inner.rep_events.clear();
+        inner.recovery_events.clear();
     }
 }
 

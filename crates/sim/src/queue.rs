@@ -15,6 +15,7 @@ use crate::cost::{self, CuAgg};
 use crate::device::DeviceProfile;
 use crate::error::{SimError, SimResult};
 use crate::exec::{run_range_group, Accounting, GroupCtx, ItemCtx, LaunchConfig};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::memory::{AllocKind, DeviceBuffer, DeviceScalar, MemTracker};
 use crate::profiler::{KernelRecord, MemEvent, Profiler};
 use crate::sanitize::{AccessRec, SanGroup, Sanitizer, Snapshot};
@@ -45,6 +46,19 @@ impl Device {
     /// Resets the peak-memory watermark to the current usage.
     pub fn reset_mem_peak(&self) {
         self.tracker.reset_peak()
+    }
+
+    /// Caps the effective device capacity below physical VRAM (threshold
+    /// OOM injection); `None` restores the full capacity.
+    pub fn set_mem_soft_limit(&self, bytes: Option<u64>) {
+        self.tracker.set_soft_limit(bytes)
+    }
+
+    /// Recomputes `used`/`peak` from the allocation ledger. Called after a
+    /// checkpoint restore so accounting cannot drift from the true set of
+    /// live allocations (e.g. via saturated releases).
+    pub fn recompute_mem_accounting(&self) {
+        self.tracker.recompute_from_ledger()
     }
 }
 
@@ -79,6 +93,8 @@ pub struct Queue {
     profiler: Arc<Profiler>,
     /// Shadow-tracking sanitizer, attached via [`Queue::with_sanitizer`].
     sanitizer: Option<Arc<Sanitizer>>,
+    /// Fault injector, attached via [`Queue::with_faults`].
+    faults: Option<FaultInjector>,
 }
 
 impl Queue {
@@ -98,6 +114,7 @@ impl Queue {
             seq: Mutex::new(0),
             profiler: Arc::new(Profiler::new()),
             sanitizer: None,
+            faults: None,
         }
     }
 
@@ -116,6 +133,56 @@ impl Queue {
     /// The attached sanitizer, if this queue was built with one.
     pub fn sanitizer(&self) -> Option<&Arc<Sanitizer>> {
         self.sanitizer.as_ref()
+    }
+
+    /// A queue with a deterministic [`FaultPlan`] attached: launches and
+    /// allocations fail exactly where the plan says (see `crate::fault`).
+    /// With an empty plan this is zero-overhead: the simulated clock and
+    /// profiler streams are byte-identical to a plain queue.
+    pub fn with_faults(device: Arc<Device>, plan: FaultPlan) -> Self {
+        let mut q = Self::new(device);
+        q.attach_faults(plan);
+        q
+    }
+
+    /// Attaches a [`FaultPlan`] to an existing queue (composes with the
+    /// sanitizer: faulted launches are skipped before shadow tracking, so
+    /// the injector produces no sanitizer findings).
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        if let Some(frac) = plan.oom_limit {
+            let cap = self.device.profile.vram_bytes;
+            self.device
+                .tracker
+                .set_soft_limit(Some((cap as f64 * frac) as u64));
+        }
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Drains the pending injected fault, if any, re-enabling launches
+    /// (unless the device is lost — see [`Queue::revive`]).
+    pub fn take_fault(&self) -> Option<SimError> {
+        self.faults.as_ref()?.take()
+    }
+
+    /// True if a fault is pending (subsequent launches are being skipped)
+    /// or the device is lost.
+    pub fn fault_pending(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.pending())
+    }
+
+    /// Clears a sticky `DeviceLost` (models swapping in a fresh device for
+    /// checkpoint resume). Device memory contents are preserved by the
+    /// simulator; restoring state buffers is the caller's responsibility.
+    pub fn revive(&self) {
+        if let Some(f) = &self.faults {
+            f.revive();
+        }
+    }
+
+    /// Advances the simulated clock without running a kernel (used to model
+    /// retry backoff in simulated time).
+    pub fn advance_clock_ns(&self, ns: f64) {
+        *self.clock_ns.lock() += ns;
     }
 
     pub fn device(&self) -> &Arc<Device> {
@@ -169,6 +236,9 @@ impl Queue {
         kind: AllocKind,
         tag: &str,
     ) -> SimResult<DeviceBuffer<T>> {
+        if let Some(e) = self.faults.as_ref().and_then(|f| f.alloc_fault()) {
+            return Err(e);
+        }
         let buf = DeviceBuffer::new(self.device.tracker.clone(), len, kind)?;
         self.profiler.record_mem(MemEvent {
             t_ns: self.now_ns(),
@@ -206,6 +276,18 @@ impl Queue {
             cfg.sg_size
         );
         assert!(cfg.sg_size as usize <= crate::exec::MAX_SUBGROUP);
+        if let Some(inj) = &self.faults {
+            if inj.intercept(&cfg.name) {
+                // Faulted or skipped launch: nothing ran. Return a
+                // zero-duration event at the current time without touching
+                // the clock or the profiler.
+                let t = self.now_ns();
+                return Event {
+                    start_ns: t,
+                    end_ns: t,
+                };
+            }
+        }
         if let Some(san) = self.sanitizer.clone() {
             return self.launch_sanitized(cfg, &kernel, san);
         }
@@ -335,6 +417,31 @@ impl Queue {
             let end = (start + per_group).min(n);
             run_range_group(ctx, start, end, &f);
         })
+    }
+
+    /// Like [`Queue::launch`], but surfaces a fault injected at (or pending
+    /// before) this launch as an `Err`, draining it from the queue.
+    pub fn try_launch<F>(&self, cfg: LaunchConfig, kernel: F) -> SimResult<Event>
+    where
+        F: Fn(&mut GroupCtx<'_>) + Sync,
+    {
+        let ev = self.launch(cfg, kernel);
+        match self.take_fault() {
+            Some(e) => Err(e),
+            None => Ok(ev),
+        }
+    }
+
+    /// Like [`Queue::parallel_for`], but surfaces injected faults as `Err`.
+    pub fn try_parallel_for<F>(&self, name: impl Into<String>, n: usize, f: F) -> SimResult<Event>
+    where
+        F: Fn(&mut ItemCtx<'_>, usize) + Sync,
+    {
+        let ev = self.parallel_for(name, n, f);
+        match self.take_fault() {
+            Some(e) => Err(e),
+            None => Ok(ev),
+        }
     }
 
     /// Fills a buffer from the device (a `memset`-style kernel, modelled at
