@@ -1,46 +1,64 @@
-//! Breadth-First Search (push-based), following the paper's Listing 1:
-//! an `advance` expands the frontier through unvisited vertices, a
-//! `compute` stamps their distances, then the frontiers swap — the cycle
-//! the [`SuperstepEngine`] owns.
+//! Breadth-First Search, following the paper's Listing 1: an `advance`
+//! expands the frontier through unvisited vertices, a `compute` stamps
+//! their distances, then the frontiers swap — the cycle the
+//! [`SuperstepEngine`] owns.
+//!
+//! Direction optimization (Beamer-style push/pull) belongs to the engine:
+//! BFS merely registers the [`PullCandidates::Unvisited`] scope. On a
+//! graph with a pull (CSC) view and a tuning whose `direction` policy
+//! allows it, wide supersteps run bottom-up automatically; on a plain
+//! [`DeviceCsr`](sygraph_core::graph::DeviceCsr) every superstep pushes,
+//! exactly as before.
 
-use sygraph_core::engine::{CheckpointState, SuperstepEngine};
+use sygraph_core::engine::{CheckpointState, PullCandidates, SuperstepEngine};
 use sygraph_core::frontier::Word;
-use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
-use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::graph::DeviceGraphView;
+use sygraph_core::inspector::{inspect, OptConfig, Tuning};
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimResult};
 
 use crate::common::{make_frontier, AlgoResult};
-use crate::dispatch_by_word;
 
 /// Runs BFS from `src`, returning hop distances (unreached = `INF_DIST`).
 /// The distance stamp runs as a separate `compute` pass per superstep.
-pub fn run(
+pub fn run<G: DeviceGraphView + ?Sized>(
     q: &Queue,
-    g: &DeviceCsr,
+    g: &G,
     src: VertexId,
     opts: &OptConfig,
 ) -> SimResult<AlgoResult<u32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, false))
+    let tuning = inspect(q.profile(), opts, g.vertex_count());
+    match tuning.word_bits {
+        32 => engine_run::<u32, G>(q, g, src, opts, false, "bfs_iter", &tuning),
+        _ => engine_run::<u64, G>(q, g, src, opts, false, "bfs_iter", &tuning),
+    }
 }
 
 /// Like [`run`], but fuses the distance stamp into the advance kernel:
 /// one fewer kernel and host sync per superstep, bit-identical results.
-pub fn run_fused(
+pub fn run_fused<G: DeviceGraphView + ?Sized>(
     q: &Queue,
-    g: &DeviceCsr,
+    g: &G,
     src: VertexId,
     opts: &OptConfig,
 ) -> SimResult<AlgoResult<u32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, true))
+    let tuning = inspect(q.profile(), opts, g.vertex_count());
+    match tuning.word_bits {
+        32 => engine_run::<u32, G>(q, g, src, opts, true, "bfs_iter", &tuning),
+        _ => engine_run::<u64, G>(q, g, src, opts, true, "bfs_iter", &tuning),
+    }
 }
 
-fn run_impl<W: Word>(
+/// The engine cycle shared by [`run`], [`run_fused`] and the
+/// direction-optimizing preset ([`crate::dobfs`]): only the tuning (and
+/// the marker prefix) differ between them.
+pub(crate) fn engine_run<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
-    g: &DeviceCsr,
+    g: &G,
     src: VertexId,
     opts: &OptConfig,
     fused: bool,
+    mark_prefix: &str,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
     let n = g.vertex_count();
@@ -61,10 +79,14 @@ fn run_impl<W: Word>(
     // The distance buffer is BFS's whole recoverable state: registering
     // it lets DeviceLost recovery resume from the engine's checkpoints.
     let ckpt: [&dyn CheckpointState; 1] = [&dist];
+    // BFS visits each vertex once and its advance functor is a read-only
+    // membership test, so pull supersteps may adopt-on-first-parent and
+    // early-exit (the Beamer bottom-up scan).
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
         .fused(fused)
-        .mark_prefix("bfs_iter")
+        .mark_prefix(mark_prefix)
         .max_iters(n + 1, "BFS failed to converge")
+        .pull_scope(PullCandidates::Unvisited)
         .checkpoint_state(&ckpt);
     // Atomic access to dist[]: in the fused path the stamp runs in the
     // same launch as the functor's unvisited check, so lanes read cells
@@ -86,7 +108,7 @@ fn run_impl<W: Word>(
 mod tests {
     use super::*;
     use crate::reference;
-    use sygraph_core::graph::CsrHost;
+    use sygraph_core::graph::{CsrHost, DeviceCsr};
     use sygraph_sim::{Device, DeviceProfile};
 
     fn queue() -> Queue {

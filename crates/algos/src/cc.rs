@@ -6,17 +6,30 @@
 
 use sygraph_core::engine::{CheckpointState, SuperstepEngine, NO_COMPUTE};
 use sygraph_core::frontier::{BitmapLike, Word};
-use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
-use sygraph_core::inspector::{OptConfig, Tuning};
+use sygraph_core::graph::DeviceGraphView;
+use sygraph_core::inspector::{inspect, OptConfig, Tuning};
 use sygraph_sim::{Queue, SimResult};
 
 use crate::common::{make_frontier, AlgoResult};
-use crate::dispatch_by_word;
 
 /// Runs label-propagation CC; returns per-vertex component labels
 /// (the minimum vertex id of each component).
-pub fn run(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, opts))
+///
+/// On a graph with a pull (CSC) view, the engine may run wide supersteps
+/// in the pull direction under the default
+/// [`PullCandidates::AllVertices`](sygraph_core::engine::PullCandidates)
+/// scope — safe here because the functor sees exactly the push edge set
+/// (CC inputs are symmetric, so CSC enumerates the same edges as CSR).
+pub fn run<G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    g: &G,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<u32>> {
+    let tuning = inspect(q.profile(), opts, g.vertex_count());
+    match tuning.word_bits {
+        32 => run_impl::<u32, G>(q, g, opts, &tuning),
+        _ => run_impl::<u64, G>(q, g, opts, &tuning),
+    }
 }
 
 /// Label propagation with Stergiou-style *shortcutting*: after each
@@ -26,13 +39,21 @@ pub fn run(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u
 /// superstep count from O(diameter) to roughly O(log diameter) rounds of
 /// useful work (the paper's CC follows Stergiou et al., which is built
 /// on exactly this idea).
-pub fn run_shortcutting(q: &Queue, g: &DeviceCsr, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_shortcut_impl(q, g, opts))
+pub fn run_shortcutting<G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    g: &G,
+    opts: &OptConfig,
+) -> SimResult<AlgoResult<u32>> {
+    let tuning = inspect(q.profile(), opts, g.vertex_count());
+    match tuning.word_bits {
+        32 => run_shortcut_impl::<u32, G>(q, g, opts, &tuning),
+        _ => run_shortcut_impl::<u64, G>(q, g, opts, &tuning),
+    }
 }
 
-fn run_shortcut_impl<W: Word>(
+fn run_shortcut_impl<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
-    g: &DeviceCsr,
+    g: &G,
     opts: &OptConfig,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
@@ -95,9 +116,9 @@ fn run_shortcut_impl<W: Word>(
     })
 }
 
-fn run_impl<W: Word>(
+fn run_impl<W: Word, G: DeviceGraphView + ?Sized>(
     q: &Queue,
-    g: &DeviceCsr,
+    g: &G,
     opts: &OptConfig,
     tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
@@ -142,7 +163,7 @@ fn run_impl<W: Word>(
 mod tests {
     use super::*;
     use crate::reference;
-    use sygraph_core::graph::CsrHost;
+    use sygraph_core::graph::{CsrHost, DeviceCsr};
     use sygraph_sim::{Device, DeviceProfile};
 
     fn queue() -> Queue {

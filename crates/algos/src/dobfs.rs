@@ -2,34 +2,39 @@
 //! paper notes is possible atop SYgraph (§3.4: "it is also possible to
 //! use both push and pull techniques as per Beamer et al.").
 //!
-//! Push iterations use the standard frontier `advance`; when the frontier
-//! grows past `n / alpha` vertices, the traversal switches to pull:
-//! every unvisited vertex scans its *in*-edges (the graph's CSC view) and
-//! adopts the level as soon as one parent lies in the current frontier —
-//! a membership test that is a single bit probe thanks to the bitmap
-//! layout. It switches back to push when the frontier shrinks below
-//! `n / beta`.
+//! Since direction optimization moved into the [`SuperstepEngine`]
+//! (`Tuning::{direction, alpha, beta}` plus the engine-maintained
+//! unvisited set), this module is a thin preset over [`crate::bfs`]: it
+//! checks the graph carries a pull (CSC) view, defaults the direction
+//! policy to `Auto`, and runs the ordinary BFS engine cycle — the engine
+//! decides per superstep whether to push (frontier scans out-edges) or
+//! pull (unvisited candidates scan in-edges, adopting on first parent).
+//!
+//! [`SuperstepEngine`]: sygraph_core::engine::SuperstepEngine
 
-use sygraph_core::engine::SuperstepEngine;
-use sygraph_core::frontier::word::locate;
-use sygraph_core::frontier::Word;
 use sygraph_core::graph::{DeviceGraphView, Graph};
-use sygraph_core::inspector::{OptConfig, Tuning};
-use sygraph_core::types::{VertexId, INF_DIST};
+use sygraph_core::inspector::{inspect, Direction, OptConfig};
+use sygraph_core::types::VertexId;
 use sygraph_sim::{Queue, SimError, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
-use crate::dispatch_by_word;
+use crate::common::AlgoResult;
 
 /// Beamer's switching thresholds.
+#[deprecated(
+    since = "0.2.0",
+    note = "direction optimization now lives on the superstep engine; \
+            set `OptConfig::direction` (and `Tuning::{alpha, beta}`) \
+            instead, or call `dobfs::run` without parameters"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct DobfsParams {
-    /// Switch push→pull when `frontier > n / alpha`.
+    /// Switch push→pull when the frontier estimate exceeds `n / alpha`.
     pub alpha: usize,
-    /// Switch pull→push when `frontier < n / beta`.
+    /// Switch pull→push when the frontier estimate drops below `n / beta`.
     pub beta: usize,
 }
 
+#[allow(deprecated)]
 impl Default for DobfsParams {
     fn default() -> Self {
         DobfsParams { alpha: 4, beta: 24 }
@@ -37,107 +42,68 @@ impl Default for DobfsParams {
 }
 
 /// Runs direction-optimizing BFS from `src`. The graph must carry a pull
-/// (CSC) view — build it with [`Graph::with_pull`].
-pub fn run(
-    q: &Queue,
-    g: &Graph,
-    src: VertexId,
-    opts: &OptConfig,
-    params: DobfsParams,
-) -> SimResult<AlgoResult<u32>> {
-    assert!(
-        g.csc.is_some(),
-        "direction-optimizing BFS needs Graph::with_pull"
-    );
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts, params))
+/// (CSC) view — build it with [`Graph::with_pull`] — otherwise a typed
+/// [`SimError::Unsupported`] is returned (no assert).
+///
+/// The preset honours `opts.direction` when it already enables pull
+/// (`Auto`/`Pull`) and upgrades an explicit `Push` to `Auto`: asking for
+/// direction-*optimizing* BFS opts into the hybrid.
+pub fn run(q: &Queue, g: &Graph, src: VertexId, opts: &OptConfig) -> SimResult<AlgoResult<u32>> {
+    let mut opts = *opts;
+    if opts.direction == Direction::Push {
+        opts.direction = Direction::Auto;
+    }
+    run_preset(q, g, src, &opts, None)
 }
 
-fn run_impl<W: Word>(
+/// [`run`] with explicit Beamer thresholds — the pre-engine entry point,
+/// kept as a shim for existing callers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `dobfs::run` (engine-level direction optimization); \
+            alpha/beta ride on `Tuning` now"
+)]
+#[allow(deprecated)]
+pub fn run_with_params(
     q: &Queue,
     g: &Graph,
     src: VertexId,
     opts: &OptConfig,
     params: DobfsParams,
-    tuning: &Tuning,
 ) -> SimResult<AlgoResult<u32>> {
-    let n = g.vertex_count();
-    assert!((src as usize) < n, "source out of range");
-    let csc = g.csc.as_ref().unwrap();
-    let t0 = q.now_ns();
-
-    let dist = q.malloc_device::<u32>(n)?;
-    q.fill(&dist, INF_DIST);
-    dist.store(src as usize, 0);
-
-    let fin = make_frontier::<W>(q, n, opts)?;
-    let fout = make_frontier::<W>(q, n, opts)?;
-    fin.insert_host(src);
-
-    // Push supersteps go through the engine (fused distance stamp); pull
-    // supersteps are manual kernels over the CSC view, using the engine's
-    // step-level API to keep the frontier cycle in one place.
-    let mut engine = SuperstepEngine::new(q, &g.csr, *tuning, fin, fout)
-        .fused(true)
-        .mark_prefix("dobfs_iter");
-    let mut frontier_size = 1usize;
-    let mut pulling = false;
-    loop {
-        // Beamer switch heuristic on the frontier population.
-        if !pulling && frontier_size > n / params.alpha.max(1) {
-            pulling = true;
-        } else if pulling && frontier_size < n / params.beta.max(1) {
-            pulling = false;
-        }
-
-        if pulling {
-            // Pull: each unvisited vertex scans in-edges for a frontier
-            // parent; the bitmap makes membership a single bit probe.
-            let iter = engine.iteration();
-            q.mark(format!("dobfs_iter{iter}"));
-            let (fin_ref, fout_ref) = engine.frontiers();
-            let in_words = fin_ref.words();
-            let next = iter + 1;
-            q.parallel_for("bfs_pull", n, |l, v| {
-                if l.load(&dist, v) != INF_DIST {
-                    return;
-                }
-                let (lo, hi) = csc.row_bounds(l, v as u32);
-                for e in lo..hi {
-                    let u = csc.edge_dest(l, e);
-                    let (wi, b) = locate::<W>(u);
-                    if l.load(in_words, wi).test_bit(b) {
-                        l.store(&dist, v, next);
-                        fout_ref.insert_lane(l, v as u32);
-                        break; // early exit: one parent suffices
-                    }
-                }
-            });
-            // The pull bypassed `step`, so the input's compaction
-            // metadata is stale: the rotate must clear in full.
-            engine.invalidate_compaction();
-        } else {
-            // Push: Listing-1 advance with the distance stamp fused in.
-            engine.step(
-                |l, _iter, _u, v, _e, _w| l.load(&dist, v as usize) == INF_DIST,
-                Some(&|l, iter, v| l.store(&dist, v as usize, iter + 1)),
-            );
-        }
-
-        engine.rotate();
-        frontier_size = engine.input().count(q);
-        if frontier_size == 0 {
-            break;
-        }
-        if engine.iteration() as usize > n + 1 {
-            return Err(SimError::Algorithm("DOBFS failed to converge".into()));
-        }
+    let mut opts = *opts;
+    if opts.direction == Direction::Push {
+        opts.direction = Direction::Auto;
     }
+    let alpha = u32::try_from(params.alpha).unwrap_or(u32::MAX);
+    let beta = u32::try_from(params.beta).unwrap_or(u32::MAX);
+    run_preset(q, g, src, &opts, Some((alpha, beta)))
+}
 
-    Ok(AlgoResult {
-        values: dist.to_vec(),
-        iterations: engine.iteration(),
-        sim_ms: (q.now_ns() - t0) / 1e6,
-    })
+fn run_preset(
+    q: &Queue,
+    g: &Graph,
+    src: VertexId,
+    opts: &OptConfig,
+    thresholds: Option<(u32, u32)>,
+) -> SimResult<AlgoResult<u32>> {
+    if !g.supports_pull() {
+        return Err(SimError::Unsupported(
+            "direction-optimizing BFS needs a pull (CSC) view; build the \
+             graph with Graph::with_pull"
+                .into(),
+        ));
+    }
+    let mut tuning = inspect(q.profile(), opts, g.vertex_count());
+    if let Some((alpha, beta)) = thresholds {
+        tuning.alpha = alpha;
+        tuning.beta = beta;
+    }
+    // Fused distance stamp, as the hand-rolled version always ran.
+    match tuning.word_bits {
+        32 => crate::bfs::engine_run::<u32, Graph>(q, g, src, opts, true, "dobfs_iter", &tuning),
+        _ => crate::bfs::engine_run::<u64, Graph>(q, g, src, opts, true, "dobfs_iter", &tuning),
+    }
 }
 
 #[cfg(test)]
@@ -151,50 +117,83 @@ mod tests {
         Queue::new(Device::new(DeviceProfile::host_test()))
     }
 
-    fn check(host: &CsrHost, src: u32, params: DobfsParams) {
-        let q = queue();
-        let g = Graph::with_pull(&q, host).unwrap();
-        let got = run(&q, &g, src, &OptConfig::all(), params).unwrap();
-        assert_eq!(got.values, reference::bfs(host, src));
-    }
-
-    #[test]
-    fn matches_reference_with_default_switching() {
+    fn random_host(seed: u64, n: u32, m: usize) -> CsrHost {
         use rand::prelude::*;
-        let mut rng = StdRng::seed_from_u64(5);
-        let n = 250u32;
-        let edges: Vec<(u32, u32)> = (0..2500)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
             .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
             .collect();
-        let host = CsrHost::from_edges(n as usize, &edges);
-        check(&host, 0, DobfsParams::default());
+        CsrHost::from_edges(n as usize, &edges)
     }
 
     #[test]
-    fn forced_pull_still_correct() {
-        // alpha=1: pull from the first iteration onward.
-        let host =
-            CsrHost::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 6), (5, 7)]);
-        check(
-            &host,
-            0,
-            DobfsParams {
-                alpha: 1,
-                beta: 1000,
-            },
+    fn auto_preset_switches_and_matches_reference() {
+        // A hub-heavy random graph explodes by superstep 2: the preset's
+        // Auto upgrade must actually take the pull path (visible in the
+        // trace) and still match the host reference. Forced Pull/Auto ×
+        // rep × dataset bit-identity lives in tests/direction_properties.
+        let host = random_host(7, 300, 4000);
+        let q = queue();
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let got = run(&q, &g, 0, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, reference::bfs(&host, 0));
+        let dirs = q.profiler().direction_events();
+        for want in ["push", "pull"] {
+            assert!(dirs.iter().any(|e| e.direction == want), "no {want}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_params_map_onto_tuning_thresholds() {
+        // Chain long enough that the dense estimate (nonzero_words ×
+        // word_bits, so ≥ 64 for any non-empty frontier) stays below n.
+        let edges: Vec<(u32, u32)> = (0..127).map(|v| (v, v + 1)).collect();
+        let host = CsrHost::from_edges(128, &edges);
+        let expect = reference::bfs(&host, 0);
+
+        // alpha = 1 ⇒ push→pull threshold is n, never crossed: the run
+        // stays push throughout and matches plain BFS bit for bit.
+        let q = queue();
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let push_only = DobfsParams { alpha: 1, beta: 1 };
+        let got = run_with_params(&q, &g, 0, &OptConfig::all(), push_only).unwrap();
+        assert_eq!(got.values, expect);
+        let plain = crate::bfs::run_fused(&q, &g, 0, &OptConfig::all()).unwrap();
+        assert_eq!(got.values, plain.values);
+        assert!(
+            q.profiler()
+                .direction_events()
+                .iter()
+                .all(|e| e.direction == "push"),
+            "alpha=1 must keep every superstep on the push path"
+        );
+
+        // alpha = MAX ⇒ threshold n/alpha is 0: any non-empty estimate
+        // engages pull from the second superstep on.
+        let q = queue();
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let pull_eager = DobfsParams {
+            alpha: u32::MAX as usize,
+            beta: u32::MAX as usize,
+        };
+        let got = run_with_params(&q, &g, 0, &OptConfig::all(), pull_eager).unwrap();
+        assert_eq!(got.values, expect);
+        assert!(
+            q.profiler()
+                .direction_events()
+                .iter()
+                .any(|e| e.direction == "pull"),
+            "alpha=MAX must engage the pull path"
         );
     }
 
     #[test]
-    fn forced_push_matches_plain_bfs() {
-        let host = CsrHost::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        check(
-            &host,
-            0,
-            DobfsParams {
-                alpha: usize::MAX,
-                beta: 1,
-            },
-        );
+    fn missing_pull_view_is_a_typed_error() {
+        let host = CsrHost::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let q = queue();
+        let g = Graph::new(&q, &host).unwrap();
+        let err = run(&q, &g, 0, &OptConfig::all()).unwrap_err();
+        assert!(matches!(err, SimError::Unsupported(_)), "got {err:?}");
     }
 }

@@ -61,7 +61,7 @@ fn bench_extensions(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("dobfs", |b| {
         b.iter(|| {
-            sygraph_algos::dobfs::run(&q, &g, 0, &opts, Default::default())
+            sygraph_algos::dobfs::run(&q, &g, 0, &opts)
                 .unwrap()
                 .iterations
         })

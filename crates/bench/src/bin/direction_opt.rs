@@ -1,0 +1,178 @@
+//! Direction-optimization ablation: the three `Direction` policies
+//! compared on the generator suite, with result-equivalence checks and a
+//! JSON record of the modelled traversal cycles per policy per dataset.
+//!
+//! For each dataset, BFS runs from the highest-out-degree source under
+//! `Push`, `Pull` and `Auto` on a pull-capable graph view. Outputs must
+//! be bit-identical across directions (Beamer's hybrid changes which
+//! edges get *scanned*, never which vertices get visited or what distance
+//! they get). The cost metric sums the modelled cycles of the traversal
+//! pipeline — the advance families of both directions plus the frontier
+//! and unvisited-set maintenance kernels — because the edge scans the
+//! bottom-up supersteps skip (adopt-on-first-parent early exit) are
+//! exactly where direction optimization pays on scale-free graphs.
+//!
+//! `cargo run --release -p sygraph-bench --bin direction_opt`
+//! writes `BENCH_direction_opt.json` into the working directory.
+
+use sygraph_bench::{scale_from_env, scaled_profile};
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::{Direction, OptConfig};
+use sygraph_gen::{Dataset, Scale};
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+const DIRECTIONS: [(&str, Direction); 3] = [
+    ("push", Direction::Push),
+    ("pull", Direction::Pull),
+    ("auto", Direction::Auto),
+];
+
+/// One direction policy's measurements on one dataset.
+struct Cell {
+    direction: &'static str,
+    traversal_cycles: f64,
+    sim_ms: f64,
+    pull_supersteps: usize,
+    dir_switches: usize,
+    bfs: Vec<u32>,
+}
+
+/// Modelled cycles over the traversal pipeline: both advance families
+/// ("advance*" covers the push kernels and "advance_pull*") plus the
+/// frontier and unvisited-set maintenance kernels either policy pays.
+fn traversal_cycles(q: &Queue) -> f64 {
+    const MAINTENANCE: [&str; 6] = [
+        "frontier_compact",
+        "frontier_lazy_clear",
+        "frontier_sparse_lazy_clear",
+        "frontier_sparsify",
+        "frontier_densify",
+        "unvisited_subtract",
+    ];
+    let per_ns = q.profile().cycles_per_ns();
+    q.profiler()
+        .kernels()
+        .iter()
+        .filter(|k| k.name.starts_with("advance") || MAINTENANCE.contains(&k.name.as_str()))
+        .map(|k| k.stats.exec_ns * per_ns)
+        .sum()
+}
+
+fn run_direction(ds: &Dataset, src: u32, dir: (&'static str, Direction)) -> Cell {
+    let q = Queue::new(Device::new(scaled_profile(&DeviceProfile::v100s(), ds)));
+    let g = Graph::with_pull(&q, &ds.host).expect("upload");
+    let opts = OptConfig::with_direction(dir.1);
+    let bfs = sygraph_algos::bfs::run_fused(&q, &g, src, &opts).expect("bfs");
+    let dirs = q.profiler().direction_events();
+    Cell {
+        direction: dir.0,
+        traversal_cycles: traversal_cycles(&q),
+        sim_ms: bfs.sim_ms,
+        pull_supersteps: dirs.iter().filter(|e| e.direction == "pull").count(),
+        dir_switches: q.profiler().direction_switch_count(),
+        bfs: bfs.values,
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::Bench => "bench",
+    };
+    // Scale-free graphs are where the hybrid must win; the road and web
+    // graphs are the guard rail (auto must not lose there).
+    let datasets: Vec<(Dataset, bool)> = vec![
+        (sygraph_gen::datasets::kron(scale), true),
+        (sygraph_gen::datasets::twitter(scale), true),
+        (sygraph_gen::datasets::road_usa(scale), false),
+        (sygraph_gen::datasets::indochina(scale), false),
+    ];
+    println!("direction optimization ablation (scale: {scale_name})\n");
+    println!(
+        "{:<10} {:<5} {:>15} {:>11} {:>6} {:>9} {:>9}",
+        "dataset", "dir", "traversal cyc", "sim ms", "pulls", "switches", "speedup"
+    );
+
+    let mut auto_beats_push_on_scale_free = true;
+    let mut auto_never_loses_elsewhere = true;
+    let mut json_datasets = Vec::new();
+    for (ds, scale_free) in &datasets {
+        let src = (0..ds.host.vertex_count() as u32)
+            .max_by_key(|&v| ds.host.degree(v))
+            .expect("non-empty graph");
+        let cells: Vec<Cell> = DIRECTIONS
+            .iter()
+            .map(|&d| run_direction(ds, src, d))
+            .collect();
+
+        // Equivalence: the direction a superstep runs must never change
+        // which vertices get visited or what distance they get.
+        let base = &cells[0];
+        for c in &cells[1..] {
+            assert_eq!(
+                base.bfs, c.bfs,
+                "BFS diverged on {} under {}",
+                ds.key, c.direction
+            );
+        }
+
+        let mut cell_json = Vec::new();
+        for c in &cells {
+            let speedup = base.traversal_cycles / c.traversal_cycles.max(1e-9);
+            if c.direction == "auto" {
+                if *scale_free && c.traversal_cycles >= base.traversal_cycles {
+                    auto_beats_push_on_scale_free = false;
+                }
+                if !scale_free && c.traversal_cycles > base.traversal_cycles * 1.03 {
+                    auto_never_loses_elsewhere = false;
+                }
+            }
+            println!(
+                "{:<10} {:<5} {:>15.0} {:>11.4} {:>6} {:>9} {:>8.2}x",
+                ds.key,
+                c.direction,
+                c.traversal_cycles,
+                c.sim_ms,
+                c.pull_supersteps,
+                c.dir_switches,
+                speedup
+            );
+            cell_json.push(format!(
+                "{{\"direction\":\"{}\",\"traversal_cycles\":{:.1},\"sim_ms\":{:.6},\"pull_supersteps\":{},\"dir_switches\":{},\"speedup_vs_push\":{:.4}}}",
+                c.direction, c.traversal_cycles, c.sim_ms, c.pull_supersteps, c.dir_switches, speedup
+            ));
+        }
+        json_datasets.push(format!(
+            "{{\"dataset\":\"{}\",\"scale_free\":{},\"vertices\":{},\"edges\":{},\"source\":{},\"cells\":[{}]}}",
+            ds.key,
+            scale_free,
+            ds.host.vertex_count(),
+            ds.host.edge_count(),
+            src,
+            cell_json.join(",")
+        ));
+        println!();
+    }
+
+    println!("auto beats push on every scale-free dataset: {auto_beats_push_on_scale_free}");
+    println!("auto never loses > 3% on road/web: {auto_never_loses_elsewhere}");
+    let doc = format!(
+        "{{\"bench\":\"direction_opt\",\"scale\":\"{scale_name}\",\"device\":\"v100s\",\"auto_beats_push_on_scale_free\":{auto_beats_push_on_scale_free},\"auto_never_loses_elsewhere\":{auto_never_loses_elsewhere},\"datasets\":[{}]}}\n",
+        json_datasets.join(",")
+    );
+    std::fs::write("BENCH_direction_opt.json", doc).expect("write BENCH_direction_opt.json");
+    println!("wrote BENCH_direction_opt.json");
+    // The acceptance bars hold at bench scale; at test scale the graphs
+    // are a few hundred vertices and every kernel is launch-dominated.
+    if scale == Scale::Bench {
+        assert!(
+            auto_beats_push_on_scale_free,
+            "expected the Beamer hybrid to beat pure push on the scale-free datasets"
+        );
+        assert!(
+            auto_never_loses_elsewhere,
+            "auto must stay within 3% of push on road and web graphs"
+        );
+    }
+}

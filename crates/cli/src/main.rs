@@ -16,6 +16,10 @@
 //!   --no-msi --no-cf --no-2lb    disable individual optimizations
 //!   --balancing <s>   advance load balancing: wg | bucketed | auto (default auto)
 //!   --frontier <r>    frontier representation: dense | sparse | auto (default auto)
+//!   --direction <d>   traversal direction: push | pull | auto (default auto).
+//!                     pull and auto build the graph's pull (CSC) view and
+//!                     let the engine run Beamer-style bottom-up supersteps;
+//!                     without the flag only dobfs pays for the CSC view
 //!   --delta <x>       bucket width for the delta algorithm (default 2)
 //!   --json            machine-readable output
 //!   --profile         print the per-kernel profile afterwards (with
@@ -41,7 +45,7 @@ use std::process::ExitCode;
 
 use sygraph_core::engine::RecoveryPolicy;
 use sygraph_core::graph::{CsrHost, Graph};
-use sygraph_core::inspector::{Balancing, OptConfig, Representation};
+use sygraph_core::inspector::{Balancing, Direction, OptConfig, Representation};
 use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
 
 fn usage() -> ExitCode {
@@ -49,7 +53,8 @@ fn usage() -> ExitCode {
         "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
          [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
          [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
-         [--frontier dense|sparse|auto] [--delta X] [--json] [--profile] [--sanitize] \
+         [--frontier dense|sparse|auto] [--direction push|pull|auto] \
+         [--delta X] [--json] [--profile] [--sanitize] \
          [--inject-faults SPEC] [--retry N] [--checkpoint-every K]"
     );
     ExitCode::from(2)
@@ -101,6 +106,7 @@ fn main() -> ExitCode {
     let mut device = "v100s".to_string();
     let mut undirected = false;
     let mut opts = OptConfig::all();
+    let mut direction_explicit = false;
     let mut delta = 2.0f32;
     let mut json = false;
     let mut profile = false;
@@ -135,6 +141,15 @@ fn main() -> ExitCode {
                 Some("auto") => opts.representation = Representation::Auto,
                 _ => return usage(),
             },
+            "--direction" => {
+                direction_explicit = true;
+                match it.next().map(String::as_str) {
+                    Some("push") => opts.direction = Direction::Push,
+                    Some("pull") => opts.direction = Direction::Pull,
+                    Some("auto") => opts.direction = Direction::Auto,
+                    _ => return usage(),
+                }
+            }
             "--delta" | "--k" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => delta = v,
                 None => return usage(),
@@ -216,7 +231,9 @@ fn main() -> ExitCode {
         }
     }
     let q = q;
-    let needs_pull = algo == "dobfs";
+    // dobfs always needs the CSC view; other traversals only pay for it
+    // when the user explicitly opts into a pull-capable direction.
+    let needs_pull = algo == "dobfs" || (direction_explicit && opts.direction != Direction::Push);
     let g = match if needs_pull {
         Graph::with_pull(&q, &host)
     } else {
@@ -235,17 +252,19 @@ fn main() -> ExitCode {
         F32(Vec<f32>, u32, f64),
     }
     let result = match algo {
-        "bfs" => sygraph_algos::bfs::run(&q, &g.csr, src, &opts)
+        // bfs and cc run through the graph view, so a pull-capable
+        // `--direction` takes effect; the rest stay on the CSR.
+        "bfs" => sygraph_algos::bfs::run(&q, &g, src, &opts)
             .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
         "sssp" => sygraph_algos::sssp::run(&q, &g.csr, src, &opts)
             .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "cc" => sygraph_algos::cc::run(&q, &g.csr, &opts)
+        "cc" => sygraph_algos::cc::run(&q, &g, &opts)
             .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
         "bc" => sygraph_algos::bc::run(&q, &g.csr, src, &opts)
             .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
         "pagerank" => sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
             .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts, Default::default())
+        "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts)
             .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
         "delta" => sygraph_algos::delta::run(&q, &g.csr, src, &opts, delta)
             .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
@@ -391,6 +410,24 @@ fn main() -> ExitCode {
                     "frontier_densify",
                     "frontier_sparse_lazy_clear"
                 ]),
+            );
+        }
+        // Per-superstep traversal-direction trace (push/pull), run-length
+        // encoded like the representation trace above.
+        let dirs = q.profiler().direction_events();
+        if !dirs.is_empty() {
+            let mut rle: Vec<(String, usize)> = Vec::new();
+            for e in &dirs {
+                match rle.last_mut() {
+                    Some((d, c)) if *d == e.direction => *c += 1,
+                    _ => rle.push((e.direction.clone(), 1)),
+                }
+            }
+            let trace: Vec<String> = rle.iter().map(|(d, c)| format!("{d}\u{d7}{c}")).collect();
+            println!("  traversal direction: {}", trace.join(" -> "));
+            println!(
+                "  direction switches: {}",
+                q.profiler().direction_switch_count()
             );
         }
         for e in q.profiler().recovery_events() {

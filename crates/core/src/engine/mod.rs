@@ -31,14 +31,33 @@ use sygraph_sim::{ItemCtx, Queue, RecoveryEvent, SimError, SimResult};
 
 use crate::frontier::bucket::{BucketPool, BucketSpec};
 use crate::frontier::word::Word;
-use crate::frontier::{swap, BitmapLike, RepKind};
+use crate::frontier::{swap, BitmapLike, Frontier, RepKind, TwoLayerFrontier};
 use crate::graph::traits::DeviceGraphView;
-use crate::inspector::{Balancing, Representation, Tuning};
-use crate::operators::advance::Advance;
+use crate::inspector::{Balancing, Direction, Representation, Tuning};
+use crate::operators::advance::{Advance, PullScope};
 use crate::operators::compute;
 use crate::types::{EdgeId, VertexId, Weight};
 
 pub use recovery::{CheckpointState, EngineCheckpoint, RecoveryPolicy};
+
+/// Which candidate set the engine hands a *pull*-direction superstep
+/// (see [`PullScope`]). Chosen once per engine by the algorithm — the
+/// per-superstep push/pull decision itself belongs to the engine
+/// ([`Tuning::choose_direction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PullCandidates {
+    /// Every vertex scans its in-edges: the functor sees exactly the edge
+    /// set a push superstep would offer, so any functor is safe
+    /// (label-propagation algorithms like CC).
+    #[default]
+    AllVertices,
+    /// Only the engine-maintained unvisited set scans, each candidate
+    /// adopting on its first accepted in-edge and leaving the set
+    /// in-kernel. Valid for visit-once algorithms with read-only advance
+    /// functors (BFS-style): edges past the first accepted one are never
+    /// offered.
+    Unvisited,
+}
 
 /// Iteration-aware advance functor:
 /// `(lane, iter, src, dst, edge, weight) -> bool`.
@@ -114,6 +133,26 @@ pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
     /// one step behind, always mispredicts — is not asked to go sparse
     /// and pay a doomed list rebuild.
     predicted: usize,
+    /// Candidate-set policy for pull supersteps (engine-level direction
+    /// optimization); set once via [`SuperstepEngine::pull_scope`].
+    pull_scope: PullCandidates,
+    /// Direction the last superstep ran (`false` = push). Feeds the
+    /// Beamer hysteresis in [`Tuning::choose_direction`].
+    pulling: bool,
+    /// Direction *switches* performed so far (transitions between
+    /// consecutive supersteps).
+    dir_switches: u32,
+    /// Sticky opt-out: set when the graph has no pull view, building one
+    /// failed, or the OOM ladder forced push. Never cleared within a run.
+    pull_disabled: bool,
+    /// Whether any pull superstep has launched (gates the force-push OOM
+    /// rung so push-only runs keep the pre-existing ladder).
+    pull_engaged: bool,
+    /// The engine-maintained unvisited set ([`PullCandidates::Unvisited`]):
+    /// seeded `all − fin` before the first superstep, shrunk in-kernel by
+    /// pull adoptions and by the push advance removing each accepted
+    /// destination in-functor.
+    unvisited: Option<TwoLayerFrontier<W>>,
     /// Algorithm buffers to capture in checkpoints (registered via
     /// [`SuperstepEngine::checkpoint_state`]); without them a
     /// `DeviceLost` cannot be recovered from.
@@ -153,6 +192,12 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             // `fill_all`) adopt back to dense on their own.
             last_estimate: 0,
             predicted: 0,
+            pull_scope: PullCandidates::default(),
+            pulling: false,
+            dir_switches: 0,
+            pull_disabled: false,
+            pull_engaged: false,
+            unvisited: None,
             ckpt_state: None,
         }
     }
@@ -199,6 +244,17 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     /// Overrides the recovery policy carried on the tuning.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.tuning.recovery = policy;
+        self
+    }
+
+    /// Sets the candidate set pull supersteps enumerate. The default,
+    /// [`PullCandidates::AllVertices`], is safe for every functor;
+    /// visit-once algorithms (BFS) opt into
+    /// [`PullCandidates::Unvisited`] for the Beamer-style early-exit
+    /// scan. Has no effect unless the tuning's [`Direction`] policy and
+    /// the graph's pull view let a superstep actually run pull.
+    pub fn pull_scope(mut self, scope: PullCandidates) -> Self {
+        self.pull_scope = scope;
         self
     }
 
@@ -255,6 +311,81 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         self.rep_switches
     }
 
+    /// Whether the most recent superstep ran in the pull direction.
+    pub fn pulling(&self) -> bool {
+        self.pulling
+    }
+
+    /// Direction switches performed so far — transitions between
+    /// consecutive supersteps; starting in push does not count.
+    pub fn direction_switches(&self) -> u32 {
+        self.dir_switches
+    }
+
+    /// `unv −= sub`, word-wise (AND-NOT), then layer-2 rebuild. One-time
+    /// seeding cost only: steady-state maintenance rides inside the
+    /// advance (push supersteps remove accepted destinations in-functor,
+    /// pull supersteps remove adoptions in-kernel), so no per-superstep
+    /// full sweep ever runs.
+    fn subtract_words(q: &Queue, unv: &TwoLayerFrontier<W>, sub: &dyn BitmapLike<W>) {
+        let uw = unv.words();
+        let sw = sub.words();
+        let nw = unv.num_words().min(sub.num_words());
+        q.parallel_for("unvisited_subtract", nw, |lane, i| {
+            let a: W = lane.load(uw, i);
+            let b: W = lane.load(sw, i);
+            lane.store(uw, i, a.and(b.not()));
+            lane.compute(1);
+        });
+        unv.rebuild_from_words(q);
+    }
+
+    /// Allocates and seeds the unvisited set (`all − fin`) before the
+    /// first superstep of an engine that may pull with
+    /// [`PullCandidates::Unvisited`]. Seeding at iteration 0 — rather
+    /// than at the first pull superstep — keeps the set *exact*: every
+    /// later accepted push edge removes its destination in-functor,
+    /// every pull adoption removes in-kernel.
+    fn seed_unvisited(&mut self) {
+        if self.iter != 0
+            || self.pull_disabled
+            || self.unvisited.is_some()
+            || self.pull_scope != PullCandidates::Unvisited
+            || self.tuning.direction == Direction::Push
+            || !self.graph.supports_pull()
+        {
+            return;
+        }
+        match TwoLayerFrontier::<W>::new(self.q, self.graph.vertex_count()) {
+            Ok(unv) => {
+                unv.fill_all(self.q);
+                Self::subtract_words(self.q, &unv, self.fin.as_ref());
+                self.unvisited = Some(unv);
+            }
+            // No memory for the candidate set: run the whole traversal
+            // push-side rather than fail.
+            Err(_) => self.pull_disabled = true,
+        }
+    }
+
+    /// Makes the graph's pull view resident (and checks the unvisited set
+    /// when the scope needs one). Any failure permanently pins this
+    /// engine to push — direction optimization degrades, it never errors.
+    fn ensure_pull_ready(&mut self) -> bool {
+        if self.pull_disabled {
+            return false;
+        }
+        if !matches!(self.graph.ensure_pull(self.q), Ok(true)) {
+            self.pull_disabled = true;
+            return false;
+        }
+        if self.pull_scope == PullCandidates::Unvisited && self.unvisited.is_none() {
+            self.pull_disabled = true;
+            return false;
+        }
+        true
+    }
+
     /// Runs one superstep: advance (with compute fused in or following as
     /// an [`compute::over_compacted`] pass) and the single convergence
     /// check. Returns `false` if the input frontier was empty — the
@@ -269,12 +400,30 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         let iter = self.iter;
         self.q.mark(format!("{}{}", self.mark_prefix, iter));
         self.ensure_bucket_pool();
+        self.seed_unvisited();
         // Resolve the representation policy against last superstep's
         // population estimate and ask the frontier to adopt it *before*
         // building the advance (dispatch keys off the adopted layout).
         // Frontiers without a sparse mode report back `Dense` and nothing
         // changes, so this is free for the classic layouts.
         let policy_est = self.last_estimate.max(self.predicted);
+        // Direction policy (Beamer hysteresis, §3.4): driven by the
+        // *measured* population the advance already read back — not the
+        // forward estimate the rep policy adds on top. The forward term
+        // includes a `max_degree` boost for narrow frontiers (cheap
+        // insurance for the rep choice) that would pin a hub-carrying web
+        // graph in pull for the whole tail; the measured count lags one
+        // superstep, which is exactly classic Beamer timing, and costs no
+        // extra host sync. The first superstep that wants pull makes the
+        // graph's CSC view resident; any failure pins the engine to push
+        // for the rest of the run.
+        let pull = self.tuning.direction != Direction::Push
+            && self.tuning.choose_direction(
+                self.last_estimate,
+                self.graph.vertex_count(),
+                self.pulling,
+            )
+            && self.ensure_pull_ready();
         let desired = self
             .tuning
             .choose_representation(policy_est, self.fin.capacity(), self.rep);
@@ -306,14 +455,38 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             .choose_representation(out_est, self.fout.capacity(), adopted);
         self.fout.adopt_rep(self.q, out_desired);
         self.predicted = out_est;
+        // Keep the unvisited set exact at O(accepted edges), not O(n):
+        // on push supersteps every accepted destination is removed
+        // in-functor (idempotent atomic AND-NOT, so duplicate accepts are
+        // harmless). A pull superstep removes its adoptions inside the
+        // pull kernel instead, and a full-sweep subtract here would cost
+        // more than the advance itself on a long-diameter road graph.
+        let unv_push = if pull { None } else { self.unvisited.as_ref() };
         let adv = |l: &mut ItemCtx<'_>, s: VertexId, d: VertexId, e: EdgeId, w: Weight| {
-            advance_f(l, iter, s, d, e, w)
+            let accepted = advance_f(l, iter, s, d, e, w);
+            if accepted {
+                if let Some(unv) = unv_push {
+                    unv.remove_lane(l, d);
+                }
+            }
+            accepted
         };
+        if pull {
+            self.pull_engaged = true;
+        }
         let fused_wrap;
         let mut builder = Advance::new(self.q, self.graph, self.fin.as_ref())
             .output(self.fout.as_ref())
             .tuning(&self.tuning)
             .pool(self.bucket_pool.as_ref());
+        if pull {
+            builder = builder.pull(match (self.pull_scope, self.unvisited.as_ref()) {
+                (PullCandidates::Unvisited, Some(unv)) => {
+                    PullScope::Unvisited(unv as &dyn BitmapLike<W>)
+                }
+                _ => PullScope::AllVertices,
+            });
+        }
         if let (true, Some(cf)) = (self.fused, compute_f) {
             fused_wrap = move |l: &mut ItemCtx<'_>, v: VertexId| cf(l, iter, v);
             builder = builder.fuse(&fused_wrap);
@@ -335,9 +508,14 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         // read back: exact entries under sparse, `nz_words × word_bits`
         // (an upper bound) under dense. Single-layer bitmaps report no
         // count — pin the estimate at capacity so Auto never goes sparse.
+        // `W::BITS`, not `tuning.word_bits`: the latter is the logical
+        // MSI sub-word width (8 on a subgroup-8 device) while the dense
+        // compaction counts whole storage words, so multiplying by the
+        // narrower width under-counts the upper bound by up to 8x —
+        // enough to pin the Beamer policy to push on small devices.
         self.last_estimate = match words {
             Some(c) if adopted == RepKind::Sparse => c,
-            Some(c) => c.saturating_mul(self.tuning.word_bits.max(1) as usize),
+            Some(c) => c.saturating_mul(W::BITS as usize),
             None => self.fin.capacity(),
         };
         // The one host-visible check of the superstep: the compaction
@@ -354,6 +532,17 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         self.q
             .profiler()
             .record_rep(self.q.now_ns(), iter, adopted.label(), switched);
+        let dir_switched = iter > 0 && pull != self.pulling;
+        if dir_switched {
+            self.dir_switches += 1;
+        }
+        self.pulling = pull;
+        self.q.profiler().record_direction(
+            self.q.now_ns(),
+            iter,
+            if pull { "pull" } else { "push" },
+            dir_switched,
+        );
         if !self.fused {
             if let Some(cf) = compute_f {
                 compute::over_compacted(self.q, self.fout.as_ref(), |l, v| cf(l, iter, v)).wait();
@@ -556,6 +745,21 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
                 if !policy.degrade_on_oom {
                     return Err(e);
                 }
+                // Rung 0, taken only when direction optimization is live:
+                // give back the unvisited set's buffers and pin the run to
+                // push. Direction optimization is purely an optimization —
+                // push computes the same result — so it is the first thing
+                // to go, before the pre-existing ladder. Push-only runs
+                // never see this rung and keep the old ladder unchanged.
+                if self.pull_engaged && !self.pull_disabled {
+                    self.pull_disabled = true;
+                    self.unvisited = None;
+                    self.pulling = false;
+                    self.tuning.direction = Direction::Push;
+                    self.repair_frontiers();
+                    self.record_recovery("oom", "force-push", 1);
+                    return Ok(false);
+                }
                 let action = match *oom_rung {
                     0 => {
                         // Rung 1: give back the bucket pool's buffers and
@@ -608,6 +812,9 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     fn repair_frontiers(&mut self) {
         self.fin.rebuild_from_words(self.q);
         self.fout.rebuild_from_words(self.q);
+        if let Some(unv) = &self.unvisited {
+            unv.rebuild_from_words(self.q);
+        }
         self.lazy_ok = false;
     }
 
@@ -618,6 +825,8 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         EngineCheckpoint {
             iteration: self.iter,
             frontier: self.fin.to_sorted_vec(),
+            pulling: self.pulling,
+            unvisited: self.unvisited.as_ref().map(|u| u.to_sorted_vec()),
             state: self
                 .ckpt_state
                 .map_or_else(Vec::new, |bufs| bufs.iter().map(|b| b.snapshot()).collect()),
@@ -645,6 +854,32 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         self.rep = self.fin.rep_kind();
         self.last_estimate = ck.frontier.len();
         self.predicted = ck.frontier.len();
+        // Rewind the direction state: the hysteresis flag and, when the
+        // checkpoint carried one, the unvisited set's exact membership.
+        // If its buffers cannot be (re-)allocated on the revived device,
+        // degrade to push rather than fail the resume.
+        self.pulling = ck.pulling;
+        match &ck.unvisited {
+            None => self.unvisited = None,
+            Some(members) => {
+                if self.unvisited.is_none() {
+                    self.unvisited =
+                        TwoLayerFrontier::<W>::new(self.q, self.graph.vertex_count()).ok();
+                }
+                match &self.unvisited {
+                    Some(unv) => {
+                        unv.clear(self.q);
+                        for &v in members {
+                            unv.insert_host(v);
+                        }
+                    }
+                    None => {
+                        self.pull_disabled = true;
+                        self.pulling = false;
+                    }
+                }
+            }
+        }
         self.q.device().recompute_mem_accounting();
     }
 
@@ -1076,5 +1311,177 @@ mod tests {
         let q = queue();
         let iters = fixed_point(&q, 3, "fp", |_q, _i| Ok(true)).unwrap();
         assert_eq!(iters, 3);
+    }
+
+    // --- engine-level direction optimization ---
+
+    use crate::graph::Graph;
+
+    /// Deterministic fan-out graph (3 out-edges per vertex) whose BFS
+    /// wavefront explodes past `n / alpha` within a few supersteps.
+    fn wide_host(n: u32) -> CsrHost {
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|v| {
+                [
+                    (v, (v * 7 + 3) % n),
+                    (v, (v * 13 + 11) % n),
+                    (v, (v + 1) % n),
+                ]
+            })
+            .collect();
+        CsrHost::from_edges(n as usize, &edges)
+    }
+
+    /// BFS through the engine with an explicit direction policy and the
+    /// `Unvisited` pull scope. Returns (distances, supersteps, switches).
+    fn bfs_direction<G: DeviceGraphView + ?Sized>(
+        q: &Queue,
+        g: &G,
+        n: usize,
+        direction: Direction,
+    ) -> (Vec<u32>, u32, u32) {
+        let mut tuning = inspect(q.profile(), &OptConfig::all(), n);
+        tuning.direction = direction;
+        let dist = q.malloc_device::<u32>(n).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(0, 0);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        fin.insert_host(0);
+        let mut engine = SuperstepEngine::new(q, g, tuning, fin, fout)
+            .mark_prefix("dirbfs_iter")
+            .max_iters(n + 1, "direction-test BFS diverged")
+            .pull_scope(PullCandidates::Unvisited);
+        let iters = engine
+            .run(
+                |l, _i, _u, v, _e, _w| l.load_atomic(&dist, v as usize) == INF_DIST,
+                Some(&|l, i, v| l.store_atomic(&dist, v as usize, i + 1)),
+            )
+            .unwrap();
+        (dist.to_vec(), iters, engine.direction_switches())
+    }
+
+    #[test]
+    fn all_direction_policies_are_bit_identical() {
+        let q = queue();
+        let host = wide_host(256);
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let (push, ip, _) = bfs_direction(&q, &g, 256, Direction::Push);
+        let (pull, il, _) = bfs_direction(&q, &g, 256, Direction::Pull);
+        let (auto, ia, _) = bfs_direction(&q, &g, 256, Direction::Auto);
+        assert_eq!(push, pull);
+        assert_eq!(push, auto);
+        assert_eq!(ip, il);
+        assert_eq!(ip, ia);
+    }
+
+    #[test]
+    fn auto_pulls_on_the_wide_supersteps_and_traces() {
+        let q = queue();
+        let host = wide_host(256);
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let t0 = q.profiler().direction_events().len();
+        let (_, iters, switches) = bfs_direction(&q, &g, 256, Direction::Auto);
+        let dirs = &q.profiler().direction_events()[t0..];
+        // The final (empty) superstep converges before recording and is
+        // not counted: the trace covers exactly the live supersteps.
+        assert_eq!(dirs.len() as u32, iters);
+        assert!(
+            dirs.windows(2)
+                .all(|w| w[0].superstep + 1 == w[1].superstep),
+            "trace must be per-superstep: {dirs:?}"
+        );
+        assert_eq!(dirs[0].direction, "push", "single-seed superstep pushes");
+        assert!(
+            dirs.iter().any(|e| e.direction == "pull"),
+            "the exploded wavefront must pull: {dirs:?}"
+        );
+        assert_eq!(
+            switches as usize,
+            dirs.iter().filter(|e| e.switched).count(),
+            "engine counter must agree with the profiler trace"
+        );
+        // Hysteresis: push→pull (and possibly back for the tail), never
+        // per-superstep flapping.
+        assert!(switches <= 2, "direction flapped: {dirs:?}");
+    }
+
+    #[test]
+    fn forced_pull_uses_pull_kernels_only() {
+        let q = queue();
+        let host = wide_host(128);
+        let g = Graph::with_pull(&q, &host).unwrap();
+        let (_, iters, switches) = bfs_direction(&q, &g, 128, Direction::Pull);
+        assert_eq!(switches, 0);
+        let dirs = q.profiler().direction_events();
+        assert_eq!(dirs.len() as u32, iters);
+        assert!(dirs.iter().all(|e| e.direction == "pull"), "{dirs:?}");
+        assert!(
+            q.profiler()
+                .kernels()
+                .iter()
+                .any(|k| k.name.starts_with("advance_pull")),
+            "pull supersteps must launch the pull kernel family"
+        );
+    }
+
+    #[test]
+    fn engine_without_pull_view_degrades_to_push() {
+        // Forcing pull on a plain CSR must not error: the engine pins
+        // itself to push and the traversal completes unchanged.
+        let q = queue();
+        let host = wide_host(96);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let (dist, _, switches) = bfs_direction(&q, &g, 96, Direction::Pull);
+        let g2 = Graph::with_pull(&q, &host).unwrap();
+        let (want, _, _) = bfs_direction(&q, &g2, 96, Direction::Push);
+        assert_eq!(dist, want);
+        assert_eq!(switches, 0);
+        let dirs = q.profiler().direction_events();
+        assert!(dirs.iter().all(|e| e.direction == "push"), "{dirs:?}");
+    }
+
+    #[test]
+    fn unvisited_set_stays_exact_across_push_supersteps() {
+        // Chain: Auto never reaches the pull threshold, so every
+        // superstep pushes — but the engine must still keep the seeded
+        // unvisited set in sync (subtracting each output), because a
+        // later explosion could engage pull at any superstep.
+        let q = queue();
+        let edges: Vec<(u32, u32)> = (0..99).map(|v| (v, v + 1)).collect();
+        let host = CsrHost::from_edges(100, &edges);
+        let g = Graph::with_pull(&q, &host).unwrap();
+
+        let tuning = inspect(q.profile(), &OptConfig::all(), 100);
+        let dist = q.malloc_device::<u32>(100).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(0, 0);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(&q, 100).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(&q, 100).unwrap());
+        fin.insert_host(0);
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, fin, fout)
+            .mark_prefix("unv_iter")
+            .max_iters(101, "diverged")
+            .pull_scope(PullCandidates::Unvisited);
+        let mut steps = 0u32;
+        while engine.step(
+            |l, _i, _u, v, _e, _w| l.load_atomic(&dist, v as usize) == INF_DIST,
+            Some(&|l, i, v| l.store_atomic(&dist, v as usize, i + 1)),
+        ) {
+            steps += 1;
+            // Superstep k discovers vertex k+1, so after the k-th step
+            // (1-based `steps`) the unvisited set is exactly steps+1..n.
+            let unv = engine
+                .unvisited
+                .as_ref()
+                .expect("seeded at superstep 0")
+                .to_sorted_vec();
+            assert_eq!(
+                unv,
+                (steps + 1..100).collect::<Vec<u32>>(),
+                "after step {steps}"
+            );
+            engine.rotate();
+        }
     }
 }

@@ -91,6 +91,13 @@ pub struct EngineCheckpoint {
     pub iteration: u32,
     /// The input frontier's members at that boundary.
     pub frontier: Vec<VertexId>,
+    /// Whether the previous superstep ran in the pull direction (feeds
+    /// the Beamer hysteresis after a resume).
+    pub pulling: bool,
+    /// Members of the engine-maintained unvisited set, when the engine
+    /// was tracking one (direction optimization with
+    /// [`PullCandidates::Unvisited`](crate::engine::PullCandidates)).
+    pub unvisited: Option<Vec<VertexId>>,
     /// Word images of every registered [`CheckpointState`] buffer, in
     /// registration order.
     pub state: Vec<Vec<u64>>,

@@ -136,11 +136,20 @@ impl DeviceGraphView for DeviceCsr {
 /// The user-facing graph object: a push (CSR) view plus an optional pull
 /// (CSC) view, both device-resident, bound to a queue's device like a
 /// SYCL buffer.
+///
+/// The pull view is *lazy*: [`Graph::with_pull`] only retains the host
+/// structure, and the CSC mirror is transposed and uploaded on the first
+/// pull-capable run ([`DeviceGraphView::ensure_pull`]). The upload goes
+/// through the queue's allocation ledger like any other buffer, so
+/// injected OOM faults and [`Graph::device_bytes`] both see it.
 pub struct Graph {
     /// Out-edge (push) view.
     pub csr: DeviceCsr,
-    /// In-edge (pull) view, present when built with [`Graph::with_pull`].
-    pub csc: Option<DeviceCsr>,
+    /// Host structure retained by [`Graph::with_pull`] as the transpose
+    /// source for the lazy CSC build; `None` for push-only graphs.
+    pull_host: Option<CsrHost>,
+    /// In-edge (pull) view, built on first `ensure_pull`.
+    csc: std::sync::OnceLock<DeviceCsr>,
 }
 
 impl Graph {
@@ -148,17 +157,19 @@ impl Graph {
     pub fn new(queue: &Queue, host: &CsrHost) -> SimResult<Self> {
         Ok(Graph {
             csr: DeviceCsr::upload(queue, host)?,
-            csc: None,
+            pull_host: None,
+            csc: std::sync::OnceLock::new(),
         })
     }
 
-    /// Uploads `host` with both push and pull views (needed by
-    /// direction-optimizing traversals).
+    /// Uploads `host` with the push view and arms the lazy pull (CSC)
+    /// view: the mirror is built and uploaded by the first
+    /// direction-optimizing run, not here.
     pub fn with_pull(queue: &Queue, host: &CsrHost) -> SimResult<Self> {
-        let csc_host = host.transpose();
         Ok(Graph {
             csr: DeviceCsr::upload(queue, host)?,
-            csc: Some(DeviceCsr::upload(queue, &csc_host)?),
+            pull_host: Some(host.clone()),
+            csc: std::sync::OnceLock::new(),
         })
     }
 
@@ -170,9 +181,97 @@ impl Graph {
         self.csr.edge_count()
     }
 
-    /// Total device bytes across views.
+    /// The pull (CSC) view, if it has been built already.
+    pub fn pull_view(&self) -> Option<&DeviceCsr> {
+        self.csc.get()
+    }
+
+    /// Total device bytes across views. Counts the CSC only once it is
+    /// actually resident.
     pub fn device_bytes(&self) -> u64 {
-        self.csr.device_bytes() + self.csc.as_ref().map_or(0, |c| c.device_bytes())
+        self.csr.device_bytes() + self.csc.get().map_or(0, |c| c.device_bytes())
+    }
+
+    fn pull(&self) -> &DeviceCsr {
+        self.csc
+            .get()
+            .expect("pull accessor used before ensure_pull")
+    }
+}
+
+impl DeviceGraphView for Graph {
+    fn vertex_count(&self) -> usize {
+        self.csr.vertex_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    fn row_bounds_uniform(&self, sg: &mut SubgroupCtx<'_, '_>, v: VertexId) -> (u32, u32) {
+        self.csr.row_bounds_uniform(sg, v)
+    }
+
+    fn row_bounds(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> (u32, u32) {
+        self.csr.row_bounds(lane, v)
+    }
+
+    fn edge_dest(&self, lane: &mut ItemCtx<'_>, e: u32) -> VertexId {
+        self.csr.edge_dest(lane, e)
+    }
+
+    fn edge_weight(&self, lane: &mut ItemCtx<'_>, e: u32) -> Weight {
+        self.csr.edge_weight(lane, e)
+    }
+
+    fn out_degree_host(&self, v: VertexId) -> u32 {
+        self.csr.out_degree_host(v)
+    }
+
+    fn degree_profile(&self) -> Option<&DegreeProfile> {
+        self.csr.degree_profile()
+    }
+
+    fn supports_pull(&self) -> bool {
+        self.pull_host.is_some() || self.csc.get().is_some()
+    }
+
+    fn ensure_pull(&self, q: &Queue) -> SimResult<bool> {
+        if self.csc.get().is_some() {
+            return Ok(true);
+        }
+        let Some(host) = &self.pull_host else {
+            return Ok(false);
+        };
+        let built = DeviceCsr::upload(q, &host.transpose())?;
+        // A racing builder may have won; its CSC is equivalent, keep it
+        // (ours drops and is returned to the ledger).
+        let _ = self.csc.set(built);
+        Ok(true)
+    }
+
+    fn in_row_bounds_uniform(&self, sg: &mut SubgroupCtx<'_, '_>, v: VertexId) -> (u32, u32) {
+        self.pull().row_bounds_uniform(sg, v)
+    }
+
+    fn in_row_bounds(&self, lane: &mut ItemCtx<'_>, v: VertexId) -> (u32, u32) {
+        self.pull().row_bounds(lane, v)
+    }
+
+    fn in_edge_src(&self, lane: &mut ItemCtx<'_>, e: u32) -> VertexId {
+        self.pull().edge_dest(lane, e)
+    }
+
+    fn in_edge_weight(&self, lane: &mut ItemCtx<'_>, e: u32) -> Weight {
+        self.pull().edge_weight(lane, e)
+    }
+
+    fn in_degree_host(&self, v: VertexId) -> u32 {
+        self.pull().out_degree_host(v)
+    }
+
+    fn in_degree_profile(&self) -> Option<&DegreeProfile> {
+        self.csc.get().and_then(|c| c.degree_profile())
     }
 }
 
@@ -232,12 +331,34 @@ mod tests {
     }
 
     #[test]
-    fn graph_with_pull_builds_transpose() {
+    fn graph_with_pull_builds_transpose_lazily() {
         let q = queue();
         let g = Graph::with_pull(&q, &host_graph()).unwrap();
-        let csc = g.csc.as_ref().unwrap();
-        assert_eq!(csc.out_degree_host(3), 2, "vertex 3 has two in-edges");
+        // Nothing uploaded yet: only the CSR is resident.
+        assert!(g.supports_pull());
+        assert!(g.pull_view().is_none());
+        assert_eq!(g.device_bytes(), g.csr.device_bytes());
+        let before = q.device().mem_used();
+        // First pull-capable run builds and meters the mirror.
+        assert!(g.ensure_pull(&q).unwrap());
+        assert_eq!(g.in_degree_host(3), 2, "vertex 3 has two in-edges");
         assert_eq!(g.device_bytes(), 2 * g.csr.device_bytes());
+        assert!(
+            q.device().mem_used() > before,
+            "CSC upload goes through the allocation ledger"
+        );
+        // Idempotent: a second call reuses the resident view.
+        assert!(g.ensure_pull(&q).unwrap());
+        assert_eq!(g.device_bytes(), 2 * g.csr.device_bytes());
+    }
+
+    #[test]
+    fn push_only_graph_declines_pull() {
+        let q = queue();
+        let g = Graph::new(&q, &host_graph()).unwrap();
+        assert!(!g.supports_pull());
+        assert!(!g.ensure_pull(&q).unwrap());
+        assert!(g.pull_view().is_none());
     }
 
     #[test]

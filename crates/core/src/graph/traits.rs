@@ -8,12 +8,20 @@
 //! representation's memory behaviour is modelled exactly like the built-in
 //! CSR/CSC.
 
-use sygraph_sim::{ItemCtx, SubgroupCtx};
+use sygraph_sim::{ItemCtx, Queue, SimResult, SubgroupCtx};
 
 use crate::inspector::DegreeProfile;
 use crate::types::{VertexId, Weight};
 
 /// A graph representation usable by the SYgraph primitives.
+///
+/// The pull-side (`in_*`) methods mirror the push accessors over the
+/// transposed structure and power the direction-optimizing advance. They
+/// have panicking defaults because the engine only reaches them after
+/// [`ensure_pull`](DeviceGraphView::ensure_pull) returned `Ok(true)`;
+/// representations without an in-edge view (like the plain
+/// [`DeviceCsr`](crate::graph::DeviceCsr)) keep the `supports_pull() ==
+/// false` default and are never asked to pull.
 pub trait DeviceGraphView: Sync {
     /// Number of vertices.
     fn vertex_count(&self) -> usize;
@@ -42,6 +50,54 @@ pub trait DeviceGraphView: Sync {
     /// `Balancing::Auto`. Custom representations may return `None`, in
     /// which case `Auto` conservatively stays workgroup-mapped.
     fn degree_profile(&self) -> Option<&DegreeProfile> {
+        None
+    }
+
+    /// Whether this representation can (ever) serve pull-side accessors.
+    /// A cheap capability probe — must not build anything.
+    fn supports_pull(&self) -> bool {
+        false
+    }
+
+    /// Makes the pull view resident on the device owning `q`, building it
+    /// on first call (lazy CSC upload, metered through the allocation
+    /// ledger). Returns `Ok(true)` when the `in_*` accessors are ready,
+    /// `Ok(false)` when this representation has no pull view, and an
+    /// error (e.g. OOM) when the build failed — the engine then stays on
+    /// the push path.
+    fn ensure_pull(&self, _q: &Queue) -> SimResult<bool> {
+        Ok(false)
+    }
+
+    /// Loads the half-open in-edge-index range of `v`, uniformly across
+    /// the subgroup (one broadcast transaction).
+    fn in_row_bounds_uniform(&self, _sg: &mut SubgroupCtx<'_, '_>, _v: VertexId) -> (u32, u32) {
+        unreachable!("graph representation has no pull (CSC) view")
+    }
+
+    /// Loads the in-edge-index range of `v` from a single lane.
+    fn in_row_bounds(&self, _lane: &mut ItemCtx<'_>, _v: VertexId) -> (u32, u32) {
+        unreachable!("graph representation has no pull (CSC) view")
+    }
+
+    /// Loads the *source* endpoint of in-edge `e` (an index into the pull
+    /// view's edge space, unrelated to the push view's edge ids).
+    fn in_edge_src(&self, _lane: &mut ItemCtx<'_>, _e: u32) -> VertexId {
+        unreachable!("graph representation has no pull (CSC) view")
+    }
+
+    /// Loads the weight of in-edge `e` (1.0 when unweighted).
+    fn in_edge_weight(&self, _lane: &mut ItemCtx<'_>, _e: u32) -> Weight {
+        unreachable!("graph representation has no pull (CSC) view")
+    }
+
+    /// Host-side in-degree (used by pull-side load-balancing setup).
+    fn in_degree_host(&self, _v: VertexId) -> u32 {
+        unreachable!("graph representation has no pull (CSC) view")
+    }
+
+    /// In-degree histogram for the pull side of `Balancing::Auto`.
+    fn in_degree_profile(&self) -> Option<&DegreeProfile> {
         None
     }
 }

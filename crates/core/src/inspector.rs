@@ -45,6 +45,29 @@ pub enum Representation {
     Auto,
 }
 
+/// Traversal direction policy (§3.4): whether the advance expands the
+/// frontier's out-edges (push) or scans unvisited vertices' in-edges
+/// against the frontier bitmap (pull), à la Beamer's direction-optimizing
+/// BFS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Always push: the classic top-down advance over the CSR.
+    Push,
+    /// Always pull: every superstep scans candidate vertices' in-edges
+    /// (the CSC view) and adopts on the first frontier hit. Requires a
+    /// graph built with a pull view ([`crate::graph::Graph::with_pull`]);
+    /// the engine falls back to push when none is available.
+    Pull,
+    /// Beamer-style per-superstep selection with hysteresis (see
+    /// [`Tuning::choose_direction`]): switch to pull when the frontier
+    /// grows past `n / alpha`, back to push when it shrinks below
+    /// `n / beta`. The decision is driven by the population estimate the
+    /// engine already tracks from counted compaction, so it costs no
+    /// extra host synchronization.
+    #[default]
+    Auto,
+}
+
 /// Which of the paper's §4 optimizations are enabled. Figure 7 ablates:
 /// plain bitmap (all off), *MSI*, *CF*, *2LB* and *All*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +88,9 @@ pub struct OptConfig {
     /// list frontiers, which build on the two-layer machinery; with
     /// `two_layer` off the engine stays on the plain dense bitmap.
     pub representation: Representation,
+    /// Traversal direction policy. `Auto` is safe as a default: graphs
+    /// without a pull (CSC) view simply stay on the push path.
+    pub direction: Direction,
     /// Fault-recovery policy for the superstep engine (default:
     /// all-disabled — faults propagate as errors).
     pub recovery: RecoveryPolicy,
@@ -79,6 +105,7 @@ impl OptConfig {
             two_layer: true,
             balancing: Balancing::Auto,
             representation: Representation::Auto,
+            direction: Direction::Auto,
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -91,6 +118,7 @@ impl OptConfig {
             two_layer: false,
             balancing: Balancing::WorkgroupMapped,
             representation: Representation::Dense,
+            direction: Direction::Push,
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -110,6 +138,16 @@ impl OptConfig {
     pub fn with_representation(representation: Representation) -> Self {
         OptConfig {
             representation,
+            ..Self::all()
+        }
+    }
+
+    /// `all()` with an explicit traversal direction — the configuration
+    /// axis of the `direction_opt` ablation and the CLI's `--direction`
+    /// flag.
+    pub fn with_direction(direction: Direction) -> Self {
+        OptConfig {
+            direction,
             ..Self::all()
         }
     }
@@ -184,6 +222,16 @@ pub struct Tuning {
     /// hysteresis band — a frontier oscillating around one boundary does
     /// not convert back and forth every superstep.
     pub sparse_exit_div: u32,
+    /// Traversal direction policy (see [`Direction`]).
+    pub direction: Direction,
+    /// `Auto` direction: switch push → pull once the estimated frontier
+    /// population exceeds `n / alpha` (Beamer's α; smaller = pull sooner).
+    pub alpha: u32,
+    /// `Auto` direction: switch pull → push once the estimated frontier
+    /// population drops below `n / beta` (Beamer's β; larger = pull
+    /// longer). Between the two thresholds the current direction is kept —
+    /// that gap *is* the hysteresis band that prevents flapping.
+    pub beta: u32,
     /// Fault-recovery policy consulted by the superstep engine.
     pub recovery: RecoveryPolicy,
 }
@@ -295,6 +343,33 @@ impl Tuning {
         }
     }
 
+    /// Resolve the [`Direction`] policy for the upcoming superstep:
+    /// `true` = pull, `false` = push.
+    ///
+    /// `est_pop` is the engine's population estimate for the input
+    /// frontier — exact after a sparse superstep, `nonzero_words ×
+    /// word_bits` after a dense one, and boosted by the fan-out prediction
+    /// for the step ahead; all numbers the engine already reads back for
+    /// convergence, so the decision costs no extra host round-trip.
+    /// Beamer-style hysteresis: a pushing traversal switches to pull only
+    /// above `n / alpha` (default n/4), a pulling one returns to push only
+    /// below `n / beta` (default n/24). Estimates landing between the two
+    /// thresholds keep the current direction, so a frontier hovering at
+    /// one boundary never alternates kernels every superstep.
+    pub fn choose_direction(&self, est_pop: usize, n: usize, pulling: bool) -> bool {
+        match self.direction {
+            Direction::Push => false,
+            Direction::Pull => true,
+            Direction::Auto => {
+                if pulling {
+                    est_pop >= n / (self.beta.max(1) as usize)
+                } else {
+                    est_pop > n / (self.alpha.max(1) as usize)
+                }
+            }
+        }
+    }
+
     /// The graph-shape half of the `Auto` decision: hubs exist (max degree
     /// reaches the large bucket) *and* they cluster into hot bitmap words.
     /// `None` (no profile available) stays conservative.
@@ -326,6 +401,17 @@ pub const SPARSE_ENTER_DIV: u32 = 64;
 /// back to the dense bitmap once its (exact) population exceeds n/32.
 /// Half the entry divisor — a 2× hysteresis band.
 pub const SPARSE_EXIT_DIV: u32 = 32;
+
+/// Default Beamer α: `Auto` direction enters pull once the frontier
+/// population estimate exceeds n/4. The dense estimate over-counts
+/// (`nonzero_words × word_bits`), which errs toward pulling early on
+/// scale-free graphs — exactly where pull pays.
+pub const DIRECTION_ALPHA: u32 = 4;
+
+/// Default Beamer β: `Auto` direction leaves pull once the population
+/// drops below n/24. The 6× gap between `n/alpha` and `n/beta` is the
+/// hysteresis band.
+pub const DIRECTION_BETA: u32 = 24;
 
 /// Vertex-ID window used for [`DegreeProfile::word_skew`]: one 32-bit
 /// bitmap word's worth of vertices (the workgroup-mapped advance's unit
@@ -451,6 +537,9 @@ pub fn inspect(profile: &DeviceProfile, opts: &OptConfig, num_vertices: usize) -
         representation: opts.representation,
         sparse_enter_div: SPARSE_ENTER_DIV,
         sparse_exit_div: SPARSE_EXIT_DIV,
+        direction: opts.direction,
+        alpha: DIRECTION_ALPHA,
+        beta: DIRECTION_BETA,
         recovery: opts.recovery,
     }
 }
@@ -514,6 +603,9 @@ mod tests {
             representation: Representation::Dense,
             sparse_enter_div: SPARSE_ENTER_DIV,
             sparse_exit_div: SPARSE_EXIT_DIV,
+            direction: Direction::Push,
+            alpha: DIRECTION_ALPHA,
+            beta: DIRECTION_BETA,
             recovery: RecoveryPolicy::default(),
         };
         assert_eq!(t.wg_size(), 128);
@@ -563,6 +655,54 @@ mod tests {
         assert_eq!(
             sparse.choose_representation(n, n, RepKind::Dense),
             RepKind::Sparse
+        );
+    }
+
+    #[test]
+    fn direction_hysteresis_no_flapping() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), 1 << 20);
+        assert_eq!(t.direction, Direction::Auto);
+        let n = 2400usize;
+        let enter = n / t.alpha as usize; // 600
+        let exit = n / t.beta as usize; // 100
+                                        // Pushing: stays push at the boundary, pulls just above it.
+        assert!(!t.choose_direction(enter, n, false));
+        assert!(t.choose_direction(enter + 1, n, false));
+        // Pulling: stays pull at the exit boundary, pushes just below it.
+        assert!(t.choose_direction(exit, n, true));
+        assert!(!t.choose_direction(exit - 1, n, true));
+        // Inside the band both directions are sticky — a population
+        // oscillating around either threshold cannot flap: after a
+        // push→pull switch at enter+1, dropping back to enter keeps pull.
+        assert!(t.choose_direction(enter, n, true));
+        // After a pull→push switch at exit-1, rising back to exit keeps
+        // push (exit < enter so the push branch sees a small frontier).
+        assert!(!t.choose_direction(exit, n, false));
+        for pop in [exit, (exit + enter) / 2, enter] {
+            assert!(t.choose_direction(pop, n, true), "band is sticky @{pop}");
+            assert!(!t.choose_direction(pop, n, false), "band is sticky @{pop}");
+        }
+    }
+
+    #[test]
+    fn forced_directions_ignore_population() {
+        let t = inspect(&DeviceProfile::v100s(), &OptConfig::all(), 1 << 20);
+        let push = Tuning {
+            direction: Direction::Push,
+            ..t
+        };
+        let pull = Tuning {
+            direction: Direction::Pull,
+            ..t
+        };
+        for pop in [0usize, 100, 1 << 20] {
+            assert!(!push.choose_direction(pop, 1 << 20, true));
+            assert!(pull.choose_direction(pop, 1 << 20, false));
+        }
+        assert_eq!(OptConfig::baseline().direction, Direction::Push);
+        assert_eq!(
+            OptConfig::with_direction(Direction::Pull).direction,
+            Direction::Pull
         );
     }
 

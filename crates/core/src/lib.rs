@@ -35,21 +35,25 @@ pub mod operators;
 pub mod types;
 
 pub use engine::{
-    fixed_point, CheckpointState, EngineCheckpoint, RecoveryPolicy, SuperstepEngine, NO_COMPUTE,
+    fixed_point, CheckpointState, EngineCheckpoint, PullCandidates, RecoveryPolicy,
+    SuperstepEngine, NO_COMPUTE,
 };
 pub use frontier::{
     swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, HybridFrontier, RepKind,
     SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
 };
 pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
-pub use inspector::{inspect, Balancing, DegreeProfile, OptConfig, Representation, Tuning};
-pub use operators::advance::Advance;
+pub use inspector::{
+    inspect, Balancing, DegreeProfile, Direction, OptConfig, Representation, Tuning,
+};
+pub use operators::advance::{Advance, PullScope};
 pub use types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 
 /// Convenience re-exports for examples and downstream crates.
 pub mod prelude {
     pub use crate::engine::{
-        fixed_point, CheckpointState, EngineCheckpoint, RecoveryPolicy, SuperstepEngine, NO_COMPUTE,
+        fixed_point, CheckpointState, EngineCheckpoint, PullCandidates, RecoveryPolicy,
+        SuperstepEngine, NO_COMPUTE,
     };
     pub use crate::frontier::ops::{
         intersection, rebuild_layer2, subtraction, symmetric_difference, union, SetOp,
@@ -60,9 +64,9 @@ pub mod prelude {
     };
     pub use crate::graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
     pub use crate::inspector::{
-        inspect, Balancing, DegreeProfile, OptConfig, Representation, Tuning,
+        inspect, Balancing, DegreeProfile, Direction, OptConfig, Representation, Tuning,
     };
     pub use crate::operators;
-    pub use crate::operators::advance::{Advance, FusedCompute};
+    pub use crate::operators::advance::{Advance, FusedCompute, PullScope};
     pub use crate::types::{EdgeId, VertexId, Weight, INF_DIST, INF_WEIGHT};
 }

@@ -23,7 +23,7 @@ use sygraph_sim::{
 };
 
 use crate::frontier::bucket::{self, BucketPool, BucketSpec};
-use crate::frontier::word::Word;
+use crate::frontier::word::{locate, Word};
 use crate::frontier::BitmapLike;
 use crate::graph::traits::DeviceGraphView;
 use crate::inspector::{inspect, Balancing, OptConfig, Tuning};
@@ -46,6 +46,24 @@ impl<F> AdvanceFunctor for F where
 /// moment its frontier bit is first set, inside the expanding kernel — the
 /// superstep engine's replacement for a separate full-range `compute` pass.
 pub type FusedCompute<'a> = &'a (dyn Fn(&mut ItemCtx<'_>, VertexId) + Sync);
+
+/// Candidate enumeration for a pull-direction advance (§3.4, Beamer-style
+/// bottom-up traversal): which vertices scan their in-edges against the
+/// input frontier bitmap.
+pub enum PullScope<'a, W: Word> {
+    /// Scan only the given candidate set (typically the engine-maintained
+    /// unvisited bitmap). Each candidate *adopts* on its first accepted
+    /// frontier in-edge — the scan early-exits and the candidate is
+    /// removed from the set in-kernel. Only valid for visit-once
+    /// algorithms whose functor is read-only (BFS-style): edges after the
+    /// first accepted one are never offered to the functor.
+    Unvisited(&'a dyn BitmapLike<W>),
+    /// Scan every vertex's in-edges with no early exit: the functor sees
+    /// exactly the edge set a push step would offer (every edge whose
+    /// source is in the frontier), so this scope is safe for any functor —
+    /// label-propagation style algorithms (CC) use it.
+    AllVertices,
+}
 
 /// Unified builder over every vertex-frontier advance variant — the one
 /// entry point that replaces the old `frontier` / `frontier_discard` /
@@ -72,6 +90,7 @@ pub struct Advance<'a, W: Word, G: DeviceGraphView + ?Sized> {
     tuning: Option<&'a Tuning>,
     fused: Option<FusedCompute<'a>>,
     pool: Option<&'a BucketPool>,
+    pull: Option<PullScope<'a, W>>,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
@@ -85,6 +104,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
             tuning: None,
             fused: None,
             pool: None,
+            pull: None,
         }
     }
 
@@ -99,6 +119,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
             tuning: None,
             fused: None,
             pool: None,
+            pull: None,
         }
     }
 
@@ -135,6 +156,23 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
         self
     }
 
+    /// Runs this advance in the *pull* direction: instead of expanding the
+    /// input frontier's out-edges, the `scope`'s candidate vertices scan
+    /// their in-edges against the input frontier's membership bitmap (a
+    /// single bit probe per edge under the 2LB layout). The functor sees
+    /// `(src, dst)` exactly as in push — `src` is the frontier-resident
+    /// in-neighbor, `dst` the candidate — but `edge` is the pull view's
+    /// edge id, not the push view's id for the same logical edge.
+    ///
+    /// The graph's pull view must already be resident
+    /// ([`DeviceGraphView::ensure_pull`] returned `Ok(true)`); the counted
+    /// result still reports the *input* frontier's compaction, so
+    /// superstep convergence works unchanged.
+    pub fn pull(mut self, scope: PullScope<'a, W>) -> Self {
+        self.pull = Some(scope);
+        self
+    }
+
     /// Launches the advance. Returns the completion event plus the counted
     /// compaction result (see the type-level docs).
     pub fn run(self, functor: impl AdvanceFunctor) -> (Event, Option<usize>) {
@@ -154,6 +192,22 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> Advance<'a, W, G> {
                 &derived
             }
         };
+        if let Some(scope) = self.pull {
+            let input = self
+                .input
+                .expect("a pull advance needs an input frontier to probe");
+            return pull_impl(
+                self.q,
+                self.graph,
+                input,
+                scope,
+                self.output,
+                tuning,
+                self.pool,
+                self.fused,
+                &functor,
+            );
+        }
         match self.input {
             Some(input) => frontier_impl(
                 self.q,
@@ -753,6 +807,503 @@ fn vertices_impl<W: Word, G: DeviceGraphView + ?Sized>(
         fused,
         functor,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Pull-direction advance (§3.4 direction optimization, Beamer bottom-up)
+// ---------------------------------------------------------------------------
+
+/// The per-candidate tail every pull path shares (the pull-side analog of
+/// [`visit_edge`]): one lane serially scans `v`'s in-edges, probes each
+/// source against the input frontier bitmap (one word load + bit test
+/// under 2LB), and on an accepted frontier edge inserts `v` into the
+/// output — early-exiting and retiring the candidate under adopt-once
+/// semantics. Keeping this in one place guarantees the pull balancing
+/// strategies stay bit-identical, exactly like the push side.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn pull_vertex<W: Word, G: DeviceGraphView + ?Sized>(
+    item: &mut ItemCtx<'_>,
+    graph: &G,
+    v: VertexId,
+    e_lo: u32,
+    e_hi: u32,
+    fin_words: &DeviceBuffer<W>,
+    output: Option<&dyn BitmapLike<W>>,
+    unvisited: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+    adopt_once: bool,
+) {
+    for e in e_lo..e_hi {
+        let u = graph.in_edge_src(item, e);
+        let (wi, b) = locate::<W>(u);
+        item.compute(2);
+        if !item.load(fin_words, wi).test_bit(b) {
+            continue;
+        }
+        let w = graph.in_edge_weight(item, e);
+        if functor(item, u, v, e, w) {
+            pull_adopt(item, v, output, unvisited, fused);
+            if adopt_once {
+                break;
+            }
+        }
+    }
+}
+
+/// Insert an adopting candidate into the output (first-setter fires the
+/// fused compute, as in push) and retire it from the unvisited set.
+#[inline]
+fn pull_adopt<W: Word>(
+    item: &mut ItemCtx<'_>,
+    v: VertexId,
+    output: Option<&dyn BitmapLike<W>>,
+    unvisited: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+) {
+    if let Some(out) = output {
+        if out.insert_lane_checked(item, v) {
+            if let Some(fc) = fused {
+                fc(item, v);
+            }
+        }
+    }
+    if let Some(unv) = unvisited {
+        unv.remove_lane(item, v);
+    }
+}
+
+/// Subgroup-cooperative in-edge scan for one candidate: all lanes stride
+/// the range `[clo, chi)` together in `stride`-wide rounds. Under
+/// adopt-once, each round's frontier hits are balloted and the lowest
+/// hitting lane adopts — the subgroup then abandons the rest of the range
+/// (the cooperative form of Beamer's early exit).
+#[allow(clippy::too_many_arguments)]
+fn pull_scan_cooperative<W: Word, G: DeviceGraphView + ?Sized>(
+    sg: &mut SubgroupCtx<'_, '_>,
+    graph: &G,
+    v: VertexId,
+    clo: u32,
+    chi: u32,
+    stride: u32,
+    fin_words: &DeviceBuffer<W>,
+    output: Option<&dyn BitmapLike<W>>,
+    unvisited: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+    adopt_once: bool,
+) {
+    let sgw = sg.width();
+    let mut e = clo;
+    while e < chi {
+        let lanes = (chi - e).min(sgw);
+        let mut hits = [false; MAX_SUBGROUP];
+        sg.lanes(full_mask(lanes), |lane, item| {
+            let eid = e + lane;
+            let u = graph.in_edge_src(item, eid);
+            let (wi, b) = locate::<W>(u);
+            item.compute(2);
+            if !item.load(fin_words, wi).test_bit(b) {
+                return;
+            }
+            let w = graph.in_edge_weight(item, eid);
+            if adopt_once {
+                // Accepted edges only vote here; the winning lane adopts
+                // after the ballot so exactly one adoption happens.
+                hits[lane as usize] = functor(item, u, v, eid, w);
+            } else if functor(item, u, v, eid, w) {
+                pull_adopt(item, v, output, unvisited, fused);
+            }
+        });
+        if adopt_once {
+            let mask = sg.ballot(|lane| hits[lane as usize]);
+            if mask != 0 {
+                sg.lanes(1u64 << mask.trailing_zeros(), |_lane, item| {
+                    pull_adopt(item, v, output, unvisited, fused);
+                });
+                return;
+            }
+        }
+        e += stride.max(1);
+    }
+}
+
+/// Lane-per-candidate pull over bitmap words: the workgroup/subgroup→word
+/// mapping of [`launch_advance`], but each set bit is scanned serially by
+/// its own lane (Beamer's standard bottom-up shape — the early exit keeps
+/// the expected scan short on scale-free graphs).
+#[allow(clippy::too_many_arguments)]
+fn launch_pull<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    tuning: &Tuning,
+    n_words: usize,
+    resolve: impl Fn(&mut SubgroupCtx<'_, '_>, usize) -> (usize, W) + Sync,
+    fin_words: &DeviceBuffer<W>,
+    output: Option<&dyn BitmapLike<W>>,
+    unvisited: Option<&dyn BitmapLike<W>>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+    adopt_once: bool,
+) -> Event {
+    let subgroup_mapped = tuning.word_bits <= tuning.sg_size;
+    let sgs = tuning.subgroups_per_wg as usize;
+    let coarsening = tuning.coarsening as usize;
+    let wpg = if subgroup_mapped {
+        sgs * coarsening
+    } else {
+        coarsening
+    };
+    let groups = n_words.div_ceil(wpg.max(1));
+    if groups == 0 {
+        return no_launch(q);
+    }
+    let n = graph.vertex_count() as u32;
+    let cfg = LaunchConfig::new("advance_pull", groups, tuning.wg_size(), tuning.sg_size);
+    let process =
+        |sg: &mut SubgroupCtx<'_, '_>, word_idx: usize, word: W, bit_lo: u32, bit_hi: u32| {
+            let sgw = sg.width();
+            let first_vertex = word_idx as u32 * W::BITS;
+            let passes = (bit_hi - bit_lo).div_ceil(sgw);
+            for p in 0..passes {
+                let bit_base = bit_lo + p * sgw;
+                let active = sg.ballot(|lane| {
+                    let bit = bit_base + lane;
+                    bit < bit_hi && word.test_bit(bit) && first_vertex + bit < n
+                });
+                if active == 0 {
+                    continue;
+                }
+                sg.lanes(active, |lane, item| {
+                    let v = first_vertex + bit_base + lane;
+                    let (lo, hi) = graph.in_row_bounds(item, v);
+                    pull_vertex(
+                        item, graph, v, lo, hi, fin_words, output, unvisited, fused, functor,
+                        adopt_once,
+                    );
+                });
+            }
+        };
+    q.launch(cfg, |ctx| {
+        let base = ctx.group_id * wpg;
+        ctx.for_each_subgroup(|sg| {
+            if subgroup_mapped {
+                for c in 0..coarsening {
+                    let slot = sg.sg_id() as usize * coarsening + c;
+                    let word_pos = base + slot;
+                    if word_pos >= n_words {
+                        break;
+                    }
+                    let (word_idx, word) = resolve(sg, word_pos);
+                    if word.is_zero() {
+                        sg.compute(1);
+                        continue;
+                    }
+                    process(sg, word_idx, word, 0, W::BITS);
+                }
+            } else {
+                let bits_per_sg = W::BITS.div_ceil(sgs as u32);
+                for c in 0..coarsening {
+                    let word_pos = base + c;
+                    if word_pos >= n_words {
+                        break;
+                    }
+                    let (word_idx, word) = resolve(sg, word_pos);
+                    if word.is_zero() {
+                        sg.compute(1);
+                        continue;
+                    }
+                    let bit_lo = sg.sg_id() * bits_per_sg;
+                    let bit_hi = (bit_lo + bits_per_sg).min(W::BITS);
+                    if bit_lo >= W::BITS {
+                        continue;
+                    }
+                    process(sg, word_idx, word, bit_lo, bit_hi);
+                }
+            }
+        });
+    })
+}
+
+/// In-degree-bucketed pull (the pull side of §4.2's hybrid balancing):
+/// candidates are binned by *in*-degree into the same three-bucket pool
+/// the push side uses, then expanded by three pull-shaped kernels —
+/// lane-serial for leaves, subgroup-cooperative with balloted early exit
+/// for the middle band, and workgroup-chunked for in-hubs (chunks of one
+/// hub adopt independently; `insert_lane_checked` dedups the insertions).
+/// Returns `None` when no bucket buffers could be obtained.
+#[allow(clippy::too_many_arguments)]
+fn pull_bucketed<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    bin: BinInput<'_, W>,
+    fin_words: &DeviceBuffer<W>,
+    output: Option<&dyn BitmapLike<W>>,
+    unvisited: Option<&dyn BitmapLike<W>>,
+    tuning: &Tuning,
+    pool: Option<&BucketPool>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+    adopt_once: bool,
+) -> Option<Event> {
+    let spec = BucketSpec::from_tuning(tuning);
+    let n = graph.vertex_count();
+    let m = graph.edge_count();
+    let transient;
+    let pool = match pool {
+        Some(p) if p.fits(n, m, &spec) => p,
+        _ => {
+            transient = BucketPool::new(q, n, m, &spec).ok()?;
+            &transient
+        }
+    };
+    let nv = n as u32;
+    let degree_of = |lane: &mut ItemCtx<'_>, v: VertexId| -> u32 {
+        if v >= nv {
+            return 0;
+        }
+        let (lo, hi) = graph.in_row_bounds(lane, v);
+        hi - lo
+    };
+    let counts = match bin {
+        BinInput::Compacted { words, offsets, nz } => {
+            bucket::bin_compacted(q, words, offsets, nz, pool, &degree_of, &spec)
+        }
+        BinInput::List { items, len } => bucket::bin_list(q, items, len, pool, &degree_of, &spec),
+    };
+    let mut last = no_launch(q);
+    if counts.small > 0 {
+        // Small in-degree: lane-per-candidate serial scan, same shape as
+        // the workgroup-mapped pull but over the compacted list.
+        let sgw = tuning.sg_size as usize;
+        let sgs = tuning.subgroups_per_wg as usize;
+        let coarsening = tuning.coarsening as usize;
+        let per_sg = sgw * coarsening;
+        let vpg = per_sg * sgs;
+        let n_items = counts.small as usize;
+        let groups = n_items.div_ceil(vpg.max(1));
+        let small = &pool.small;
+        let cfg = LaunchConfig::new(
+            "advance_pull_small",
+            groups,
+            tuning.wg_size(),
+            tuning.sg_size,
+        );
+        last = q.launch(cfg, |ctx| {
+            let base = ctx.group_id * vpg;
+            ctx.for_each_subgroup(|sg| {
+                for c in 0..coarsening {
+                    let slab = base + sg.sg_id() as usize * per_sg + c * sgw;
+                    if slab >= n_items {
+                        break;
+                    }
+                    let lanes = (n_items - slab).min(sgw) as u32;
+                    sg.lanes(full_mask(lanes), |lane, item| {
+                        let v = item.load(small, slab + lane as usize);
+                        let (lo, hi) = graph.in_row_bounds(item, v);
+                        pull_vertex(
+                            item, graph, v, lo, hi, fin_words, output, unvisited, fused, functor,
+                            adopt_once,
+                        );
+                    });
+                }
+            });
+        });
+    }
+    if counts.medium > 0 {
+        // Medium band: subgroup per candidate, cooperative rounds with a
+        // balloted early exit.
+        let sgs = tuning.subgroups_per_wg as usize;
+        let coarsening = tuning.coarsening as usize;
+        let vpg = sgs * coarsening;
+        let n_items = counts.medium as usize;
+        let groups = n_items.div_ceil(vpg.max(1));
+        let medium = &pool.medium;
+        let cfg = LaunchConfig::new(
+            "advance_pull_medium",
+            groups,
+            tuning.wg_size(),
+            tuning.sg_size,
+        );
+        last = q.launch(cfg, |ctx| {
+            let base = ctx.group_id * vpg;
+            ctx.for_each_subgroup(|sg| {
+                for c in 0..coarsening {
+                    let pos = base + sg.sg_id() as usize * coarsening + c;
+                    if pos >= n_items {
+                        break;
+                    }
+                    let v = sg.load_uniform(medium, pos);
+                    let (lo, hi) = graph.in_row_bounds_uniform(sg, v);
+                    pull_scan_cooperative(
+                        sg,
+                        graph,
+                        v,
+                        lo,
+                        hi,
+                        sg.width(),
+                        fin_words,
+                        output,
+                        unvisited,
+                        fused,
+                        functor,
+                        adopt_once,
+                    );
+                }
+            });
+        });
+    }
+    if counts.large > 0 {
+        // In-hubs: one workgroup per neighbor chunk. Chunks of one hub
+        // cannot coordinate an early exit across workgroups; each adopts
+        // independently and the checked insert keeps it exactly-once.
+        let sgw = tuning.sg_size;
+        let wg_stride = tuning.wg_size();
+        let chunk = spec.chunk;
+        let large_v = &pool.large_v;
+        let large_c = &pool.large_c;
+        let cfg = LaunchConfig::new(
+            "advance_pull_large",
+            counts.large as usize,
+            tuning.wg_size(),
+            tuning.sg_size,
+        );
+        last = q.launch(cfg, |ctx| {
+            let entry = ctx.group_id;
+            ctx.for_each_subgroup(|sg| {
+                let v = sg.load_uniform(large_v, entry);
+                let ci = sg.load_uniform(large_c, entry);
+                let (lo, hi) = graph.in_row_bounds_uniform(sg, v);
+                let clo = lo + ci * chunk;
+                let chi = (clo + chunk).min(hi);
+                let start = clo + sg.sg_id() * sgw;
+                if start < chi {
+                    pull_scan_cooperative(
+                        sg, graph, v, start, chi, wg_stride, fin_words, output, unvisited, fused,
+                        functor, adopt_once,
+                    );
+                }
+            });
+        });
+    }
+    Some(last)
+}
+
+/// The pull dispatch: count the input frontier (the same single host
+/// readback the push path's counted compaction does — this also refreshes
+/// the metadata its lazy clear will use), enumerate candidates, and
+/// launch the pull kernel family over them.
+#[allow(clippy::too_many_arguments)]
+fn pull_impl<W: Word, G: DeviceGraphView + ?Sized>(
+    q: &Queue,
+    graph: &G,
+    input: &dyn BitmapLike<W>,
+    scope: PullScope<'_, W>,
+    output: Option<&dyn BitmapLike<W>>,
+    tuning: &Tuning,
+    pool: Option<&BucketPool>,
+    fused: Option<FusedCompute<'_>>,
+    functor: &impl AdvanceFunctor,
+) -> (Event, Option<usize>) {
+    // The counted result keeps the push path's contract: the *input*
+    // frontier's population measure (list entries when sparse, non-zero
+    // words when dense, `None` on single-layer bitmaps).
+    let counted = if let Some(view) = input.sparse_view(q) {
+        Some(view.len)
+    } else {
+        input.compact(q).map(|(nz, _)| nz)
+    };
+    if counted == Some(0) {
+        return (no_launch(q), Some(0));
+    }
+    let fin_words = input.words();
+    match scope {
+        PullScope::Unvisited(cand) => match cand.compact(q) {
+            Some((nz, offsets)) => {
+                if nz == 0 {
+                    // No candidate can adopt: the pull kernel is free.
+                    return (no_launch(q), counted);
+                }
+                let strategy = tuning.effective_balancing(nz, graph.in_degree_profile());
+                if strategy == Balancing::Bucketed {
+                    let bin = BinInput::Compacted {
+                        words: cand.words(),
+                        offsets,
+                        nz,
+                    };
+                    if let Some(ev) = pull_bucketed(
+                        q,
+                        graph,
+                        bin,
+                        fin_words,
+                        output,
+                        Some(cand),
+                        tuning,
+                        pool,
+                        fused,
+                        functor,
+                        true,
+                    ) {
+                        return (ev, counted);
+                    }
+                }
+                let cand_words = cand.words();
+                let ev = launch_pull(
+                    q,
+                    graph,
+                    tuning,
+                    nz,
+                    |sg, pos| {
+                        let word_idx = sg.load_uniform(offsets, pos) as usize;
+                        (word_idx, sg.load_uniform(cand_words, word_idx))
+                    },
+                    fin_words,
+                    output,
+                    Some(cand),
+                    fused,
+                    functor,
+                    true,
+                );
+                (ev, counted)
+            }
+            None => {
+                // Single-layer candidate bitmap: sweep every word.
+                let cand_words = cand.words();
+                let ev = launch_pull(
+                    q,
+                    graph,
+                    tuning,
+                    cand.num_words(),
+                    |sg, pos| (pos, sg.load_uniform(cand_words, pos)),
+                    fin_words,
+                    output,
+                    Some(cand),
+                    fused,
+                    functor,
+                    true,
+                );
+                (ev, counted)
+            }
+        },
+        PullScope::AllVertices => {
+            let n_words = graph.vertex_count().div_ceil(W::BITS as usize);
+            let ev = launch_pull(
+                q,
+                graph,
+                tuning,
+                n_words,
+                |_sg, pos| (pos, W::ZERO.not()),
+                fin_words,
+                output,
+                None,
+                fused,
+                functor,
+                false,
+            );
+            (ev, counted)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1578,5 +2129,139 @@ mod tests {
         let (sparse_words, counted) = run_sparse();
         assert_eq!(dense_words, sparse_words, "bit-identical across reps");
         assert_eq!(counted, Some(3), "three active vertices in the list");
+    }
+
+    /// A pull-capable graph (CSR + CSC) over the given edges, with the
+    /// CSC view already resident (the engine does this lazily via
+    /// `ensure_pull_ready`; a bare operator test does it up front).
+    fn pull_graph(q: &Queue, n: usize, edges: &[(u32, u32)]) -> crate::graph::Graph {
+        let g = crate::graph::Graph::with_pull(q, &CsrHost::from_edges(n, edges)).unwrap();
+        assert!(matches!(g.ensure_pull(q), Ok(true)));
+        g
+    }
+
+    #[test]
+    fn pull_all_vertices_matches_push() {
+        let q = queue();
+        let edges: Vec<(u32, u32)> = (1..=20).map(|v| (0, v)).collect();
+        let g = pull_graph(&q, 22, &edges);
+        let t = tuning(&q, 22);
+
+        let input = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        input.insert_host(0);
+        let push_out = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&push_out)
+            .tuning(&t)
+            .run(|_l, _s, _d, _e, _w| true);
+
+        let pull_out = TwoLayerFrontier::<u32>::new(&q, 22).unwrap();
+        let before = q.profiler().kernel_count();
+        Advance::new(&q, &g, &input)
+            .output(&pull_out)
+            .tuning(&t)
+            .pull(PullScope::AllVertices)
+            .run(|_l, _s, _d, _e, _w| true);
+        assert!(
+            kernel_names_after(&q, before)
+                .iter()
+                .any(|n| n.starts_with("advance_pull")),
+            "the pull kernel family must carry the scan"
+        );
+        pull_out.check_invariant().unwrap();
+        assert_eq!(pull_out.to_sorted_vec(), push_out.to_sorted_vec());
+    }
+
+    #[test]
+    fn pull_unvisited_adopts_and_removes_candidates() {
+        // Frontier {0}; candidates {1, 2, 3, 6}. Only 1 and 2 have a
+        // frontier parent: they adopt (into the output) and leave the
+        // candidate set in-kernel; 3 (no in-edges) and 6 (parent 5 not in
+        // the frontier) stay candidates.
+        let q = queue();
+        let g = pull_graph(&q, 8, &[(0, 1), (0, 2), (5, 6)]);
+        let t = tuning(&q, 8);
+        let input = TwoLayerFrontier::<u32>::new(&q, 8).unwrap();
+        input.insert_host(0);
+        let unvisited = TwoLayerFrontier::<u32>::new(&q, 8).unwrap();
+        for v in [1, 2, 3, 6] {
+            unvisited.insert_host(v);
+        }
+        let output = TwoLayerFrontier::<u32>::new(&q, 8).unwrap();
+        Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .pull(PullScope::Unvisited(&unvisited))
+            .run(|_l, _s, _d, _e, _w| true);
+        output.check_invariant().unwrap();
+        unvisited.check_invariant().unwrap();
+        assert_eq!(output.to_sorted_vec(), vec![1, 2]);
+        assert_eq!(unvisited.to_sorted_vec(), vec![3, 6]);
+    }
+
+    #[test]
+    fn pull_counted_result_is_the_input_compaction() {
+        // The pull contract counts the INPUT frontier's compaction (the
+        // number read back to size nothing — it rides along so the engine
+        // can test convergence and feed its estimates without an extra
+        // sync): two set bits in different words count two nonzero words.
+        let q = queue();
+        let g = pull_graph(&q, 200, &[(0, 1), (130, 131)]);
+        let t = tuning(&q, 200);
+        let input = TwoLayerFrontier::<u64>::new(&q, 200).unwrap();
+        input.insert_host(0);
+        input.insert_host(130);
+        let output = TwoLayerFrontier::<u64>::new(&q, 200).unwrap();
+        let (_, counted) = Advance::new(&q, &g, &input)
+            .output(&output)
+            .tuning(&t)
+            .pull(PullScope::AllVertices)
+            .run(|_l, _s, _d, _e, _w| true);
+        assert_eq!(counted, Some(2), "two nonzero input words");
+        assert_eq!(output.to_sorted_vec(), vec![1, 131]);
+    }
+
+    #[test]
+    fn bucketed_pull_matches_wg_mapped_pull() {
+        // In-degree spread across all three buckets: vertex 0 is an
+        // in-hub (20), vertex 7 is medium (3), vertex 3 is a leaf (1).
+        let q = queue();
+        let mut edges: Vec<(u32, u32)> = (1..=20).map(|v| (v, 0)).collect();
+        edges.push((1, 3));
+        edges.extend([(8, 7), (9, 7), (10, 7)]);
+        let g = pull_graph(&q, 21, &edges);
+
+        let run_with = |t: &Tuning| {
+            let input = TwoLayerFrontier::<u32>::new(&q, 21).unwrap();
+            for v in 1..=20 {
+                input.insert_host(v);
+            }
+            let unvisited = TwoLayerFrontier::<u32>::new(&q, 21).unwrap();
+            for v in [0, 3, 7] {
+                unvisited.insert_host(v);
+            }
+            let output = TwoLayerFrontier::<u32>::new(&q, 21).unwrap();
+            let before = q.profiler().kernel_count();
+            Advance::new(&q, &g, &input)
+                .output(&output)
+                .tuning(t)
+                .pull(PullScope::Unvisited(&unvisited))
+                .run(|_l, _s, _d, _e, _w| true);
+            output.check_invariant().unwrap();
+            assert_eq!(unvisited.count(&q), 0, "every candidate adopts");
+            (output.to_sorted_vec(), kernel_names_after(&q, before))
+        };
+
+        let (plain, _) = run_with(&tuning(&q, 21));
+        let (bucketed, names) = run_with(&bucket_tuning(&q, 21));
+        assert_eq!(plain, bucketed, "balancing must not change adoptions");
+        assert_eq!(plain, vec![0, 3, 7]);
+        for k in [
+            "advance_pull_small",
+            "advance_pull_medium",
+            "advance_pull_large",
+        ] {
+            assert!(names.contains(&k.to_string()), "missing {k} in {names:?}");
+        }
     }
 }

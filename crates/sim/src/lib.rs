@@ -54,7 +54,9 @@ pub use error::{SimError, SimResult};
 pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupCtx, MAX_SUBGROUP};
 pub use fault::FaultPlan;
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
-pub use profiler::{KernelRecord, Marker, MemEvent, Profiler, RecoveryEvent, RepEvent};
+pub use profiler::{
+    DirectionEvent, KernelRecord, Marker, MemEvent, Profiler, RecoveryEvent, RepEvent,
+};
 pub use queue::{Device, Event, Queue};
 pub use sanitize::{Finding, FindingKind, Sanitizer};
 pub use stats::{GroupStats, KernelStats};

@@ -58,6 +58,21 @@ pub struct RepEvent {
     pub switched: bool,
 }
 
+/// One superstep's traversal-direction choice, as recorded by the engine:
+/// whether the advance ran push (frontier scans out-edges) or pull
+/// (unvisited candidates scan in-edges) and whether that was a switch from
+/// the previous superstep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirectionEvent {
+    pub t_ns: f64,
+    /// Superstep index within the engine run (0-based).
+    pub superstep: u32,
+    /// Direction label ("push" / "pull").
+    pub direction: String,
+    /// Whether this superstep changed direction.
+    pub switched: bool,
+}
+
 /// One recovery action taken by the engine in response to an injected (or
 /// real) fault: a transient retry, an OOM degradation rung, or a
 /// checkpoint resume after device loss.
@@ -80,6 +95,7 @@ struct Inner {
     mem_events: Vec<MemEvent>,
     markers: Vec<Marker>,
     rep_events: Vec<RepEvent>,
+    direction_events: Vec<DirectionEvent>,
     recovery_events: Vec<RecoveryEvent>,
 }
 
@@ -149,6 +165,32 @@ impl Profiler {
         self.inner
             .lock()
             .rep_events
+            .iter()
+            .filter(|e| e.switched)
+            .count()
+    }
+
+    /// Records a traversal-direction choice for one superstep.
+    pub fn record_direction(&self, t_ns: f64, superstep: u32, direction: &str, switched: bool) {
+        self.inner.lock().direction_events.push(DirectionEvent {
+            t_ns,
+            superstep,
+            direction: direction.to_string(),
+            switched,
+        });
+    }
+
+    /// Snapshot of direction events.
+    pub fn direction_events(&self) -> Vec<DirectionEvent> {
+        self.inner.lock().direction_events.clone()
+    }
+
+    /// Number of direction *switches* recorded (events with
+    /// `switched == true`).
+    pub fn direction_switch_count(&self) -> usize {
+        self.inner
+            .lock()
+            .direction_events
             .iter()
             .filter(|e| e.switched)
             .count()
@@ -267,6 +309,7 @@ impl Profiler {
         inner.mem_events.clear();
         inner.markers.clear();
         inner.rep_events.clear();
+        inner.direction_events.clear();
         inner.recovery_events.clear();
     }
 }

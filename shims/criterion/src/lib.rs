@@ -1,0 +1,144 @@
+//! Offline stand-in for `criterion`: enough of the harness API for the
+//! workspace's benches to compile and produce simple wall-clock medians.
+//! No statistical analysis, plots, or saved baselines — `cargo bench`
+//! prints one median per benchmark.
+
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+}
+
+/// Display-only benchmark identifier (`group/param` naming).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(name: S, param: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut xs = b.samples;
+        xs.sort_by(|a, b| a.total_cmp(b));
+        let median = if xs.is_empty() { 0.0 } else { xs[xs.len() / 2] };
+        println!(
+            "{}/{}: median {:.3} ms ({} samples)",
+            self.name,
+            id,
+            median,
+            xs.len()
+        );
+        self
+    }
+
+    pub fn bench_with_input<S: std::fmt::Display, I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.benchmark_group(name.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

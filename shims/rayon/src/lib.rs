@@ -1,0 +1,173 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses:
+//! `(range).into_par_iter().map(f).collect::<Vec<_>>()` and
+//! `slice.par_iter_mut().for_each(f)`. Work is spread over
+//! `std::thread::scope` with one chunk per available core, results are
+//! returned in order — observable behaviour matches rayon for these
+//! shapes (the closures are `Sync` and items independent).
+
+use std::ops::Range;
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Parallel adapter over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    fn run<T>(self) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let ParRangeMap { range, f } = self;
+        let len = range.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            return range.map(f).collect();
+        }
+        let chunk = len.div_ceil(workers);
+        let start = range.start;
+        let f = &f;
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = start + w * chunk;
+                    let hi = (lo + chunk).min(start + len);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromIterator<T>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// `(0..n).into_par_iter()`.
+pub trait IntoParallelIterator {
+    type ParIter;
+    fn into_par_iter(self) -> Self::ParIter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type ParIter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel adapter over `&mut [T]`.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let workers = worker_count(len);
+        if workers == 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for part in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// `slice.par_iter_mut()` / `vec.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_keeps_order() {
+        let got: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        let want: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn slice_for_each_touches_everything() {
+        let mut v = vec![1u32; 513];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+}

@@ -1,0 +1,346 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! Parses the item with the bare `proc_macro` API (no syn/quote in the
+//! offline image) and emits impls of the shim's JSON-value traits.
+//! Supported shapes — the full set this workspace derives on:
+//!
+//! - structs with named fields → JSON objects keyed by field name
+//! - enums with unit variants → JSON strings (`"Variant"`)
+//! - enums with single-field tuple variants → `{"Variant": <payload>}`
+//!
+//! Anything else (generics, struct variants, tuple structs) fails loudly
+//! at expansion time rather than producing wrong data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<(String, usize)> },
+}
+
+struct Item {
+    name: String,
+    /// Type parameter names (lifetimes/consts unsupported).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+impl Item {
+    /// `"<T: serde::Serialize, U: serde::Serialize>"` or `""`.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: {bound}"))
+                .collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    /// `"<T, U>"` or `""`.
+    fn ty_generics(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+}
+
+/// Strips attributes/doc-comments and visibility, finds `struct`/`enum`,
+/// the type name, and the body group.
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    let mut name = None;
+    let mut generics = Vec::new();
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // attribute: consume the following [...] group
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" | "crate" => {
+                        // `pub` possibly followed by `(crate)` etc.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    "where" => panic!("serde shim derive: where clauses unsupported"),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                // Collect top-level type parameter names up to the
+                // matching `>`: idents at depth 1 before any `:` bound.
+                let mut depth = 1i32;
+                let mut expect_param = true;
+                for tt in iter.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                            expect_param = true;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                            expect_param = false;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '\'' => {
+                            panic!("serde shim derive: lifetime parameters unsupported")
+                        }
+                        TokenTree::Ident(id) if depth == 1 && expect_param => {
+                            if id.to_string() == "const" {
+                                panic!("serde shim derive: const generics unsupported");
+                            }
+                            generics.push(id.to_string());
+                            expect_param = false;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("serde shim derive: expected struct or enum");
+    let name = name.expect("serde shim derive: missing type name");
+    let body = body.expect("serde shim derive: missing braced body");
+    let shape = if kind == "struct" {
+        Shape::Struct {
+            fields: parse_struct_fields(body),
+        }
+    } else {
+        Shape::Enum {
+            variants: parse_enum_variants(body),
+        }
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// Splits a brace-group token stream on top-level commas.
+fn split_commas(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field name = last ident before the first top-level `:`.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .map(|tokens| {
+            let mut last_ident = None;
+            let mut iter = tokens.into_iter();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            last_ident.expect("serde shim derive: field without a name (tuple structs unsupported)")
+        })
+        .collect()
+}
+
+/// Variant name + payload arity (0 = unit, 1 = newtype).
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, usize)> {
+    split_commas(body)
+        .into_iter()
+        .map(|tokens| {
+            let mut name = None;
+            let mut arity = 0usize;
+            let mut iter = tokens.into_iter();
+            while let Some(tt) = iter.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '#' => {
+                        iter.next();
+                    }
+                    TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        // arity = top-level commas + 1
+                        let mut depth = 0i32;
+                        let mut commas = 0usize;
+                        for t in g.stream() {
+                            match t {
+                                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                                    commas += 1
+                                }
+                                _ => {}
+                            }
+                        }
+                        arity = commas + 1;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        panic!("serde shim derive: struct enum variants unsupported")
+                    }
+                    _ => {}
+                }
+            }
+            let name = name.expect("serde shim derive: unnamed enum variant");
+            if arity > 1 {
+                panic!("serde shim derive: multi-field tuple variants unsupported");
+            }
+            (name, arity)
+        })
+        .collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_g = item.impl_generics("serde::Serialize");
+    let ty_g = item.ty_generics();
+    let name = &item.name;
+    let src = match &item.shape {
+        Shape::Struct { fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         serde::Serialize::serialize_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl{impl_g} serde::Serialize for {name}{ty_g} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),\n"),
+                    _ => format!(
+                        "{name}::{v}(__x) => serde::Value::Object(vec![({v:?}.to_string(), \
+                         serde::Serialize::serialize_value(__x))]),\n"
+                    ),
+                })
+                .collect();
+            format!(
+                "impl{impl_g} serde::Serialize for {name}{ty_g} {{\n\
+                     fn serialize_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let impl_g = item.impl_generics("serde::Deserialize");
+    let ty_g = item.ty_generics();
+    let name = &item.name;
+    let src = match &item.shape {
+        Shape::Struct { fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::deserialize_value(\
+                         serde::__field(__v, {f:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl{impl_g} serde::Deserialize for {name}{ty_g} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { variants } => {
+            let str_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),\n"))
+                .collect();
+            let obj_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "if __k == {v:?} {{ return Ok({name}::{v}(\
+                         serde::Deserialize::deserialize_value(__payload)?)); }}\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl{impl_g} serde::Deserialize for {name}{ty_g} {{\n\
+                     fn deserialize_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match __v {{\n\
+                             serde::Value::Str(__s) => {{\n\
+                                 match __s.as_str() {{\n{str_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__k, __payload) = &__fields[0];\n\
+                                 let __k = __k.as_str();\n\
+                                 {obj_arms}\
+                             }}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                         Err(serde::DeError(format!(\
+                             \"no variant of {name} matches {{:?}}\", __v)))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}

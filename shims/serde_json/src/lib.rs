@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde_json`: string encode/decode over the serde
+//! shim's [`Value`] document type.
+
+pub use serde::DeError as Error;
+pub use serde::Value;
+
+/// Serializes `value` as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_json(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into any shim-deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::deserialize_value(&serde::parse_json(s)?)
+}
+
+/// Lowers any serializable expression to a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Shim `json!`: supports the expression form used in this workspace
+/// (`json!(expr)` where `expr: Serialize`).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::to_value(&$e)
+    };
+}

@@ -120,14 +120,7 @@ fn dobfs_matches_bfs_on_scale_free() {
     let q = queue();
     let g = Graph::with_pull(&q, &d.host).unwrap();
     let want = reference::bfs(&d.host, 0);
-    let got = sygraph::algos::dobfs::run(
-        &q,
-        &g,
-        0,
-        &OptConfig::all(),
-        sygraph::algos::dobfs::DobfsParams::default(),
-    )
-    .unwrap();
+    let got = sygraph::algos::dobfs::run(&q, &g, 0, &OptConfig::all()).unwrap();
     assert_eq!(got.values, want);
 }
 

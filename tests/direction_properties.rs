@@ -1,0 +1,211 @@
+//! Direction-optimization properties across the integration surface:
+//! every direction policy × every frontier representation × the 4-dataset
+//! suite must be bit-identical (Beamer's hybrid changes which edges get
+//! *scanned*, never which vertices get visited or what value they get);
+//! Auto must not flap between directions; and the recovery machinery must
+//! compose with pull — a checkpoint resume mid-pull and the OOM
+//! force-push rung both land on the fault-free answer.
+
+use sygraph_algos::{bfs, cc, reference};
+use sygraph_bench::sample_useful_sources;
+use sygraph_core::engine::RecoveryPolicy;
+use sygraph_core::graph::Graph;
+use sygraph_core::inspector::{Direction, OptConfig, Representation};
+use sygraph_gen::{datasets, Dataset, Scale};
+use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
+
+fn four_datasets() -> Vec<Dataset> {
+    vec![
+        datasets::road_ca(Scale::Test),
+        datasets::hollywood(Scale::Test),
+        datasets::indochina(Scale::Test),
+        datasets::kron(Scale::Test),
+    ]
+}
+
+const DIRECTIONS: [Direction; 3] = [Direction::Push, Direction::Pull, Direction::Auto];
+const REPS: [Representation; 3] = [
+    Representation::Dense,
+    Representation::Sparse,
+    Representation::Auto,
+];
+
+fn opts(rep: Representation, dir: Direction) -> OptConfig {
+    let mut o = OptConfig::with_representation(rep);
+    o.direction = dir;
+    o
+}
+
+fn queue() -> Queue {
+    Queue::new(Device::new(DeviceProfile::host_test()))
+}
+
+#[test]
+fn bfs_is_bit_identical_under_every_direction_and_representation() {
+    for ds in four_datasets() {
+        let src = sample_useful_sources(&ds.host, 1, 42)[0];
+        let want = reference::bfs(&ds.host, src);
+        for rep in REPS {
+            for dir in DIRECTIONS {
+                let q = queue();
+                let g = Graph::with_pull(&q, &ds.host).unwrap();
+                let got = bfs::run(&q, &g, src, &opts(rep, dir)).unwrap();
+                assert_eq!(
+                    got.values, want,
+                    "BFS diverged on {} under {dir:?}/{rep:?}",
+                    ds.key
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_is_bit_identical_under_every_direction_and_representation() {
+    for ds in four_datasets() {
+        let und = ds.undirected();
+        let want = reference::connected_components(&und);
+        for rep in REPS {
+            for dir in DIRECTIONS {
+                let q = queue();
+                let g = Graph::with_pull(&q, &und).unwrap();
+                let got = cc::run(&q, &g, &opts(rep, dir)).unwrap();
+                assert_eq!(
+                    got.values, want,
+                    "CC diverged on {} under {dir:?}/{rep:?}",
+                    ds.key
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_traces_every_superstep_and_never_flaps() {
+    for ds in four_datasets() {
+        let q = queue();
+        let g = Graph::with_pull(&q, &ds.host).unwrap();
+        let src = sample_useful_sources(&ds.host, 1, 42)[0];
+        let got = bfs::run(&q, &g, src, &opts(Representation::Auto, Direction::Auto)).unwrap();
+        let dirs = q.profiler().direction_events();
+        assert_eq!(
+            dirs.len() as u32,
+            got.iterations,
+            "{}: one direction event per live superstep",
+            ds.key
+        );
+        assert_eq!(dirs[0].direction, "push", "{}: BFS starts push", ds.key);
+        let switches = q.profiler().direction_switch_count();
+        assert_eq!(
+            switches,
+            dirs.iter().filter(|e| e.switched).count(),
+            "{}: switch counter must agree with the trace",
+            ds.key
+        );
+        assert!(
+            switches <= 2,
+            "{}: Beamer hysteresis must not flap ({switches} switches: {:?})",
+            ds.key,
+            dirs.iter()
+                .map(|e| e.direction.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// Kernel-ordinal bookkeeping for placing a fault mid-run (mirrors
+/// `tests/fault_injection.rs`): launches before the first superstep
+/// marker belong to algorithm init, where faults are rightly
+/// unrecoverable.
+struct Baseline {
+    values: Vec<u32>,
+    kernels: u64,
+    loop_start: u64,
+}
+
+impl Baseline {
+    fn ordinal(&self, third: u64) -> u64 {
+        self.loop_start + (self.kernels - self.loop_start) * third / 3
+    }
+}
+
+fn pull_baseline(ds: &Dataset, src: u32, opts: &OptConfig) -> Baseline {
+    let q = queue();
+    let g = Graph::with_pull(&q, &ds.host).unwrap();
+    let values = bfs::run(&q, &g, src, opts).unwrap().values;
+    assert!(
+        q.profiler()
+            .direction_events()
+            .iter()
+            .any(|e| e.direction == "pull"),
+        "baseline must actually exercise the pull path"
+    );
+    Baseline {
+        values,
+        kernels: q.profiler().kernel_count() as u64,
+        loop_start: q.profiler().markers()[0].kernel_watermark as u64,
+    }
+}
+
+#[test]
+fn checkpoint_resume_mid_pull_is_bit_identical() {
+    // Forced pull keeps every superstep on the pull path, so a device
+    // loss two thirds through the run lands mid-pull: the checkpoint must
+    // carry the direction state and the unvisited set across the resume.
+    let ds = datasets::hollywood(Scale::Test);
+    let src = sample_useful_sources(&ds.host, 1, 42)[0];
+    let mut o = opts(Representation::Auto, Direction::Pull);
+    o.recovery = RecoveryPolicy::resilient(3, 4);
+    let base = pull_baseline(&ds, src, &o);
+    assert_eq!(base.values, reference::bfs(&ds.host, src));
+
+    let plan = FaultPlan::parse(&format!("lost@{}", base.ordinal(2))).unwrap();
+    let q = Queue::with_faults(Device::new(DeviceProfile::host_test()), plan);
+    let g = Graph::with_pull(&q, &ds.host).unwrap();
+    let got = bfs::run(&q, &g, src, &o).unwrap();
+    assert_eq!(got.values, base.values, "resume diverged from fault-free");
+    let events = q.profiler().recovery_events();
+    assert_eq!(events.len(), 1, "exactly one resume: {events:?}");
+    assert_eq!(events[0].fault, "device-lost");
+    assert!(
+        q.profiler()
+            .direction_events()
+            .iter()
+            .any(|e| e.direction == "pull"),
+        "the resumed run must still pull"
+    );
+}
+
+#[test]
+fn oom_mid_pull_takes_the_force_push_rung_and_recovers() {
+    // A synthetic OOM while pull is engaged must take the ladder's
+    // direction rung first — give back the unvisited set, pin the rest of
+    // the run to push — and still land on the fault-free answer.
+    let ds = datasets::kron(Scale::Test);
+    let src = sample_useful_sources(&ds.host, 1, 42)[0];
+    let mut o = opts(Representation::Auto, Direction::Pull);
+    o.recovery = RecoveryPolicy::resilient(3, 4);
+    let base = pull_baseline(&ds, src, &o);
+
+    let plan = FaultPlan::parse(&format!("oom@{}", base.ordinal(1))).unwrap();
+    let q = Queue::with_faults(Device::new(DeviceProfile::host_test()), plan);
+    let g = Graph::with_pull(&q, &ds.host).unwrap();
+    let got = bfs::run(&q, &g, src, &o).unwrap();
+    assert_eq!(
+        got.values, base.values,
+        "force-push diverged from fault-free"
+    );
+    let events = q.profiler().recovery_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.fault == "oom" && e.action == "force-push"),
+        "expected the force-push OOM rung, got {events:?}"
+    );
+    let dirs = q.profiler().direction_events();
+    assert_eq!(
+        dirs.last().map(|e| e.direction.as_str()),
+        Some("push"),
+        "after the rung the run must finish push-side: {dirs:?}"
+    );
+}
