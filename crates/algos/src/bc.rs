@@ -23,87 +23,134 @@ pub fn run(
     src: VertexId,
     opts: &OptConfig,
 ) -> SimResult<AlgoResult<f32>> {
-    dispatch_by_word!(q, opts, g.vertex_count(), run_impl(q, g, src, opts))
+    Ok(run_many(q, g, &[src], opts)?
+        .pop()
+        .expect("one source, one result"))
 }
 
-fn run_impl<W: Word>(
+/// Runs one rooted Brandes pass per source, sharing a single scratch
+/// allocation set (depth/sigma/delta plus a recycled frontier pool)
+/// across every pass — the allocation ledger shows one footprint, not
+/// per-source alloc/free churn. Results are bit-identical to calling
+/// [`run`] once per source.
+pub fn run_many(
     q: &Queue,
     g: &DeviceCsr,
-    src: VertexId,
+    sources: &[VertexId],
+    opts: &OptConfig,
+) -> SimResult<Vec<AlgoResult<f32>>> {
+    dispatch_by_word!(
+        q,
+        opts,
+        g.vertex_count(),
+        run_many_impl(q, g, sources, opts)
+    )
+}
+
+fn run_many_impl<W: Word>(
+    q: &Queue,
+    g: &DeviceCsr,
+    sources: &[VertexId],
     opts: &OptConfig,
     tuning: &Tuning,
-) -> SimResult<AlgoResult<f32>> {
+) -> SimResult<Vec<AlgoResult<f32>>> {
     let n = g.vertex_count();
-    assert!((src as usize) < n, "source out of range");
-    let t0 = q.now_ns();
-
+    // One scratch set for every rooted pass.
     let depth = q.malloc_device::<u32>(n)?;
     let sigma = q.malloc_device::<f32>(n)?;
     let delta = q.malloc_device::<f32>(n)?;
-    q.fill(&depth, INF_DIST);
-    q.fill(&sigma, 0.0);
-    q.fill(&delta, 0.0);
-    depth.store(src as usize, 0);
-    sigma.store(src as usize, 1.0);
+    // Frontier pool: passes return their level frontiers (cleared) here,
+    // so steady state allocates nothing.
+    let mut pool: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
+    let mut out = Vec::with_capacity(sources.len());
 
-    // Forward phase: BFS levels, counting shortest paths. Every level's
-    // frontier is retained (`rotate_retaining`) for the backward sweep.
-    let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
-    let fin = make_frontier::<W>(q, n, opts)?;
-    let fout = make_frontier::<W>(q, n, opts)?;
-    fin.insert_host(src);
-    let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout).mark_prefix("bc_fwd");
-    while engine.step(
-        |l, d, u, v, _e, _w| {
-            let old = l.fetch_min(&depth, v as usize, d + 1);
-            if old > d {
-                // v is on a shortest path through u: accumulate sigma.
-                let su = l.load(&sigma, u as usize);
-                l.fetch_add_f32(&sigma, v as usize, su);
-                old == INF_DIST
-            } else {
-                false
-            }
-        },
-        NO_COMPUTE,
-    ) {
-        levels.push(engine.rotate_retaining(make_frontier::<W>(q, n, opts)?));
-    }
-    let d = engine.iteration();
+    for &src in sources {
+        assert!((src as usize) < n, "source out of range");
+        let t0 = q.now_ns();
+        q.fill(&depth, INF_DIST);
+        q.fill(&sigma, 0.0);
+        q.fill(&delta, 0.0);
+        depth.store(src as usize, 0);
+        sigma.store(src as usize, 1.0);
 
-    // Backward phase: accumulate dependencies level by level, deepest
-    // first (the deepest level has delta 0 by definition).
-    for (level, frontier) in levels.iter().enumerate().rev().skip(1) {
-        q.mark(format!("bc_bwd{level}"));
-        let next_depth = level as u32 + 1;
-        let (ev, _) =
-            Advance::new(q, g, frontier.as_ref())
-                .tuning(tuning)
-                .run(|l, u, v, _e, _w| {
-                    if l.load(&depth, v as usize) == next_depth {
-                        let su = l.load(&sigma, u as usize);
-                        let sv = l.load(&sigma, v as usize);
-                        let dv = l.load(&delta, v as usize);
-                        l.fetch_add_f32(&delta, u as usize, su / sv * (1.0 + dv));
-                    }
+        // Forward phase: BFS levels, counting shortest paths. Every
+        // level's frontier is retained (`rotate_retaining`) for the
+        // backward sweep.
+        let take = |pool: &mut Vec<Box<dyn BitmapLike<W>>>| match pool.pop() {
+            Some(f) => Ok(f),
+            None => make_frontier::<W>(q, n, opts),
+        };
+        let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
+        let fin = take(&mut pool)?;
+        let fout = take(&mut pool)?;
+        fin.insert_host(src);
+        let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout).mark_prefix("bc_fwd");
+        while engine.step(
+            |l, d, u, v, _e, _w| {
+                let old = l.fetch_min(&depth, v as usize, d + 1);
+                if old > d {
+                    // v is on a shortest path through u: accumulate sigma.
+                    let su = l.load(&sigma, u as usize);
+                    l.fetch_add_f32(&sigma, v as usize, su);
+                    old == INF_DIST
+                } else {
                     false
-                });
-        ev.wait();
-    }
-
-    // The source's own dependency does not count.
-    compute::execute_all(q, n, |l, v| {
-        if v == src {
-            l.store(&delta, v as usize, 0.0);
+                }
+            },
+            NO_COMPUTE,
+        ) {
+            let fresh = take(&mut pool)?;
+            levels.push(engine.rotate_retaining(fresh));
         }
-    })
-    .wait();
+        let d = engine.iteration();
 
-    Ok(AlgoResult {
-        values: delta.to_vec(),
-        iterations: d,
-        sim_ms: (q.now_ns() - t0) / 1e6,
-    })
+        // Backward phase: accumulate dependencies level by level, deepest
+        // first (the deepest level has delta 0 by definition).
+        for (level, frontier) in levels.iter().enumerate().rev().skip(1) {
+            q.mark(format!("bc_bwd{level}"));
+            let next_depth = level as u32 + 1;
+            let (ev, _) =
+                Advance::new(q, g, frontier.as_ref())
+                    .tuning(tuning)
+                    .run(|l, u, v, _e, _w| {
+                        if l.load(&depth, v as usize) == next_depth {
+                            let su = l.load(&sigma, u as usize);
+                            let sv = l.load(&sigma, v as usize);
+                            let dv = l.load(&delta, v as usize);
+                            l.fetch_add_f32(&delta, u as usize, su / sv * (1.0 + dv));
+                        }
+                        false
+                    });
+            ev.wait();
+        }
+
+        // The source's own dependency does not count.
+        compute::execute_all(q, n, |l, v| {
+            if v == src {
+                l.store(&delta, v as usize, 0.0);
+            }
+        })
+        .wait();
+
+        out.push(AlgoResult {
+            values: delta.to_vec(),
+            iterations: d,
+            sim_ms: (q.now_ns() - t0) / 1e6,
+        });
+
+        // Recycle this pass's frontiers. The engine pair converged empty
+        // (convergence means an empty input, and the output was freshly
+        // installed); level frontiers still hold their bits and are
+        // cleared before pooling.
+        let (fin, fout) = engine.into_frontiers();
+        for f in levels {
+            f.clear(q);
+            pool.push(f);
+        }
+        pool.push(fin);
+        pool.push(fout);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -163,6 +210,93 @@ mod tests {
         for src in [0, 5, 77] {
             check(&host, src);
         }
+    }
+
+    #[test]
+    fn run_many_matches_per_source_runs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 90u32;
+        let edges: Vec<(u32, u32)> = (0..450)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+        let sources = [0u32, 13, 42, 89];
+        let q = queue();
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let batch = run_many(&q, &g, &sources, &OptConfig::all()).unwrap();
+        for (i, &src) in sources.iter().enumerate() {
+            let q1 = queue();
+            let g1 = DeviceCsr::upload(&q1, &host).unwrap();
+            let solo = run(&q1, &g1, src, &OptConfig::all()).unwrap();
+            assert_eq!(batch[i].values, solo.values, "source {src}");
+            assert_eq!(batch[i].iterations, solo.iterations);
+        }
+    }
+
+    #[test]
+    fn run_many_reuses_one_scratch_set_across_passes() {
+        // The satellite regression: rooted passes share depth/sigma/delta
+        // and a recycled frontier pool, so (a) the MemTracker peak of a
+        // 4-pass batch equals the 1-pass peak, and (b) repeating the same
+        // source allocates nothing after the first pass — the allocation
+        // ledger has identical length in both runs.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100u32;
+        let edges: Vec<(u32, u32)> = (0..500)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let host = CsrHost::from_edges(n as usize, &edges);
+
+        let q1 = queue();
+        let g1 = DeviceCsr::upload(&q1, &host).unwrap();
+        run_many(&q1, &g1, &[7], &OptConfig::all()).unwrap();
+        let peak1 = q1.device().mem_peak();
+        let allocs1 = q1.profiler().mem_events().len();
+
+        let q4 = queue();
+        let g4 = DeviceCsr::upload(&q4, &host).unwrap();
+        let results = run_many(&q4, &g4, &[7, 7, 7, 7], &OptConfig::all()).unwrap();
+        assert_eq!(
+            q4.device().mem_peak(),
+            peak1,
+            "batched passes must not widen the memory peak"
+        );
+        assert_eq!(
+            q4.profiler().mem_events().len(),
+            allocs1,
+            "passes after the first must allocate nothing"
+        );
+        for r in &results[1..] {
+            assert_eq!(
+                r.values, results[0].values,
+                "recycled scratch must not leak state"
+            );
+        }
+
+        // Distinct sources reach different depths (level counts differ),
+        // so the pool may grow — but the peak must stay within one
+        // frontier of the deepest single pass, never per-source churn.
+        let qd = queue();
+        let gd = DeviceCsr::upload(&qd, &host).unwrap();
+        let sources = [0u32, 13, 42, 89];
+        run_many(&qd, &gd, &sources, &OptConfig::all()).unwrap();
+        let deepest = sources
+            .iter()
+            .map(|&s| {
+                let qs = queue();
+                let gs = DeviceCsr::upload(&qs, &host).unwrap();
+                run_many(&qs, &gs, &[s], &OptConfig::all()).unwrap();
+                qs.device().mem_peak()
+            })
+            .max()
+            .unwrap();
+        assert_eq!(
+            qd.device().mem_peak(),
+            deepest,
+            "multi-source peak equals the deepest pass's peak"
+        );
     }
 
     #[test]

@@ -19,28 +19,6 @@ use sygraph_sim::{Queue, SimError, SimResult};
 
 use crate::common::AlgoResult;
 
-/// Beamer's switching thresholds.
-#[deprecated(
-    since = "0.2.0",
-    note = "direction optimization now lives on the superstep engine; \
-            set `OptConfig::direction` (and `Tuning::{alpha, beta}`) \
-            instead, or call `dobfs::run` without parameters"
-)]
-#[derive(Debug, Clone, Copy)]
-pub struct DobfsParams {
-    /// Switch push→pull when the frontier estimate exceeds `n / alpha`.
-    pub alpha: usize,
-    /// Switch pull→push when the frontier estimate drops below `n / beta`.
-    pub beta: usize,
-}
-
-#[allow(deprecated)]
-impl Default for DobfsParams {
-    fn default() -> Self {
-        DobfsParams { alpha: 4, beta: 24 }
-    }
-}
-
 /// Runs direction-optimizing BFS from `src`. The graph must carry a pull
 /// (CSC) view — build it with [`Graph::with_pull`] — otherwise a typed
 /// [`SimError::Unsupported`] is returned (no assert).
@@ -54,30 +32,6 @@ pub fn run(q: &Queue, g: &Graph, src: VertexId, opts: &OptConfig) -> SimResult<A
         opts.direction = Direction::Auto;
     }
     run_preset(q, g, src, &opts, None)
-}
-
-/// [`run`] with explicit Beamer thresholds — the pre-engine entry point,
-/// kept as a shim for existing callers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `dobfs::run` (engine-level direction optimization); \
-            alpha/beta ride on `Tuning` now"
-)]
-#[allow(deprecated)]
-pub fn run_with_params(
-    q: &Queue,
-    g: &Graph,
-    src: VertexId,
-    opts: &OptConfig,
-    params: DobfsParams,
-) -> SimResult<AlgoResult<u32>> {
-    let mut opts = *opts;
-    if opts.direction == Direction::Push {
-        opts.direction = Direction::Auto;
-    }
-    let alpha = u32::try_from(params.alpha).unwrap_or(u32::MAX);
-    let beta = u32::try_from(params.beta).unwrap_or(u32::MAX);
-    run_preset(q, g, src, &opts, Some((alpha, beta)))
 }
 
 fn run_preset(
@@ -144,8 +98,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_params_map_onto_tuning_thresholds() {
+    fn preset_thresholds_steer_the_direction_policy() {
         // Chain long enough that the dense estimate (nonzero_words ×
         // word_bits, so ≥ 64 for any non-empty frontier) stays below n.
         let edges: Vec<(u32, u32)> = (0..127).map(|v| (v, v + 1)).collect();
@@ -156,8 +109,7 @@ mod tests {
         // stays push throughout and matches plain BFS bit for bit.
         let q = queue();
         let g = Graph::with_pull(&q, &host).unwrap();
-        let push_only = DobfsParams { alpha: 1, beta: 1 };
-        let got = run_with_params(&q, &g, 0, &OptConfig::all(), push_only).unwrap();
+        let got = run_preset(&q, &g, 0, &OptConfig::all(), Some((1, 1))).unwrap();
         assert_eq!(got.values, expect);
         let plain = crate::bfs::run_fused(&q, &g, 0, &OptConfig::all()).unwrap();
         assert_eq!(got.values, plain.values);
@@ -173,11 +125,7 @@ mod tests {
         // engages pull from the second superstep on.
         let q = queue();
         let g = Graph::with_pull(&q, &host).unwrap();
-        let pull_eager = DobfsParams {
-            alpha: u32::MAX as usize,
-            beta: u32::MAX as usize,
-        };
-        let got = run_with_params(&q, &g, 0, &OptConfig::all(), pull_eager).unwrap();
+        let got = run_preset(&q, &g, 0, &OptConfig::all(), Some((u32::MAX, u32::MAX))).unwrap();
         assert_eq!(got.values, expect);
         assert!(
             q.profiler()

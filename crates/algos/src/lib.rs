@@ -14,6 +14,7 @@ pub mod common;
 pub mod delta;
 pub mod dobfs;
 pub mod kcore;
+pub mod multi;
 pub mod pagerank;
 pub mod reference;
 pub mod sssp;

@@ -3,7 +3,8 @@
 //! ```text
 //! sygraph-cli <algo> <graph> [options]
 //!
-//! algo    bfs | sssp | cc | bc | pagerank | dobfs | delta | triangles | kcore
+//! algo    bfs | sssp | cc | bc | pagerank | dobfs | delta | triangles |
+//!         kcore | closeness | reach
 //! graph   a file (.mtx, .el, .gr, .sygb) or a generated dataset:
 //!         gen:ca gen:usa gen:hollyw gen:indo gen:journal gen:kron gen:twitter
 //!         (generated at bench scale; set SYG_SCALE=test for the
@@ -11,6 +12,11 @@
 //!
 //! options
 //!   --src <v>         source vertex (default 0; ignored by cc/pagerank)
+//!   --sources <a,b,…> batch of source vertices: bfs/bc/closeness/reach run
+//!                     all of them in one W-lane multi-source pass (the
+//!                     engine packs W bit-lanes beside the frontier bitmap
+//!                     and expands every source through shared supersteps)
+//!   --batch-width <w> lanes per multi-source batch: 8|16|32|64 (default 32)
 //!   --device <name>   v100s | max1100 | mi100 | host (default v100s)
 //!   --undirected      symmetrize the graph before running
 //!   --no-msi --no-cf --no-2lb    disable individual optimizations
@@ -24,7 +30,9 @@
 //!   --json            machine-readable output
 //!   --profile         print the per-kernel profile afterwards (with
 //!                     --frontier auto, includes the per-superstep
-//!                     representation trace and switch counts)
+//!                     representation trace and switch counts; with
+//!                     --sources, the per-superstep active-lane trace and
+//!                     lane-retirement total)
 //!   --sanitize        run under the device-memory sanitizer: every kernel
 //!                     access is shadow-tracked for out-of-bounds,
 //!                     use-after-free and non-atomic data races, and racy
@@ -50,8 +58,9 @@ use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
-         [--src V] [--device v100s|max1100|mi100|host] [--undirected] \
+        "usage: sygraph-cli <bfs|sssp|cc|bc|pagerank|dobfs|delta|triangles|kcore|closeness|reach> <graph.{{mtx,el,gr,sygb}}|gen:NAME> \
+         [--src V] [--sources A,B,...] [--batch-width 8|16|32|64] \
+         [--device v100s|max1100|mi100|host] [--undirected] \
          [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
          [--frontier dense|sparse|auto] [--direction push|pull|auto] \
          [--delta X] [--json] [--profile] [--sanitize] \
@@ -103,6 +112,8 @@ fn main() -> ExitCode {
 
     // flag parsing
     let mut src: u32 = 0;
+    let mut msources: Vec<u32> = Vec::new();
+    let mut batch_width: u32 = 32;
     let mut device = "v100s".to_string();
     let mut undirected = false;
     let mut opts = OptConfig::all();
@@ -120,6 +131,20 @@ fn main() -> ExitCode {
             "--src" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => src = v,
                 None => return usage(),
+            },
+            "--sources" => {
+                let parsed: Option<Vec<u32>> = it
+                    .next()
+                    .map(|s| s.split(',').map(|v| v.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(v) if !v.is_empty() => msources = v,
+                    _ => return usage(),
+                }
+            }
+            "--batch-width" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(w @ (8 | 16 | 32 | 64)) => batch_width = w,
+                _ => return usage(),
             },
             "--device" => match it.next() {
                 Some(d) => device = d.clone(),
@@ -205,6 +230,12 @@ fn main() -> ExitCode {
         eprintln!("source {src} out of range (n={})", host.vertex_count());
         return ExitCode::FAILURE;
     }
+    for &s in &msources {
+        if (s as usize) >= host.vertex_count() {
+            eprintln!("source {s} out of range (n={})", host.vertex_count());
+            return ExitCode::FAILURE;
+        }
+    }
 
     if retry > 0 || checkpoint_every > 0 {
         opts.recovery = RecoveryPolicy {
@@ -231,9 +262,12 @@ fn main() -> ExitCode {
         }
     }
     let q = q;
-    // dobfs always needs the CSC view; other traversals only pay for it
-    // when the user explicitly opts into a pull-capable direction.
-    let needs_pull = algo == "dobfs" || (direction_explicit && opts.direction != Direction::Push);
+    // dobfs always needs the CSC view; batched BC wants it for its
+    // in-edge backward sweep; other traversals only pay for it when the
+    // user explicitly opts into a pull-capable direction.
+    let needs_pull = algo == "dobfs"
+        || (algo == "bc" && !msources.is_empty())
+        || (direction_explicit && opts.direction != Direction::Push);
     let g = match if needs_pull {
         Graph::with_pull(&q, &host)
     } else {
@@ -250,31 +284,117 @@ fn main() -> ExitCode {
     enum Out {
         U32(Vec<u32>, u32, f64),
         F32(Vec<f32>, u32, f64),
+        Multi {
+            iterations: u32,
+            batches: u32,
+            sim_ms: f64,
+            summary: String,
+            sources: Vec<u32>,
+            values: serde_json::Value,
+        },
     }
-    let result = match algo {
-        // bfs and cc run through the graph view, so a pull-capable
-        // `--direction` takes effect; the rest stay on the CSR.
-        "bfs" => sygraph_algos::bfs::run(&q, &g, src, &opts)
-            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
-        "sssp" => sygraph_algos::sssp::run(&q, &g.csr, src, &opts)
-            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "cc" => sygraph_algos::cc::run(&q, &g, &opts)
-            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
-        "bc" => sygraph_algos::bc::run(&q, &g.csr, src, &opts)
-            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "pagerank" => sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
-            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts)
-            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
-        "delta" => sygraph_algos::delta::run(&q, &g.csr, src, &opts, delta)
-            .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
-        "triangles" => sygraph_algos::triangles::run(&q, &g.csr, &opts)
-            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
-        "kcore" => sygraph_algos::kcore::run(&q, &g.csr, delta as u32, &opts)
-            .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
-        other => {
-            eprintln!("unknown algorithm {other}");
-            return usage();
+    // A --sources batch (and the inherently multi-source closeness/reach
+    // algorithms) goes through the W-lane batched path; everything else
+    // keeps the single-source entry points.
+    let result = if !msources.is_empty() || algo == "closeness" || algo == "reach" {
+        use sygraph_algos::multi;
+        let srcs = if msources.is_empty() {
+            vec![src]
+        } else {
+            msources.clone()
+        };
+        match algo {
+            "bfs" => multi::bfs_multi(&q, &g.csr, &srcs, batch_width, &opts).map(|r| {
+                let n = host.vertex_count();
+                let reached: usize = r
+                    .per_source
+                    .iter()
+                    .map(|d| d.iter().filter(|&&x| x != u32::MAX).count())
+                    .sum();
+                Out::Multi {
+                    iterations: r.iterations,
+                    batches: r.batches,
+                    sim_ms: r.sim_ms,
+                    summary: format!(
+                        "{} sources, {reached}/{} vertices reached in total",
+                        r.sources.len(),
+                        n * r.sources.len()
+                    ),
+                    sources: r.sources,
+                    values: serde_json::json!(r.per_source),
+                }
+            }),
+            "bc" => multi::bc_multi(&q, &g, &srcs, batch_width, &opts).map(|r| {
+                let max = r.per_source.iter().flatten().copied().fold(0f32, f32::max);
+                Out::Multi {
+                    iterations: r.iterations,
+                    batches: r.batches,
+                    sim_ms: r.sim_ms,
+                    summary: format!("{} sources, max dependency {max:.4}", r.sources.len()),
+                    sources: r.sources,
+                    values: serde_json::json!(r.per_source),
+                }
+            }),
+            "closeness" => multi::closeness_multi(&q, &g.csr, &srcs, batch_width, &opts).map(|r| {
+                let max = r.scores.iter().copied().fold(0f32, f32::max);
+                Out::Multi {
+                    iterations: r.iterations,
+                    batches: srcs.len().div_ceil(batch_width as usize) as u32,
+                    sim_ms: r.sim_ms,
+                    summary: format!("{} sources, max closeness {max:.4}", r.sources.len()),
+                    sources: r.sources,
+                    values: serde_json::json!(r.scores),
+                }
+            }),
+            "reach" => multi::reachability_multi(&q, &g.csr, &srcs, batch_width, &opts).map(|r| {
+                let reached: usize = r
+                    .per_source
+                    .iter()
+                    .map(|m| m.iter().filter(|&&x| x).count())
+                    .sum();
+                Out::Multi {
+                    iterations: r.iterations,
+                    batches: r.batches,
+                    sim_ms: r.sim_ms,
+                    summary: format!(
+                        "{} sources, {reached} (source, vertex) pairs reachable",
+                        r.sources.len()
+                    ),
+                    sources: r.sources,
+                    values: serde_json::json!(r.per_source),
+                }
+            }),
+            other => {
+                eprintln!("--sources supports bfs|bc|closeness|reach, not {other}");
+                return usage();
+            }
+        }
+    } else {
+        match algo {
+            // bfs and cc run through the graph view, so a pull-capable
+            // `--direction` takes effect; the rest stay on the CSR.
+            "bfs" => sygraph_algos::bfs::run(&q, &g, src, &opts)
+                .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+            "sssp" => sygraph_algos::sssp::run(&q, &g.csr, src, &opts)
+                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+            "cc" => sygraph_algos::cc::run(&q, &g, &opts)
+                .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+            "bc" => sygraph_algos::bc::run(&q, &g.csr, src, &opts)
+                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+            "pagerank" => sygraph_algos::pagerank::run(&q, &g.csr, &opts, Default::default())
+                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+            "dobfs" => sygraph_algos::dobfs::run(&q, &g, src, &opts)
+                .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+            "delta" => sygraph_algos::delta::run(&q, &g.csr, src, &opts, delta)
+                .map(|r| Out::F32(r.values, r.iterations, r.sim_ms)),
+            "triangles" => sygraph_algos::triangles::run(&q, &g.csr, &opts)
+                .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+            "kcore" => sygraph_algos::kcore::run(&q, &g.csr, delta as u32, &opts)
+                .map(|r| Out::U32(r.values, r.iterations, r.sim_ms)),
+            other => {
+                eprintln!("unknown algorithm {other}");
+                return usage();
+            }
         }
     };
     let out = match result {
@@ -303,6 +423,17 @@ fn main() -> ExitCode {
                 format!("{finite}/{} finite values, max {max:.4}", v.len()),
             )
         }
+        Out::Multi {
+            iterations,
+            batches,
+            sim_ms,
+            summary,
+            ..
+        } => (
+            *iterations,
+            *sim_ms,
+            format!("{summary} ({batches} batches of width {batch_width})"),
+        ),
     };
 
     if json {
@@ -321,6 +452,17 @@ fn main() -> ExitCode {
         match &out {
             Out::U32(v, _, _) => doc.insert("values", serde_json::json!(v)),
             Out::F32(v, _, _) => doc.insert("values", serde_json::json!(v)),
+            Out::Multi {
+                sources,
+                batches,
+                values,
+                ..
+            } => {
+                doc.insert("sources", serde_json::json!(sources));
+                doc.insert("batches", serde_json::json!(batches));
+                doc.insert("batch_width", serde_json::json!(batch_width));
+                doc.insert("values", values.clone())
+            }
         };
         println!("{}", serde_json::to_string(&doc).unwrap());
     } else {
@@ -429,6 +571,21 @@ fn main() -> ExitCode {
                 "  direction switches: {}",
                 q.profiler().direction_switch_count()
             );
+        }
+        // Per-superstep active-lane trace for multi-source runs,
+        // run-length encoded like the representation/direction traces.
+        let lanes = q.profiler().lane_events();
+        if !lanes.is_empty() {
+            let mut rle: Vec<(u32, usize)> = Vec::new();
+            for e in &lanes {
+                match rle.last_mut() {
+                    Some((a, c)) if *a == e.active => *c += 1,
+                    _ => rle.push((e.active, 1)),
+                }
+            }
+            let trace: Vec<String> = rle.iter().map(|(a, c)| format!("{a}\u{d7}{c}")).collect();
+            println!("  active lanes: {}", trace.join(" -> "));
+            println!("  lanes retired: {}", q.profiler().lane_retired_count());
         }
         for e in q.profiler().recovery_events() {
             println!(

@@ -27,9 +27,10 @@
 
 pub mod recovery;
 
-use sygraph_sim::{ItemCtx, Queue, RecoveryEvent, SimError, SimResult};
+use sygraph_sim::{DeviceBuffer, ItemCtx, Queue, RecoveryEvent, SimError, SimResult};
 
 use crate::frontier::bucket::{BucketPool, BucketSpec};
+use crate::frontier::lanes::{lane_locate, LaneView};
 use crate::frontier::word::Word;
 use crate::frontier::{swap, BitmapLike, Frontier, RepKind, TwoLayerFrontier};
 use crate::graph::traits::DeviceGraphView;
@@ -38,7 +39,7 @@ use crate::operators::advance::{Advance, PullScope};
 use crate::operators::compute;
 use crate::types::{EdgeId, VertexId, Weight};
 
-pub use recovery::{CheckpointState, EngineCheckpoint, RecoveryPolicy};
+pub use recovery::{CheckpointState, EngineCheckpoint, LaneCheckpoint, RecoveryPolicy};
 
 /// Which candidate set the engine hands a *pull*-direction superstep
 /// (see [`PullScope`]). Chosen once per engine by the algorithm — the
@@ -77,6 +78,34 @@ pub type StepComputeDyn<'f> = dyn Fn(&mut ItemCtx<'_>, u32, VertexId) + Sync + '
 
 /// Convenience for advance-only algorithms: `engine.step(f, NO_COMPUTE)`.
 pub const NO_COMPUTE: Option<&StepComputeDyn<'static>> = None;
+
+/// Lane-masked advance functor for batched multi-source supersteps:
+/// `(lane, iter, src, dst, edge, weight, mask) -> accept_mask`.
+///
+/// `mask` is the set of source lanes on whose frontier `src` currently
+/// sits (already intersected with the engine's live-lane set); the
+/// functor returns the subset of those lanes accepting the edge. The
+/// engine intersects the result back with `mask`, so returning a
+/// superset is harmless.
+pub trait LaneAdvance:
+    Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight, u64) -> u64 + Sync
+{
+}
+impl<F> LaneAdvance for F where
+    F: Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight, u64) -> u64 + Sync
+{
+}
+
+/// Lane-masked compute functor: `(lane, iter, vertex, fresh_mask)`, run
+/// the moment `fresh_mask`'s lanes first land on `vertex` this superstep
+/// (each `(vertex, lane)` pair fires exactly once — the lane-word
+/// `fetch_or` plays the role [`BitmapLike::insert_lane_checked`] plays
+/// for single-source fused compute).
+pub type LaneComputeDyn<'f> = dyn Fn(&mut ItemCtx<'_>, u32, VertexId, u64) + Sync + 'f;
+
+/// Convenience for advance-only batched algorithms:
+/// `engine.step_multi(f, NO_LANE_COMPUTE)`.
+pub const NO_LANE_COMPUTE: Option<&LaneComputeDyn<'static>> = None;
 
 /// Host-side hook run after each superstep's advance+compute, before the
 /// rotate: `(queue, iter, output_frontier)`. May launch kernels and insert
@@ -157,6 +186,25 @@ pub struct SuperstepEngine<'a, W: Word, G: DeviceGraphView + ?Sized> {
     /// [`SuperstepEngine::checkpoint_state`]); without them a
     /// `DeviceLost` cannot be recovered from.
     ckpt_state: Option<&'a [&'a dyn CheckpointState]>,
+    /// Batched multi-source state ([`SuperstepEngine::multi_source`]):
+    /// `None` for ordinary single-source engines.
+    multi: Option<MultiState>,
+}
+
+/// Engine-side state of a batched multi-source run.
+struct MultiState {
+    /// Lanes per vertex (8, 16, 32 or 64).
+    width: u32,
+    /// Lanes not yet retired. A lane retires when a superstep produces no
+    /// fresh frontier bit for it; retired lanes are masked out of every
+    /// functor's lane mask, so late lanes never pay for finished ones.
+    live: u64,
+    /// One-word device scratch: the advance ORs each fresh mask in, and
+    /// the post-step bookkeeping reads it to retire drained lanes. Reset
+    /// only *after* a successful superstep's read (never per attempt):
+    /// kernels are all-or-nothing, so across transient retries the OR
+    /// accumulates exactly the surviving attempt's fresh lanes.
+    alive: DeviceBuffer<u64>,
 }
 
 impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
@@ -199,7 +247,48 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             pull_engaged: false,
             unvisited: None,
             ckpt_state: None,
+            multi: None,
         }
+    }
+
+    /// Switches the engine into batched multi-source mode: the frontier
+    /// pair must be [`LaneFrontier`]s of this `width` (∈ {8, 16, 32,
+    /// 64}), and `live` names the lanes actually carrying a source.
+    /// Supersteps then run through
+    /// [`step_multi`](SuperstepEngine::step_multi) /
+    /// [`run_multi`](SuperstepEngine::run_multi).
+    ///
+    /// Pins the pull scope to [`PullCandidates::AllVertices`]: the
+    /// adopt-once [`PullCandidates::Unvisited`] scan stops offering a
+    /// vertex's in-edges after its *first* accepted lane, which would
+    /// starve the other lanes.
+    ///
+    /// [`LaneFrontier`]: crate::frontier::LaneFrontier
+    pub fn multi_source(mut self, width: u32, live: u64) -> SimResult<Self> {
+        assert!(
+            matches!(width, 8 | 16 | 32 | 64),
+            "lane width must be 8, 16, 32 or 64 (got {width})"
+        );
+        let alive = self.q.malloc_device::<u64>(1)?;
+        alive.store(0, 0);
+        self.pull_scope = PullCandidates::AllVertices;
+        self.multi = Some(MultiState {
+            width,
+            live: live & LaneView::mask_all(width),
+            alive,
+        });
+        Ok(self)
+    }
+
+    /// Lanes not yet retired (all-zero once every source converged).
+    /// Zero for single-source engines.
+    pub fn live_lanes(&self) -> u64 {
+        self.multi.as_ref().map_or(0, |m| m.live)
+    }
+
+    /// The batched lane width, when the engine runs multi-source.
+    pub fn lane_width(&self) -> Option<u32> {
+        self.multi.as_ref().map(|m| m.width)
     }
 
     /// Lazily allocates the engine-owned bucket pool the first time a
@@ -572,6 +661,136 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         }
     }
 
+    /// One batched multi-source superstep: expands every live lane's
+    /// frontier through one advance over the *union* frontier. Per edge
+    /// the engine reads the source's packed lane mask (one `u64` load),
+    /// hands the live subset to `advance_f`, ORs the accepted lanes into
+    /// the destination's mask, and — for lanes whose bit was *fresh* —
+    /// fires `compute_f` and marks the lane alive. After the advance,
+    /// lanes that produced no fresh bit retire: they are masked out of
+    /// every subsequent lane mask, so the only per-superstep cost of a
+    /// finished source is one AND.
+    ///
+    /// Composes with everything [`step`](SuperstepEngine::step) does —
+    /// bucketed balancing, representation policy (lane frontiers pin
+    /// dense), push/pull direction selection (pull adopts per-lane via
+    /// the same mask arithmetic) — because the union frontier *is* a
+    /// two-layer bitmap underneath.
+    ///
+    /// Returns `false` when the union frontier was empty (every lane
+    /// converged; nothing launched).
+    pub fn step_multi(
+        &mut self,
+        advance_f: impl LaneAdvance,
+        compute_f: Option<&LaneComputeDyn<'_>>,
+    ) -> bool {
+        let ms = self
+            .multi
+            .as_ref()
+            .expect("step_multi requires SuperstepEngine::multi_source");
+        let width = ms.width;
+        let live = ms.live;
+        let alive = ms.alive.alias();
+        let li = self
+            .fin
+            .lane_view()
+            .expect("multi-source engines take LaneFrontier inputs")
+            .lanes;
+        let lo = self
+            .fout
+            .lane_view()
+            .expect("multi-source engines take LaneFrontier outputs")
+            .lanes;
+        let mask_all = LaneView::mask_all(width);
+        let iter = self.iter;
+        let wrapped = move |l: &mut ItemCtx<'_>,
+                            it: u32,
+                            u: VertexId,
+                            v: VertexId,
+                            e: EdgeId,
+                            w: Weight|
+              -> bool {
+            let (uw, us) = lane_locate(u, width);
+            // Input masks are stable for the whole superstep (all writes
+            // go to the output's lane words), so a plain load suffices.
+            let m = (l.load::<u64>(&li, uw) >> us) & mask_all & live;
+            if m == 0 {
+                return false;
+            }
+            let acc = advance_f(l, it, u, v, e, w, m) & m;
+            if acc == 0 {
+                return false;
+            }
+            let (vw, vs) = lane_locate(v, width);
+            // Most hub-superstep edges rediscover lanes already on v's
+            // output mask, and sorted adjacency packs consecutive
+            // destinations into shared lane words — a blind fetch_or
+            // serializes those subgroups. One atomic load skips the OR
+            // (and the union insert) when nothing would be fresh; bits
+            // are only ever added during a superstep, so a stale read
+            // errs toward a redundant OR, never a missed fresh bit.
+            let cur = l.load_atomic::<u64>(&lo, vw);
+            if acc & !(cur >> vs) == 0 {
+                return false;
+            }
+            let old = l.fetch_or(&lo, vw, acc << vs);
+            let fresh = acc & !(old >> vs) & mask_all;
+            if fresh == 0 {
+                // Lanes already on v's output mask: the union bit is set
+                // too, so skip the union insert (and the compute).
+                return false;
+            }
+            if let Some(cf) = compute_f {
+                cf(l, it, v, fresh);
+            }
+            // Every fresh edge targets the same scratch word, so a blind
+            // fetch_or would serialize whole subgroups on hub supersteps.
+            // The atomic-load guard may read a stale word and issue a
+            // redundant OR — harmless — but once the word covers `fresh`
+            // (almost immediately) the atomic disappears entirely.
+            if fresh & !l.load_atomic::<u64>(&alive, 0) != 0 {
+                l.fetch_or(&alive, 0, fresh);
+            }
+            true
+        };
+        let stepped = self.step(wrapped, NO_COMPUTE);
+        // A fault mid-superstep leaves the alive scratch a partial OR —
+        // hands off to the recovery layer without retiring anything (and
+        // without resetting the scratch: retries accumulate into it).
+        if self.q.fault_pending() {
+            return stepped;
+        }
+        if stepped {
+            let ms = self.multi.as_mut().expect("checked above");
+            let alive_mask = ms.alive.load(0) & live;
+            ms.alive.store(0, 0);
+            let retired = (live & !alive_mask).count_ones();
+            ms.live = alive_mask;
+            self.q
+                .profiler()
+                .record_lane(self.q.now_ns(), iter, alive_mask.count_ones(), retired);
+        }
+        stepped
+    }
+
+    /// [`step_multi`](SuperstepEngine::step_multi) with injected-fault
+    /// awareness — the batched counterpart of
+    /// [`try_step`](SuperstepEngine::try_step).
+    pub fn try_step_multi(
+        &mut self,
+        advance_f: impl LaneAdvance,
+        compute_f: Option<&LaneComputeDyn<'_>>,
+    ) -> SimResult<bool> {
+        let live = self.step_multi(advance_f, compute_f);
+        match self.q.take_fault() {
+            Some(e) => {
+                self.lazy_ok = false;
+                Err(e)
+            }
+            None => Ok(live),
+        }
+    }
+
     /// Swaps the frontiers and clears the new output (the superstep's old
     /// input) — lazily when its compaction metadata is still fresh, i.e.
     /// the words zeroed are exactly those the advance's compaction listed.
@@ -613,6 +832,13 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         (self.fin.as_ref(), self.fout.as_ref())
     }
 
+    /// Consumes the engine and returns its `(input, output)` frontier
+    /// pair — callers recycling frontier allocations across rooted passes
+    /// (Brandes BC) reclaim the boxes instead of dropping them.
+    pub fn into_frontiers(self) -> (Box<dyn BitmapLike<W>>, Box<dyn BitmapLike<W>>) {
+        (self.fin, self.fout)
+    }
+
     /// Drives `step` + `rotate` to convergence, returning the superstep
     /// count. Errors with the configured divergence message if
     /// [`max_iters`](SuperstepEngine::max_iters) is exceeded.
@@ -641,6 +867,33 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         compute_f: Option<&StepComputeDyn<'_>>,
         post: Option<PostStep<'_, W>>,
     ) -> SimResult<u32> {
+        self.drive(|e| e.try_step(&advance_f, compute_f), post)
+    }
+
+    /// Drives [`step_multi`](SuperstepEngine::step_multi) + `rotate` to
+    /// convergence of *every* live lane, under the same recovery loop as
+    /// [`run`](SuperstepEngine::run) — lane-aware checkpoints capture the
+    /// per-vertex masks and the live-lane set, so a `DeviceLost` resume
+    /// restores mid-batch. Requires lane-idempotent functors (the batched
+    /// BFS family qualifies: depth stamps are guarded by the fresh mask).
+    pub fn run_multi(
+        &mut self,
+        advance_f: impl LaneAdvance,
+        compute_f: Option<&LaneComputeDyn<'_>>,
+    ) -> SimResult<u32> {
+        debug_assert!(self.multi.is_some(), "run_multi requires multi_source()");
+        self.drive(|e| e.try_step_multi(&advance_f, compute_f), None)
+    }
+
+    /// The shared step/recover/rotate loop behind
+    /// [`run_with_post`](SuperstepEngine::run_with_post) and
+    /// [`run_multi`](SuperstepEngine::run_multi): `attempt` runs one
+    /// superstep (`Ok(false)` = converged, `Err` = drained fault).
+    fn drive(
+        &mut self,
+        mut attempt: impl FnMut(&mut Self) -> SimResult<bool>,
+        post: Option<PostStep<'_, W>>,
+    ) -> SimResult<u32> {
         let policy = self.tuning.recovery;
         let mut checkpoint: Option<EngineCheckpoint> = None;
         // Transient retries are per-superstep (reset on success); the OOM
@@ -655,7 +908,7 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
             {
                 checkpoint = Some(self.take_checkpoint());
             }
-            match self.try_step(&advance_f, compute_f) {
+            match attempt(self) {
                 Ok(false) => return Ok(self.iter),
                 Ok(true) => {}
                 Err(e) => {
@@ -822,14 +1075,26 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     /// boundary. Entirely host-side: no kernels run, nothing is committed
     /// to the simulated clock or the profiler.
     pub fn take_checkpoint(&self) -> EngineCheckpoint {
+        let frontier = self.fin.to_sorted_vec();
+        // A multi-source engine also captures each member's lane mask and
+        // the live-lane set — membership alone would resume every member
+        // on lane 0.
+        let lanes = self.multi.as_ref().and_then(|ms| {
+            let view = self.fin.lane_view()?;
+            Some(LaneCheckpoint {
+                live: ms.live,
+                masks: frontier.iter().map(|&v| view.host_mask(v)).collect(),
+            })
+        });
         EngineCheckpoint {
             iteration: self.iter,
-            frontier: self.fin.to_sorted_vec(),
+            frontier,
             pulling: self.pulling,
             unvisited: self.unvisited.as_ref().map(|u| u.to_sorted_vec()),
             state: self
                 .ckpt_state
                 .map_or_else(Vec::new, |bufs| bufs.iter().map(|b| b.snapshot()).collect()),
+            lanes,
         }
     }
 
@@ -846,8 +1111,19 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         }
         self.fin.clear(self.q);
         self.fout.clear(self.q);
-        for &v in &ck.frontier {
-            self.fin.insert_host(v);
+        match (&ck.lanes, self.multi.as_mut()) {
+            (Some(lc), Some(ms)) => {
+                for (&v, &m) in ck.frontier.iter().zip(&lc.masks) {
+                    self.fin.insert_host_masked(v, m);
+                }
+                ms.live = lc.live;
+                ms.alive.store(0, 0);
+            }
+            _ => {
+                for &v in &ck.frontier {
+                    self.fin.insert_host(v);
+                }
+            }
         }
         self.iter = ck.iteration;
         self.lazy_ok = false;
@@ -1483,5 +1759,238 @@ mod tests {
             );
             engine.rotate();
         }
+    }
+
+    // ---- batched multi-source mode -------------------------------------
+
+    use crate::frontier::{lane_words, LaneFrontier};
+
+    /// Single-source engine BFS from an arbitrary source (the serial
+    /// reference the batched runs are checked against).
+    fn bfs_from(q: &Queue, g: &DeviceCsr, n: usize, src: u32) -> Vec<u32> {
+        let tuning = inspect(q.profile(), &OptConfig::all(), n);
+        let dist = q.malloc_device::<u32>(n).unwrap();
+        q.fill(&dist, INF_DIST);
+        dist.store(src as usize, 0);
+        let fin = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        let fout = Box::new(TwoLayerFrontier::<u32>::new(q, n).unwrap());
+        fin.insert_host(src);
+        let mut engine = SuperstepEngine::new(q, g, tuning, fin, fout)
+            .mark_prefix("sbfs_iter")
+            .max_iters(n + 1, "serial BFS diverged");
+        engine
+            .run(
+                |l, _i, _u, v, _e, _w| l.load_atomic(&dist, v as usize) == INF_DIST,
+                Some(&|l, i, v| l.store_atomic(&dist, v as usize, i + 1)),
+            )
+            .unwrap();
+        dist.to_vec()
+    }
+
+    /// Batched engine BFS: per-lane depths in a `n × width` buffer plus a
+    /// lane-packed visited array (the same shape `algos::multi` uses).
+    struct MultiBfs {
+        depth: DeviceBuffer<u32>,
+        vis: DeviceBuffer<u64>,
+        width: u32,
+        live: u64,
+    }
+
+    impl MultiBfs {
+        fn seed(q: &Queue, n: usize, sources: &[u32], width: u32) -> (Self, LaneFrontier<u32>) {
+            assert!(sources.len() <= width as usize);
+            let depth = q.malloc_device::<u32>(n * width as usize).unwrap();
+            q.fill(&depth, INF_DIST);
+            let vis = q.malloc_device::<u64>(lane_words(n, width).max(1)).unwrap();
+            q.fill(&vis, 0u64);
+            let fin = LaneFrontier::<u32>::new(q, n, width).unwrap();
+            let mut live = 0u64;
+            for (i, &s) in sources.iter().enumerate() {
+                live |= 1 << i;
+                fin.insert_host_masked(s, 1 << i);
+                depth.store(s as usize * width as usize + i, 0);
+                let (vw, vs) = lane_locate(s, width);
+                vis.fetch_or(vw, 1u64 << (vs + i as u32));
+            }
+            (
+                MultiBfs {
+                    depth,
+                    vis,
+                    width,
+                    live,
+                },
+                fin,
+            )
+        }
+
+        fn run(&self, engine: &mut SuperstepEngine<'_, u32, DeviceCsr>) -> SimResult<u32> {
+            let width = self.width;
+            let vis_a = self.vis.alias();
+            let vis_c = self.vis.alias();
+            let depth_c = self.depth.alias();
+            engine.run_multi(
+                move |l, _i, _u, v, _e, _w, m| {
+                    let (vw, vs) = lane_locate(v, width);
+                    m & !((l.load_atomic::<u64>(&vis_a, vw) >> vs) & LaneView::mask_all(width))
+                },
+                Some(&move |l, i, v, fresh| {
+                    let (vw, vs) = lane_locate(v, width);
+                    l.fetch_or(&vis_c, vw, fresh << vs);
+                    let mut f = fresh;
+                    while f != 0 {
+                        let b = f.trailing_zeros();
+                        l.store_atomic(&depth_c, v as usize * width as usize + b as usize, i + 1);
+                        f &= f - 1;
+                    }
+                }),
+            )
+        }
+
+        /// Lane `i`'s distance vector.
+        fn lane(&self, n: usize, i: usize) -> Vec<u32> {
+            let all = self.depth.to_vec();
+            (0..n).map(|v| all[v * self.width as usize + i]).collect()
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_matches_serial_runs() {
+        let q = queue();
+        let host = wide_host(256);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let sources = [0u32, 17, 99, 100, 255];
+        for width in [8u32, 32] {
+            let q2 = queue();
+            let g2 = DeviceCsr::upload(&q2, &host).unwrap();
+            let (mb, fin) = MultiBfs::seed(&q2, 256, &sources, width);
+            let fout = LaneFrontier::<u32>::new(&q2, 256, width).unwrap();
+            let tuning = inspect(q2.profile(), &OptConfig::all(), 256);
+            let mut engine = SuperstepEngine::new(&q2, &g2, tuning, Box::new(fin), Box::new(fout))
+                .mark_prefix("mbfs_iter")
+                .max_iters(257, "multi BFS diverged")
+                .multi_source(width, mb.live)
+                .unwrap();
+            mb.run(&mut engine).unwrap();
+            assert_eq!(engine.live_lanes(), 0, "every lane must retire");
+            for (i, &s) in sources.iter().enumerate() {
+                assert_eq!(
+                    mb.lane(256, i),
+                    bfs_from(&q, &g, 256, s),
+                    "lane {i} (source {s}, width {width})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_census_is_monotone_and_retires_every_lane() {
+        let q = queue();
+        let g = chain(&q, 64);
+        // Sources at different depths from the chain end retire at
+        // different supersteps.
+        let sources = [56u32, 32, 0];
+        let (mb, fin) = MultiBfs::seed(&q, 64, &sources, 8);
+        let fout = LaneFrontier::<u32>::new(&q, 64, 8).unwrap();
+        let tuning = inspect(q.profile(), &OptConfig::all(), 64);
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, Box::new(fin), Box::new(fout))
+            .mark_prefix("census_iter")
+            .max_iters(65, "diverged")
+            .multi_source(8, mb.live)
+            .unwrap();
+        mb.run(&mut engine).unwrap();
+        let events = q.profiler().lane_events();
+        assert!(!events.is_empty());
+        let mut prev = u32::MAX;
+        for e in &events {
+            assert!(e.active <= prev, "active lanes must be non-increasing");
+            prev = e.active;
+        }
+        assert_eq!(events.last().unwrap().active, 0);
+        assert_eq!(
+            events.iter().map(|e| e.retired).sum::<u32>(),
+            3,
+            "each lane retires exactly once"
+        );
+        // The chain tails differ by 24 supersteps, so the census must
+        // show staggered retirement, not one mass exit.
+        assert!(events.iter().filter(|e| e.retired > 0).count() >= 2);
+        assert_eq!(engine.live_lanes(), 0);
+    }
+
+    #[test]
+    fn lane_checkpoint_restores_mid_batch() {
+        let q = queue();
+        let host = wide_host(128);
+        let g = DeviceCsr::upload(&q, &host).unwrap();
+        let sources = [0u32, 5, 77];
+        let (mb, fin) = MultiBfs::seed(&q, 128, &sources, 8);
+        let fout = LaneFrontier::<u32>::new(&q, 128, 8).unwrap();
+        let tuning = inspect(q.profile(), &OptConfig::all(), 128);
+        let ckpt_bufs: [&dyn CheckpointState; 2] = [&mb.depth, &mb.vis];
+        let mut engine = SuperstepEngine::new(&q, &g, tuning, Box::new(fin), Box::new(fout))
+            .mark_prefix("ck_iter")
+            .max_iters(129, "diverged")
+            .checkpoint_state(&ckpt_bufs)
+            .multi_source(8, mb.live)
+            .unwrap();
+
+        // Run two supersteps by hand, checkpoint, finish, and keep the
+        // converged depths as the baseline.
+        let width = mb.width;
+        let vis_a = mb.vis.alias();
+        let vis_c = mb.vis.alias();
+        let depth_c = mb.depth.alias();
+        let adv = move |l: &mut ItemCtx<'_>,
+                        _i: u32,
+                        _u: VertexId,
+                        v: VertexId,
+                        _e: EdgeId,
+                        _w: Weight,
+                        m: u64| {
+            let (vw, vs) = lane_locate(v, width);
+            m & !((l.load_atomic::<u64>(&vis_a, vw) >> vs) & LaneView::mask_all(width))
+        };
+        let cmp = move |l: &mut ItemCtx<'_>, i: u32, v: VertexId, fresh: u64| {
+            let (vw, vs) = lane_locate(v, width);
+            l.fetch_or(&vis_c, vw, fresh << vs);
+            let mut f = fresh;
+            while f != 0 {
+                let b = f.trailing_zeros();
+                l.store_atomic(&depth_c, v as usize * width as usize + b as usize, i + 1);
+                f &= f - 1;
+            }
+        };
+        for _ in 0..2 {
+            assert!(engine.step_multi(&adv, Some(&cmp)));
+            engine.rotate();
+        }
+        let ck = engine.take_checkpoint();
+        assert_eq!(ck.iteration, 2);
+        let lanes = ck.lanes.as_ref().expect("multi engines checkpoint lanes");
+        assert_eq!(lanes.masks.len(), ck.frontier.len());
+        assert!(lanes.masks.iter().all(|&m| m != 0));
+        let frontier_at_ck = ck.frontier.clone();
+        let live_at_ck = lanes.live;
+        while engine.step_multi(&adv, Some(&cmp)) {
+            engine.rotate();
+        }
+        let baseline: Vec<u32> = mb.depth.to_vec();
+
+        // Restore: frontier membership, masks and live lanes rewind, and
+        // re-running converges to bit-identical depths.
+        engine.restore_checkpoint(&ck);
+        assert_eq!(engine.iteration(), 2);
+        assert_eq!(engine.live_lanes(), live_at_ck);
+        let (fin_now, _) = engine.frontiers();
+        assert_eq!(fin_now.to_sorted_vec(), frontier_at_ck);
+        let view = fin_now.lane_view().unwrap();
+        for (v, m) in frontier_at_ck.iter().zip(&lanes.masks) {
+            assert_eq!(view.host_mask(*v), *m, "vertex {v} mask");
+        }
+        while engine.step_multi(&adv, Some(&cmp)) {
+            engine.rotate();
+        }
+        assert_eq!(mb.depth.to_vec(), baseline);
+        assert_eq!(engine.live_lanes(), 0);
     }
 }

@@ -101,4 +101,18 @@ pub struct EngineCheckpoint {
     /// Word images of every registered [`CheckpointState`] buffer, in
     /// registration order.
     pub state: Vec<Vec<u64>>,
+    /// Lane state of a batched multi-source engine (None for
+    /// single-source runs): the live-lane set plus each frontier member's
+    /// source-lane mask, parallel to `frontier`.
+    pub lanes: Option<LaneCheckpoint>,
+}
+
+/// Per-lane engine state captured alongside the frontier membership when
+/// the engine runs in batched multi-source mode.
+#[derive(Debug, Clone)]
+pub struct LaneCheckpoint {
+    /// Bitmask of lanes not yet retired at the checkpoint boundary.
+    pub live: u64,
+    /// `frontier[i]`'s source-lane mask, in the same order.
+    pub masks: Vec<u64>,
 }

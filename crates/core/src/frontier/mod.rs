@@ -25,6 +25,7 @@ pub mod boolmap;
 pub mod bucket;
 pub mod convert;
 pub mod hybrid;
+pub mod lanes;
 pub mod ops;
 pub mod rep;
 pub mod sparse;
@@ -36,6 +37,7 @@ pub use bitmap::BitmapFrontier;
 pub use boolmap::BoolmapFrontier;
 pub use bucket::{BucketCounts, BucketPool, BucketSpec};
 pub use hybrid::HybridFrontier;
+pub use lanes::{lane_locate, lane_words, LaneFrontier, LaneView};
 pub use rep::{RepKind, SparseView};
 pub use sparse::SparseFrontier;
 pub use two_layer::TwoLayerFrontier;
@@ -138,6 +140,22 @@ pub trait BitmapLike<W: Word>: Frontier {
     /// [`ops::apply`]). Plain bitmaps have nothing to rebuild.
     fn rebuild_from_words(&self, q: &Queue) {
         let _ = q;
+    }
+
+    /// The frontier's packed per-vertex source-lane masks, when it carries
+    /// them beside the union bitmap ([`LaneFrontier`]); `None` for
+    /// single-source layouts. The view's buffers are non-owning aliases,
+    /// safe to move into advance functors.
+    fn lane_view(&self) -> Option<LaneView> {
+        None
+    }
+
+    /// Host-side insert carrying a source-lane mask (multi-source
+    /// seeding). Single-source layouts ignore the mask and insert the
+    /// vertex plainly.
+    fn insert_host_masked(&self, v: VertexId, mask: u64) {
+        let _ = mask;
+        self.insert_host(v);
     }
 }
 

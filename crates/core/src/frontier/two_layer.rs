@@ -73,6 +73,13 @@ impl<W: Word> TwoLayerFrontier<W> {
         (nz, counts)
     }
 
+    /// The counted-compaction scratch `(offsets, count)` from the last
+    /// [`BitmapLike::compact`]. The lane-frontier overlay reuses it to
+    /// lazily clear exactly the lane words shadowing non-zero union words.
+    pub(crate) fn compaction_buffers(&self) -> (&DeviceBuffer<u32>, &DeviceBuffer<u32>) {
+        (&self.offsets, &self.offsets_count)
+    }
+
     /// Checks the 2LB invariant host-side: second-layer bit `i` is set iff
     /// first-layer word `i` is non-zero. Used by tests and debug builds.
     pub fn check_invariant(&self) -> Result<(), String> {

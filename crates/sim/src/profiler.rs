@@ -89,6 +89,20 @@ pub struct RecoveryEvent {
     pub attempt: u32,
 }
 
+/// One batched multi-source superstep's lane census, as recorded by the
+/// engine: how many source lanes were still live after the superstep and
+/// how many retired during it (their frontier emptied).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LaneEvent {
+    pub t_ns: f64,
+    /// Superstep index within the engine run (0-based).
+    pub superstep: u32,
+    /// Live lanes after the superstep's retirements.
+    pub active: u32,
+    /// Lanes that retired during this superstep.
+    pub retired: u32,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     kernels: Vec<KernelRecord>,
@@ -97,6 +111,7 @@ struct Inner {
     rep_events: Vec<RepEvent>,
     direction_events: Vec<DirectionEvent>,
     recovery_events: Vec<RecoveryEvent>,
+    lane_events: Vec<LaneEvent>,
 }
 
 /// Thread-safe profiler attached to a queue.
@@ -211,6 +226,31 @@ impl Profiler {
         self.inner.lock().recovery_events.len()
     }
 
+    /// Records one batched superstep's lane census.
+    pub fn record_lane(&self, t_ns: f64, superstep: u32, active: u32, retired: u32) {
+        self.inner.lock().lane_events.push(LaneEvent {
+            t_ns,
+            superstep,
+            active,
+            retired,
+        });
+    }
+
+    /// Snapshot of lane events.
+    pub fn lane_events(&self) -> Vec<LaneEvent> {
+        self.inner.lock().lane_events.clone()
+    }
+
+    /// Total lane retirements recorded so far.
+    pub fn lane_retired_count(&self) -> u32 {
+        self.inner
+            .lock()
+            .lane_events
+            .iter()
+            .map(|e| e.retired)
+            .sum()
+    }
+
     /// Number of kernels recorded so far.
     pub fn kernel_count(&self) -> usize {
         self.inner.lock().kernels.len()
@@ -311,6 +351,7 @@ impl Profiler {
         inner.rep_events.clear();
         inner.direction_events.clear();
         inner.recovery_events.clear();
+        inner.lane_events.clear();
     }
 }
 
