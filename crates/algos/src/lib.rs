@@ -16,6 +16,7 @@ pub mod dobfs;
 pub mod kcore;
 pub mod multi;
 pub mod pagerank;
+pub mod partitioned;
 pub mod reference;
 pub mod sssp;
 pub mod triangles;

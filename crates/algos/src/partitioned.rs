@@ -1,0 +1,434 @@
+//! Partitioned multi-device BFS / SSSP / CC.
+//!
+//! Each algorithm shards the graph with
+//! [`PartitionedGraph`](sygraph_core::graph::PartitionedGraph), keeps one
+//! state buffer per partition over the *local* ID space (owned prefix +
+//! halo tail), and runs the
+//! [`MultiDeviceEngine`](sygraph_core::engine::MultiDeviceEngine) BSP
+//! loop. Halo entries are *replicas*: the local advance stamps them like
+//! any destination, the exchange ships the replica value to the owner,
+//! and the owner min-merges. All three algorithms are min-combine
+//! fixpoints (BFS level, SSSP distance, CC label), so the merge order
+//! never shows in the result — partitioned runs are bit-identical to the
+//! single-device reference path (see `tests/multi_device.rs`).
+//!
+//! The advance functors below are *verbatim* the single-device ones
+//! (`bfs.rs`, `sssp.rs`, `cc.rs`), just over local IDs — the partitioned
+//! path adds plumbing, never new arithmetic.
+
+use sygraph_core::engine::{
+    CheckpointState, HaloLink, MultiDeviceEngine, StepAdvanceDyn, StepComputeDyn, SuperstepExchange,
+};
+use sygraph_core::frontier::exchange::{ExchangeConfig, ExchangeTally};
+use sygraph_core::frontier::Word;
+use sygraph_core::graph::{DeviceCsr, PartitionedGraph};
+use sygraph_core::inspector::{inspect, OptConfig};
+use sygraph_core::types::{VertexId, INF_DIST, INF_WEIGHT};
+use sygraph_sim::{DeviceBuffer, Queue, SimResult};
+
+/// Result of a partitioned run: the gathered global values plus the
+/// exchange accounting the single-device [`crate::common::AlgoResult`]
+/// has no place for.
+pub struct PartitionedResult<T> {
+    /// Per-vertex values in *global* ID order (owner entries; halo
+    /// replicas are discarded).
+    pub values: Vec<T>,
+    /// Global supersteps until the union frontier emptied.
+    pub supersteps: u32,
+    /// Simulated wall time: the slowest device's clock delta.
+    pub sim_ms: f64,
+    /// Exchange totals across the run.
+    pub exchange: ExchangeTally,
+    /// Per-superstep exchange summaries (supersteps that moved bytes).
+    pub per_superstep: Vec<SuperstepExchange>,
+    /// Checkpoint resumes taken across all partitions (device-lost
+    /// recovery; 0 on a clean run).
+    pub resumes: u32,
+}
+
+fn upload_shards(queues: &[Queue], pg: &PartitionedGraph) -> SimResult<Vec<DeviceCsr>> {
+    pg.parts
+        .iter()
+        .zip(queues)
+        .map(|(part, q)| DeviceCsr::upload(q, &part.local_graph))
+        .collect()
+}
+
+fn slowest_ns(queues: &[Queue]) -> f64 {
+    queues.iter().map(|q| q.now_ns()).fold(0.0, f64::max)
+}
+
+/// Min-merge link over per-partition `u32` state (BFS levels, CC labels).
+struct MinLinkU32<'a> {
+    state: &'a [DeviceBuffer<u32>],
+}
+
+impl HaloLink for MinLinkU32<'_> {
+    fn replica(&self, part: usize, lid: u32) -> u64 {
+        self.state[part].load(lid as usize) as u64
+    }
+
+    fn merge(&self, part: usize, lid: u32, value: u64) -> bool {
+        let cur = self.state[part].load(lid as usize);
+        let v = value as u32;
+        if v < cur {
+            self.state[part].store(lid as usize, v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Min-merge link over per-partition `f32` state (SSSP distances);
+/// values travel as IEEE bits.
+struct MinLinkF32<'a> {
+    state: &'a [DeviceBuffer<f32>],
+}
+
+impl HaloLink for MinLinkF32<'_> {
+    fn replica(&self, part: usize, lid: u32) -> u64 {
+        self.state[part].load(lid as usize).to_bits() as u64
+    }
+
+    fn merge(&self, part: usize, lid: u32, value: u64) -> bool {
+        let cur = self.state[part].load(lid as usize);
+        let v = f32::from_bits(value as u32);
+        if v < cur {
+            self.state[part].store(lid as usize, v);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Partitioned BFS from `src`: hop distances, `INF_DIST` when unreached.
+/// `queues.len()` must equal `pg.part_count()`.
+pub fn bfs(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    src: VertexId,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<u32>> {
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    match tuning.word_bits {
+        32 => bfs_impl::<u32>(queues, pg, src, opts, excfg),
+        _ => bfs_impl::<u64>(queues, pg, src, opts, excfg),
+    }
+}
+
+fn bfs_impl<W: Word>(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    src: VertexId,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<u32>> {
+    assert!((src as usize) < pg.n, "source out of range");
+    let graphs = upload_shards(queues, pg)?;
+    // Clock the traversal only: single-device `sim_ms` starts after the
+    // caller's graph upload, so the partitioned number must too.
+    let t0 = slowest_ns(queues);
+
+    let mut dist = Vec::with_capacity(pg.part_count());
+    for (part, q) in pg.parts.iter().zip(queues) {
+        let d = q.malloc_device::<u32>(part.local_len().max(1))?;
+        q.fill(&d, INF_DIST);
+        dist.push(d);
+    }
+    dist[pg.owner_of(src) as usize].store(pg.owner_local_of(src) as usize, 0);
+
+    let ckpt: Vec<Vec<&dyn CheckpointState>> = dist
+        .iter()
+        .map(|d| vec![d as &dyn CheckpointState])
+        .collect();
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    let mut mde = MultiDeviceEngine::<W>::new(pg, queues, &graphs, tuning, excfg, &ckpt, "mbfs")?
+        .max_iters(pg.n + 2);
+    mde.seed(src);
+
+    let advances: Vec<Box<StepAdvanceDyn<'_>>> = dist
+        .iter()
+        .map(|d| {
+            Box::new(
+                move |l: &mut sygraph_sim::ItemCtx<'_>, _iter: u32, _u, v: u32, _e, _w| {
+                    l.load_atomic(d, v as usize) == INF_DIST
+                },
+            ) as Box<StepAdvanceDyn<'_>>
+        })
+        .collect();
+    let computes: Vec<Box<StepComputeDyn<'_>>> = dist
+        .iter()
+        .map(|d| {
+            Box::new(move |l: &mut sygraph_sim::ItemCtx<'_>, iter: u32, v: u32| {
+                l.store_atomic(d, v as usize, iter + 1)
+            }) as Box<StepComputeDyn<'_>>
+        })
+        .collect();
+    let adv_refs: Vec<&StepAdvanceDyn<'_>> = advances.iter().map(|b| b.as_ref()).collect();
+    let comp_refs: Vec<Option<&StepComputeDyn<'_>>> =
+        computes.iter().map(|b| Some(b.as_ref())).collect();
+    let link = MinLinkU32 { state: &dist };
+
+    let supersteps = mde.run(&adv_refs, &comp_refs, &link)?;
+    finish(pg, queues, mde, supersteps, t0, &dist)
+}
+
+/// Partitioned Bellman-Ford SSSP from `src`: weighted distances,
+/// `f32::INFINITY` when unreached. Unweighted shards relax unit weights.
+pub fn sssp(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    src: VertexId,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<f32>> {
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    match tuning.word_bits {
+        32 => sssp_impl::<u32>(queues, pg, src, opts, excfg),
+        _ => sssp_impl::<u64>(queues, pg, src, opts, excfg),
+    }
+}
+
+fn sssp_impl<W: Word>(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    src: VertexId,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<f32>> {
+    assert!((src as usize) < pg.n, "source out of range");
+    let graphs = upload_shards(queues, pg)?;
+    // Clock the traversal only: single-device `sim_ms` starts after the
+    // caller's graph upload, so the partitioned number must too.
+    let t0 = slowest_ns(queues);
+
+    let mut dist = Vec::with_capacity(pg.part_count());
+    for (part, q) in pg.parts.iter().zip(queues) {
+        let d = q.malloc_device::<f32>(part.local_len().max(1))?;
+        q.fill(&d, INF_WEIGHT);
+        dist.push(d);
+    }
+    dist[pg.owner_of(src) as usize].store(pg.owner_local_of(src) as usize, 0.0);
+
+    let ckpt: Vec<Vec<&dyn CheckpointState>> = dist
+        .iter()
+        .map(|d| vec![d as &dyn CheckpointState])
+        .collect();
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    let mut mde = MultiDeviceEngine::<W>::new(pg, queues, &graphs, tuning, excfg, &ckpt, "msssp")?;
+    mde.seed(src);
+
+    let advances: Vec<Box<StepAdvanceDyn<'_>>> = dist
+        .iter()
+        .map(|d| {
+            Box::new(
+                move |l: &mut sygraph_sim::ItemCtx<'_>, _iter: u32, u: u32, v: u32, _e, w: f32| {
+                    let du = l.load_atomic(d, u as usize);
+                    let nd = du + w;
+                    let old = l.fetch_min_f32(d, v as usize, nd);
+                    nd < old
+                },
+            ) as Box<StepAdvanceDyn<'_>>
+        })
+        .collect();
+    let adv_refs: Vec<&StepAdvanceDyn<'_>> = advances.iter().map(|b| b.as_ref()).collect();
+    let comp_refs: Vec<Option<&StepComputeDyn<'_>>> = vec![None; pg.part_count()];
+    let link = MinLinkF32 { state: &dist };
+
+    let supersteps = mde.run(&adv_refs, &comp_refs, &link)?;
+    finish(pg, queues, mde, supersteps, t0, &dist)
+}
+
+/// Partitioned label-propagation CC over a symmetric graph: per-vertex
+/// minimum-ID component labels. (Plain propagation, not shortcutting —
+/// pointer jumping chases label chains through *global* random access,
+/// which a shard cannot do; the min-label fixpoint is identical.)
+pub fn cc(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<u32>> {
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    match tuning.word_bits {
+        32 => cc_impl::<u32>(queues, pg, opts, excfg),
+        _ => cc_impl::<u64>(queues, pg, opts, excfg),
+    }
+}
+
+fn cc_impl<W: Word>(
+    queues: &[Queue],
+    pg: &PartitionedGraph,
+    opts: &OptConfig,
+    excfg: ExchangeConfig,
+) -> SimResult<PartitionedResult<u32>> {
+    let graphs = upload_shards(queues, pg)?;
+    // Clock the traversal only: single-device `sim_ms` starts after the
+    // caller's graph upload, so the partitioned number must too.
+    let t0 = slowest_ns(queues);
+
+    // Every local slot (owned and halo alike) starts as its *global* ID:
+    // exactly the single-device `labels[v] = v` seeding, shard-local.
+    let mut labels = Vec::with_capacity(pg.part_count());
+    for (part, q) in pg.parts.iter().zip(queues) {
+        let lb = q.malloc_device::<u32>(part.local_len().max(1))?;
+        lb.copy_from_slice(&part.local_to_global);
+        labels.push(lb);
+    }
+
+    let ckpt: Vec<Vec<&dyn CheckpointState>> = labels
+        .iter()
+        .map(|d| vec![d as &dyn CheckpointState])
+        .collect();
+    let tuning = inspect(queues[0].profile(), opts, pg.n);
+    let mut mde = MultiDeviceEngine::<W>::new(pg, queues, &graphs, tuning, excfg, &ckpt, "mcc")?;
+    mde.seed_all_owned();
+
+    let advances: Vec<Box<StepAdvanceDyn<'_>>> = labels
+        .iter()
+        .map(|d| {
+            Box::new(
+                move |l: &mut sygraph_sim::ItemCtx<'_>, _iter: u32, u: u32, v: u32, _e, _w| {
+                    let lu = l.load_atomic(d, u as usize);
+                    let old = l.fetch_min(d, v as usize, lu);
+                    lu < old
+                },
+            ) as Box<StepAdvanceDyn<'_>>
+        })
+        .collect();
+    let adv_refs: Vec<&StepAdvanceDyn<'_>> = advances.iter().map(|b| b.as_ref()).collect();
+    let comp_refs: Vec<Option<&StepComputeDyn<'_>>> = vec![None; pg.part_count()];
+    let link = MinLinkU32 { state: &labels };
+
+    let supersteps = mde.run(&adv_refs, &comp_refs, &link)?;
+    finish(pg, queues, mde, supersteps, t0, &labels)
+}
+
+/// Gathers owner entries into global order and packages the run stats.
+fn finish<W: Word, T: sygraph_sim::DeviceScalar>(
+    pg: &PartitionedGraph,
+    queues: &[Queue],
+    mde: MultiDeviceEngine<'_, W>,
+    supersteps: u32,
+    t0: f64,
+    state: &[DeviceBuffer<T>],
+) -> SimResult<PartitionedResult<T>> {
+    let locals: Vec<Vec<T>> = state.iter().map(|d| d.to_vec()).collect();
+    Ok(PartitionedResult {
+        values: pg.gather(&locals),
+        supersteps,
+        sim_ms: (slowest_ns(queues) - t0) / 1e6,
+        exchange: mde.exchange_total(),
+        per_superstep: mde.exchange_per_superstep().to_vec(),
+        resumes: mde.resumes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use sygraph_core::graph::{CsrHost, PartitionSpec};
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn queues(n: usize) -> Vec<Queue> {
+        (0..n)
+            .map(|_| Queue::new(Device::new(DeviceProfile::host_test())))
+            .collect()
+    }
+
+    fn chain_and_branches() -> CsrHost {
+        CsrHost::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (0, 5),
+                (5, 6),
+                (2, 6),
+                (6, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn bfs_matches_reference_across_device_counts() {
+        let host = chain_and_branches();
+        let want = reference::bfs(&host, 0);
+        for parts in [1u32, 2, 3, 4] {
+            for spec in [PartitionSpec::Hash, PartitionSpec::Range] {
+                let pg = PartitionedGraph::build(&host, spec, parts);
+                let qs = queues(parts as usize);
+                let got = bfs(&qs, &pg, 0, &OptConfig::all(), ExchangeConfig::default()).unwrap();
+                assert_eq!(got.values, want, "{} × {parts}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_needs_no_exchange() {
+        let host = chain_and_branches();
+        let pg = PartitionedGraph::build(&host, PartitionSpec::Hash, 1);
+        let qs = queues(1);
+        let got = bfs(&qs, &pg, 0, &OptConfig::all(), ExchangeConfig::default()).unwrap();
+        assert_eq!(got.exchange.bytes, 0);
+        assert_eq!(got.exchange.msgs, 0);
+        assert!(got.per_superstep.is_empty());
+    }
+
+    #[test]
+    fn sssp_matches_single_device_bitwise() {
+        let host = CsrHost::from_edges_weighted(
+            6,
+            &[(0, 1), (0, 2), (2, 1), (1, 3), (3, 4), (2, 5), (5, 4)],
+            Some(&[10.0, 1.0, 2.0, 1.0, 0.5, 9.0, 0.25]),
+        );
+        let q1 = queues(1);
+        let g = DeviceCsr::upload(&q1[0], &host).unwrap();
+        let single = crate::sssp::run(&q1[0], &g, 0, &OptConfig::all()).unwrap();
+        for parts in [2u32, 3] {
+            let pg = PartitionedGraph::build(&host, PartitionSpec::Range, parts);
+            let qs = queues(parts as usize);
+            let got = sssp(&qs, &pg, 0, &OptConfig::all(), ExchangeConfig::default()).unwrap();
+            let a: Vec<u32> = got.values.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = single.values.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "{parts} parts");
+        }
+    }
+
+    #[test]
+    fn cc_matches_reference_on_undirected_graph() {
+        let host = CsrHost::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).to_undirected();
+        let want = reference::connected_components(&host);
+        for spec in [PartitionSpec::Hash, PartitionSpec::Range] {
+            let pg = PartitionedGraph::build(&host, spec, 3);
+            let qs = queues(3);
+            let got = cc(&qs, &pg, &OptConfig::all(), ExchangeConfig::default()).unwrap();
+            assert_eq!(got.values, want, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn exchange_bytes_flow_on_a_cross_partition_edge() {
+        // 0 -> 1 with 0 and 1 on different partitions: one superstep must
+        // ship exactly one activation.
+        let host = CsrHost::from_edges(2, &[(0, 1)]);
+        let pg = PartitionedGraph::build(&host, PartitionSpec::Range, 2);
+        let qs = queues(2);
+        let got = bfs(&qs, &pg, 0, &OptConfig::all(), ExchangeConfig::default()).unwrap();
+        assert_eq!(got.values, vec![0, 1]);
+        assert_eq!(got.exchange.msgs, 1);
+        assert!(got.exchange.bytes > 0);
+        assert_eq!(got.per_superstep.len(), 1);
+        assert_eq!(got.per_superstep[0].accepted, 1);
+        // The sender's profiler carries the ExchangeEvent.
+        let evs = qs[pg.owner_of(0) as usize].profiler().exchange_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].msgs, 1);
+    }
+}

@@ -26,6 +26,11 @@
 //!                     pull and auto build the graph's pull (CSC) view and
 //!                     let the engine run Beamer-style bottom-up supersteps;
 //!                     without the flag only dobfs pays for the CSC view
+//!   --devices <n>     shard the graph across n simulated devices and run
+//!                     the partitioned BSP path (bfs|sssp|cc). Each device
+//!                     gets its own queue; frontiers exchange halo
+//!                     activations at every superstep boundary
+//!   --partition <p>   edge-cut partitioner: hash | range (default hash)
 //!   --delta <x>       bucket width for the delta algorithm (default 2)
 //!   --json            machine-readable output
 //!   --profile         print the per-kernel profile afterwards (with
@@ -52,7 +57,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use sygraph_core::engine::RecoveryPolicy;
-use sygraph_core::graph::{CsrHost, Graph};
+use sygraph_core::frontier::exchange::ExchangeConfig;
+use sygraph_core::graph::{CsrHost, Graph, PartitionSpec, PartitionedGraph};
 use sygraph_core::inspector::{Balancing, Direction, OptConfig, Representation};
 use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
 
@@ -63,6 +69,7 @@ fn usage() -> ExitCode {
          [--device v100s|max1100|mi100|host] [--undirected] \
          [--no-msi] [--no-cf] [--no-2lb] [--balancing wg|bucketed|auto] \
          [--frontier dense|sparse|auto] [--direction push|pull|auto] \
+         [--devices N] [--partition hash|range] \
          [--delta X] [--json] [--profile] [--sanitize] \
          [--inject-faults SPEC] [--retry N] [--checkpoint-every K]"
     );
@@ -125,6 +132,9 @@ fn main() -> ExitCode {
     let mut fault_spec: Option<String> = None;
     let mut retry: u32 = 0;
     let mut checkpoint_every: u32 = 0;
+    let mut devices: u32 = 1;
+    let mut partition = PartitionSpec::Hash;
+    let mut partition_explicit = false;
     let mut it = args[2..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -194,6 +204,17 @@ fn main() -> ExitCode {
                 Some(v) => checkpoint_every = v,
                 None => return usage(),
             },
+            "--devices" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => devices = v,
+                _ => return usage(),
+            },
+            "--partition" => match it.next().and_then(|s| PartitionSpec::parse(s)) {
+                Some(p) => {
+                    partition = p;
+                    partition_explicit = true;
+                }
+                None => return usage(),
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return usage();
@@ -244,6 +265,36 @@ fn main() -> ExitCode {
             degrade_on_oom: retry > 0,
             checkpoint_every,
         };
+    }
+
+    // Partitioned multi-device path: shard the CSR, one queue per device,
+    // superstep-aligned BSP with halo exchange at every boundary.
+    if devices > 1 || partition_explicit {
+        if sanitize {
+            eprintln!("--sanitize is single-device only");
+            return ExitCode::FAILURE;
+        }
+        if !msources.is_empty() {
+            eprintln!("--sources is single-device only");
+            return ExitCode::FAILURE;
+        }
+        if !matches!(algo, "bfs" | "sssp" | "cc") {
+            eprintln!("--devices supports bfs|sssp|cc, not {algo}");
+            return usage();
+        }
+        return run_partitioned(
+            algo,
+            graph_spec,
+            &host,
+            &profile_dev,
+            &opts,
+            partition,
+            devices,
+            src,
+            fault_spec.as_deref(),
+            json,
+            profile,
+        );
     }
 
     let mut q = if sanitize {
@@ -604,6 +655,220 @@ fn main() -> ExitCode {
         println!("{}", san.report());
         if !san.is_clean() {
             return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `--devices N` path: partition, run the multi-device BSP loop, and
+/// print the merged per-partition report.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned(
+    algo: &str,
+    graph_spec: &str,
+    host: &CsrHost,
+    profile_dev: &DeviceProfile,
+    opts: &OptConfig,
+    partition: PartitionSpec,
+    devices: u32,
+    src: u32,
+    fault_spec: Option<&str>,
+    json: bool,
+    profile: bool,
+) -> ExitCode {
+    use sygraph_algos::partitioned;
+
+    let pg = PartitionedGraph::build(host, partition, devices);
+    let mut queues: Vec<Queue> = (0..devices)
+        .map(|_| Queue::new(Device::new(profile_dev.clone())))
+        .collect();
+    if let Some(spec) = fault_spec {
+        // Deterministic plans land on partition 0's queue; the other
+        // partitions keep running and the exchange carries them through
+        // that partition's checkpoint resume.
+        match FaultPlan::parse(spec) {
+            Ok(plan) => queues[0].attach_faults(plan),
+            Err(e) => {
+                eprintln!("bad --inject-faults spec: {e}");
+                return usage();
+            }
+        }
+    }
+    let queues = queues;
+    let excfg = ExchangeConfig::default();
+
+    enum POut {
+        U32(Vec<u32>),
+        F32(Vec<f32>),
+    }
+    let result = match algo {
+        "bfs" => partitioned::bfs(&queues, &pg, src, opts, excfg).map(|r| {
+            (
+                POut::U32(r.values),
+                r.supersteps,
+                r.sim_ms,
+                r.exchange,
+                r.per_superstep,
+                r.resumes,
+            )
+        }),
+        "sssp" => partitioned::sssp(&queues, &pg, src, opts, excfg).map(|r| {
+            (
+                POut::F32(r.values),
+                r.supersteps,
+                r.sim_ms,
+                r.exchange,
+                r.per_superstep,
+                r.resumes,
+            )
+        }),
+        "cc" => partitioned::cc(&queues, &pg, opts, excfg).map(|r| {
+            (
+                POut::U32(r.values),
+                r.supersteps,
+                r.sim_ms,
+                r.exchange,
+                r.per_superstep,
+                r.resumes,
+            )
+        }),
+        _ => unreachable!("guarded by the caller"),
+    };
+    let (out, supersteps, sim_ms, exchange, per_superstep, resumes) = match result {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let summary = match &out {
+        POut::U32(v) => {
+            let reached = v.iter().filter(|&&d| d != u32::MAX).count();
+            format!("{reached}/{} vertices reached", v.len())
+        }
+        POut::F32(v) => {
+            let finite = v.iter().filter(|x| x.is_finite()).count();
+            let max = v
+                .iter()
+                .copied()
+                .filter(|x| x.is_finite())
+                .fold(0f32, f32::max);
+            format!("{finite}/{} finite values, max {max:.4}", v.len())
+        }
+    };
+
+    // Merged per-partition accounting: simulated kernel time per queue,
+    // and the load imbalance the edge-cut produced.
+    let part_ms: Vec<f64> = queues
+        .iter()
+        .map(|q| {
+            q.profiler()
+                .kernels()
+                .iter()
+                .map(|k| k.stats.total_ns() / 1e6)
+                .sum()
+        })
+        .collect();
+    let max_ms = part_ms.iter().copied().fold(0f64, f64::max);
+    let mean_ms = part_ms.iter().sum::<f64>() / part_ms.len() as f64;
+    let imbalance = if mean_ms > 0.0 { max_ms / mean_ms } else { 1.0 };
+    let recovery_events: usize = queues.iter().map(|q| q.profiler().recovery_count()).sum();
+
+    if json {
+        let mut doc = HashMap::new();
+        doc.insert("algo", serde_json::json!(algo));
+        doc.insert("graph", serde_json::json!(graph_spec));
+        doc.insert("device", serde_json::json!(profile_dev.name));
+        doc.insert("devices", serde_json::json!(devices));
+        doc.insert("partition", serde_json::json!(partition.label()));
+        doc.insert("vertices", serde_json::json!(host.vertex_count()));
+        doc.insert("edges", serde_json::json!(host.edge_count()));
+        doc.insert("supersteps", serde_json::json!(supersteps));
+        doc.insert("iterations", serde_json::json!(supersteps));
+        doc.insert("sim_ms", serde_json::json!(sim_ms));
+        doc.insert("exchange_words", serde_json::json!(exchange.words));
+        doc.insert("exchange_msgs", serde_json::json!(exchange.msgs));
+        doc.insert("exchange_bytes", serde_json::json!(exchange.bytes));
+        doc.insert("load_imbalance", serde_json::json!(imbalance));
+        doc.insert("recovery_events", serde_json::json!(recovery_events));
+        doc.insert("checkpoint_resumes", serde_json::json!(resumes));
+        match &out {
+            POut::U32(v) => doc.insert("values", serde_json::json!(v)),
+            POut::F32(v) => doc.insert("values", serde_json::json!(v)),
+        };
+        println!("{}", serde_json::to_string(&doc).unwrap());
+    } else {
+        println!(
+            "{algo} on {graph_spec} ({} vertices, {} edges) @ {} \u{d7}{devices} devices, {} partition",
+            host.vertex_count(),
+            host.edge_count(),
+            profile_dev.name,
+            partition.label()
+        );
+        println!("  {supersteps} supersteps, {sim_ms:.3} simulated ms — {summary}");
+        println!(
+            "  exchange: {} B in {} msgs over {} words ({} supersteps moved bytes)",
+            exchange.bytes,
+            exchange.msgs,
+            exchange.words,
+            per_superstep.len()
+        );
+        if recovery_events > 0 || resumes > 0 {
+            println!("  recovery: {recovery_events} events, {resumes} checkpoint resumes");
+        }
+    }
+
+    if profile {
+        println!("  multi-device profile:");
+        for (p, q) in queues.iter().enumerate() {
+            let launches = q.profiler().kernels().len();
+            println!(
+                "    device {p}: owned {:>8}, halo {:>7}, kernel {:>9.3} ms \u{d7}{launches:<5} launches, exch out {:>10} B, mem peak {} KB",
+                pg.parts[p].owned,
+                pg.parts[p].halo.len(),
+                part_ms[p],
+                q.profiler().exchange_byte_total(),
+                q.device().mem_peak() / 1024
+            );
+        }
+        println!("    load imbalance (max/mean kernel ms): {imbalance:.2}\u{d7}");
+        // Merged kernel table: per-name totals summed across every
+        // device's profiler.
+        let mut per: HashMap<String, (f64, usize)> = HashMap::new();
+        for q in &queues {
+            for k in q.profiler().kernels() {
+                let e = per.entry(k.name).or_insert((0.0, 0));
+                e.0 += k.stats.total_ns() / 1e6;
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<_> = per.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .0.total_cmp(&a.1 .0));
+        println!("    merged kernel profile (all devices):");
+        for (name, (ms, count)) in rows {
+            println!("      {name:<26} {ms:>9.3} ms  \u{d7}{count}");
+        }
+        if !per_superstep.is_empty() {
+            println!("    exchange per superstep:");
+            for x in &per_superstep {
+                println!(
+                    "      superstep {:>4}: {:>7} words, {:>7} msgs, {:>9} B, {:>7} accepted",
+                    x.superstep, x.words, x.msgs, x.bytes, x.accepted
+                );
+            }
+        }
+        for (p, q) in queues.iter().enumerate() {
+            for e in q.profiler().recovery_events() {
+                println!(
+                    "    device {p} recovery @superstep {:>4}: {} -> {} (attempt {}, t={:.3} ms)",
+                    e.superstep,
+                    e.fault,
+                    e.action,
+                    e.attempt,
+                    e.t_ns / 1e6
+                );
+            }
         }
     }
     ExitCode::SUCCESS

@@ -25,6 +25,7 @@
 //! either way. Events are chained internally; the engine only surfaces
 //! the per-step convergence result.
 
+pub mod multi_device;
 pub mod recovery;
 
 use sygraph_sim::{DeviceBuffer, ItemCtx, Queue, RecoveryEvent, SimError, SimResult};
@@ -39,6 +40,7 @@ use crate::operators::advance::{Advance, PullScope};
 use crate::operators::compute;
 use crate::types::{EdgeId, VertexId, Weight};
 
+pub use multi_device::{HaloLink, MultiDeviceEngine, SuperstepExchange};
 pub use recovery::{CheckpointState, EngineCheckpoint, LaneCheckpoint, RecoveryPolicy};
 
 /// Which candidate set the engine hands a *pull*-direction superstep
@@ -70,6 +72,11 @@ impl<F> StepAdvance for F where
     F: Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight) -> bool + Sync
 {
 }
+
+/// Object-safe spelling of [`StepAdvance`], for callers that hold one
+/// functor per partition behind a uniform type (the multi-device engine).
+pub type StepAdvanceDyn<'f> =
+    dyn Fn(&mut ItemCtx<'_>, u32, VertexId, VertexId, EdgeId, Weight) -> bool + Sync + 'f;
 
 /// Iteration-aware compute functor: `(lane, iter, vertex)`. Passed as
 /// `Option<&dyn StepComputeDyn>`; `None` means the algorithm has no
@@ -112,6 +119,40 @@ pub const NO_LANE_COMPUTE: Option<&LaneComputeDyn<'static>> = None;
 /// vertices into the output frontier (e.g. Connected Components'
 /// shortcutting pass re-activating vertices whose label chain collapsed).
 pub type PostStep<'a, W> = &'a dyn Fn(&Queue, u32, &dyn BitmapLike<W>);
+
+/// Recovery bookkeeping for callers driving supersteps one at a time via
+/// [`SuperstepEngine::step_resilient`] (the multi-device engine): the
+/// latest checkpoint plus the same counters
+/// [`run`](SuperstepEngine::run)'s internal loop keeps — transient
+/// retries reset per superstep, the OOM rung and resume count persist
+/// for the run.
+#[derive(Default)]
+pub struct RecoverySession {
+    checkpoint: Option<EngineCheckpoint>,
+    retries: u32,
+    oom_rung: u32,
+    resumes: u32,
+}
+
+impl RecoverySession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the session's checkpoint with one taken at the engine's
+    /// current superstep boundary.
+    pub fn checkpoint_here<W: Word, G: DeviceGraphView + ?Sized>(
+        &mut self,
+        engine: &SuperstepEngine<'_, W, G>,
+    ) {
+        self.checkpoint = Some(engine.take_checkpoint());
+    }
+
+    /// Checkpoint resumes performed so far.
+    pub fn resumes(&self) -> u32 {
+        self.resumes
+    }
+}
 
 /// The superstep engine. Owns the ping-pong frontier pair and the
 /// advance→compute→swap→clear cycle; algorithms supply functors and
@@ -658,6 +699,43 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
                 Err(e)
             }
             None => Ok(live),
+        }
+    }
+
+    /// [`step`](SuperstepEngine::step) under the engine's recovery
+    /// policy, for callers that drive the superstep loop themselves (the
+    /// multi-device engine): retries transient faults with backoff, walks
+    /// the OOM degradation ladder, and resumes a `DeviceLost` from the
+    /// session's checkpoint — looping until the superstep lands or the
+    /// policy is exhausted. The caller owns checkpoint cadence through
+    /// [`RecoverySession::checkpoint_here`]; a multi-device run must
+    /// checkpoint at *every* exchange boundary, because resuming to an
+    /// older superstep would replay local supersteps without the remote
+    /// activations they originally received.
+    pub fn step_resilient(
+        &mut self,
+        session: &mut RecoverySession,
+        advance_f: impl StepAdvance,
+        compute_f: Option<&StepComputeDyn<'_>>,
+    ) -> SimResult<bool> {
+        let policy = self.tuning.recovery;
+        loop {
+            match self.try_step(&advance_f, compute_f) {
+                Ok(live) => {
+                    session.retries = 0;
+                    return Ok(live);
+                }
+                Err(e) => {
+                    self.recover(
+                        e,
+                        &policy,
+                        session.checkpoint.as_ref(),
+                        &mut session.retries,
+                        &mut session.oom_rung,
+                        &mut session.resumes,
+                    )?;
+                }
+            }
         }
     }
 

@@ -24,6 +24,7 @@ pub mod bitmap;
 pub mod boolmap;
 pub mod bucket;
 pub mod convert;
+pub mod exchange;
 pub mod hybrid;
 pub mod lanes;
 pub mod ops;
@@ -36,6 +37,7 @@ pub mod word;
 pub use bitmap::BitmapFrontier;
 pub use boolmap::BoolmapFrontier;
 pub use bucket::{BucketCounts, BucketPool, BucketSpec};
+pub use exchange::{ChannelMail, ExchangeConfig, ExchangeTally, FrontierExchange, HaloMsg};
 pub use hybrid::HybridFrontier;
 pub use lanes::{lane_locate, lane_words, LaneFrontier, LaneView};
 pub use rep::{RepKind, SparseView};

@@ -4,9 +4,11 @@
 pub mod device;
 pub mod ell;
 pub mod host;
+pub mod partition;
 pub mod traits;
 
 pub use device::{DeviceCsr, Graph};
 pub use ell::EllGraph;
 pub use host::CsrHost;
+pub use partition::{DevicePartition, HaloEntry, PartitionSpec, PartitionedGraph};
 pub use traits::DeviceGraphView;

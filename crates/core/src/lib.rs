@@ -35,14 +35,16 @@ pub mod operators;
 pub mod types;
 
 pub use engine::{
-    fixed_point, CheckpointState, EngineCheckpoint, PullCandidates, RecoveryPolicy,
-    SuperstepEngine, NO_COMPUTE,
+    fixed_point, CheckpointState, EngineCheckpoint, HaloLink, MultiDeviceEngine, PullCandidates,
+    RecoveryPolicy, SuperstepEngine, NO_COMPUTE,
 };
 pub use frontier::{
     swap, BitmapFrontier, BitmapLike, BoolmapFrontier, Frontier, HybridFrontier, RepKind,
     SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
 };
-pub use graph::{CsrHost, DeviceCsr, DeviceGraphView, Graph};
+pub use graph::{
+    CsrHost, DeviceCsr, DeviceGraphView, DevicePartition, Graph, PartitionSpec, PartitionedGraph,
+};
 pub use inspector::{
     inspect, Balancing, DegreeProfile, Direction, OptConfig, Representation, Tuning,
 };

@@ -55,7 +55,8 @@ pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupC
 pub use fault::FaultPlan;
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
 pub use profiler::{
-    DirectionEvent, KernelRecord, LaneEvent, Marker, MemEvent, Profiler, RecoveryEvent, RepEvent,
+    DirectionEvent, ExchangeEvent, KernelRecord, LaneEvent, Marker, MemEvent, Profiler,
+    RecoveryEvent, RepEvent,
 };
 pub use queue::{Device, Event, Queue};
 pub use sanitize::{Finding, FindingKind, Sanitizer};

@@ -103,6 +103,27 @@ pub struct LaneEvent {
     pub retired: u32,
 }
 
+/// One superstep-boundary frontier exchange on one channel (an ordered
+/// partition pair), as recorded by the multi-device engine: how many halo
+/// words changed, how many halo activations they carried, and the bytes
+/// the interconnect moved for them (words + indices + value payload).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExchangeEvent {
+    pub t_ns: f64,
+    /// Global superstep index within the multi-device run (0-based).
+    pub superstep: u32,
+    /// Sending partition (the one this profiler's queue drives).
+    pub src_part: u32,
+    /// Receiving partition.
+    pub dst_part: u32,
+    /// Non-zero halo words scanned out of the sender's output frontier.
+    pub words: u64,
+    /// Halo activations (set bits) delivered on this channel.
+    pub msgs: u64,
+    /// Modelled interconnect bytes for this channel.
+    pub bytes: u64,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     kernels: Vec<KernelRecord>,
@@ -112,6 +133,7 @@ struct Inner {
     direction_events: Vec<DirectionEvent>,
     recovery_events: Vec<RecoveryEvent>,
     lane_events: Vec<LaneEvent>,
+    exchange_events: Vec<ExchangeEvent>,
 }
 
 /// Thread-safe profiler attached to a queue.
@@ -251,6 +273,36 @@ impl Profiler {
             .sum()
     }
 
+    /// Records one superstep-boundary exchange channel.
+    pub fn record_exchange(&self, ev: ExchangeEvent) {
+        self.inner.lock().exchange_events.push(ev);
+    }
+
+    /// Snapshot of exchange events.
+    pub fn exchange_events(&self) -> Vec<ExchangeEvent> {
+        self.inner.lock().exchange_events.clone()
+    }
+
+    /// Total interconnect bytes across all recorded exchanges.
+    pub fn exchange_byte_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .exchange_events
+            .iter()
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Total halo activations delivered across all recorded exchanges.
+    pub fn exchange_msg_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .exchange_events
+            .iter()
+            .map(|e| e.msgs)
+            .sum()
+    }
+
     /// Number of kernels recorded so far.
     pub fn kernel_count(&self) -> usize {
         self.inner.lock().kernels.len()
@@ -352,6 +404,7 @@ impl Profiler {
         inner.direction_events.clear();
         inner.recovery_events.clear();
         inner.lane_events.clear();
+        inner.exchange_events.clear();
     }
 }
 

@@ -1,0 +1,172 @@
+//! Property tests for the edge-cut partitioner: for every graph, spec
+//! and partition count, (1) every edge of the input lands in exactly one
+//! shard (weights carried through), (2) the local↔global ID maps
+//! round-trip on both the owned and halo ranges, (3) each partition's
+//! halo is exactly its set of cross-partition destinations, sorted and
+//! deduplicated, and (4) halo rows have no local out-edges. Checked on
+//! random edge lists and on all four generator families (road, social,
+//! web, synthetic).
+
+use proptest::prelude::*;
+use sygraph_core::graph::{CsrHost, PartitionSpec, PartitionedGraph};
+use sygraph_gen::{datasets, Scale};
+
+const SPECS: [PartitionSpec; 2] = [PartitionSpec::Hash, PartitionSpec::Range];
+
+/// Asserts every documented partitioning invariant for one sharding.
+fn check_invariants(host: &CsrHost, spec: PartitionSpec, parts: u32) {
+    let n = host.vertex_count();
+    let pg = PartitionedGraph::build(host, spec, parts);
+    let ctx = format!("{} parts under {:?}", parts, spec);
+    assert_eq!(pg.part_count(), parts as usize, "{ctx}");
+    assert_eq!(pg.n, n, "{ctx}");
+
+    // Ownership covers every vertex exactly once.
+    let owned_sum: usize = pg.parts.iter().map(|p| p.owned as usize).sum();
+    assert_eq!(owned_sum, n, "{ctx}: owned ranges partition the vertices");
+
+    // (2) ID round-trips. Owner maps: global -> (owner, owner_local) ->
+    // global. Shard maps: every local id resolves back consistently.
+    for v in 0..n as u32 {
+        let p = pg.owner_of(v);
+        assert_eq!(p, spec.owner(v, parts, n), "{ctx}: owner fn mismatch");
+        let lid = pg.owner_local_of(v);
+        let part = &pg.parts[p as usize];
+        assert!(!part.is_halo(lid), "{ctx}: owner-local id in halo tail");
+        assert_eq!(part.global_of(lid), v, "{ctx}: round trip of {v}");
+    }
+    for part in &pg.parts {
+        assert_eq!(
+            part.local_len(),
+            part.local_graph.vertex_count(),
+            "{ctx}: shard rows cover owned + halo"
+        );
+        // Owned prefix and halo tail are each ascending by global id.
+        let owned = &part.local_to_global[..part.owned as usize];
+        assert!(owned.windows(2).all(|w| w[0] < w[1]), "{ctx}: owned order");
+        let tail = &part.local_to_global[part.owned as usize..];
+        assert!(tail.windows(2).all(|w| w[0] < w[1]), "{ctx}: halo order");
+        for (i, h) in part.halo.iter().enumerate() {
+            assert_eq!(
+                h.global,
+                part.local_to_global[part.owned as usize + i],
+                "{ctx}: halo table aligned with the local_to_global tail"
+            );
+            assert_eq!(h.owner, pg.owner_of(h.global), "{ctx}: halo owner");
+            assert_eq!(
+                h.owner_local,
+                pg.owner_local_of(h.global),
+                "{ctx}: halo owner-local id"
+            );
+            assert_ne!(h.owner, part.id, "{ctx}: halo entries are remote");
+        }
+        // (4) Halo rows carry no out-edges.
+        for lid in part.owned..part.local_len() as u32 {
+            assert!(
+                part.local_graph.neighbors(lid).is_empty(),
+                "{ctx}: halo row {lid} has local out-edges"
+            );
+        }
+    }
+
+    // (1) Edge multiset preserved exactly once, weights riding along.
+    let weighted = host.weights.is_some();
+    let mut global_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(host.edge_count());
+    for u in 0..n as u32 {
+        let ws = host.neighbor_weights(u);
+        for (j, &v) in host.neighbors(u).iter().enumerate() {
+            let w = ws.map_or(0, |ws| ws[j].to_bits());
+            global_edges.push((u, v, w));
+        }
+    }
+    let mut shard_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(host.edge_count());
+    for part in &pg.parts {
+        assert_eq!(part.local_graph.weights.is_some(), weighted, "{ctx}");
+        for lu in 0..part.owned {
+            let gu = part.global_of(lu);
+            let ws = part.local_graph.neighbor_weights(lu);
+            for (j, &lv) in part.local_graph.neighbors(lu).iter().enumerate() {
+                let w = ws.map_or(0, |ws| ws[j].to_bits());
+                shard_edges.push((gu, part.global_of(lv), w));
+            }
+        }
+    }
+    global_edges.sort_unstable();
+    shard_edges.sort_unstable();
+    assert_eq!(
+        global_edges, shard_edges,
+        "{ctx}: every edge in exactly one shard"
+    );
+    assert_eq!(pg.m, host.edge_count(), "{ctx}: edge count preserved");
+
+    // (3) Halo sets are exactly the cross-partition destinations.
+    for part in &pg.parts {
+        let mut expected: Vec<u32> = (0..n as u32)
+            .filter(|&u| pg.owner_of(u) == part.id)
+            .flat_map(|u| host.neighbors(u).iter().copied())
+            .filter(|&v| pg.owner_of(v) != part.id)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<u32> = part.halo.iter().map(|h| h.global).collect();
+        assert_eq!(got, expected, "{ctx}: halo of partition {}", part.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_graphs_satisfy_partition_invariants(
+        edges in prop::collection::vec((0..96u32, 0..96u32), 0..300),
+        parts in 1..7u32,
+    ) {
+        let host = CsrHost::from_edges(96, &edges);
+        for spec in SPECS {
+            check_invariants(&host, spec, parts);
+        }
+    }
+
+    #[test]
+    fn weighted_random_graphs_keep_weights_with_their_edges(
+        edges in prop::collection::vec((0..64u32, 0..64u32, 1..100u32), 1..200),
+        parts in 2..5u32,
+    ) {
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let weights: Vec<f32> = edges.iter().map(|&(.., w)| w as f32).collect();
+        let host = CsrHost::from_edges_weighted(64, &pairs, Some(&weights));
+        for spec in SPECS {
+            check_invariants(&host, spec, parts);
+        }
+    }
+}
+
+#[test]
+fn generator_suite_satisfies_partition_invariants() {
+    // One representative per generator family: road grid, social
+    // power-law, web crawl, synthetic Kronecker.
+    let suite = [
+        datasets::road_ca(Scale::Test),
+        datasets::hollywood(Scale::Test),
+        datasets::indochina(Scale::Test),
+        datasets::kron(Scale::Test),
+    ];
+    for ds in &suite {
+        for spec in SPECS {
+            for parts in [1u32, 2, 4, 8] {
+                check_invariants(&ds.host, spec, parts);
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_partition_cleanly() {
+    // Empty graph, single vertex, self-loops, and parts > n.
+    check_invariants(&CsrHost::from_edges(1, &[]), PartitionSpec::Hash, 4);
+    check_invariants(&CsrHost::from_edges(1, &[(0, 0)]), PartitionSpec::Range, 3);
+    let ring: Vec<(u32, u32)> = (0..5u32).map(|v| (v, (v + 1) % 5)).collect();
+    for spec in SPECS {
+        check_invariants(&CsrHost::from_edges(5, &ring), spec, 8);
+    }
+}
