@@ -301,7 +301,9 @@ mod tests {
 
     #[test]
     fn undirected_star_center_has_high_bc() {
-        let host = CsrHost::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).to_undirected();
+        let host = CsrHost::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)])
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run(&q, &g, 1, &OptConfig::all()).unwrap();

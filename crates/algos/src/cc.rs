@@ -180,14 +180,16 @@ mod tests {
     #[test]
     fn two_components_and_isolated() {
         // {0,1,2} u {3,4}, 5 isolated
-        let host = CsrHost::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).to_undirected();
+        let host = CsrHost::from_edges(6, &[(0, 1), (1, 2), (3, 4)])
+            .to_undirected()
+            .unwrap();
         check(&host);
     }
 
     #[test]
     fn single_chain() {
         let edges: Vec<(u32, u32)> = (0..19).map(|v| (v, v + 1)).collect();
-        let host = CsrHost::from_edges(20, &edges).to_undirected();
+        let host = CsrHost::from_edges(20, &edges).to_undirected().unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run(&q, &g, &OptConfig::all()).unwrap();
@@ -203,7 +205,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..300)
             .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
             .collect();
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges)
+            .to_undirected()
+            .unwrap();
         check(&host);
     }
 
@@ -219,7 +223,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..n as usize - 1)
             .map(|i| (perm[i], perm[i + 1]))
             .collect();
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges)
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let plain = run(&q, &g, &OptConfig::all()).unwrap();
@@ -242,7 +248,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..250)
             .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
             .collect();
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges)
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run_shortcutting(&q, &g, &OptConfig::all()).unwrap();
@@ -251,7 +259,9 @@ mod tests {
 
     #[test]
     fn all_layouts_agree() {
-        let host = CsrHost::from_edges(8, &[(0, 1), (2, 3), (4, 5), (5, 6)]).to_undirected();
+        let host = CsrHost::from_edges(8, &[(0, 1), (2, 3), (4, 5), (5, 6)])
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let a = run(&q, &g, &OptConfig::all()).unwrap();

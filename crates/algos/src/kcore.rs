@@ -112,8 +112,9 @@ mod tests {
     #[test]
     fn triangle_with_tail() {
         // triangle {0,1,2} plus a path 2-3-4: 2-core = the triangle.
-        let host =
-            CsrHost::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).to_undirected();
+        let host = CsrHost::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run(&q, &g, 2, &OptConfig::all()).unwrap();
@@ -137,7 +138,9 @@ mod tests {
         // path graph: 2-core is empty, peeling cascades end-inward.
         let n = 30u32;
         let edges: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges)
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let got = run(&q, &g, 2, &OptConfig::all()).unwrap();

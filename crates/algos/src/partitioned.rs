@@ -403,7 +403,9 @@ mod tests {
 
     #[test]
     fn cc_matches_reference_on_undirected_graph() {
-        let host = CsrHost::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]).to_undirected();
+        let host = CsrHost::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)])
+            .to_undirected()
+            .unwrap();
         let want = reference::connected_components(&host);
         for spec in [PartitionSpec::Hash, PartitionSpec::Range] {
             let pg = PartitionedGraph::build(&host, spec, 3);

@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn single_triangle() {
-        let host = CsrHost::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).to_undirected();
+        let host = CsrHost::from_edges(3, &[(0, 1), (1, 2), (0, 2)])
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let r = run(&q, &g, &OptConfig::all()).unwrap();
@@ -135,7 +137,9 @@ mod tests {
         // even cycle: no triangles
         let n = 10u32;
         let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges)
+            .to_undirected()
+            .unwrap();
         let q = queue();
         let g = DeviceCsr::upload(&q, &host).unwrap();
         let r = run(&q, &g, &OptConfig::all()).unwrap();

@@ -70,7 +70,7 @@ impl Framework for SepGraphLike {
         let t0 = q.now_ns();
         self.csr = Some(DeviceCsr::upload(q, host)?);
         // Pull mode needs the reverse graph.
-        let csc_host = host.transpose();
+        let csc_host = host.transpose()?;
         self.csc = Some(DeviceCsr::upload(q, &csc_host)?);
         // Degree-statistics and edge-partitioning passes used by the path
         // selector — device kernels, so SEP's preprocessing stays well

@@ -1,0 +1,225 @@
+//! Service throughput: request coalescing and result caching measured
+//! end-to-end through the `sygraph-service` scheduler.
+//!
+//! For each dataset, 32 single-source BFS requests go through the
+//! service twice — once with coalescing opted out (serial rooted passes)
+//! and once with the coalescer folding them into W-lane multi-source
+//! batches — and the modelled device time of each mode yields
+//! queries/sec. The per-job value vectors of the two modes are checked
+//! bit-identical (coalescing must be unobservable in the results). A
+//! cache-hit sweep then replays a query mix at target hit ratios
+//! {0, 0.5, 0.9} and reports the effective throughput as the cache
+//! absorbs repeats, plus a cached-vs-recomputed bit-identity check.
+//!
+//! `cargo run --release -p sygraph-bench --bin service_throughput`
+//! writes `BENCH_service.json` into the working directory.
+
+use std::collections::HashMap;
+
+use sygraph_bench::{sample_useful_sources, scale_from_env, scaled_profile};
+use sygraph_gen::{datasets, Dataset, Scale};
+use sygraph_service::{JobRequest, JobState, JobValues, RegisterOptions, Service, ServiceConfig};
+use sygraph_sim::DeviceProfile;
+
+const N_JOBS: usize = 32;
+const BATCH_WIDTH: u32 = 32;
+const SWEEP_JOBS: usize = 40;
+const WARM_POOL: usize = 8;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn service_for(ds: &Dataset, start_paused: bool) -> Service {
+    let cfg = ServiceConfig {
+        profile: scaled_profile(&DeviceProfile::v100s(), ds),
+        workers: 1, // one device queue: serial vs coalesced is apples to apples
+        batch_window_ms: 0,
+        batch_width: BATCH_WIDTH,
+        job_mem_budget: None,
+        cache_entries: 4096,
+        start_paused,
+    };
+    let service = Service::start(cfg).expect("start service");
+    service
+        .register_graph(ds.key, ds.host.clone(), RegisterOptions::default())
+        .expect("register graph");
+    service
+}
+
+fn submit_bfs(
+    service: &Service,
+    graph: &str,
+    source: u32,
+    no_cache: bool,
+    no_coalesce: bool,
+) -> u64 {
+    let mut req = JobRequest::rooted(graph, "bfs", source);
+    req.no_cache = Some(no_cache);
+    req.no_coalesce = Some(no_coalesce);
+    service.submit(req).expect("submit")
+}
+
+/// Runs `sources` through the service, returning (device_ms, per-source
+/// values, coalesced batches).
+fn run_burst(
+    service: &Service,
+    graph: &str,
+    sources: &[u32],
+    no_coalesce: bool,
+) -> (f64, HashMap<u64, Option<JobValues>>, u64) {
+    let before = service.stats();
+    let ids: Vec<u64> = sources
+        .iter()
+        .map(|&s| submit_bfs(service, graph, s, true, no_coalesce))
+        .collect();
+    service.resume();
+    service.wait_idle();
+    service.pause();
+    let after = service.stats();
+    let mut values = HashMap::new();
+    for &id in &ids {
+        let rec = service.job(id).expect("record");
+        assert!(
+            rec.state == JobState::Done,
+            "job {id} failed: {:?}",
+            rec.error
+        );
+        values.insert(id - ids[0], rec.values);
+    }
+    (
+        after.device_ms - before.device_ms,
+        values,
+        after.coalesced_batches - before.coalesced_batches,
+    )
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scale_name = if scale == Scale::Test {
+        "test"
+    } else {
+        "bench"
+    };
+    let suite = [
+        datasets::road_usa(scale),
+        datasets::indochina(scale),
+        datasets::kron(scale),
+    ];
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for ds in &suite {
+        let sources = sample_useful_sources(&ds.host, N_JOBS, 0x5e47);
+        println!(
+            "== {} ({} vertices, {} edges), {} BFS requests",
+            ds.key,
+            ds.host.vertex_count(),
+            ds.host.edge_count(),
+            N_JOBS
+        );
+
+        let service = service_for(ds, true);
+        let (serial_ms, serial_values, _) = run_burst(&service, ds.key, &sources, true);
+        let (coal_ms, coal_values, batches) = run_burst(&service, ds.key, &sources, false);
+        assert!(batches >= 1, "coalescer never formed a batch");
+        for (k, v) in &serial_values {
+            let (a, b) = (v.as_ref().unwrap(), coal_values[k].as_ref().unwrap());
+            assert!(a.bits_eq(b), "coalesced values differ from serial");
+        }
+        let serial_qps = N_JOBS as f64 / (serial_ms / 1e3);
+        let coal_qps = N_JOBS as f64 / (coal_ms / 1e3);
+        let speedup = serial_ms / coal_ms.max(1e-12);
+        speedups.push(speedup);
+        println!(
+            "   serial    {serial_ms:9.3} device-ms  {serial_qps:10.1} q/s\n   coalesced {coal_ms:9.3} device-ms  {coal_qps:10.1} q/s  ({batches} batches, {speedup:.2}x)"
+        );
+
+        // Cache-hit sweep: fresh service per ratio so counters and cache
+        // contents start clean. Warm a small pool, then measure a mix
+        // drawing repeats from it at the target ratio.
+        let warm = &sources[..WARM_POOL];
+        let fresh = sample_useful_sources(&ds.host, SWEEP_JOBS, 0xcafe);
+        let mut sweep_json = Vec::new();
+        for &ratio in &[0.0f64, 0.5, 0.9] {
+            let service = service_for(ds, false);
+            for &s in warm {
+                let id = submit_bfs(&service, ds.key, s, false, false);
+                service.wait(id);
+            }
+            let warm_stats = service.stats();
+            let mut ids = Vec::new();
+            for i in 0..SWEEP_JOBS {
+                let use_warm = (i % 10) < (ratio * 10.0) as usize;
+                let s = if use_warm {
+                    warm[i % WARM_POOL]
+                } else {
+                    fresh[i]
+                };
+                ids.push(submit_bfs(&service, ds.key, s, false, false));
+            }
+            for id in ids {
+                service.wait(id);
+            }
+            let stats = service.stats();
+            let hits = stats.cache_hits - warm_stats.cache_hits;
+            let achieved = hits as f64 / SWEEP_JOBS as f64;
+            let sweep_ms = stats.device_ms - warm_stats.device_ms;
+            let eff_qps = SWEEP_JOBS as f64 / (sweep_ms.max(1e-9) / 1e3);
+            println!(
+                "   cache sweep target {ratio:.1}: achieved {achieved:.2}, {sweep_ms:8.3} device-ms, {eff_qps:10.1} q/s"
+            );
+            sweep_json.push(format!(
+                "{{\"target_ratio\":{ratio},\"achieved_ratio\":{achieved:.4},\"device_ms\":{sweep_ms:.6},\"effective_qps\":{eff_qps:.1}}}"
+            ));
+        }
+
+        // Cached vs recomputed bit-identity through the public API.
+        let service = service_for(ds, false);
+        let src = sources[0];
+        let warm_id = submit_bfs(&service, ds.key, src, false, false);
+        let cached_id = submit_bfs(&service, ds.key, src, false, false);
+        let recompute_id = submit_bfs(&service, ds.key, src, true, false);
+        service.wait(warm_id);
+        let cached = service.wait(cached_id).unwrap();
+        let recomputed = service.wait(recompute_id).unwrap();
+        let identical = cached
+            .values
+            .as_ref()
+            .unwrap()
+            .bits_eq(recomputed.values.as_ref().unwrap());
+        assert!(identical, "cached result differs from recompute");
+
+        rows.push(format!(
+            "{{\"dataset\":\"{}\",\"vertices\":{},\"edges\":{},\"jobs\":{N_JOBS},\
+             \"serial\":{{\"device_ms\":{serial_ms:.6},\"qps\":{serial_qps:.1}}},\
+             \"coalesced\":{{\"device_ms\":{coal_ms:.6},\"qps\":{coal_qps:.1},\"batches\":{batches},\"speedup\":{speedup:.4}}},\
+             \"cache_bit_identical\":{identical},\"cache_sweep\":[{}]}}",
+            ds.key,
+            ds.host.vertex_count(),
+            ds.host.edge_count(),
+            sweep_json.join(",")
+        ));
+        println!();
+    }
+
+    let geo = geomean(&speedups);
+    let bar_holds = speedups.iter().all(|&s| s >= 2.0);
+    println!("coalesced speedup geomean {geo:.2}x; >= 2x on every dataset: {bar_holds}");
+    let doc = format!(
+        "{{\"bench\":\"service_throughput\",\"scale\":\"{scale_name}\",\"device\":\"v100s\",\
+         \"batch_width\":{BATCH_WIDTH},\"workers\":1,\"speedup_geomean\":{geo:.4},\
+         \"speedup_bar\":2.0,\"bar_holds\":{bar_holds},\"datasets\":[{}]}}\n",
+        rows.join(",")
+    );
+    std::fs::write("BENCH_service.json", doc).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+    // The acceptance bar holds at bench scale; test-scale graphs are
+    // launch-dominated toys.
+    if scale == Scale::Bench {
+        assert!(
+            bar_holds,
+            "expected coalesced throughput >= 2x serial on every dataset at bench scale"
+        );
+    }
+}

@@ -52,13 +52,23 @@
 //!   --checkpoint-every <k>   checkpoint algorithm state every k
 //!                     supersteps so device-lost faults can resume
 //! ```
+//!
+//! A second mode starts the long-running analytics service (see
+//! `sygraph-service` and DESIGN.md §15):
+//!
+//! ```text
+//! sygraph-cli serve [--addr HOST:PORT] [--device NAME] [--workers N]
+//!                   [--batch-window-ms MS] [--batch-width 8|16|32|64]
+//!                   [--job-mem-budget BYTES[K|M|G]] [--cache-entries N]
+//!                   [--graphs name=spec[+undirected][+pull],...]
+//! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use sygraph_core::engine::RecoveryPolicy;
 use sygraph_core::frontier::exchange::ExchangeConfig;
-use sygraph_core::graph::{CsrHost, Graph, PartitionSpec, PartitionedGraph};
+use sygraph_core::graph::{validate_sources, CsrHost, Graph, PartitionSpec, PartitionedGraph};
 use sygraph_core::inspector::{Balancing, Direction, OptConfig, Representation};
 use sygraph_sim::{Device, DeviceProfile, FaultPlan, Queue};
 
@@ -109,8 +119,167 @@ fn load_graph(spec: &str) -> Result<CsrHost, String> {
     result.map_err(|e| format!("{spec}: {e}"))
 }
 
+fn serve_usage() -> ExitCode {
+    eprintln!(
+        "usage: sygraph-cli serve [--addr HOST:PORT] [--device v100s|max1100|mi100|host] \
+         [--workers N] [--batch-window-ms MS] [--batch-width 8|16|32|64] \
+         [--job-mem-budget BYTES[K|M|G]] [--cache-entries N] \
+         [--graphs name=spec[+undirected][+pull],...] [--paused]"
+    );
+    ExitCode::from(2)
+}
+
+/// Parses `--job-mem-budget` style sizes: plain bytes or a K/M/G suffix.
+fn parse_bytes(text: &str) -> Result<u64, String> {
+    let (digits, mult) = match text.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&text[..text.len() - 1], 1u64 << 10),
+        Some(b'M') | Some(b'm') => (&text[..text.len() - 1], 1u64 << 20),
+        Some(b'G') | Some(b'g') => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad size {text:?}"))
+}
+
+/// `sygraph-cli serve`: start the analytics service and block.
+fn serve_main(args: &[String]) -> ExitCode {
+    use sygraph_service::{HttpServer, RegisterOptions, Service, ServiceConfig};
+
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut device = "v100s".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut graph_specs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("{name} needs a value");
+                serve_usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => match value("--addr") {
+                Ok(v) => addr = v,
+                Err(e) => return e,
+            },
+            "--device" => match value("--device") {
+                Ok(v) => device = v,
+                Err(e) => return e,
+            },
+            "--workers" => match value("--workers").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.workers = n,
+                _ => return serve_usage(),
+            },
+            "--batch-window-ms" => match value("--batch-window-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.batch_window_ms = n,
+                _ => return serve_usage(),
+            },
+            "--batch-width" => match value("--batch-width").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.batch_width = n,
+                _ => return serve_usage(),
+            },
+            "--job-mem-budget" => match value("--job-mem-budget").map(|v| parse_bytes(&v)) {
+                Ok(Ok(n)) => cfg.job_mem_budget = Some(n),
+                Ok(Err(e)) => {
+                    eprintln!("{e}");
+                    return serve_usage();
+                }
+                Err(e) => return e,
+            },
+            "--cache-entries" => match value("--cache-entries").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.cache_entries = n,
+                _ => return serve_usage(),
+            },
+            "--graphs" => match value("--graphs") {
+                Ok(v) => graph_specs.extend(v.split(',').map(str::to_string)),
+                Err(e) => return e,
+            },
+            "--paused" => cfg.start_paused = true,
+            other => {
+                eprintln!("unknown option {other}");
+                return serve_usage();
+            }
+        }
+    }
+    cfg.profile = match device.as_str() {
+        "v100s" => DeviceProfile::v100s(),
+        "max1100" => DeviceProfile::max1100(),
+        "mi100" => DeviceProfile::mi100(),
+        "host" => DeviceProfile::host_test(),
+        other => {
+            eprintln!("unknown device {other}");
+            return serve_usage();
+        }
+    };
+
+    let service = match Service::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Preload graphs: `name=spec[+undirected][+pull]`.
+    for entry in &graph_specs {
+        let Some((name, rest)) = entry.split_once('=') else {
+            eprintln!("bad --graphs entry {entry:?} (expected name=spec)");
+            return serve_usage();
+        };
+        let mut options = RegisterOptions::default();
+        let mut parts = rest.split('+');
+        let spec = parts.next().unwrap_or_default();
+        for flag in parts {
+            match flag {
+                "undirected" => options.undirected = true,
+                "pull" => options.pull = true,
+                other => {
+                    eprintln!("bad --graphs flag {other:?} in {entry:?}");
+                    return serve_usage();
+                }
+            }
+        }
+        let host = match load_graph(spec) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error loading graph {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match service.register_graph(name, host, options) {
+            Ok(g) => eprintln!(
+                "registered {name}: {} vertices, {} edges (version {})",
+                g.vertex_count(),
+                g.edge_count(),
+                g.version
+            ),
+            Err(e) => {
+                eprintln!("error registering graph {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match HttpServer::serve(std::sync::Arc::new(service), &addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{}", server.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     if args.len() < 2 {
         return usage();
     }
@@ -241,21 +410,27 @@ fn main() -> ExitCode {
         }
     };
     if undirected || algo == "cc" || algo == "triangles" || algo == "kcore" {
-        host = host.to_undirected();
+        host = match host.to_undirected() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error loading graph: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     }
     if host.vertex_count() == 0 {
         eprintln!("graph is empty");
         return ExitCode::FAILURE;
     }
-    if (src as usize) >= host.vertex_count() {
-        eprintln!("source {src} out of range (n={})", host.vertex_count());
+    // The same typed boundary check the service request path uses: an
+    // out-of-range --src/--sources is rejected here, never handed to the
+    // engine where it would wrap or panic.
+    if let Err(e) = validate_sources(host.vertex_count(), &[src])
+        .and_then(|()| validate_sources(host.vertex_count(), &msources))
+    {
+        let e: sygraph_sim::SimError = e.into();
+        eprintln!("run failed: {e}");
         return ExitCode::FAILURE;
-    }
-    for &s in &msources {
-        if (s as usize) >= host.vertex_count() {
-            eprintln!("source {s} out of range (n={})", host.vertex_count());
-            return ExitCode::FAILURE;
-        }
     }
 
     if retry > 0 || checkpoint_every > 0 {

@@ -243,7 +243,7 @@ impl DeviceGraphView for Graph {
         let Some(host) = &self.pull_host else {
             return Ok(false);
         };
-        let built = DeviceCsr::upload(q, &host.transpose())?;
+        let built = DeviceCsr::upload(q, &host.transpose()?)?;
         // A racing builder may have won; its CSC is equivalent, keep it
         // (ours drops and is returned to the ledger).
         let _ = self.csc.set(built);

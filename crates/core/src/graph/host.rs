@@ -4,10 +4,89 @@
 //! readers or `sygraph-gen` generators) and uploaded to a device with
 //! [`crate::graph::device::DeviceCsr::upload`].
 
+use std::fmt;
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::types::{VertexId, Weight};
+
+/// Structural defects a [`CsrHost`] can arrive with. Every accessor that
+/// used to `unwrap()`/index-panic on a malformed graph now routes through
+/// these, so an untrusted upload is a typed error (a service 4xx), not a
+/// process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `offsets` is empty — there is no valid CSR with zero offset rows
+    /// (an empty graph still has the single `[0]` sentinel).
+    EmptyOffsets,
+    /// `offsets[0]` must be 0.
+    BadFirstOffset { first: u32 },
+    /// `offsets` decreases at `vertex`.
+    NonMonotoneOffsets { vertex: usize },
+    /// The last offset must equal the number of stored edges.
+    EdgeCountMismatch { last_offset: u32, edges: usize },
+    /// An edge points at a vertex outside `0..n`.
+    EdgeTargetOutOfRange { target: VertexId, n: usize },
+    /// An edge originates from a vertex outside `0..n`.
+    EdgeSourceOutOfRange { source: VertexId, n: usize },
+    /// The weight array does not parallel the edge array.
+    WeightCountMismatch { weights: usize, edges: usize },
+    /// A weight array was promised but not provided (or vice versa).
+    WeightArityMismatch,
+    /// A request named a source vertex outside `0..n`. This is the
+    /// request-boundary error shared by the CLI and the service.
+    SourceOutOfRange { source: VertexId, n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyOffsets => write!(f, "offsets array is empty (need n+1 entries)"),
+            GraphError::BadFirstOffset { first } => {
+                write!(f, "offsets must start at 0, got {first}")
+            }
+            GraphError::NonMonotoneOffsets { vertex } => {
+                write!(f, "offsets not monotone at vertex {vertex}")
+            }
+            GraphError::EdgeCountMismatch { last_offset, edges } => {
+                write!(f, "last offset {last_offset} must equal edge count {edges}")
+            }
+            GraphError::EdgeTargetOutOfRange { target, n } => {
+                write!(f, "edge target {target} out of range (n={n})")
+            }
+            GraphError::EdgeSourceOutOfRange { source, n } => {
+                write!(f, "edge source {source} out of range (n={n})")
+            }
+            GraphError::WeightCountMismatch { weights, edges } => {
+                write!(f, "weight count {weights} != edge count {edges}")
+            }
+            GraphError::WeightArityMismatch => write!(f, "one weight per edge required"),
+            GraphError::SourceOutOfRange { source, n } => {
+                write!(f, "source vertex {source} out of range (n={n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<GraphError> for sygraph_sim::SimError {
+    fn from(e: GraphError) -> Self {
+        sygraph_sim::SimError::InvalidInput(e.to_string())
+    }
+}
+
+/// Bounds-checks request-boundary source vertex ids against a graph of
+/// `n` vertices. Shared by the CLI argument parser and the service's job
+/// admission, so an out-of-range `--src`/`source` is rejected *before* it
+/// can wrap or panic deep inside the engine.
+pub fn validate_sources(n: usize, sources: &[VertexId]) -> Result<(), GraphError> {
+    match sources.iter().find(|&&s| s as usize >= n) {
+        Some(&s) => Err(GraphError::SourceOutOfRange { source: s, n }),
+        None => Ok(()),
+    }
+}
 
 /// Compressed Sparse Row graph on the host.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -28,16 +107,44 @@ impl CsrHost {
     }
 
     /// Builds a weighted CSR; `weights`, when given, must parallel `edges`.
+    /// Panics on out-of-range endpoints — trusted (generator/test) inputs
+    /// only. Untrusted edge lists go through
+    /// [`CsrHost::try_from_edges_weighted`].
     pub fn from_edges_weighted(
         n: usize,
         edges: &[(VertexId, VertexId)],
         weights: Option<&[Weight]>,
     ) -> Self {
+        match Self::try_from_edges_weighted(n, edges, weights) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible CSR construction for untrusted edge lists: out-of-range
+    /// endpoints and weight-arity mismatches become typed [`GraphError`]s
+    /// instead of index panics.
+    pub fn try_from_edges_weighted(
+        n: usize,
+        edges: &[(VertexId, VertexId)],
+        weights: Option<&[Weight]>,
+    ) -> Result<Self, GraphError> {
         if let Some(w) = weights {
-            assert_eq!(w.len(), edges.len(), "one weight per edge");
+            if w.len() != edges.len() {
+                return Err(GraphError::WeightCountMismatch {
+                    weights: w.len(),
+                    edges: edges.len(),
+                });
+            }
         }
         let mut degree = vec![0u32; n];
-        for &(u, _) in edges {
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::EdgeSourceOutOfRange { source: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::EdgeTargetOutOfRange { target: v, n });
+            }
             degree[u as usize] += 1;
         }
         let mut offsets = vec![0u32; n + 1];
@@ -49,7 +156,6 @@ impl CsrHost {
         let mut wout = weights.map(|_| vec![0f32; m]);
         let mut cursor = offsets.clone();
         for (i, &(u, v)) in edges.iter().enumerate() {
-            assert!((v as usize) < n, "edge target {v} out of range (n={n})");
             let slot = cursor[u as usize] as usize;
             cursor[u as usize] += 1;
             indices[slot] = v;
@@ -63,12 +169,14 @@ impl CsrHost {
             weights: wout,
         };
         g.sort_neighbors();
-        g
+        Ok(g)
     }
 
-    /// Number of vertices.
+    /// Number of vertices. Saturates at 0 for a malformed graph with an
+    /// empty offsets array (which [`CsrHost::validate`] reports as
+    /// [`GraphError::EmptyOffsets`]) instead of underflowing.
     pub fn vertex_count(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Number of directed edges.
@@ -148,23 +256,27 @@ impl CsrHost {
     }
 
     /// Transpose (reverse all edges): CSR of the reversed graph, i.e. the
-    /// CSC of this one.
-    pub fn transpose(&self) -> CsrHost {
+    /// CSC of this one. A structurally invalid graph (truncated weights,
+    /// bad offsets) is a typed [`GraphError`], not a slice panic.
+    pub fn transpose(&self) -> Result<CsrHost, GraphError> {
+        self.validate()?;
         let n = self.vertex_count();
         let edges: Vec<(u32, u32)> = (0..n as u32)
             .flat_map(|u| self.neighbors(u).iter().map(move |&v| (v, u)))
             .collect();
-        let weights: Option<Vec<f32>> = self.weights.as_ref().map(|_| {
+        let weights: Option<Vec<f32>> = self.weights.as_ref().map(|w| {
             (0..n as u32)
-                .flat_map(|u| self.neighbor_weights(u).unwrap().iter().copied())
+                .flat_map(|u| self.weight_range(u, w))
                 .collect()
         });
-        CsrHost::from_edges_weighted(n, &edges, weights.as_deref())
+        CsrHost::try_from_edges_weighted(n, &edges, weights.as_deref())
     }
 
     /// Adds the reverse of every edge (weights duplicated), producing an
-    /// undirected (symmetric) graph. Does not deduplicate.
-    pub fn to_undirected(&self) -> CsrHost {
+    /// undirected (symmetric) graph. Does not deduplicate. Malformed
+    /// inputs are typed [`GraphError`]s, as for [`CsrHost::transpose`].
+    pub fn to_undirected(&self) -> Result<CsrHost, GraphError> {
+        self.validate()?;
         let n = self.vertex_count();
         let mut edges = Vec::with_capacity(self.edge_count() * 2);
         let mut weights = self.weights.as_ref().map(|_| Vec::new());
@@ -172,14 +284,22 @@ impl CsrHost {
             for (k, &v) in self.neighbors(u).iter().enumerate() {
                 edges.push((u, v));
                 edges.push((v, u));
-                if let Some(w) = weights.as_mut() {
-                    let wt = self.neighbor_weights(u).unwrap()[k];
-                    w.push(wt);
-                    w.push(wt);
+                if let (Some(out), Some(w)) = (weights.as_mut(), self.weights.as_ref()) {
+                    let wt = w[self.offsets[u as usize] as usize + k];
+                    out.push(wt);
+                    out.push(wt);
                 }
             }
         }
-        CsrHost::from_edges_weighted(n, &edges, weights.as_deref())
+        CsrHost::try_from_edges_weighted(n, &edges, weights.as_deref())
+    }
+
+    /// `v`'s weight slice out of an already-length-checked weight array
+    /// (validate() has run; bounds hold by construction).
+    fn weight_range(&self, v: VertexId, w: &[Weight]) -> Vec<Weight> {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        w[lo..hi].to_vec()
     }
 
     /// Maximum out-degree.
@@ -199,26 +319,39 @@ impl CsrHost {
         }
     }
 
-    /// Structural validation; used by tests and the IO layer.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Structural validation; used by tests, the IO layer and the service
+    /// upload boundary. Total: every malformed shape (including an empty
+    /// offsets array, which the old `offsets.last().unwrap()` check died
+    /// on) is a typed [`GraphError`], never a panic.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let (first, last) = match (self.offsets.first(), self.offsets.last()) {
+            (Some(&f), Some(&l)) => (f, l),
+            _ => return Err(GraphError::EmptyOffsets),
+        };
         let n = self.vertex_count();
-        if self.offsets[0] != 0 {
-            return Err("offsets must start at 0".into());
+        if first != 0 {
+            return Err(GraphError::BadFirstOffset { first });
         }
-        if *self.offsets.last().unwrap() as usize != self.indices.len() {
-            return Err("last offset must equal edge count".into());
+        if last as usize != self.indices.len() {
+            return Err(GraphError::EdgeCountMismatch {
+                last_offset: last,
+                edges: self.indices.len(),
+            });
         }
         for v in 0..n {
             if self.offsets[v] > self.offsets[v + 1] {
-                return Err(format!("offsets not monotone at vertex {v}"));
+                return Err(GraphError::NonMonotoneOffsets { vertex: v });
             }
         }
         if let Some(&bad) = self.indices.iter().find(|&&d| d as usize >= n) {
-            return Err(format!("edge destination {bad} out of range"));
+            return Err(GraphError::EdgeTargetOutOfRange { target: bad, n });
         }
         if let Some(w) = &self.weights {
             if w.len() != self.indices.len() {
-                return Err("weight count != edge count".into());
+                return Err(GraphError::WeightCountMismatch {
+                    weights: w.len(),
+                    edges: self.indices.len(),
+                });
             }
         }
         Ok(())
@@ -264,25 +397,25 @@ mod tests {
     #[test]
     fn transpose_reverses_edges() {
         let g = diamond();
-        let t = g.transpose();
+        let t = g.transpose().unwrap();
         assert_eq!(t.neighbors(3), &[1, 2]);
         assert_eq!(t.neighbors(0), &[] as &[u32]);
         assert_eq!(t.edge_count(), g.edge_count());
         // transposing twice is the identity (up to sort order)
-        assert_eq!(t.transpose(), g);
+        assert_eq!(t.transpose().unwrap(), g);
     }
 
     #[test]
     fn weighted_transpose_carries_weights() {
         let g = CsrHost::from_edges_weighted(3, &[(0, 1), (2, 1)], Some(&[5.0, 7.0]));
-        let t = g.transpose();
+        let t = g.transpose().unwrap();
         assert_eq!(t.neighbors(1), &[0, 2]);
         assert_eq!(t.neighbor_weights(1).unwrap(), &[5.0, 7.0]);
     }
 
     #[test]
     fn undirected_doubles_edges() {
-        let g = diamond().to_undirected();
+        let g = diamond().to_undirected().unwrap();
         assert_eq!(g.edge_count(), 8);
         assert_eq!(g.neighbors(3), &[1, 2]);
         assert_eq!(g.neighbors(0), &[1, 2]);
@@ -305,10 +438,80 @@ mod tests {
     fn validate_catches_corruption() {
         let mut g = diamond();
         g.indices[0] = 99;
-        assert!(g.validate().is_err());
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::EdgeTargetOutOfRange { target: 99, .. })
+        ));
         let mut g2 = diamond();
         g2.offsets[1] = 100;
         assert!(g2.validate().is_err());
+    }
+
+    #[test]
+    fn malformed_graphs_are_typed_errors_not_panics() {
+        // Empty offsets: the old `offsets.last().unwrap()` panic path.
+        let g = CsrHost {
+            offsets: vec![],
+            indices: vec![0],
+            weights: None,
+        };
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.validate(), Err(GraphError::EmptyOffsets));
+        assert!(g.transpose().is_err());
+        assert!(g.to_undirected().is_err());
+
+        // Truncated weights: the old slice-panic path in transpose().
+        let g = CsrHost {
+            offsets: vec![0, 2],
+            indices: vec![0, 0],
+            weights: Some(vec![1.0]),
+        };
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::WeightCountMismatch {
+                weights: 1,
+                edges: 2
+            })
+        );
+        assert!(matches!(
+            g.transpose(),
+            Err(GraphError::WeightCountMismatch { .. })
+        ));
+
+        // Non-zero first offset.
+        let g = CsrHost {
+            offsets: vec![3, 3],
+            indices: vec![],
+            weights: None,
+        };
+        assert_eq!(g.validate(), Err(GraphError::BadFirstOffset { first: 3 }));
+    }
+
+    #[test]
+    fn try_from_edges_rejects_out_of_range_endpoints() {
+        assert!(matches!(
+            CsrHost::try_from_edges_weighted(2, &[(5, 0)], None),
+            Err(GraphError::EdgeSourceOutOfRange { source: 5, n: 2 })
+        ));
+        assert!(matches!(
+            CsrHost::try_from_edges_weighted(2, &[(0, 9)], None),
+            Err(GraphError::EdgeTargetOutOfRange { target: 9, n: 2 })
+        ));
+        assert!(matches!(
+            CsrHost::try_from_edges_weighted(2, &[(0, 1)], Some(&[1.0, 2.0])),
+            Err(GraphError::WeightCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_sources_shared_boundary_check() {
+        assert!(validate_sources(4, &[0, 3]).is_ok());
+        assert_eq!(
+            validate_sources(4, &[0, 4]),
+            Err(GraphError::SourceOutOfRange { source: 4, n: 4 })
+        );
+        let sim: sygraph_sim::SimError = validate_sources(4, &[9]).unwrap_err().into();
+        assert!(matches!(sim, sygraph_sim::SimError::InvalidInput(_)));
     }
 
     #[test]

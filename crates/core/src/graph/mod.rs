@@ -9,6 +9,6 @@ pub mod traits;
 
 pub use device::{DeviceCsr, Graph};
 pub use ell::EllGraph;
-pub use host::CsrHost;
+pub use host::{validate_sources, CsrHost, GraphError};
 pub use partition::{DevicePartition, HaloEntry, PartitionSpec, PartitionedGraph};
 pub use traits::DeviceGraphView;

@@ -43,7 +43,8 @@ pub use frontier::{
     SparseFrontier, SparseView, TwoLayerFrontier, VectorFrontier, Word,
 };
 pub use graph::{
-    CsrHost, DeviceCsr, DeviceGraphView, DevicePartition, Graph, PartitionSpec, PartitionedGraph,
+    validate_sources, CsrHost, DeviceCsr, DeviceGraphView, DevicePartition, Graph, GraphError,
+    PartitionSpec, PartitionedGraph,
 };
 pub use inspector::{
     inspect, Balancing, DegreeProfile, Direction, OptConfig, Representation, Tuning,

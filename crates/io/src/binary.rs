@@ -60,7 +60,14 @@ pub fn from_bytes(mut b: &[u8]) -> IoResult<CsrHost> {
     let m = b.get_u64_le() as usize;
     let flags = b.get_u32_le();
     let weighted = flags & FLAG_WEIGHTED != 0;
-    let need = (n + 1) * 4 + m * 4 + if weighted { m * 4 } else { 0 };
+    // Checked arithmetic: a hostile header can claim n/m near usize::MAX,
+    // and the unchecked `(n + 1) * 4` wrapped in release builds — turning
+    // the truncation guard below into a huge-allocation abort.
+    let need = n
+        .checked_add(1)
+        .and_then(|x| x.checked_mul(4))
+        .and_then(|x| x.checked_add(m.checked_mul(if weighted { 8 } else { 4 })?))
+        .ok_or_else(|| IoError::Format(format!("header sizes overflow: n={n}, m={m}")))?;
     if b.remaining() < need {
         return Err(IoError::Format(format!(
             "truncated body: need {need}, have {}",
@@ -81,7 +88,7 @@ pub fn from_bytes(mut b: &[u8]) -> IoResult<CsrHost> {
         indices,
         weights,
     };
-    g.validate().map_err(IoError::Format)?;
+    g.validate().map_err(|e| IoError::Format(e.to_string()))?;
     Ok(g)
 }
 

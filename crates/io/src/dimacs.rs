@@ -51,7 +51,7 @@ pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
         }
     }
     let n = n.ok_or_else(|| IoError::Format("missing problem line".into()))?;
-    Ok(CsrHost::from_edges_weighted(n, &edges, Some(&weights)))
+    Ok(CsrHost::try_from_edges_weighted(n, &edges, Some(&weights))?)
 }
 
 /// Writes a DIMACS `.gr` graph (unweighted edges get weight 1).

@@ -52,11 +52,11 @@ pub fn read(r: impl BufRead, min_vertices: usize) -> IoResult<CsrHost> {
     } else {
         max_id as usize + 1
     });
-    Ok(CsrHost::from_edges_weighted(
+    Ok(CsrHost::try_from_edges_weighted(
         n,
         &edges,
         any_weight.then_some(weights.as_slice()),
-    ))
+    )?)
 }
 
 /// Writes an edge list (weights included when present).

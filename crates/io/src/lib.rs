@@ -43,5 +43,14 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+impl From<sygraph_core::graph::GraphError> for IoError {
+    fn from(e: sygraph_core::graph::GraphError) -> Self {
+        // A structurally impossible graph in a parsed file is a format
+        // defect of that file (e.g. an edge beyond the declared
+        // dimensions), reported instead of panicking in CSR construction.
+        IoError::Format(e.to_string())
+    }
+}
+
 /// Crate-wide result alias.
 pub type IoResult<T> = Result<T, IoError>;

@@ -95,7 +95,7 @@ pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
     }
     let (rows, cols, _nnz) = dims.ok_or_else(|| IoError::Format("missing size line".into()))?;
     let n = rows.max(cols);
-    Ok(CsrHost::from_edges_weighted(
+    Ok(CsrHost::try_from_edges_weighted(
         n,
         &edges,
         if field == Field::Pattern {
@@ -103,7 +103,7 @@ pub fn read(r: impl BufRead) -> IoResult<CsrHost> {
         } else {
             Some(weights.as_slice())
         },
-    ))
+    )?)
 }
 
 /// Writes a general MatrixMarket file (pattern when unweighted).

@@ -1,0 +1,183 @@
+//! Result cache keyed on `(graph, graph-version, algo, params)`.
+//!
+//! Entries store the exact value vector the device produced, so a cache
+//! hit is bit-identical to a recompute: the property tests compare
+//! `f32::to_bits` between cached and forced-recompute runs. Version
+//! participation in the key means re-registering a graph silently
+//! invalidates every result computed against the old upload — no
+//! explicit flush protocol, no stale serve.
+//!
+//! Bounded by entry count with FIFO eviction: the service workloads
+//! (bench sweeps, CI smoke) have no use for LRU precision, and FIFO
+//! keeps the lock hold time O(1).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::job::{Algo, JobValues};
+
+/// Full identity of a result. `delta_bits` carries Δ-stepping's float
+/// parameter as raw bits so the key stays `Eq + Hash` without rounding
+/// games.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub graph: String,
+    pub version: u64,
+    pub algo: Algo,
+    pub source: Option<u32>,
+    pub delta_bits: Option<u32>,
+}
+
+/// Cached outcome of one job.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    pub values: JobValues,
+    pub iterations: u32,
+    /// Modelled device ms the original computation cost (reported on
+    /// hits so callers can see what the cache saved).
+    pub sim_ms: f64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<CachedResult>>,
+    fifo: VecDeque<CacheKey>,
+}
+
+/// Shared result cache with hit/miss counters.
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// `capacity` = maximum retained entries (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                fifo: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, bumping the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
+        let found = self.inner.lock().map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts (or overwrites) `key`, evicting the oldest entry when
+    /// full. Overwrites keep the original FIFO position — a re-stored
+    /// key is the same result recomputed, not new information.
+    pub fn put(&self, key: CacheKey, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), Arc::new(result)).is_none() {
+            inner.fifo.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.fifo.pop_front() {
+                    inner.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits / lookups, 0.0 before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32) -> CacheKey {
+        CacheKey {
+            graph: "g".into(),
+            version: 1,
+            algo: Algo::Bfs,
+            source: Some(src),
+            delta_bits: None,
+        }
+    }
+
+    fn result(v: u32) -> CachedResult {
+        CachedResult {
+            values: JobValues::U32(vec![v]),
+            iterations: 1,
+            sim_ms: 0.5,
+        }
+    }
+
+    #[test]
+    fn version_partitions_the_key_space() {
+        let cache = ResultCache::new(16);
+        cache.put(key(0), result(7));
+        assert!(cache.get(&key(0)).is_some());
+        let mut stale = key(0);
+        stale.version = 2;
+        assert!(cache.get(&stale).is_none(), "new version must miss");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_entries() {
+        let cache = ResultCache::new(2);
+        cache.put(key(0), result(0));
+        cache.put(key(1), result(1));
+        cache.put(key(2), result(2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(0)).is_none(), "oldest entry evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.put(key(0), result(0));
+        assert!(cache.get(&key(0)).is_none());
+        assert!(cache.is_empty());
+    }
+}

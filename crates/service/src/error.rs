@@ -1,0 +1,138 @@
+//! Service-layer errors with an HTTP status mapping.
+//!
+//! Every input boundary — JSON bodies, graph uploads, job parameters —
+//! funnels into [`ServiceError`], so a hostile or malformed request is a
+//! 4xx response, never a panic that takes the server (and every resident
+//! graph) down with it.
+
+use std::fmt;
+
+use sygraph_core::graph::GraphError;
+use sygraph_sim::SimError;
+
+/// Typed service failure. `http_status` decides the response class:
+/// caller mistakes are 4xx, device/engine failures are 5xx.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Unparseable or semantically invalid request (bad JSON, unknown
+    /// algorithm, missing fields).
+    BadRequest(String),
+    /// Structurally invalid graph upload — wraps the typed
+    /// [`GraphError`] from `CsrHost::validate`/`try_from_edges`.
+    InvalidGraph(GraphError),
+    /// Request names a graph or job that is not registered.
+    NotFound(String),
+    /// Admission control: the job's modelled peak memory exceeds the
+    /// per-job budget (or can never fit the device), so it is rejected
+    /// up front instead of OOMing mid-run.
+    AdmissionRejected {
+        modeled_bytes: u64,
+        budget_bytes: u64,
+    },
+    /// The simulated device failed while executing the job.
+    Device(SimError),
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// HTTP status code for this error.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest(_) | ServiceError::InvalidGraph(_) => 400,
+            ServiceError::NotFound(_) => 404,
+            ServiceError::AdmissionRejected { .. } => 413,
+            // An out-of-range source travels as Device(InvalidInput)
+            // when it is only caught inside the engine; still the
+            // caller's fault.
+            ServiceError::Device(SimError::InvalidInput(_)) => 400,
+            ServiceError::Device(SimError::Unsupported(_)) => 400,
+            ServiceError::Device(_) => 500,
+            ServiceError::ShuttingDown => 503,
+        }
+    }
+
+    /// Short machine-readable kind label for JSON error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad-request",
+            ServiceError::InvalidGraph(_) => "invalid-graph",
+            ServiceError::NotFound(_) => "not-found",
+            ServiceError::AdmissionRejected { .. } => "admission-rejected",
+            ServiceError::Device(_) => "device",
+            ServiceError::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
+            ServiceError::NotFound(what) => write!(f, "not found: {what}"),
+            ServiceError::AdmissionRejected {
+                modeled_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "admission rejected: modelled peak {modeled_bytes} B exceeds per-job budget {budget_bytes} B"
+            ),
+            ServiceError::Device(e) => write!(f, "device error: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<GraphError> for ServiceError {
+    fn from(e: GraphError) -> Self {
+        ServiceError::InvalidGraph(e)
+    }
+}
+
+impl From<SimError> for ServiceError {
+    fn from(e: SimError) -> Self {
+        ServiceError::Device(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(ServiceError::BadRequest("x".into()).http_status(), 400);
+        assert_eq!(
+            ServiceError::InvalidGraph(GraphError::EmptyOffsets).http_status(),
+            400
+        );
+        assert_eq!(ServiceError::NotFound("g".into()).http_status(), 404);
+        assert_eq!(
+            ServiceError::AdmissionRejected {
+                modeled_bytes: 10,
+                budget_bytes: 5
+            }
+            .http_status(),
+            413
+        );
+        assert_eq!(
+            ServiceError::Device(SimError::InvalidInput("src".into())).http_status(),
+            400
+        );
+        assert_eq!(
+            ServiceError::Device(SimError::OutOfMemory {
+                requested: 1,
+                used: 0,
+                capacity: 1
+            })
+            .http_status(),
+            500
+        );
+    }
+}

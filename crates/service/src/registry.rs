@@ -1,0 +1,288 @@
+//! Resident-graph registry: named, version-tagged graphs that load once
+//! and stay resident on the worker devices across jobs.
+//!
+//! The registry owns the validated host CSR plus residency policy
+//! (symmetrize on upload, warm the pull mirror). Each scheduler worker
+//! keeps a device-side [`ResidentGraph`] mirror per name, re-uploading
+//! only when the registry's version for that name moves — so the upload
+//! cost is paid once per (worker device, graph version), not per job.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sygraph_core::graph::{CsrHost, DeviceGraphView, Graph};
+use sygraph_sim::Queue;
+
+use crate::error::{ServiceError, ServiceResult};
+
+/// Residency policy for a registered graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegisterOptions {
+    /// Symmetrize at registration (required for component semantics of
+    /// `cc`; applied once on the host, so every device upload is
+    /// already undirected).
+    pub undirected: bool,
+    /// Warm the pull (CSC) mirror at upload time instead of lazily on
+    /// the first pull-direction superstep.
+    pub pull: bool,
+}
+
+/// Host-side record of a registered graph.
+#[derive(Debug)]
+pub struct RegisteredGraph {
+    pub name: String,
+    /// Monotone per-name version; bumps on re-registration. Part of
+    /// every cache key, so stale results can never serve a new upload.
+    pub version: u64,
+    pub host: Arc<CsrHost>,
+    pub options: RegisterOptions,
+}
+
+impl RegisteredGraph {
+    pub fn vertex_count(&self) -> usize {
+        self.host.vertex_count()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.host.edge_count()
+    }
+
+    pub fn weighted(&self) -> bool {
+        self.host.weights.is_some()
+    }
+
+    /// Device bytes this graph occupies while resident: CSR arrays,
+    /// plus the CSC mirror when the pull policy is set.
+    pub fn resident_bytes(&self) -> u64 {
+        let n = self.vertex_count() as u64;
+        let m = self.edge_count() as u64;
+        let w = if self.weighted() { 4 * m } else { 0 };
+        let csr = 4 * (n + 1) + 4 * m + w;
+        if self.options.pull {
+            2 * csr
+        } else {
+            csr
+        }
+    }
+}
+
+/// One worker device's resident copy of a graph.
+pub struct ResidentGraph {
+    pub version: u64,
+    pub graph: Arc<Graph>,
+}
+
+/// Named graph registry shared between the front end and the workers.
+pub struct Registry {
+    graphs: RwLock<HashMap<String, Arc<RegisteredGraph>>>,
+    /// Bumps on every successful (re-)registration; workers compare it
+    /// against their last-synced value to find stale mirrors cheaply.
+    generation: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            graphs: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Validates and registers `host` under `name`, bumping the
+    /// per-name version. A structurally broken graph is refused with
+    /// the typed [`GraphError`](sygraph_core::graph::GraphError) — it
+    /// never becomes resident, and the previous version (if any) stays
+    /// servable.
+    pub fn register(
+        &self,
+        name: &str,
+        host: CsrHost,
+        options: RegisterOptions,
+    ) -> ServiceResult<Arc<RegisteredGraph>> {
+        if name.is_empty() {
+            return Err(ServiceError::BadRequest("graph name is empty".into()));
+        }
+        host.validate()?;
+        let host = if options.undirected {
+            host.to_undirected()?
+        } else {
+            host
+        };
+        let mut graphs = self.graphs.write();
+        let version = graphs.get(name).map(|g| g.version + 1).unwrap_or(1);
+        let entry = Arc::new(RegisteredGraph {
+            name: name.to_string(),
+            version,
+            host: Arc::new(host),
+            options,
+        });
+        graphs.insert(name.to_string(), entry.clone());
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        Ok(entry)
+    }
+
+    /// Looks up a graph by name.
+    pub fn get(&self, name: &str) -> ServiceResult<Arc<RegisteredGraph>> {
+        self.graphs
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::NotFound(format!("graph {name:?}")))
+    }
+
+    /// All registered graphs, name-sorted (stable listing output).
+    pub fn list(&self) -> Vec<Arc<RegisteredGraph>> {
+        let mut all: Vec<_> = self.graphs.read().values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Registration generation counter (workers poll this).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Total modelled resident bytes across all registered graphs —
+    /// admission control subtracts this from device capacity.
+    pub fn resident_bytes(&self) -> u64 {
+        self.graphs
+            .read()
+            .values()
+            .map(|g| g.resident_bytes())
+            .sum()
+    }
+}
+
+/// Per-worker device mirror: uploads on first use or version change,
+/// then serves the resident copy.
+pub struct DeviceMirror {
+    resident: HashMap<String, ResidentGraph>,
+}
+
+impl Default for DeviceMirror {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceMirror {
+    pub fn new() -> DeviceMirror {
+        DeviceMirror {
+            resident: HashMap::new(),
+        }
+    }
+
+    /// Returns this device's resident copy of `reg`, uploading (and
+    /// warming the pull mirror, per policy) only when the version is
+    /// new to this device.
+    pub fn resolve(&mut self, q: &Queue, reg: &RegisteredGraph) -> ServiceResult<Arc<Graph>> {
+        if let Some(res) = self.resident.get(&reg.name) {
+            if res.version == reg.version {
+                return Ok(res.graph.clone());
+            }
+        }
+        let graph = if reg.options.pull {
+            let g = Graph::with_pull(q, &reg.host)?;
+            // Warm the CSC mirror now: residency means the first
+            // pull-direction superstep pays zero upload cost.
+            g.ensure_pull(q)?;
+            g
+        } else {
+            Graph::new(q, &reg.host)?
+        };
+        let graph = Arc::new(graph);
+        self.resident.insert(
+            reg.name.clone(),
+            ResidentGraph {
+                version: reg.version,
+                graph: graph.clone(),
+            },
+        );
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sygraph_sim::{Device, DeviceProfile};
+
+    fn line_graph(n: usize) -> CsrHost {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        CsrHost::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn register_versions_and_lists() {
+        let reg = Registry::new();
+        let g1 = reg
+            .register("line", line_graph(8), RegisterOptions::default())
+            .unwrap();
+        assert_eq!(g1.version, 1);
+        let g2 = reg
+            .register("line", line_graph(16), RegisterOptions::default())
+            .unwrap();
+        assert_eq!(g2.version, 2);
+        assert_eq!(reg.get("line").unwrap().vertex_count(), 16);
+        assert_eq!(reg.list().len(), 1);
+        assert!(matches!(
+            reg.get("absent").unwrap_err(),
+            ServiceError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_registration_is_typed_and_keeps_old_version() {
+        let reg = Registry::new();
+        reg.register("g", line_graph(4), RegisterOptions::default())
+            .unwrap();
+        // Non-monotone offsets: structurally broken.
+        let bad = CsrHost {
+            offsets: vec![0, 3, 1, 4],
+            indices: vec![1, 2, 3, 0],
+            weights: None,
+        };
+        let err = reg
+            .register("g", bad, RegisterOptions::default())
+            .unwrap_err();
+        assert_eq!(err.http_status(), 400);
+        assert_eq!(reg.get("g").unwrap().version, 1);
+    }
+
+    #[test]
+    fn mirror_uploads_once_per_version() {
+        let reg = Registry::new();
+        reg.register(
+            "g",
+            line_graph(32),
+            RegisterOptions {
+                undirected: true,
+                pull: true,
+            },
+        )
+        .unwrap();
+        let q = Queue::new(Device::new(DeviceProfile::host_test()));
+        let mut mirror = DeviceMirror::new();
+        let entry = reg.get("g").unwrap();
+        let a = mirror.resolve(&q, &entry).unwrap();
+        let b = mirror.resolve(&q, &entry).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same version must not re-upload");
+        // Pull policy warms the CSC mirror at upload.
+        assert!(a.pull_view().is_some());
+
+        reg.register("g", line_graph(64), RegisterOptions::default())
+            .unwrap();
+        let entry2 = reg.get("g").unwrap();
+        let c = mirror.resolve(&q, &entry2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "new version must re-upload");
+        assert_eq!(c.vertex_count(), 64);
+    }
+}

@@ -1,0 +1,793 @@
+//! Concurrent job scheduler: a shared submission queue drained by worker
+//! threads, each owning one simulated device queue.
+//!
+//! The pieces the ISSUE names live here:
+//!
+//! - **Admission control** — at submit time the job's peak scratch
+//!   memory is modelled ([`modeled_peak_bytes`]) and checked against the
+//!   per-job budget and the device's free capacity; oversized jobs stop
+//!   at `Rejected` instead of OOMing a worker mid-run.
+//! - **Request coalescing** — when a worker claims a coalescible head
+//!   job (single-source BFS), it folds every compatible pending request
+//!   (same graph, same version, coalescing not opted out) into one
+//!   W-lane multi-source pass, waiting up to the batching window for
+//!   stragglers, then demuxes the per-lane vectors back to the
+//!   individual jobs. Per-lane output is bit-identical to a serial
+//!   rooted run (the PR-7 lane property), so callers cannot observe
+//!   whether their job was batched — except in the metrics.
+//! - **Result caching** — before queueing, the scheduler consults the
+//!   [`ResultCache`]; a hit completes the job immediately with zero
+//!   device time. Workers store what they compute (including every lane
+//!   of a coalesced batch, under single-source keys).
+//!
+//! Workers survive algorithm panics: a panicking job is recorded as
+//! `Failed` and the worker rebuilds its device state, so one poisoned
+//! request cannot take the service down.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use sygraph_algos::common::AlgoResult;
+use sygraph_algos::{bc, bfs, cc, delta, multi, pagerank, sssp};
+use sygraph_core::graph::{validate_sources, Graph};
+use sygraph_core::inspector::OptConfig;
+use sygraph_sim::{Device, DeviceProfile, Queue};
+
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::error::{ServiceError, ServiceResult};
+use crate::job::{Algo, JobMetrics, JobRecord, JobRequest, JobState, JobValues};
+use crate::registry::{DeviceMirror, Registry};
+
+/// Scheduler / service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulated device profile each worker instantiates.
+    pub profile: DeviceProfile,
+    /// Worker threads (= simulated device queues).
+    pub workers: usize,
+    /// How long a worker holding an underfull coalescible batch waits
+    /// for stragglers, in milliseconds. 0 = batch only what is already
+    /// pending at claim time (deterministic; what the bench uses).
+    pub batch_window_ms: u64,
+    /// Maximum lanes per coalesced pass; must be 8, 16, 32 or 64.
+    pub batch_width: u32,
+    /// Per-job modelled peak scratch budget in bytes. `None` = the
+    /// device's full capacity.
+    pub job_mem_budget: Option<u64>,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Start with the queue paused: jobs accumulate until
+    /// [`Scheduler::resume`], letting tests and benches stage a burst
+    /// deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            profile: DeviceProfile::host_test(),
+            workers: 2,
+            batch_window_ms: 0,
+            batch_width: 32,
+            job_mem_budget: None,
+            cache_entries: 1024,
+            start_paused: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    pub fn validate(&self) -> ServiceResult<()> {
+        if self.workers == 0 {
+            return Err(ServiceError::BadRequest("workers must be >= 1".into()));
+        }
+        if !matches!(self.batch_width, 8 | 16 | 32 | 64) {
+            return Err(ServiceError::BadRequest(format!(
+                "batch_width must be 8|16|32|64, got {}",
+                self.batch_width
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Coarse peak-scratch model for admission control, in bytes. Counts the
+/// algorithm's value/state arrays plus double-buffered two-layer
+/// frontiers; deliberately a little generous so a pass never exceeds the
+/// admitted figure by more than slack. `lanes` scales the multi-source
+/// BFS layout (per-lane depth rows + packed lane masks).
+pub fn modeled_peak_bytes(algo: Algo, n: u64, _m: u64, lanes: u32) -> u64 {
+    let lanes = lanes.max(1) as u64;
+    // Two in/out frontiers, each a two-layer bitmap plus compaction
+    // scratch: ~1 byte/vertex covers every word width used.
+    let frontier = 2 * n + 256;
+    let state = match algo {
+        // depth rows (4B per lane per vertex) + packed visited lanes.
+        Algo::Bfs => lanes * 4 * n + lanes * n / 4 + lanes * frontier / 2,
+        Algo::Sssp => 4 * n,
+        // distances + bucket tags.
+        Algo::DeltaSssp => 8 * n,
+        Algo::Cc => 4 * n,
+        // depth + sigma + delta + retained per-level frontier pool.
+        Algo::Bc => 12 * n + 4 * n,
+        // rank + next + share + scalars.
+        Algo::Pagerank => 12 * n + 64,
+    };
+    state + frontier
+}
+
+/// One queued unit of work. Carries the match fields for coalescing so
+/// workers never need the job table while holding the queue lock.
+struct PendingJob {
+    id: u64,
+    graph: String,
+    version: u64,
+    algo: Algo,
+    source: u32,
+    coalesce: bool,
+    enqueued_at: Instant,
+}
+
+struct SchedState {
+    pending: VecDeque<PendingJob>,
+    paused: bool,
+    shutdown: bool,
+    in_flight: usize,
+}
+
+/// Monotone counters exposed to `/stats` and the bench.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub jobs_done: AtomicU64,
+    pub jobs_failed: AtomicU64,
+    pub jobs_rejected: AtomicU64,
+    pub coalesced_batches: AtomicU64,
+    pub coalesced_jobs: AtomicU64,
+    /// Total modelled device nanoseconds spent executing (each
+    /// coalesced batch counted once).
+    pub device_ns: AtomicU64,
+}
+
+/// Point-in-time statistics snapshot.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StatsSnapshot {
+    pub jobs_done: u64,
+    pub jobs_failed: u64,
+    pub jobs_rejected: u64,
+    pub coalesced_batches: u64,
+    pub coalesced_jobs: u64,
+    pub device_ms: f64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_hit_ratio: f64,
+    pub cache_entries: u64,
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    cache: Arc<ResultCache>,
+    jobs: RwLock<HashMap<u64, JobRecord>>,
+    state: StdMutex<SchedState>,
+    /// Wakes workers: new work, pause/resume, shutdown.
+    work_cv: Condvar,
+    /// Wakes completion waiters (`wait`, `wait_idle`).
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    counters: Counters,
+    ready: AtomicBool,
+    cfg: ServiceConfig,
+}
+
+/// The scheduler: submission front end plus the worker pool.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    pub fn new(
+        cfg: ServiceConfig,
+        registry: Arc<Registry>,
+        cache: Arc<ResultCache>,
+    ) -> ServiceResult<Scheduler> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            registry,
+            cache,
+            jobs: RwLock::new(HashMap::new()),
+            state: StdMutex::new(SchedState {
+                pending: VecDeque::new(),
+                paused: cfg.start_paused,
+                shutdown: false,
+                in_flight: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            ready: AtomicBool::new(true),
+            cfg: cfg.clone(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("sygraph-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Scheduler { shared, workers })
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// True once workers are accepting jobs (and not shut down).
+    pub fn ready(&self) -> bool {
+        self.shared.ready.load(Ordering::SeqCst)
+    }
+
+    /// Validates and submits a job. Well-formed requests always get an
+    /// id; admission-rejected jobs come back with an id too, their
+    /// record already terminal at [`JobState::Rejected`]. Malformed
+    /// requests (unknown algorithm, unknown graph, missing or
+    /// out-of-range source, non-positive Δ) are refused with the typed
+    /// error instead — nothing is queued, nothing panics.
+    pub fn submit(&self, request: JobRequest) -> ServiceResult<u64> {
+        {
+            let st = lock(&self.shared.state);
+            if st.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+        }
+        let algo = Algo::parse(&request.algo)?;
+        let reg = self.shared.registry.get(&request.graph)?;
+        let n = reg.vertex_count();
+
+        let source = if algo.needs_source() {
+            let src = request.source.ok_or_else(|| {
+                ServiceError::BadRequest(format!("{} requires a source", algo.label()))
+            })?;
+            validate_sources(n, &[src]).map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+            Some(src)
+        } else {
+            None
+        };
+        let delta_bits = match algo {
+            Algo::DeltaSssp => {
+                let d = request.delta.unwrap_or(2.0);
+                if d <= 0.0 || d.is_nan() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "delta must be positive, got {d}"
+                    )));
+                }
+                Some(d.to_bits())
+            }
+            _ => None,
+        };
+
+        let id = self.shared.next_id.fetch_add(1, Ordering::SeqCst);
+        let mut record = JobRecord::queued(id, request.clone(), reg.version);
+
+        // Cache lookup first: a hit does no device work, so it cannot
+        // be admission-rejected and never waits for a worker.
+        let no_cache = request.no_cache.unwrap_or(false);
+        let key = CacheKey {
+            graph: reg.name.clone(),
+            version: reg.version,
+            algo,
+            source,
+            delta_bits,
+        };
+        if !no_cache {
+            if let Some(hit) = self.shared.cache.get(&key) {
+                record.state = JobState::Done;
+                record.values = Some(hit.values.clone());
+                record.metrics = JobMetrics {
+                    iterations: hit.iterations,
+                    sim_ms: 0.0,
+                    cache_hit: true,
+                    batch_size: 1,
+                    ..JobMetrics::default()
+                };
+                self.shared
+                    .counters
+                    .jobs_done
+                    .fetch_add(1, Ordering::Relaxed);
+                self.finish(record);
+                return Ok(id);
+            }
+        }
+
+        // Admission control against the modelled single-job peak.
+        let modeled = modeled_peak_bytes(algo, n as u64, reg.edge_count() as u64, 1);
+        let budget = self.job_budget();
+        let free = self
+            .shared
+            .cfg
+            .profile
+            .vram_bytes
+            .saturating_sub(self.shared.registry.resident_bytes());
+        if modeled > budget || modeled > free {
+            let limit = budget.min(free);
+            let err = ServiceError::AdmissionRejected {
+                modeled_bytes: modeled,
+                budget_bytes: limit,
+            };
+            record.state = JobState::Rejected;
+            record.error = Some(err.to_string());
+            record.error_kind = Some(err.kind().to_string());
+            record.http_status = Some(err.http_status());
+            record.metrics.modeled_peak_bytes = modeled;
+            self.shared
+                .counters
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            self.finish(record);
+            return Ok(id);
+        }
+        record.metrics.modeled_peak_bytes = modeled;
+
+        self.shared.jobs.write().insert(id, record);
+        let mut st = lock(&self.shared.state);
+        st.pending.push_back(PendingJob {
+            id,
+            graph: reg.name.clone(),
+            version: reg.version,
+            algo,
+            source: source.unwrap_or(0),
+            coalesce: algo.coalescible() && !request.no_coalesce.unwrap_or(false),
+            enqueued_at: Instant::now(),
+        });
+        drop(st);
+        self.shared.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Records a job that completed without ever being queued.
+    fn finish(&self, record: JobRecord) {
+        self.shared.jobs.write().insert(record.id, record);
+        self.shared.done_cv.notify_all();
+    }
+
+    fn job_budget(&self) -> u64 {
+        self.shared
+            .cfg
+            .job_mem_budget
+            .unwrap_or(self.shared.cfg.profile.vram_bytes)
+    }
+
+    /// Snapshot of a job record.
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.shared.jobs.read().get(&id).cloned()
+    }
+
+    /// All job ids, ascending (listing endpoint).
+    pub fn job_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.shared.jobs.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Blocks until `id` reaches a terminal state; `None` for unknown ids.
+    pub fn wait(&self, id: u64) -> Option<JobRecord> {
+        loop {
+            match self.job(id) {
+                None => return None,
+                Some(rec) if terminal(rec.state) => return Some(rec),
+                Some(_) => {
+                    let st = lock(&self.shared.state);
+                    let _ = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(st, Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Blocks until the queue is empty and no job is executing.
+    pub fn wait_idle(&self) {
+        loop {
+            let st = lock(&self.shared.state);
+            if st.pending.is_empty() && st.in_flight == 0 {
+                return;
+            }
+            let _ = self
+                .shared
+                .done_cv
+                .wait_timeout(st, Duration::from_millis(20));
+        }
+    }
+
+    /// Pauses claiming (already-running batches finish).
+    pub fn pause(&self) {
+        lock(&self.shared.state).paused = true;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Resumes claiming.
+    pub fn resume(&self) {
+        lock(&self.shared.state).paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.shared.counters;
+        StatsSnapshot {
+            jobs_done: c.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: c.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: c.jobs_rejected.load(Ordering::Relaxed),
+            coalesced_batches: c.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_jobs: c.coalesced_jobs.load(Ordering::Relaxed),
+            device_ms: c.device_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            cache_hits: self.shared.cache.hits(),
+            cache_misses: self.shared.cache.misses(),
+            cache_hit_ratio: self.shared.cache.hit_ratio(),
+            cache_entries: self.shared.cache.len() as u64,
+        }
+    }
+
+    /// Stops accepting work, wakes and joins every worker. Pending jobs
+    /// stay `Queued` in the table.
+    pub fn shutdown(&mut self) {
+        self.shared.ready.store(false, Ordering::SeqCst);
+        lock(&self.shared.state).shutdown = true;
+        self.shared.work_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn terminal(state: JobState) -> bool {
+    matches!(
+        state,
+        JobState::Done | JobState::Failed | JobState::Rejected
+    )
+}
+
+fn lock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Workers catch panics, so poisoning is all but impossible; if it
+    // ever happens the protected state is still structurally sound.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Largest supported lane width (8|16|32|64) that is ≤ `cap` and whose
+/// modelled batch peak fits `budget`; 1 when even 8 lanes do not fit.
+fn admissible_width(n: u64, m: u64, cap: u32, budget: u64) -> u32 {
+    let mut width = 0;
+    for w in [8u32, 16, 32, 64] {
+        if w <= cap && modeled_peak_bytes(Algo::Bfs, n, m, w) <= budget {
+            width = w;
+        }
+    }
+    width.max(1)
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut device = Device::new(shared.cfg.profile.clone());
+    let mut q = Queue::new(device.clone());
+    let mut mirror = DeviceMirror::new();
+    loop {
+        let batch = match claim(&shared) {
+            Some(batch) => batch,
+            None => return, // shutdown
+        };
+        let panicked = {
+            let run = AssertUnwindSafe(|| execute(&shared, &q, &mut mirror, &batch));
+            catch_unwind(run).is_err()
+        };
+        if panicked {
+            fail_batch(&shared, &batch, "worker panicked while executing the job");
+            // The device state may be mid-kernel garbage; rebuild it.
+            device = Device::new(shared.cfg.profile.clone());
+            q = Queue::new(device.clone());
+            mirror = DeviceMirror::new();
+        }
+        let mut st = lock(&shared.state);
+        st.in_flight -= batch.len();
+        drop(st);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Claims the next unit of work: one job, or a coalesced batch grown
+/// from a coalescible head. Returns `None` on shutdown.
+fn claim(shared: &Shared) -> Option<Vec<PendingJob>> {
+    let mut st = lock(&shared.state);
+    loop {
+        if st.shutdown {
+            return None;
+        }
+        if !st.paused && !st.pending.is_empty() {
+            break;
+        }
+        st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    let head = st.pending.pop_front().expect("pending checked non-empty");
+    let mut batch = vec![head];
+    if batch[0].coalesce {
+        let budget = shared
+            .cfg
+            .job_mem_budget
+            .unwrap_or(shared.cfg.profile.vram_bytes);
+        let reg = shared.registry.get(&batch[0].graph).ok();
+        let width = reg
+            .map(|r| {
+                admissible_width(
+                    r.vertex_count() as u64,
+                    r.edge_count() as u64,
+                    shared.cfg.batch_width,
+                    budget,
+                )
+            })
+            .unwrap_or(1) as usize;
+        let window = Duration::from_millis(shared.cfg.batch_window_ms);
+        let deadline = batch[0].enqueued_at + window;
+        loop {
+            // Drain currently-pending mates into the batch.
+            let mut i = 0;
+            while i < st.pending.len() && batch.len() < width {
+                let p = &st.pending[i];
+                if p.coalesce
+                    && p.graph == batch[0].graph
+                    && p.version == batch[0].version
+                    && p.algo == batch[0].algo
+                {
+                    batch.push(st.pending.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= width || st.paused || st.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = shared
+                .work_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+    st.in_flight += batch.len();
+    Some(batch)
+}
+
+fn mark_running(shared: &Shared, batch: &[PendingJob]) {
+    let mut jobs = shared.jobs.write();
+    for p in batch {
+        if let Some(rec) = jobs.get_mut(&p.id) {
+            rec.state = JobState::Running;
+        }
+    }
+}
+
+fn fail_batch(shared: &Shared, batch: &[PendingJob], msg: &str) {
+    let err = ServiceError::Device(sygraph_sim::SimError::Algorithm(msg.to_string()));
+    let mut jobs = shared.jobs.write();
+    for p in batch {
+        if let Some(rec) = jobs.get_mut(&p.id) {
+            if !terminal(rec.state) {
+                rec.state = JobState::Failed;
+                rec.error = Some(msg.to_string());
+                rec.error_kind = Some(err.kind().to_string());
+                rec.http_status = Some(err.http_status());
+                shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    drop(jobs);
+    shared.done_cv.notify_all();
+}
+
+/// Executes a claimed batch on this worker's queue.
+fn execute(shared: &Shared, q: &Queue, mirror: &mut DeviceMirror, batch: &[PendingJob]) {
+    mark_running(shared, batch);
+
+    // Re-resolve the graph; it may have been superseded since submit.
+    let reg = match shared.registry.get(&batch[0].graph) {
+        Ok(reg) if reg.version == batch[0].version => reg,
+        Ok(reg) => {
+            let msg = format!(
+                "graph {:?} version {} superseded by {} before the job ran",
+                batch[0].graph, batch[0].version, reg.version
+            );
+            return fail_with(shared, batch, ServiceError::NotFound(msg));
+        }
+        Err(e) => return fail_with(shared, batch, e),
+    };
+    let graph = match mirror.resolve(q, &reg) {
+        Ok(g) => g,
+        Err(e) => return fail_with(shared, batch, e),
+    };
+
+    // Per-job metric scoping on this worker's reused queue: a profiler
+    // epoch (kernel/recovery counts) plus a peak-watermark reset (the
+    // worker runs one batch at a time, so the device ledger is ours).
+    let epoch = q.profiler().begin_epoch();
+    q.device().reset_mem_peak();
+    let used_before = q.device().mem_used();
+    let opts = OptConfig::all();
+
+    let coalesced = batch.len() > 1;
+    let outcome: Result<BatchOutcome, ServiceError> = if coalesced {
+        let sources: Vec<u32> = batch.iter().map(|p| p.source).collect();
+        let width = admissible_width(
+            reg.vertex_count() as u64,
+            reg.edge_count() as u64,
+            shared.cfg.batch_width,
+            shared
+                .cfg
+                .job_mem_budget
+                .unwrap_or(shared.cfg.profile.vram_bytes),
+        );
+        multi::bfs_multi(q, &graph.csr, &sources, width, &opts)
+            .map(|r| BatchOutcome {
+                per_job: r.per_source.into_iter().map(JobValues::U32).collect(),
+                iterations: r.iterations,
+                sim_ms: r.sim_ms,
+            })
+            .map_err(ServiceError::from)
+    } else {
+        run_single(shared, q, &graph, &batch[0]).map(|(values, iterations, sim_ms)| BatchOutcome {
+            per_job: vec![values],
+            iterations,
+            sim_ms,
+        })
+    };
+
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => return fail_with(shared, batch, e),
+    };
+
+    let mem_peak = q.device().mem_peak().saturating_sub(used_before);
+    let kernel_launches = q.profiler().kernel_count_since(&epoch) as u64;
+    let recovery_events = q.profiler().recovery_count_since(&epoch) as u64;
+    shared
+        .counters
+        .device_ns
+        .fetch_add((outcome.sim_ms * 1e6) as u64, Ordering::Relaxed);
+    if coalesced {
+        shared
+            .counters
+            .coalesced_batches
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .counters
+            .coalesced_jobs
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+
+    // Store lanes in the cache, then complete the records.
+    let mut jobs = shared.jobs.write();
+    for (p, values) in batch.iter().zip(outcome.per_job) {
+        let rec = match jobs.get_mut(&p.id) {
+            Some(rec) => rec,
+            None => continue,
+        };
+        if !rec.request.no_cache.unwrap_or(false) {
+            shared.cache.put(
+                CacheKey {
+                    graph: p.graph.clone(),
+                    version: p.version,
+                    algo: p.algo,
+                    source: if p.algo.needs_source() {
+                        Some(p.source)
+                    } else {
+                        None
+                    },
+                    delta_bits: match p.algo {
+                        Algo::DeltaSssp => Some(rec.request.delta.unwrap_or(2.0).to_bits()),
+                        _ => None,
+                    },
+                },
+                CachedResult {
+                    values: values.clone(),
+                    iterations: outcome.iterations,
+                    sim_ms: outcome.sim_ms,
+                },
+            );
+        }
+        rec.state = JobState::Done;
+        rec.values = Some(values);
+        rec.metrics = JobMetrics {
+            iterations: outcome.iterations,
+            sim_ms: outcome.sim_ms,
+            kernel_launches,
+            mem_peak_bytes: mem_peak,
+            modeled_peak_bytes: rec.metrics.modeled_peak_bytes,
+            cache_hit: false,
+            coalesced,
+            batch_size: batch.len() as u32,
+            recovery_events,
+        };
+        shared.counters.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(jobs);
+    shared.done_cv.notify_all();
+}
+
+struct BatchOutcome {
+    per_job: Vec<JobValues>,
+    iterations: u32,
+    sim_ms: f64,
+}
+
+fn fail_with(shared: &Shared, batch: &[PendingJob], err: ServiceError) {
+    let msg = err.to_string();
+    let mut jobs = shared.jobs.write();
+    for p in batch {
+        if let Some(rec) = jobs.get_mut(&p.id) {
+            rec.state = JobState::Failed;
+            rec.error = Some(msg.clone());
+            rec.error_kind = Some(err.kind().to_string());
+            rec.http_status = Some(err.http_status());
+            shared.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop(jobs);
+    shared.done_cv.notify_all();
+}
+
+/// Runs one non-coalesced job. BFS runs on the push (CSR) view even
+/// when a pull mirror is resident, keeping serial output exactly the
+/// baseline that `bfs_multi` lanes are bit-identical to — coalescing
+/// must be unobservable in the values.
+fn run_single(
+    shared: &Shared,
+    q: &Queue,
+    graph: &Graph,
+    p: &PendingJob,
+) -> ServiceResult<(JobValues, u32, f64)> {
+    fn unpack<T>(
+        r: AlgoResult<T>,
+        wrap: impl FnOnce(Vec<T>) -> JobValues,
+    ) -> (JobValues, u32, f64) {
+        (wrap(r.values), r.iterations, r.sim_ms)
+    }
+    let opts = OptConfig::all();
+    let rec_delta = shared
+        .jobs
+        .read()
+        .get(&p.id)
+        .and_then(|r| r.request.delta)
+        .unwrap_or(2.0);
+    Ok(match p.algo {
+        Algo::Bfs => unpack(bfs::run(q, &graph.csr, p.source, &opts)?, JobValues::U32),
+        Algo::Sssp => unpack(sssp::run(q, &graph.csr, p.source, &opts)?, JobValues::F32),
+        Algo::DeltaSssp => unpack(
+            delta::run(q, &graph.csr, p.source, &opts, rec_delta)?,
+            JobValues::F32,
+        ),
+        Algo::Cc => unpack(cc::run(q, graph, &opts)?, JobValues::U32),
+        Algo::Bc => unpack(bc::run(q, &graph.csr, p.source, &opts)?, JobValues::F32),
+        Algo::Pagerank => unpack(
+            pagerank::run(q, &graph.csr, &opts, Default::default())?,
+            JobValues::F32,
+        ),
+    })
+}

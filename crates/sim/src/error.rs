@@ -20,6 +20,11 @@ pub enum SimError {
     /// The framework does not implement the requested algorithm
     /// (SEP-Graph has no CC implementation; rendered as `-` in Table 6).
     Unsupported(String),
+    /// Request-boundary rejection: the caller handed in something that can
+    /// never run (out-of-range source vertex, malformed graph, unknown
+    /// parameter). Unlike [`SimError::Algorithm`] this is the *input's*
+    /// fault, so services map it to a 4xx instead of a 5xx.
+    InvalidInput(String),
     /// A transient launch failure (injected by a [`FaultPlan`]); the same
     /// launch is expected to succeed on retry. Carries the kernel label and
     /// the launch-attempt ordinal at which the fault fired.
@@ -45,6 +50,7 @@ impl fmt::Display for SimError {
             SimError::InvalidLaunch(msg) => write!(f, "invalid kernel launch: {msg}"),
             SimError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
             SimError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            SimError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             SimError::Transient { kernel, launch } => {
                 write!(
                     f,

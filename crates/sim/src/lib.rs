@@ -56,7 +56,7 @@ pub use fault::FaultPlan;
 pub use memory::{AllocKind, AtomicInt, DeviceBuffer, DeviceScalar};
 pub use profiler::{
     DirectionEvent, ExchangeEvent, KernelRecord, LaneEvent, Marker, MemEvent, Profiler,
-    RecoveryEvent, RepEvent,
+    ProfilerEpoch, RecoveryEvent, RepEvent,
 };
 pub use queue::{Device, Event, Queue};
 pub use sanitize::{Finding, FindingKind, Sanitizer};

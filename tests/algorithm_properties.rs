@@ -40,7 +40,7 @@ proptest! {
         let q = queue();
         let g = Graph::new(&q, &host).unwrap();
         let dist = sygraph::algos::bfs::run(&q, &g.csr, 0, &OptConfig::all()).unwrap().values;
-        let t = host.transpose();
+        let t = host.transpose().unwrap();
         for v in 0..n {
             let d = dist[v as usize];
             if d != u32::MAX && d > 0 {
@@ -73,7 +73,7 @@ proptest! {
 
     #[test]
     fn cc_labels_are_component_constant((n, edges) in graph_strategy(60, 150)) {
-        let host = CsrHost::from_edges(n as usize, &edges).to_undirected();
+        let host = CsrHost::from_edges(n as usize, &edges).to_undirected().unwrap();
         let q = queue();
         let g = Graph::new(&q, &host).unwrap();
         let labels = sygraph::algos::cc::run(&q, &g.csr, &OptConfig::all()).unwrap().values;

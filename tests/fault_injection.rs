@@ -133,7 +133,7 @@ fn assert_recovers(
 fn fault_matrix(kind: &str, spec_of: impl Fn(&Baseline) -> (String, usize, usize)) {
     let policy = RecoveryPolicy::resilient(3, 4);
     for ds in four_datasets() {
-        let host = ds.host.to_undirected();
+        let host = ds.host.to_undirected().unwrap();
         let src = sample_useful_sources(&ds.host, 1, 42)[0];
         for rep in REPS {
             let opts = opts_with(rep, policy);

@@ -73,12 +73,12 @@ proptest! {
 
     #[test]
     fn transpose_involution(g in graph_strategy()) {
-        prop_assert_eq!(g.transpose().transpose(), g);
+        prop_assert_eq!(g.transpose().unwrap().transpose().unwrap(), g);
     }
 
     #[test]
     fn undirected_is_symmetric(g in graph_strategy()) {
-        let u = g.to_undirected();
+        let u = g.to_undirected().unwrap();
         for v in 0..u.vertex_count() as u32 {
             for &w in u.neighbors(v) {
                 prop_assert!(u.neighbors(w).contains(&v));

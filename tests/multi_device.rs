@@ -62,7 +62,7 @@ fn partitioned_matrix_is_bit_identical_to_single_device() {
     let opts = OptConfig::all();
     let excfg = ExchangeConfig::default();
     for ds in four_datasets() {
-        let undirected = ds.host.to_undirected();
+        let undirected = ds.host.to_undirected().unwrap();
         let src = sample_useful_sources(&ds.host, 1, 42)[0];
         let base = single_device(&ds.host, &undirected, src, &opts);
         for spec in SPECS {

@@ -192,7 +192,7 @@ fn four_datasets() -> Vec<Dataset> {
 fn bfs_sssp_cc_all_clear_on_dataset_suite() {
     for ds in four_datasets() {
         let src = sample_useful_sources(&ds.host, 1, 42)[0];
-        let undirected = ds.host.to_undirected();
+        let undirected = ds.host.to_undirected().unwrap();
         for rep in [
             Representation::Dense,
             Representation::Sparse,

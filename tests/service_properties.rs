@@ -1,0 +1,362 @@
+//! Service-layer properties: cache bit-identity, coalescing
+//! transparency, admission control, and typed errors (never panics) on
+//! every HTTP and submission boundary.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use sygraph_gen::{datasets, Scale};
+use sygraph_service::{
+    modeled_peak_bytes, Algo, HttpServer, JobRequest, JobState, RegisterOptions, Service,
+    ServiceConfig, ServiceError,
+};
+use sygraph_sim::DeviceProfile;
+
+fn test_service(cfg: ServiceConfig) -> Service {
+    Service::start(cfg).expect("service starts")
+}
+
+fn default_cfg() -> ServiceConfig {
+    ServiceConfig {
+        profile: DeviceProfile::host_test(),
+        workers: 2,
+        batch_window_ms: 0,
+        batch_width: 16,
+        job_mem_budget: None,
+        cache_entries: 4096,
+        start_paused: false,
+    }
+}
+
+fn submit_wait(service: &Service, req: JobRequest) -> sygraph_service::JobRecord {
+    let id = service.submit(req).expect("submit");
+    service.wait(id).expect("job exists")
+}
+
+/// Cached results are bit-identical to forced recomputes, across the
+/// four-dataset suite and all six algorithms.
+#[test]
+fn cache_hits_are_bit_identical_to_recompute() {
+    let suite = [
+        ("usa", datasets::road_usa(Scale::Test)),
+        ("hollyw", datasets::hollywood(Scale::Test)),
+        ("indo", datasets::indochina(Scale::Test)),
+        ("kron", datasets::kron(Scale::Test)),
+    ];
+    let service = test_service(default_cfg());
+    for (name, ds) in &suite {
+        // cc needs symmetric input; register everything undirected so
+        // one resident copy serves the whole algorithm set.
+        service
+            .register_graph(
+                name,
+                ds.host.clone(),
+                RegisterOptions {
+                    undirected: true,
+                    pull: false,
+                },
+            )
+            .expect("register");
+        for algo in ["bfs", "sssp", "delta", "cc", "bc", "pagerank"] {
+            let req = |no_cache: bool| {
+                let mut r = if matches!(algo, "cc" | "pagerank") {
+                    JobRequest::unrooted(name, algo)
+                } else {
+                    JobRequest::rooted(name, algo, 1)
+                };
+                r.no_cache = Some(no_cache);
+                r.no_coalesce = Some(true);
+                r
+            };
+            let warm = submit_wait(&service, req(false));
+            assert_eq!(
+                warm.state,
+                JobState::Done,
+                "{name}/{algo}: {:?}",
+                warm.error
+            );
+            assert!(!warm.metrics.cache_hit);
+
+            let hit = submit_wait(&service, req(false));
+            assert_eq!(hit.state, JobState::Done);
+            assert!(hit.metrics.cache_hit, "{name}/{algo} second run must hit");
+            assert_eq!(hit.metrics.sim_ms, 0.0, "hits cost no device time");
+
+            let recomputed = submit_wait(&service, req(true));
+            assert!(!recomputed.metrics.cache_hit);
+            assert!(
+                hit.values
+                    .as_ref()
+                    .unwrap()
+                    .bits_eq(recomputed.values.as_ref().unwrap()),
+                "{name}/{algo}: cached result not bit-identical to recompute"
+            );
+        }
+    }
+}
+
+/// A coalesced batch's per-job values are bit-identical to serial rooted
+/// runs of the same requests, and the batch is visible only in metrics.
+#[test]
+fn coalesced_batch_is_bit_identical_to_serial() {
+    let ds = datasets::kron(Scale::Test);
+    let mut cfg = default_cfg();
+    cfg.workers = 1; // one claimer folds the whole paused backlog
+    cfg.start_paused = true;
+    let service = test_service(cfg);
+    service
+        .register_graph("kron", ds.host.clone(), RegisterOptions::default())
+        .expect("register");
+
+    let sources: Vec<u32> = (0..16)
+        .map(|i| (i * 31) % ds.host.vertex_count() as u32)
+        .collect();
+    let submit = |no_coalesce: bool| -> Vec<u64> {
+        sources
+            .iter()
+            .map(|&s| {
+                let mut r = JobRequest::rooted("kron", "bfs", s);
+                r.no_cache = Some(true);
+                r.no_coalesce = Some(no_coalesce);
+                service.submit(r).expect("submit")
+            })
+            .collect()
+    };
+
+    let serial_ids = submit(true);
+    service.resume();
+    service.wait_idle();
+    service.pause();
+    let coalesced_ids = submit(false);
+    service.resume();
+    service.wait_idle();
+
+    let mut saw_batch = false;
+    for (&sid, &cid) in serial_ids.iter().zip(&coalesced_ids) {
+        let s = service.job(sid).unwrap();
+        let c = service.job(cid).unwrap();
+        assert_eq!(s.state, JobState::Done, "{:?}", s.error);
+        assert_eq!(c.state, JobState::Done, "{:?}", c.error);
+        assert!(!s.metrics.coalesced);
+        assert!(
+            s.values
+                .as_ref()
+                .unwrap()
+                .bits_eq(c.values.as_ref().unwrap()),
+            "lane output differs from rooted run"
+        );
+        saw_batch |= c.metrics.coalesced && c.metrics.batch_size > 1;
+    }
+    assert!(
+        saw_batch,
+        "no coalesced batch formed from the paused backlog"
+    );
+    assert!(service.stats().coalesced_batches >= 1);
+}
+
+/// Admission control: a job whose modelled peak exceeds the per-job
+/// budget is rejected up front (typed, 413), while small jobs on the
+/// same service proceed normally.
+#[test]
+fn admission_rejects_oversized_while_small_jobs_proceed() {
+    let small = datasets::road_ca(Scale::Test);
+    let big = datasets::kron(Scale::Test);
+    let n_small = small.host.vertex_count() as u64;
+    let n_big = big.host.vertex_count() as u64;
+    assert!(n_big > n_small);
+    // Budget between the two modelled peaks.
+    let peak_small = modeled_peak_bytes(Algo::Bfs, n_small, small.host.edge_count() as u64, 1);
+    let peak_big = modeled_peak_bytes(Algo::Bfs, n_big, big.host.edge_count() as u64, 1);
+    assert!(peak_big > peak_small);
+    let mut cfg = default_cfg();
+    cfg.job_mem_budget = Some((peak_small + peak_big) / 2);
+    let service = test_service(cfg);
+    service
+        .register_graph("small", small.host.clone(), RegisterOptions::default())
+        .unwrap();
+    service
+        .register_graph("big", big.host.clone(), RegisterOptions::default())
+        .unwrap();
+
+    let rejected = submit_wait(&service, JobRequest::rooted("big", "bfs", 0));
+    assert_eq!(rejected.state, JobState::Rejected);
+    assert_eq!(rejected.http_status, Some(413));
+    assert_eq!(rejected.error_kind.as_deref(), Some("admission-rejected"));
+    assert!(rejected.values.is_none(), "rejected jobs do no work");
+
+    let ok = submit_wait(&service, JobRequest::rooted("small", "bfs", 0));
+    assert_eq!(ok.state, JobState::Done, "{:?}", ok.error);
+    assert!(ok.metrics.mem_peak_bytes > 0);
+    assert_eq!(service.stats().jobs_rejected, 1);
+}
+
+/// Submission boundaries return typed errors, never panics: unknown
+/// algorithm, unknown graph, missing source, out-of-range source,
+/// non-positive delta, malformed graph upload.
+#[test]
+fn submission_boundaries_are_typed() {
+    let service = test_service(default_cfg());
+    let ds = datasets::road_ca(Scale::Test);
+    let n = ds.host.vertex_count() as u32;
+    service
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+
+    let cases: Vec<(JobRequest, u16)> = vec![
+        (JobRequest::rooted("ca", "tarjan", 0), 400),
+        (JobRequest::rooted("nope", "bfs", 0), 404),
+        (JobRequest::unrooted("ca", "bfs"), 400),
+        (JobRequest::rooted("ca", "bfs", n), 400),
+        (JobRequest::rooted("ca", "bfs", u32::MAX), 400),
+        (
+            {
+                let mut r = JobRequest::rooted("ca", "delta", 0);
+                r.delta = Some(-1.0);
+                r
+            },
+            400,
+        ),
+    ];
+    for (req, want) in cases {
+        let err = service.submit(req.clone()).expect_err("must be refused");
+        assert_eq!(err.http_status(), want, "{req:?} -> {err}");
+    }
+
+    // Malformed upload: refused with the typed GraphError, nothing
+    // becomes resident.
+    let bad = sygraph_core::graph::CsrHost {
+        offsets: vec![0, 2, 1],
+        indices: vec![1, 0],
+        weights: None,
+    };
+    let err = service
+        .register_graph("bad", bad, RegisterOptions::default())
+        .expect_err("malformed upload must be refused");
+    assert!(matches!(err, ServiceError::InvalidGraph(_)));
+    assert_eq!(err.http_status(), 400);
+    assert_eq!(service.graphs().len(), 1);
+}
+
+/// Re-registering a graph bumps its version and invalidates cached
+/// results computed against the old upload.
+#[test]
+fn reregistration_invalidates_stale_cache() {
+    let service = test_service(default_cfg());
+    let ds = datasets::road_ca(Scale::Test);
+    service
+        .register_graph("g", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let first = submit_wait(&service, JobRequest::rooted("g", "bfs", 0));
+    assert!(!first.metrics.cache_hit);
+
+    // Same name, different structure: version 2.
+    let ds2 = datasets::kron(Scale::Test);
+    service
+        .register_graph("g", ds2.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let second = submit_wait(&service, JobRequest::rooted("g", "bfs", 0));
+    assert_eq!(second.state, JobState::Done, "{:?}", second.error);
+    assert!(
+        !second.metrics.cache_hit,
+        "cache must miss after re-registration"
+    );
+    assert_eq!(second.graph_version, 2);
+    assert_ne!(
+        first.values.as_ref().unwrap().len(),
+        second.values.as_ref().unwrap().len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// HTTP smoke (in-process, ephemeral port)
+// ---------------------------------------------------------------------------
+
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn http_endpoints_smoke() {
+    let service = Arc::new(test_service(default_cfg()));
+    let mut server = HttpServer::serve(service, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    assert_eq!(http(addr, "GET", "/health", "").0, 200);
+    assert_eq!(http(addr, "GET", "/ready", "").0, 200);
+
+    // Upload a graph as an edge list, then run BFS to completion.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/graphs",
+        r#"{"name":"line","vertices":4,"edges":[[0,1],[1,2],[2,3]]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/jobs?wait=1&values=1",
+        r#"{"graph":"line","algo":"bfs","source":0}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"values\":[0,1,2,3]"), "{body}");
+
+    // Typed failures on every HTTP boundary.
+    let cases = [
+        ("POST", "/jobs", "{not json", 400),
+        ("POST", "/jobs", r#"{"graph":"line","algo":"astar"}"#, 400),
+        (
+            "POST",
+            "/jobs",
+            r#"{"graph":"line","algo":"bfs","source":99}"#,
+            400,
+        ),
+        (
+            "POST",
+            "/jobs",
+            r#"{"graph":"ghost","algo":"bfs","source":0}"#,
+            404,
+        ),
+        (
+            "POST",
+            "/graphs",
+            r#"{"name":"bad","offsets":[0,5],"targets":[1]}"#,
+            400,
+        ),
+        ("GET", "/jobs/99999", "", 404),
+        ("GET", "/jobs/zzz", "", 400),
+        ("GET", "/nowhere", "", 404),
+        ("DELETE", "/jobs", "", 405),
+    ];
+    for (method, path, body, want) in cases {
+        let (status, response) = http(addr, method, path, body);
+        assert_eq!(status, want, "{method} {path}: {response}");
+        assert!(response.contains("error"), "{method} {path}: {response}");
+    }
+
+    // Graph listing reflects the upload.
+    let (status, body) = http(addr, "GET", "/graphs", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"name\":\"line\""), "{body}");
+
+    server.shutdown();
+}
