@@ -13,7 +13,7 @@ use sygraph_core::operators::compute;
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
+use crate::common::{guarded_init, make_frontier, AlgoResult};
 use crate::dispatch_by_word;
 
 /// Runs single-source Brandes BC from `src`.
@@ -67,11 +67,6 @@ fn run_many_impl<W: Word>(
     for &src in sources {
         assert!((src as usize) < n, "source out of range");
         let t0 = q.now_ns();
-        q.fill(&depth, INF_DIST);
-        q.fill(&sigma, 0.0);
-        q.fill(&delta, 0.0);
-        depth.store(src as usize, 0);
-        sigma.store(src as usize, 1.0);
 
         // Forward phase: BFS levels, counting shortest paths. Every
         // level's frontier is retained (`rotate_retaining`) for the
@@ -83,9 +78,21 @@ fn run_many_impl<W: Word>(
         let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
         let fin = take(&mut pool)?;
         let fout = take(&mut pool)?;
-        fin.insert_host(src);
+        guarded_init(q, &opts.recovery, || {
+            q.fill(&depth, INF_DIST);
+            q.fill(&sigma, 0.0);
+            q.fill(&delta, 0.0);
+            depth.store(src as usize, 0);
+            sigma.store(src as usize, 1.0);
+            fin.insert_host(src);
+        })?;
+        // Manual superstep loop (the engine cannot own the rotate —
+        // Brandes retains each level), stepped through `try_step` so an
+        // injected fault fails the pass typed. The sigma accumulation is
+        // a `fetch_add`, not a monotone min, so a partially-run
+        // superstep is not safe to retry: barrier semantics, no retries.
         let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout).mark_prefix("bc_fwd");
-        while engine.step(
+        while engine.try_step(
             |l, d, u, v, _e, _w| {
                 let old = l.fetch_min(&depth, v as usize, d + 1);
                 if old > d {
@@ -98,7 +105,7 @@ fn run_many_impl<W: Word>(
                 }
             },
             NO_COMPUTE,
-        ) {
+        )? {
             let fresh = take(&mut pool)?;
             levels.push(engine.rotate_retaining(fresh));
         }
@@ -122,6 +129,9 @@ fn run_many_impl<W: Word>(
                         false
                     });
             ev.wait();
+            // Dependency accumulation is additive; a skipped level could
+            // only be caught here, never repaired by re-running.
+            q.fault_barrier()?;
         }
 
         // The source's own dependency does not count.
@@ -131,6 +141,7 @@ fn run_many_impl<W: Word>(
             }
         })
         .wait();
+        q.fault_barrier()?;
 
         out.push(AlgoResult {
             values: delta.to_vec(),

@@ -17,7 +17,7 @@ use sygraph_core::inspector::{inspect, OptConfig, Tuning};
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
+use crate::common::{guarded_init, make_frontier, AlgoResult};
 
 /// Runs BFS from `src`, returning hop distances (unreached = `INF_DIST`).
 /// The distance stamp runs as a separate `compute` pass per superstep.
@@ -66,12 +66,13 @@ pub(crate) fn engine_run<W: Word, G: DeviceGraphView + ?Sized>(
     let t0 = q.now_ns();
 
     let dist = q.malloc_device::<u32>(n)?;
-    q.fill(&dist, INF_DIST);
-    dist.store(src as usize, 0);
-
     let fin = make_frontier::<W>(q, n, opts)?;
     let fout = make_frontier::<W>(q, n, opts)?;
-    fin.insert_host(src);
+    guarded_init(q, &opts.recovery, || {
+        q.fill(&dist, INF_DIST);
+        dist.store(src as usize, 0);
+        fin.insert_host(src);
+    })?;
 
     // Advance keeps unvisited destinations (Listing 1 lines 9-13);
     // compute stamps their distances (lines 14-17). The engine owns the

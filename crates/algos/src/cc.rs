@@ -10,7 +10,7 @@ use sygraph_core::graph::DeviceGraphView;
 use sygraph_core::inspector::{inspect, OptConfig, Tuning};
 use sygraph_sim::{Queue, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
+use crate::common::{guarded_init, make_frontier, AlgoResult};
 
 /// Runs label-propagation CC; returns per-vertex component labels
 /// (the minimum vertex id of each component).
@@ -61,13 +61,14 @@ fn run_shortcut_impl<W: Word, G: DeviceGraphView + ?Sized>(
     let t0 = q.now_ns();
 
     let labels = q.malloc_device::<u32>(n)?;
-    q.parallel_for("cc_init", n, |l, v| {
-        l.store(&labels, v, v as u32);
-    });
-
     let fin = make_frontier::<W>(q, n, opts)?;
     let fout = make_frontier::<W>(q, n, opts)?;
-    fin.fill_all(q);
+    guarded_init(q, &opts.recovery, || {
+        q.parallel_for("cc_init", n, |l, v| {
+            l.store(&labels, v, v as u32);
+        });
+        fin.fill_all(q);
+    })?;
 
     let ckpt: [&dyn CheckpointState; 1] = [&labels];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
@@ -126,14 +127,15 @@ fn run_impl<W: Word, G: DeviceGraphView + ?Sized>(
     let t0 = q.now_ns();
 
     let labels = q.malloc_device::<u32>(n)?;
-    q.parallel_for("cc_init", n, |l, v| {
-        l.store(&labels, v, v as u32);
-    });
-
     let fin = make_frontier::<W>(q, n, opts)?;
     let fout = make_frontier::<W>(q, n, opts)?;
     // Every vertex starts by distributing its label to its neighbors.
-    fin.fill_all(q);
+    guarded_init(q, &opts.recovery, || {
+        q.parallel_for("cc_init", n, |l, v| {
+            l.store(&labels, v, v as u32);
+        });
+        fin.fill_all(q);
+    })?;
 
     let ckpt: [&dyn CheckpointState; 1] = [&labels];
     let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)

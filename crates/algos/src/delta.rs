@@ -15,7 +15,7 @@ use sygraph_core::operators::filter;
 use sygraph_core::types::{VertexId, INF_WEIGHT};
 use sygraph_sim::{Queue, SimError, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
+use crate::common::{guarded_init, make_frontier, AlgoResult};
 use crate::dispatch_by_word;
 
 /// Runs Δ-stepping SSSP from `src` with bucket width `delta`.
@@ -43,14 +43,15 @@ fn run_impl<W: Word>(
     let t0 = q.now_ns();
 
     let dist = q.malloc_device::<f32>(n)?;
-    q.fill(&dist, INF_WEIGHT);
-    dist.store(src as usize, 0.0);
-
     let mut near = make_frontier::<W>(q, n, opts)?;
     let mut near_next = make_frontier::<W>(q, n, opts)?;
     let far = make_frontier::<W>(q, n, opts)?;
     let scratch = make_frontier::<W>(q, n, opts)?;
-    near.insert_host(src);
+    guarded_init(q, &opts.recovery, || {
+        q.fill(&dist, INF_WEIGHT);
+        dist.store(src as usize, 0.0);
+        near.insert_host(src);
+    })?;
 
     let mut threshold = delta;
     let mut iter = 0u32;
@@ -75,6 +76,12 @@ fn run_impl<W: Word>(
                     false
                 });
             ev.wait();
+            // A skipped advance would read as an empty `near_next` and
+            // silently truncate the traversal; surface it instead. (The
+            // relaxation itself is monotone, but the promote step below
+            // is not re-runnable, so the whole loop takes barrier
+            // semantics rather than retries.)
+            q.fault_barrier()?;
             swap(&mut near, &mut near_next);
             near_next.clear(q);
             iter += 1;
@@ -101,12 +108,19 @@ fn run_impl<W: Word>(
         // scratch holds the promoted set; near is empty after the drain,
         // so copy the promoted vertices in.
         filter::external(q, scratch.as_ref(), near.as_ref(), |_l, _v| true).wait();
+        // The promote sequence moves vertices from `far` through
+        // `scratch` into `near`; a fault between the two filters would
+        // drop the promoted set on a re-run, so it can only fail typed.
+        q.fault_barrier()?;
         iter += 1;
         if iter > max_iters {
             return Err(SimError::Algorithm("delta-stepping diverged".into()));
         }
     }
 
+    // Catches a fault latched at a census launch (`is_empty`), whose
+    // stale count could have ended either loop early.
+    q.fault_barrier()?;
     Ok(AlgoResult {
         values: dist.to_vec(),
         iterations: iter,

@@ -47,6 +47,9 @@ pub fn run(q: &Queue, g: &DeviceCsr, k: u32, opts: &OptConfig) -> SimResult<Algo
         ev.wait();
         // Peel: drop vertices below k.
         filter::inplace(q, &alive, |l, v| l.load(&degree, v as usize) >= k).wait();
+        // A skipped degree count or peel would read as "no change" and
+        // end the peeling early with a wrong membership; fail typed.
+        q.fault_barrier()?;
         let now = alive.count(q);
         iter += 1;
         if now == survivors {

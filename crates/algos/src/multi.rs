@@ -27,6 +27,7 @@ use sygraph_core::operators::compute;
 use sygraph_core::types::{VertexId, INF_DIST};
 use sygraph_sim::{Queue, SimResult};
 
+use crate::common::guarded_init;
 use crate::dispatch_by_word;
 
 /// Result of a batched multi-source run: one value vector per source, in
@@ -111,16 +112,18 @@ fn bfs_multi_impl<W: Word>(
     let mut batches = 0u32;
     for chunk in sources.chunks(w) {
         batches += 1;
-        q.fill(&depth, INF_DIST);
-        q.fill(&vis, 0u64);
-        fin.clear(q);
-        fout.clear(q);
-        for (i, &s) in chunk.iter().enumerate() {
-            fin.insert_host_masked(s, 1 << i);
-            depth.store(s as usize * w + i, 0);
-            let (vw, vs) = lane_locate(s, width);
-            vis.fetch_or(vw, 1u64 << (vs + i as u32));
-        }
+        guarded_init(q, &tuning.recovery, || {
+            q.fill(&depth, INF_DIST);
+            q.fill(&vis, 0u64);
+            fin.clear(q);
+            fout.clear(q);
+            for (i, &s) in chunk.iter().enumerate() {
+                fin.insert_host_masked(s, 1 << i);
+                depth.store(s as usize * w + i, 0);
+                let (vw, vs) = lane_locate(s, width);
+                vis.fetch_or(vw, 1u64 << (vs + i as u32));
+            }
+        })?;
         let mut engine = SuperstepEngine::new(q, g, *tuning, fin, fout)
             .mark_prefix("bfs_multi_iter")
             .max_iters(n + 1, "multi-source BFS failed to converge")
@@ -225,20 +228,22 @@ fn bc_multi_impl<W: Word>(
     for chunk in sources.chunks(w) {
         batches += 1;
         let live = live_mask(chunk.len());
-        q.fill(&depth, INF_DIST);
-        q.fill(&sigma, 0.0);
-        q.fill(&delta, 0.0);
-        q.fill(&coef, 0.0);
-        q.fill(&vis, 0u64);
-        fin.clear(q);
-        fout.clear(q);
-        for (i, &s) in chunk.iter().enumerate() {
-            fin.insert_host_masked(s, 1 << i);
-            depth.store(s as usize * w + i, 0);
-            sigma.store(s as usize * w + i, 1.0);
-            let (vw, vs) = lane_locate(s, width);
-            vis.fetch_or(vw, 1u64 << (vs + i as u32));
-        }
+        guarded_init(q, &tuning.recovery, || {
+            q.fill(&depth, INF_DIST);
+            q.fill(&sigma, 0.0);
+            q.fill(&delta, 0.0);
+            q.fill(&coef, 0.0);
+            q.fill(&vis, 0u64);
+            fin.clear(q);
+            fout.clear(q);
+            for (i, &s) in chunk.iter().enumerate() {
+                fin.insert_host_masked(s, 1 << i);
+                depth.store(s as usize * w + i, 0);
+                sigma.store(s as usize * w + i, 1.0);
+                let (vw, vs) = lane_locate(s, width);
+                vis.fetch_or(vw, 1u64 << (vs + i as u32));
+            }
+        })?;
         let mut engine = SuperstepEngine::new(q, &g.csr, *tuning, fin, fout)
             .mark_prefix("bc_multi_fwd")
             .max_iters(n + 1, "multi-source BC failed to converge")
@@ -280,8 +285,11 @@ fn bc_multi_impl<W: Word>(
             }
         };
 
+        // Sigma counting is additive, so a partially-run superstep is
+        // not safe to retry: step through `try_step_multi` and fail the
+        // batch typed on any injected fault.
         let mut levels: Vec<Box<dyn BitmapLike<W>>> = Vec::new();
-        while engine.step_multi(&fwd, Some(&stamp)) {
+        while engine.try_step_multi(&fwd, Some(&stamp))? {
             // Merge the superstep's discoveries into `vis` before the
             // rotate — the *next* superstep's accept masks must see them,
             // this one's must not.
@@ -297,6 +305,9 @@ fn bc_multi_impl<W: Word>(
                 l.fetch_or(&vis_m, vw, m << vs);
             })
             .wait();
+            // The vis merge must land before the next superstep's accept
+            // masks read it; a skipped merge can only fail typed.
+            q.fault_barrier()?;
             let fresh = match pool.pop() {
                 Some(f) => f,
                 None => Box::new(LaneFrontier::<W>::new(q, n, width)?),
@@ -437,6 +448,9 @@ fn bc_multi_impl<W: Word>(
                 }
             })
             .wait();
+            // Additive dependency accumulation: detect skipped level
+            // kernels here, never retry them.
+            q.fault_barrier()?;
         }
 
         // A source's own dependency does not count.

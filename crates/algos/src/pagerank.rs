@@ -7,13 +7,13 @@
 //! teleport term are folded in by a `compute` pass; iteration stops when
 //! the L1 delta drops below `tol` or after `max_iters` sweeps.
 
-use sygraph_core::engine::fixed_point;
+use sygraph_core::engine::fixed_point_resilient;
 use sygraph_core::graph::{DeviceCsr, DeviceGraphView};
 use sygraph_core::inspector::{OptConfig, Tuning};
 use sygraph_core::operators::advance::Advance;
 use sygraph_sim::{Queue, SimResult};
 
-use crate::common::AlgoResult;
+use crate::common::{guarded_init, AlgoResult};
 use crate::dispatch_by_word;
 
 /// PageRank parameters.
@@ -62,44 +62,57 @@ fn run_impl<W: sygraph_core::frontier::Word>(
     let share = q.malloc_device::<f32>(n)?;
     let dangling = q.malloc_device::<f32>(1)?;
     let l1_delta = q.malloc_device::<f32>(1)?;
-    q.fill(&rank, 1.0 / nf);
-
-    let d = params.damping;
-    let iterations = fixed_point(q, params.max_iters, "pr_iter", |q, _iter| {
-        q.fill(&next, 0.0);
-        dangling.store(0, 0.0);
-        l1_delta.store(0, 0.0);
-        q.parallel_for("pr_share", n, |l, v| {
-            let (lo, hi) = g.row_bounds(l, v as u32);
-            let r = l.load(&rank, v);
-            let deg = hi - lo;
-            if deg == 0 {
-                l.fetch_add_f32(&dangling, 0, r);
-                l.store(&share, v, 0.0);
-            } else {
-                l.store(&share, v, d * r / deg as f32);
-            }
-            l.compute(4);
-        });
-        let (ev, _) = Advance::<W, _>::all_vertices(q, g)
-            .tuning(tuning)
-            .run(|l, u, v, _e, _w| {
-                let s = l.load(&share, u as usize);
-                l.fetch_add_f32(&next, v as usize, s);
-                false
-            });
-        ev.wait();
-        let dang = dangling.load(0);
-        q.parallel_for("pr_apply", n, |l, v| {
-            let base = (1.0 - d) / nf + d * dang / nf;
-            let newv = l.load(&next, v) + base;
-            let old = l.load(&rank, v);
-            l.store(&rank, v, newv);
-            l.fetch_add_f32(&l1_delta, 0, (newv - old).abs());
-            l.compute(6);
-        });
-        Ok(l1_delta.load(0) >= params.tol)
+    guarded_init(q, &tuning.recovery, || {
+        q.fill(&rank, 1.0 / nf);
     })?;
+
+    // Each sweep resets its accumulators (`next`, `dangling`,
+    // `l1_delta`) up front and commits `rank` in the single trailing
+    // `pr_apply` launch, so a faulted sweep leaves `rank` untouched and
+    // re-runs cleanly under the resilient fixed point's retry contract.
+    let d = params.damping;
+    let iterations = fixed_point_resilient(
+        q,
+        &tuning.recovery,
+        params.max_iters,
+        "pr_iter",
+        |q, _iter| {
+            q.fill(&next, 0.0);
+            dangling.store(0, 0.0);
+            l1_delta.store(0, 0.0);
+            q.parallel_for("pr_share", n, |l, v| {
+                let (lo, hi) = g.row_bounds(l, v as u32);
+                let r = l.load(&rank, v);
+                let deg = hi - lo;
+                if deg == 0 {
+                    l.fetch_add_f32(&dangling, 0, r);
+                    l.store(&share, v, 0.0);
+                } else {
+                    l.store(&share, v, d * r / deg as f32);
+                }
+                l.compute(4);
+            });
+            let (ev, _) =
+                Advance::<W, _>::all_vertices(q, g)
+                    .tuning(tuning)
+                    .run(|l, u, v, _e, _w| {
+                        let s = l.load(&share, u as usize);
+                        l.fetch_add_f32(&next, v as usize, s);
+                        false
+                    });
+            ev.wait();
+            let dang = dangling.load(0);
+            q.parallel_for("pr_apply", n, |l, v| {
+                let base = (1.0 - d) / nf + d * dang / nf;
+                let newv = l.load(&next, v) + base;
+                let old = l.load(&rank, v);
+                l.store(&rank, v, newv);
+                l.fetch_add_f32(&l1_delta, 0, (newv - old).abs());
+                l.compute(6);
+            });
+            Ok(l1_delta.load(0) >= params.tol)
+        },
+    )?;
 
     Ok(AlgoResult {
         values: rank.to_vec(),

@@ -10,7 +10,7 @@ use sygraph_core::inspector::{OptConfig, Tuning};
 use sygraph_core::types::{VertexId, INF_WEIGHT};
 use sygraph_sim::{Queue, SimResult};
 
-use crate::common::{make_frontier, AlgoResult};
+use crate::common::{guarded_init, make_frontier, AlgoResult};
 use crate::dispatch_by_word;
 
 /// Runs Bellman-Ford SSSP from `src`, returning weighted distances
@@ -36,12 +36,13 @@ fn run_impl<W: Word>(
     let t0 = q.now_ns();
 
     let dist = q.malloc_device::<f32>(n)?;
-    q.fill(&dist, INF_WEIGHT);
-    dist.store(src as usize, 0.0);
-
     let fin = make_frontier::<W>(q, n, opts)?;
     let fout = make_frontier::<W>(q, n, opts)?;
-    fin.insert_host(src);
+    guarded_init(q, &opts.recovery, || {
+        q.fill(&dist, INF_WEIGHT);
+        dist.store(src as usize, 0.0);
+        fin.insert_host(src);
+    })?;
 
     // The relaxation lives entirely in the advance functor — no compute
     // phase, so fusion has nothing to add.

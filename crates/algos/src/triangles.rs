@@ -60,6 +60,8 @@ pub fn run(q: &Queue, g: &DeviceCsr, _opts: &OptConfig) -> SimResult<AlgoResult<
             }
         }
     });
+    // A silently-skipped count kernel would read back as zero triangles.
+    q.fault_barrier()?;
 
     Ok(AlgoResult {
         values: per_vertex.to_vec(),

@@ -39,6 +39,7 @@ fn service_for(ds: &Dataset, start_paused: bool) -> Service {
         job_mem_budget: None,
         cache_entries: 4096,
         start_paused,
+        ..ServiceConfig::default()
     };
     let service = Service::start(cfg).expect("start service");
     service

@@ -61,7 +61,16 @@
 //!                   [--batch-window-ms MS] [--batch-width 8|16|32|64]
 //!                   [--job-mem-budget BYTES[K|M|G]] [--cache-entries N]
 //!                   [--graphs name=spec[+undirected][+pull],...]
+//!                   [--max-queue N] [--default-timeout-ms MS]
+//!                   [--max-timeout-ms MS] [--inject-faults SPEC]
+//!                   [--retry N] [--checkpoint-every K]
+//!                   [--drain-deadline-ms MS] [--breaker-threshold N]
+//!                   [--breaker-open-ms MS] [--http-read-timeout-ms MS]
 //! ```
+//!
+//! The server installs SIGTERM/SIGINT handlers: on either signal it
+//! stops admissions, drains queued and in-flight jobs up to the drain
+//! deadline (DESIGN.md §16), prints the drain summary, and exits 0.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -124,9 +133,34 @@ fn serve_usage() -> ExitCode {
         "usage: sygraph-cli serve [--addr HOST:PORT] [--device v100s|max1100|mi100|host] \
          [--workers N] [--batch-window-ms MS] [--batch-width 8|16|32|64] \
          [--job-mem-budget BYTES[K|M|G]] [--cache-entries N] \
-         [--graphs name=spec[+undirected][+pull],...] [--paused]"
+         [--graphs name=spec[+undirected][+pull],...] [--paused] \
+         [--max-queue N] [--default-timeout-ms MS] [--max-timeout-ms MS] \
+         [--inject-faults SPEC] [--retry N] [--checkpoint-every K] \
+         [--drain-deadline-ms MS] [--breaker-threshold N] [--breaker-open-ms MS] \
+         [--http-read-timeout-ms MS]"
     );
     ExitCode::from(2)
+}
+
+/// Set by the SIGTERM/SIGINT handler; the serve loop polls it.
+static TERMINATE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATE.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs `on_terminate` for SIGTERM (15) and SIGINT (2) via the libc
+/// `signal` symbol std already links — no signal crate in this offline
+/// workspace. Only flag-setting happens in the handler; the drain runs
+/// on the main thread.
+fn install_terminate_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_terminate as *const () as usize); // SIGTERM
+        signal(2, on_terminate as *const () as usize); // SIGINT
+    }
 }
 
 /// Parses `--job-mem-budget` style sizes: plain bytes or a K/M/G suffix.
@@ -151,6 +185,9 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut device = "v100s".to_string();
     let mut cfg = ServiceConfig::default();
     let mut graph_specs: Vec<String> = Vec::new();
+    let mut http_read_timeout_ms: u64 = 30_000;
+    let mut retry: Option<u32> = None;
+    let mut checkpoint_every: Option<u32> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, ExitCode> {
@@ -197,6 +234,50 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Err(e) => return e,
             },
             "--paused" => cfg.start_paused = true,
+            "--max-queue" => match value("--max-queue").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.max_queue = n,
+                _ => return serve_usage(),
+            },
+            "--default-timeout-ms" => match value("--default-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.default_timeout_ms = Some(n),
+                _ => return serve_usage(),
+            },
+            "--max-timeout-ms" => match value("--max-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.max_timeout_ms = n,
+                _ => return serve_usage(),
+            },
+            "--inject-faults" => match value("--inject-faults").map(|v| FaultPlan::parse(&v)) {
+                Ok(Ok(plan)) => cfg.fault_plan = Some(plan),
+                Ok(Err(e)) => {
+                    eprintln!("bad --inject-faults spec: {e}");
+                    return serve_usage();
+                }
+                Err(e) => return e,
+            },
+            "--retry" => match value("--retry").map(|v| v.parse()) {
+                Ok(Ok(n)) => retry = Some(n),
+                _ => return serve_usage(),
+            },
+            "--checkpoint-every" => match value("--checkpoint-every").map(|v| v.parse()) {
+                Ok(Ok(n)) => checkpoint_every = Some(n),
+                _ => return serve_usage(),
+            },
+            "--drain-deadline-ms" => match value("--drain-deadline-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.drain_deadline_ms = n,
+                _ => return serve_usage(),
+            },
+            "--breaker-threshold" => match value("--breaker-threshold").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.breaker_threshold = n,
+                _ => return serve_usage(),
+            },
+            "--breaker-open-ms" => match value("--breaker-open-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => cfg.breaker_open_ms = n,
+                _ => return serve_usage(),
+            },
+            "--http-read-timeout-ms" => match value("--http-read-timeout-ms").map(|v| v.parse()) {
+                Ok(Ok(n)) => http_read_timeout_ms = n,
+                _ => return serve_usage(),
+            },
             other => {
                 eprintln!("unknown option {other}");
                 return serve_usage();
@@ -213,8 +294,20 @@ fn serve_main(args: &[String]) -> ExitCode {
             return serve_usage();
         }
     };
+    // Recovery policy: explicit --retry/--checkpoint-every win; a fault
+    // plan with neither defaults to the resilient policy, since running
+    // chaos against fail-fast workers tests nothing but the breaker.
+    cfg.recovery = match (retry, checkpoint_every) {
+        (None, None) if cfg.fault_plan.is_some() => RecoveryPolicy::resilient(3, 4),
+        (None, None) => RecoveryPolicy::default(),
+        (r, c) => {
+            let mut p = RecoveryPolicy::resilient(r.unwrap_or(3), c.unwrap_or(4));
+            p.degrade_on_oom = r.unwrap_or(3) > 0;
+            p
+        }
+    };
 
-    let service = match Service::start(cfg) {
+    let service = match Service::start(cfg.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to start service: {e}");
@@ -262,17 +355,41 @@ fn serve_main(args: &[String]) -> ExitCode {
         }
     }
 
-    let server = match HttpServer::serve(std::sync::Arc::new(service), &addr) {
+    let service = std::sync::Arc::new(service);
+    let mut server = match HttpServer::serve_with_read_timeout(
+        service.clone(),
+        &addr,
+        std::time::Duration::from_millis(http_read_timeout_ms),
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    install_terminate_handlers();
     println!("listening on http://{}", server.addr());
-    loop {
-        std::thread::park();
+    while !TERMINATE.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::park_timeout(std::time::Duration::from_millis(100));
     }
+
+    // Graceful drain: stop admissions, finish what we can within the
+    // deadline, then report and exit cleanly.
+    eprintln!(
+        "signal received; draining (deadline {} ms)",
+        cfg.drain_deadline_ms
+    );
+    let report = service.drain(std::time::Duration::from_millis(cfg.drain_deadline_ms));
+    server.shutdown();
+    eprintln!(
+        "drained: clean={} done={} failed={} shed_queued={} cancelled_in_flight={}",
+        report.clean,
+        report.jobs_done,
+        report.jobs_failed,
+        report.shed_queued,
+        report.cancelled_in_flight
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {

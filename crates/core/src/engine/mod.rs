@@ -720,6 +720,9 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
     ) -> SimResult<bool> {
         let policy = self.tuning.recovery;
         loop {
+            // Same cancellation boundary as `drive`: the caller owns the
+            // checkpoint cadence here, so check before every attempt.
+            self.q.check_cancelled()?;
             match self.try_step(&advance_f, compute_f) {
                 Ok(live) => {
                     session.retries = 0;
@@ -973,6 +976,18 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         post: Option<PostStep<'_, W>>,
     ) -> SimResult<u32> {
         let policy = self.tuning.recovery;
+        // A fault latched *before* the first superstep means setup
+        // kernels (distance fills, frontier seeds) were silently skipped
+        // — state the superstep retry contract cannot repair, because a
+        // retry only re-runs the superstep from its input frontier. Were
+        // it absorbed here, the run would "converge" instantly on
+        // uninitialized buffers; surface it as a typed failure instead.
+        // Algorithms that want init-time resilience re-run their
+        // (idempotent) setup under `guarded_init` before reaching this
+        // point, so a clean entry is the norm even under fault injection.
+        if let Some(e) = self.q.take_fault() {
+            return Err(e);
+        }
         let mut checkpoint: Option<EngineCheckpoint> = None;
         // Transient retries are per-superstep (reset on success); the OOM
         // ladder and the resume guard are per-run (degradation persists).
@@ -980,6 +995,15 @@ impl<'a, W: Word, G: DeviceGraphView + ?Sized> SuperstepEngine<'a, W, G> {
         let mut oom_rung = 0u32;
         let mut resumes = 0u32;
         loop {
+            // Cooperative cancellation rides the checkpoint cadence: a
+            // deadline or drain lands at the same superstep boundaries
+            // where the engine would checkpoint (every superstep when
+            // checkpointing is off). `recover` never retries `Cancelled`,
+            // so the abort is immediate and the run's buffers unwind
+            // cleanly through the normal error path.
+            if policy.checkpoint_every == 0 || self.iter.is_multiple_of(policy.checkpoint_every) {
+                self.q.check_cancelled()?;
+            }
             if policy.checkpoint_every > 0
                 && self.iter.is_multiple_of(policy.checkpoint_every)
                 && checkpoint.as_ref().is_none_or(|c| c.iteration != self.iter)
@@ -1262,6 +1286,50 @@ pub fn fixed_point(
     while iter < max_iters {
         q.mark(format!("{mark_prefix}{iter}"));
         let proceed = body(q, iter)?;
+        iter += 1;
+        if !proceed {
+            break;
+        }
+    }
+    Ok(iter)
+}
+
+/// [`fixed_point`] with the engine's fault-recovery and cancellation
+/// contract, for sweep-style algorithms (PageRank) that do not run
+/// through [`SuperstepEngine`]. After each sweep any injected fault is
+/// drained: transient and synthetic-OOM faults re-run the *same* sweep
+/// (with the policy's backoff) up to `policy.max_retries`, everything
+/// else propagates. The body must therefore be restartable — reset its
+/// per-sweep accumulators at the top and commit its persistent state in
+/// a single launch at the end, so a skipped launch prefix leaves the
+/// persistent state untouched. An attached [`CancelToken`] is checked
+/// before every sweep, giving deadline aborts the same per-iteration
+/// granularity the engine's checkpoint cadence provides.
+///
+/// [`CancelToken`]: sygraph_sim::CancelToken
+pub fn fixed_point_resilient(
+    q: &Queue,
+    policy: &RecoveryPolicy,
+    max_iters: u32,
+    mark_prefix: &str,
+    mut body: impl FnMut(&Queue, u32) -> SimResult<bool>,
+) -> SimResult<u32> {
+    let mut iter = 0u32;
+    let mut retries = 0u32;
+    while iter < max_iters {
+        q.check_cancelled()?;
+        q.mark(format!("{mark_prefix}{iter}"));
+        let proceed = body(q, iter)?;
+        if let Some(e) = q.take_fault() {
+            let retryable = matches!(e, SimError::Transient { .. } | SimError::OutOfMemory { .. });
+            if !retryable || retries >= policy.max_retries {
+                return Err(e);
+            }
+            retries += 1;
+            q.advance_clock_ns((policy.backoff_ns << (retries - 1).min(16)) as f64);
+            continue;
+        }
+        retries = 0;
         iter += 1;
         if !proceed {
             break;

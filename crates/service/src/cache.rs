@@ -7,11 +7,14 @@
 //! invalidates every result computed against the old upload — no
 //! explicit flush protocol, no stale serve.
 //!
-//! Bounded by entry count with FIFO eviction: the service workloads
-//! (bench sweeps, CI smoke) have no use for LRU precision, and FIFO
-//! keeps the lock hold time O(1).
+//! Bounded by entry count with LRU eviction: a lookup or overwrite
+//! refreshes the entry's recency, so the working set of a skewed query
+//! mix stays resident while one-shot results age out first. Recency is a
+//! monotone stamp per entry plus a `BTreeMap` from stamp to key, keeping
+//! every operation O(log capacity) under one short lock. Evictions are
+//! counted for `/stats`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -41,17 +44,40 @@ pub struct CachedResult {
     pub sim_ms: f64,
 }
 
-struct CacheInner {
-    map: HashMap<CacheKey, Arc<CachedResult>>,
-    fifo: VecDeque<CacheKey>,
+struct Entry {
+    result: Arc<CachedResult>,
+    /// This entry's position in the recency order (key into `recency`).
+    stamp: u64,
 }
 
-/// Shared result cache with hit/miss counters.
+struct CacheInner {
+    map: HashMap<CacheKey, Entry>,
+    /// Recency order: smallest stamp = least recently used.
+    recency: BTreeMap<u64, CacheKey>,
+    /// Monotone stamp source.
+    tick: u64,
+}
+
+impl CacheInner {
+    /// Moves `key`'s entry (already in `map`) to most-recently-used.
+    fn touch(&mut self, key: &CacheKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(key) {
+            self.recency.remove(&entry.stamp);
+            entry.stamp = tick;
+            self.recency.insert(tick, key.clone());
+        }
+    }
+}
+
+/// Shared result cache with hit/miss/eviction counters.
 pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
@@ -60,17 +86,25 @@ impl ResultCache {
         ResultCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
-                fifo: VecDeque::new(),
+                recency: BTreeMap::new(),
+                tick: 0,
             }),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up `key`, bumping the hit/miss counters.
+    /// Looks up `key`, bumping the hit/miss counters. A hit refreshes
+    /// the entry's recency.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedResult>> {
-        let found = self.inner.lock().map.get(key).cloned();
+        let mut inner = self.inner.lock();
+        let found = inner.map.get(key).map(|e| e.result.clone());
+        if found.is_some() {
+            inner.touch(key);
+        }
+        drop(inner);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -78,22 +112,33 @@ impl ResultCache {
         found
     }
 
-    /// Inserts (or overwrites) `key`, evicting the oldest entry when
-    /// full. Overwrites keep the original FIFO position — a re-stored
-    /// key is the same result recomputed, not new information.
+    /// Inserts (or overwrites) `key` at most-recently-used, evicting the
+    /// least recently used entries while over capacity.
     pub fn put(&self, key: CacheKey, result: CachedResult) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock();
-        if inner.map.insert(key.clone(), Arc::new(result)).is_none() {
-            inner.fifo.push_back(key);
-            while inner.map.len() > self.capacity {
-                if let Some(old) = inner.fifo.pop_front() {
-                    inner.map.remove(&old);
-                } else {
-                    break;
-                }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let old = inner.map.insert(
+            key.clone(),
+            Entry {
+                result: Arc::new(result),
+                stamp: tick,
+            },
+        );
+        if let Some(old) = old {
+            inner.recency.remove(&old.stamp);
+        }
+        inner.recency.insert(tick, key);
+        while inner.map.len() > self.capacity {
+            let Some((&stamp, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            if let Some(victim) = inner.recency.remove(&stamp) {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -112,6 +157,11 @@ impl ResultCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound (overwrites not counted).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Hits / lookups, 0.0 before any lookup.
@@ -162,15 +212,43 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_bounds_entries() {
+    fn lru_eviction_bounds_entries() {
         let cache = ResultCache::new(2);
         cache.put(key(0), result(0));
         cache.put(key(1), result(1));
         cache.put(key(2), result(2));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&key(0)).is_none(), "oldest entry evicted");
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&key(0)).is_none(), "least recent entry evicted");
         assert!(cache.get(&key(1)).is_some());
         assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let cache = ResultCache::new(2);
+        cache.put(key(0), result(0));
+        cache.put(key(1), result(1));
+        // Touch key(0): key(1) becomes least recently used.
+        assert!(cache.get(&key(0)).is_some());
+        cache.put(key(2), result(2));
+        assert!(cache.get(&key(0)).is_some(), "recently used entry survives");
+        assert!(cache.get(&key(1)).is_none(), "LRU entry evicted");
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn overwrite_refreshes_recency_without_eviction() {
+        let cache = ResultCache::new(2);
+        cache.put(key(0), result(0));
+        cache.put(key(1), result(1));
+        cache.put(key(0), result(7)); // overwrite: refresh, no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        cache.put(key(2), result(2));
+        assert!(cache.get(&key(1)).is_none(), "stale entry evicted first");
+        let v = cache.get(&key(0)).unwrap();
+        assert_eq!(v.values, JobValues::U32(vec![7]));
     }
 
     #[test]
@@ -179,5 +257,6 @@ mod tests {
         cache.put(key(0), result(0));
         assert!(cache.get(&key(0)).is_none());
         assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0);
     }
 }

@@ -31,6 +31,22 @@ pub enum ServiceError {
     },
     /// The simulated device failed while executing the job.
     Device(SimError),
+    /// The job's deadline passed — either while it waited in the queue
+    /// (shed before dispatch) or mid-run (the engine aborted at a
+    /// superstep-checkpoint boundary). `timeout_ms` is the effective
+    /// deadline after the server cap.
+    DeadlineExceeded { timeout_ms: u64 },
+    /// Backpressure: the submission queue is at capacity. Carries the
+    /// observed queue state and a `Retry-After` hint computed from the
+    /// measured drain rate.
+    Overloaded {
+        queued: usize,
+        limit: usize,
+        retry_after_ms: u64,
+    },
+    /// The service is draining: in-flight and queued jobs are finishing,
+    /// but no new work is admitted.
+    Draining,
     /// The service is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -47,8 +63,20 @@ impl ServiceError {
             // caller's fault.
             ServiceError::Device(SimError::InvalidInput(_)) => 400,
             ServiceError::Device(SimError::Unsupported(_)) => 400,
+            // A cancellation that escapes unmapped is a deadline abort.
+            ServiceError::Device(SimError::Cancelled { .. }) => 408,
             ServiceError::Device(_) => 500,
-            ServiceError::ShuttingDown => 503,
+            ServiceError::DeadlineExceeded { .. } => 408,
+            ServiceError::Overloaded { .. } => 429,
+            ServiceError::Draining | ServiceError::ShuttingDown => 503,
+        }
+    }
+
+    /// `Retry-After` hint in milliseconds, for errors that carry one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServiceError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
         }
     }
 
@@ -60,6 +88,9 @@ impl ServiceError {
             ServiceError::NotFound(_) => "not-found",
             ServiceError::AdmissionRejected { .. } => "admission-rejected",
             ServiceError::Device(_) => "device",
+            ServiceError::DeadlineExceeded { .. } => "deadline-exceeded",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Draining => "draining",
             ServiceError::ShuttingDown => "shutting-down",
         }
     }
@@ -79,6 +110,18 @@ impl fmt::Display for ServiceError {
                 "admission rejected: modelled peak {modeled_bytes} B exceeds per-job budget {budget_bytes} B"
             ),
             ServiceError::Device(e) => write!(f, "device error: {e}"),
+            ServiceError::DeadlineExceeded { timeout_ms } => {
+                write!(f, "deadline exceeded: job did not finish within {timeout_ms} ms")
+            }
+            ServiceError::Overloaded {
+                queued,
+                limit,
+                retry_after_ms,
+            } => write!(
+                f,
+                "overloaded: {queued} jobs queued (limit {limit}); retry after {retry_after_ms} ms"
+            ),
+            ServiceError::Draining => write!(f, "service draining: no new work admitted"),
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
         }
     }
@@ -134,5 +177,20 @@ mod tests {
             .http_status(),
             500
         );
+        assert_eq!(
+            ServiceError::DeadlineExceeded { timeout_ms: 50 }.http_status(),
+            408
+        );
+        let overloaded = ServiceError::Overloaded {
+            queued: 9,
+            limit: 8,
+            retry_after_ms: 1500,
+        };
+        assert_eq!(overloaded.http_status(), 429);
+        assert_eq!(overloaded.retry_after_ms(), Some(1500));
+        assert_eq!(overloaded.kind(), "overloaded");
+        assert_eq!(ServiceError::Draining.http_status(), 503);
+        assert_eq!(ServiceError::Draining.kind(), "draining");
+        assert_eq!(ServiceError::Draining.retry_after_ms(), None);
     }
 }

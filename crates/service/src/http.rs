@@ -47,8 +47,21 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// serves `service` until [`HttpServer::shutdown`].
+    /// serves `service` until [`HttpServer::shutdown`], with the default
+    /// 30 s per-connection read timeout.
     pub fn serve(service: Arc<Service>, addr: &str) -> std::io::Result<HttpServer> {
+        HttpServer::serve_with_read_timeout(service, addr, Duration::from_secs(30))
+    }
+
+    /// [`HttpServer::serve`] with an explicit read timeout: a client
+    /// that connects but never completes its request within `timeout`
+    /// gets a typed 408 `read-timeout` JSON body instead of holding a
+    /// connection thread open (slow-loris shedding).
+    pub fn serve_with_read_timeout(
+        service: Arc<Service>,
+        addr: &str,
+        timeout: Duration,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -67,7 +80,7 @@ impl HttpServer {
                     let service = service.clone();
                     let _ = std::thread::Builder::new()
                         .name("sygraph-http-conn".into())
-                        .spawn(move || handle_connection(service, stream));
+                        .spawn(move || handle_connection(service, stream, timeout));
                 }
             })?;
         Ok(HttpServer {
@@ -129,19 +142,39 @@ impl Request {
     }
 }
 
-fn handle_connection(service: Arc<Service>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+fn handle_connection(service: Arc<Service>, mut stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
     let (status, body) = match read_request(&mut stream) {
         Ok(req) => route(&service, &req),
-        Err(msg) => error_body(400, "bad-request", &msg),
+        Err(ReadError::Timeout) => error_body(
+            408,
+            "read-timeout",
+            &format!(
+                "request not received within {} ms",
+                read_timeout.as_millis()
+            ),
+        ),
+        Err(ReadError::Bad(msg)) => error_body(400, "bad-request", &msg),
+    };
+    // 429 bodies carry the drain-rate hint; surface it as the standard
+    // Retry-After header (seconds, rounded up) for header-only clients.
+    let retry_after = match (&body, status) {
+        (Value::Object(_), 429) => match body.get_field("retry_after_ms") {
+            Some(Value::UInt(ms)) => Some(ms.div_ceil(1000).max(1)),
+            Some(Value::Int(ms)) if *ms >= 0 => Some((*ms as u64).div_ceil(1000).max(1)),
+            _ => None,
+        },
+        _ => None,
     };
     let text = serde_json::to_string(&body).unwrap_or_else(|_| "{}".into());
+    let retry_header = retry_after.map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
     let _ = write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         status,
         status_text(status),
         text.len(),
+        retry_header,
         text
     );
     let _ = stream.flush();
@@ -154,15 +187,33 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
+/// Why a request could not be read: the socket read timed out (→ 408),
+/// or the bytes were malformed / the peer hung up (→ 400).
+enum ReadError {
+    Timeout,
+    Bad(String),
+}
+
+fn read_err(e: std::io::Error) -> ReadError {
+    match e.kind() {
+        // Unix reports a read timeout as WouldBlock, Windows as TimedOut.
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Bad(e.to_string()),
+    }
+}
+
 /// Reads one request: request line, headers, `Content-Length` body.
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    let bad = |msg: &str| ReadError::Bad(msg.to_string());
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -170,11 +221,11 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             break pos;
         }
         if buf.len() > 64 << 10 {
-            return Err("headers exceed 64 KiB".into());
+            return Err(bad("headers exceed 64 KiB"));
         }
-        let got = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        let got = stream.read(&mut chunk).map_err(read_err)?;
         if got == 0 {
-            return Err("connection closed mid-request".into());
+            return Err(bad("connection closed mid-request"));
         }
         buf.extend_from_slice(&chunk[..got]);
     };
@@ -182,8 +233,11 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_uppercase();
-    let target = parts.next().ok_or("request line missing path")?;
+    let method = parts
+        .next()
+        .ok_or(bad("empty request line"))?
+        .to_uppercase();
+    let target = parts.next().ok_or(bad("request line missing path"))?;
     let mut content_length = 0usize;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -191,18 +245,20 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+                    .map_err(|_| bad(&format!("bad Content-Length {value:?}")))?;
             }
         }
     }
     if content_length > MAX_BODY {
-        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+        return Err(bad(&format!(
+            "body of {content_length} bytes exceeds {MAX_BODY}"
+        )));
     }
     let mut body = buf[header_end + 4..].to_vec();
     while body.len() < content_length {
-        let got = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        let got = stream.read(&mut chunk).map_err(read_err)?;
         if got == 0 {
-            return Err("connection closed mid-body".into());
+            return Err(bad("connection closed mid-body"));
         }
         body.extend_from_slice(&chunk[..got]);
     }
@@ -243,7 +299,11 @@ fn error_body(status: u16, kind: &str, msg: &str) -> (u16, Value) {
 }
 
 fn service_error(e: &ServiceError) -> (u16, Value) {
-    error_body(e.http_status(), e.kind(), &e.to_string())
+    let (status, mut body) = error_body(e.http_status(), e.kind(), &e.to_string());
+    if let (Some(ms), Value::Object(fields)) = (e.retry_after_ms(), &mut body) {
+        fields.push(("retry_after_ms".into(), Value::UInt(ms)));
+    }
+    (status, body)
 }
 
 // ---------------------------------------------------------------------------
@@ -257,7 +317,11 @@ fn route(service: &Service, req: &Request) -> (u16, Value) {
             if service.ready() {
                 (200, serde_json::json!("ready"))
             } else {
-                error_body(503, "shutting-down", "workers not accepting jobs")
+                error_body(
+                    503,
+                    "not-ready",
+                    "not accepting jobs (draining, shutting down, or above high water)",
+                )
             }
         }
         ("GET", "/graphs") => (200, list_graphs(service)),

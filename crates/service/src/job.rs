@@ -87,6 +87,12 @@ pub struct JobRequest {
     /// Opt this job out of request coalescing (forces a serial rooted
     /// pass even when batchmates are available).
     pub no_coalesce: Option<bool>,
+    /// Client deadline in milliseconds, measured from admission. Capped
+    /// by the server's `max_timeout_ms`; absent means the server's
+    /// `default_timeout_ms` (which may be no deadline at all). Jobs past
+    /// their deadline are shed from the queue or aborted mid-run with a
+    /// typed `deadline-exceeded` record (HTTP 408).
+    pub timeout_ms: Option<u64>,
 }
 
 impl JobRequest {
@@ -99,6 +105,7 @@ impl JobRequest {
             delta: None,
             no_cache: None,
             no_coalesce: None,
+            timeout_ms: None,
         }
     }
 
@@ -111,6 +118,7 @@ impl JobRequest {
             delta: None,
             no_cache: None,
             no_coalesce: None,
+            timeout_ms: None,
         }
     }
 }

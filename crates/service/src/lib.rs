@@ -17,6 +17,10 @@
 //!   back, per-lane bit-identical to serial runs.
 //! - **HTTP front end** ([`HttpServer`]): `/health`, `/ready`,
 //!   `/graphs`, `/jobs` over a hand-rolled `std::net` server.
+//! - **Resilience** (DESIGN.md §16): per-job deadlines enforced at
+//!   superstep-checkpoint boundaries, bounded-queue backpressure with
+//!   `Retry-After` hints, fault-wired workers with a per-worker circuit
+//!   breaker, and a [`Service::drain`] graceful-shutdown path.
 //!
 //! ```
 //! use sygraph_service::{JobRequest, RegisterOptions, Service, ServiceConfig};
@@ -44,7 +48,7 @@ pub use error::{ServiceError, ServiceResult};
 pub use http::HttpServer;
 pub use job::{Algo, JobMetrics, JobRecord, JobRequest, JobState, JobValues};
 pub use registry::{RegisterOptions, RegisteredGraph, Registry};
-pub use scheduler::{modeled_peak_bytes, Scheduler, ServiceConfig, StatsSnapshot};
+pub use scheduler::{modeled_peak_bytes, DrainReport, Scheduler, ServiceConfig, StatsSnapshot};
 
 use sygraph_core::graph::CsrHost;
 
@@ -123,9 +127,23 @@ impl Service {
         self.scheduler.resume()
     }
 
-    /// Workers accepting jobs?
+    /// Accepting jobs and below the queue high-water mark?
     pub fn ready(&self) -> bool {
         self.scheduler.ready()
+    }
+
+    /// Gracefully drains the service: stops admissions, finishes queued
+    /// and in-flight work up to `deadline`, cancels the rest, joins the
+    /// workers, and reports every terminal job record. See
+    /// [`Scheduler::drain`].
+    pub fn drain(&self, deadline: std::time::Duration) -> DrainReport {
+        self.scheduler.drain(deadline)
+    }
+
+    /// Hard stop: see [`Scheduler::shutdown`]. Queued jobs stay
+    /// `Queued`; prefer [`Service::drain`] in servers.
+    pub fn shutdown(&self) {
+        self.scheduler.shutdown()
     }
 
     pub fn stats(&self) -> StatsSnapshot {

@@ -34,6 +34,15 @@ pub enum SimError {
     /// The device died (sticky): every subsequent launch fails until the
     /// queue is revived. Recovery requires replaying from a checkpoint.
     DeviceLost { kernel: String, launch: u64 },
+    /// Cooperative cancellation: a [`CancelToken`] attached to the queue
+    /// was cancelled or its deadline passed. The engine checks the token
+    /// at superstep-checkpoint boundaries, so the abort is clean — no
+    /// half-applied superstep ever escapes. This is the *caller's*
+    /// request (a service deadline or drain), not a device failure, so
+    /// recovery policies never retry it.
+    ///
+    /// [`CancelToken`]: crate::cancel::CancelToken
+    Cancelled { reason: String },
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +69,7 @@ impl fmt::Display for SimError {
             SimError::DeviceLost { kernel, launch } => {
                 write!(f, "device lost: kernel `{kernel}` at launch #{launch}")
             }
+            SimError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }

@@ -20,6 +20,9 @@
 //!   `F` of VRAM (real allocations beyond it fail).
 //! * `oom-prob=P` — each launch attempt independently fails with synthetic
 //!   OOM with probability `P`, derived from `seed` (deterministic).
+//! * `transient-prob=P` — each launch attempt independently fails with
+//!   [`SimError::Transient`] with probability `P`, from an independent
+//!   seeded stream (the chaos bench's background fault rate).
 //! * `seed=S` — seed for probabilistic faults (default 0).
 //!
 //! Launch *attempt* ordinals are 0-based and count launches that reached the
@@ -54,6 +57,9 @@ pub struct FaultPlan {
     pub oom_limit: Option<f64>,
     /// Per-launch probability of synthetic OOM.
     pub oom_prob: f64,
+    /// Per-launch probability of a transient failure (independent seeded
+    /// stream from `oom_prob`).
+    pub transient_prob: f64,
     /// Seed for probabilistic faults.
     pub seed: u64,
 }
@@ -98,6 +104,11 @@ impl FaultPlan {
                     Ok(p) if (0.0..=1.0).contains(&p) => plan.oom_prob = p,
                     _ => return bad(part, "expected oom-prob=P with P in [0,1]"),
                 }
+            } else if let Some(rest) = part.strip_prefix("transient-prob=") {
+                match rest.parse::<f64>() {
+                    Ok(p) if (0.0..=1.0).contains(&p) => plan.transient_prob = p,
+                    _ => return bad(part, "expected transient-prob=P with P in [0,1]"),
+                }
             } else if let Some(rest) = part.strip_prefix("seed=") {
                 match rest.parse::<u64>() {
                     Ok(s) => plan.seed = s,
@@ -122,6 +133,8 @@ impl FaultPlan {
             .transient
             .iter()
             .any(|&(at, n)| ordinal >= at && ordinal < at + n)
+            || (self.transient_prob > 0.0
+                && unit_hash(self.seed ^ TRANSIENT_SALT, ordinal) < self.transient_prob)
         {
             return Some(SimError::Transient {
                 kernel: kernel.to_string(),
@@ -143,6 +156,10 @@ impl FaultPlan {
         None
     }
 }
+
+/// Salt separating the transient-prob draw stream from the oom-prob one:
+/// with both clauses set, the two fault kinds fire independently.
+const TRANSIENT_SALT: u64 = 0x7A6E_5D4C_3B2A_1908;
 
 /// Deterministic hash of `(seed, ordinal)` mapped to `[0, 1)`.
 fn unit_hash(seed: u64, ordinal: u64) -> f64 {
@@ -300,6 +317,37 @@ mod tests {
         inj.revive();
         assert!(inj.alloc_fault().is_none());
         assert!(!inj.intercept("c"));
+    }
+
+    #[test]
+    fn prob_transient_is_deterministic_and_independent_of_oom() {
+        let p = FaultPlan::parse("transient-prob=0.25,oom-prob=0.25,seed=9").unwrap();
+        let kinds: Vec<u8> = (0..256)
+            .map(|i| match p.fault_at(i, "k") {
+                Some(SimError::Transient { .. }) => 1,
+                Some(SimError::OutOfMemory { .. }) => 2,
+                Some(_) => 3,
+                None => 0,
+            })
+            .collect();
+        let again: Vec<u8> = (0..256)
+            .map(|i| match p.fault_at(i, "k") {
+                Some(SimError::Transient { .. }) => 1,
+                Some(SimError::OutOfMemory { .. }) => 2,
+                Some(_) => 3,
+                None => 0,
+            })
+            .collect();
+        assert_eq!(kinds, again);
+        let transients = kinds.iter().filter(|&&k| k == 1).count();
+        let ooms = kinds.iter().filter(|&&k| k == 2).count();
+        assert!(
+            transients > 20 && transients < 110,
+            "{transients} transients"
+        );
+        // Transient is checked first, so OOM only lands where the
+        // transient draw missed; still plenty of independent hits.
+        assert!(ooms > 10, "{ooms} ooms");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod coalesce;
 pub mod cost;
 pub mod device;
@@ -49,6 +50,7 @@ pub mod queue;
 pub mod sanitize;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use device::{DeviceProfile, Vendor};
 pub use error::{SimError, SimResult};
 pub use exec::{full_mask, Accounting, GroupCtx, ItemCtx, LaunchConfig, SubgroupCtx, MAX_SUBGROUP};

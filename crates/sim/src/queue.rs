@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use crate::cache::CacheHierarchy;
+use crate::cancel::CancelToken;
 use crate::cost::{self, CuAgg};
 use crate::device::DeviceProfile;
 use crate::error::{SimError, SimResult};
@@ -95,6 +96,9 @@ pub struct Queue {
     sanitizer: Option<Arc<Sanitizer>>,
     /// Fault injector, attached via [`Queue::with_faults`].
     faults: Option<FaultInjector>,
+    /// Cooperative cancellation, attached via [`Queue::set_cancel_token`].
+    /// The superstep engine polls it at checkpoint boundaries.
+    cancel: Mutex<Option<CancelToken>>,
 }
 
 impl Queue {
@@ -115,6 +119,7 @@ impl Queue {
             profiler: Arc::new(Profiler::new()),
             sanitizer: None,
             faults: None,
+            cancel: Mutex::new(None),
         }
     }
 
@@ -170,12 +175,45 @@ impl Queue {
         self.faults.as_ref().is_some_and(|f| f.pending())
     }
 
+    /// Synchronization point for fault delivery: drains any pending
+    /// injected fault as an `Err`. Algorithms place this between phases
+    /// whose launches are *not* idempotent to re-run (and before reading
+    /// results back), so a silently-skipped launch surfaces as a typed
+    /// failure instead of corrupt output. A no-op without a fault plan.
+    pub fn fault_barrier(&self) -> SimResult<()> {
+        match self.take_fault() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Clears a sticky `DeviceLost` (models swapping in a fresh device for
     /// checkpoint resume). Device memory contents are preserved by the
     /// simulator; restoring state buffers is the caller's responsibility.
     pub fn revive(&self) {
         if let Some(f) = &self.faults {
             f.revive();
+        }
+    }
+
+    /// Attaches (or, with `None`, detaches) a [`CancelToken`]. Engine
+    /// loops poll it through [`Queue::check_cancelled`] at checkpoint
+    /// boundaries; a detached queue is never cancelled.
+    pub fn set_cancel_token(&self, token: Option<CancelToken>) {
+        *self.cancel.lock() = token;
+    }
+
+    /// The currently attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.cancel.lock().clone()
+    }
+
+    /// `Err(SimError::Cancelled)` when the attached token has fired;
+    /// `Ok(())` otherwise (including when no token is attached).
+    pub fn check_cancelled(&self) -> SimResult<()> {
+        match &*self.cancel.lock() {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 

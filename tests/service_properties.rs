@@ -1,17 +1,22 @@
 //! Service-layer properties: cache bit-identity, coalescing
-//! transparency, admission control, and typed errors (never panics) on
-//! every HTTP and submission boundary.
+//! transparency, admission control, typed errors (never panics) on
+//! every HTTP and submission boundary, and the resilience layer —
+//! deadlines, backpressure, fault-wired recovery, the circuit breaker,
+//! and drain-vs-shutdown semantics (DESIGN.md §16).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
+use proptest::prelude::*;
+use sygraph_core::engine::RecoveryPolicy;
 use sygraph_gen::{datasets, Scale};
 use sygraph_service::{
     modeled_peak_bytes, Algo, HttpServer, JobRequest, JobState, RegisterOptions, Service,
     ServiceConfig, ServiceError,
 };
-use sygraph_sim::DeviceProfile;
+use sygraph_sim::{DeviceProfile, FaultPlan};
 
 fn test_service(cfg: ServiceConfig) -> Service {
     Service::start(cfg).expect("service starts")
@@ -26,6 +31,7 @@ fn default_cfg() -> ServiceConfig {
         job_mem_budget: None,
         cache_entries: 4096,
         start_paused: false,
+        ..ServiceConfig::default()
     }
 }
 
@@ -358,5 +364,334 @@ fn http_endpoints_smoke() {
     assert_eq!(status, 200);
     assert!(body.contains("\"name\":\"line\""), "{body}");
 
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: deadlines, backpressure, fault-wired workers, drain
+// ---------------------------------------------------------------------------
+
+/// Like [`http`] but returns the raw response (status line + headers +
+/// body), for tests that assert on headers.
+fn http_raw(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    response
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Draining a service mid-coalescing loses and duplicates nothing:
+    /// every job submitted before the drain ends `Done`, appears exactly
+    /// once in the drain report, and the report is clean. The backlog is
+    /// built paused so `drain` itself (which unpauses) races the workers'
+    /// batch formation.
+    #[test]
+    fn drain_mid_coalescing_loses_nothing(
+        n_jobs in 1usize..20,
+        window_ms in 0u64..3,
+    ) {
+        let ds = datasets::road_ca(Scale::Test);
+        let nv = ds.host.vertex_count() as u32;
+        let mut cfg = default_cfg();
+        cfg.batch_window_ms = window_ms;
+        cfg.start_paused = true;
+        let service = test_service(cfg);
+        service
+            .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+            .unwrap();
+        let ids: Vec<u64> = (0..n_jobs)
+            .map(|i| {
+                let mut r = JobRequest::rooted("ca", "bfs", (i as u32 * 37) % nv);
+                r.no_cache = Some(true);
+                service.submit(r).expect("submit")
+            })
+            .collect();
+
+        let report = service.drain(Duration::from_secs(30));
+        prop_assert!(report.clean, "drain hit its deadline");
+        prop_assert_eq!(report.shed_queued, 0);
+        prop_assert_eq!(report.cancelled_in_flight, 0);
+        for &id in &ids {
+            let hits: Vec<_> = report.records.iter().filter(|r| r.id == id).collect();
+            prop_assert_eq!(hits.len(), 1, "job {} lost or duplicated", id);
+            prop_assert_eq!(hits[0].state, JobState::Done, "{:?}", &hits[0].error);
+        }
+        // Drained: no further admissions.
+        let err = service
+            .submit(JobRequest::rooted("ca", "bfs", 0))
+            .expect_err("post-drain submit must be refused");
+        prop_assert_eq!(err.http_status(), 503);
+    }
+}
+
+/// `shutdown` is the hard stop (queued jobs stay `Queued`); `drain` is
+/// the graceful one (the same backlog runs to `Done`).
+#[test]
+fn drain_differs_from_shutdown() {
+    let backlog = |svc: &Service| -> Vec<u64> {
+        (0..3)
+            .map(|i| {
+                let mut r = JobRequest::rooted("ca", "bfs", i * 11);
+                r.no_cache = Some(true);
+                svc.submit(r).expect("submit")
+            })
+            .collect()
+    };
+    let ds = datasets::road_ca(Scale::Test);
+
+    let mut cfg = default_cfg();
+    cfg.start_paused = true;
+    let hard = test_service(cfg.clone());
+    hard.register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let ids = backlog(&hard);
+    hard.shutdown();
+    for id in ids {
+        let rec = hard.job(id).expect("record survives shutdown");
+        assert_eq!(rec.state, JobState::Queued, "hard stop must not run jobs");
+    }
+
+    let graceful = test_service(cfg);
+    graceful
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let ids = backlog(&graceful);
+    let report = graceful.drain(Duration::from_secs(30));
+    assert!(report.clean);
+    for id in ids {
+        let rec = graceful.job(id).expect("record");
+        assert_eq!(rec.state, JobState::Done, "{:?}", rec.error);
+    }
+}
+
+/// A queued job whose deadline passes is shed before dispatch with the
+/// typed 408, and counted in `jobs_timeout`.
+#[test]
+fn expired_queued_job_is_shed_typed() {
+    let ds = datasets::road_ca(Scale::Test);
+    let mut cfg = default_cfg();
+    cfg.start_paused = true;
+    let service = test_service(cfg);
+    service
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let mut req = JobRequest::rooted("ca", "bfs", 0);
+    req.no_cache = Some(true);
+    req.timeout_ms = Some(1);
+    let id = service.submit(req).expect("submit");
+    std::thread::sleep(Duration::from_millis(30));
+    service.resume();
+    let rec = service.wait(id).expect("terminal");
+    assert_eq!(rec.state, JobState::Failed);
+    assert_eq!(rec.http_status, Some(408));
+    assert_eq!(rec.error_kind.as_deref(), Some("deadline-exceeded"));
+    assert!(rec.values.is_none());
+    assert!(service.stats().jobs_timeout >= 1);
+}
+
+/// Backpressure: a full queue refuses with the typed 429 carrying a
+/// positive Retry-After hint, `ready()` flips unready at the high-water
+/// mark, and the shed is counted — while the queued jobs still finish.
+#[test]
+fn full_queue_sheds_typed_with_retry_after() {
+    let ds = datasets::road_ca(Scale::Test);
+    let mut cfg = default_cfg();
+    cfg.max_queue = 2; // high water = 1
+    cfg.start_paused = true;
+    let service = test_service(cfg);
+    service
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    assert!(service.ready(), "empty queue is ready");
+    let submit = |src: u32| {
+        let mut r = JobRequest::rooted("ca", "bfs", src);
+        r.no_cache = Some(true);
+        service.submit(r)
+    };
+    let a = submit(0).expect("first fits");
+    assert!(!service.ready(), "at high water: unready");
+    let b = submit(1).expect("second fits");
+    let err = submit(2).expect_err("third must shed");
+    assert_eq!(err.http_status(), 429);
+    let hint = err.retry_after_ms().expect("429 carries Retry-After");
+    assert!(hint > 0);
+    assert!(matches!(
+        err,
+        ServiceError::Overloaded {
+            queued: 2,
+            limit: 2,
+            ..
+        }
+    ));
+    assert_eq!(service.stats().jobs_shed, 1);
+
+    service.resume();
+    for id in [a, b] {
+        let rec = service.wait(id).expect("terminal");
+        assert_eq!(rec.state, JobState::Done, "{:?}", rec.error);
+    }
+    assert!(service.ready(), "drained queue is ready again");
+}
+
+/// Fault-wired workers: with a transient fault plan attached through the
+/// config, every job still completes bit-identical to a clean service,
+/// and the recovery layer reports the retries it absorbed.
+#[test]
+fn faulted_workers_recover_bit_identical() {
+    let ds = datasets::kron(Scale::Test);
+    let sources: Vec<u32> = (0..8)
+        .map(|i| (i * 97) % ds.host.vertex_count() as u32)
+        .collect();
+    let run = |cfg: ServiceConfig| -> Vec<sygraph_service::JobRecord> {
+        let service = test_service(cfg);
+        service
+            .register_graph("kron", ds.host.clone(), RegisterOptions::default())
+            .unwrap();
+        sources
+            .iter()
+            .map(|&s| {
+                let mut r = JobRequest::rooted("kron", "bfs", s);
+                r.no_cache = Some(true);
+                submit_wait(&service, r)
+            })
+            .collect()
+    };
+
+    let clean = run(default_cfg());
+    let mut cfg = default_cfg();
+    cfg.workers = 1;
+    // 2% per-launch: high enough that the plan fires on every run of 8
+    // BFS jobs, low enough that the retry budget always absorbs it (at
+    // 5% a job can legitimately exhaust retries and fail typed — that
+    // path is the chaos harness's territory, not this test's).
+    // 2% per-launch with this seed: the plan fires (the recovery
+    // assertion below keeps the test honest) and the retry budget
+    // absorbs every fault. Retries reset only after a fully clean
+    // superstep, so an unlucky seed can legitimately exhaust them and
+    // fail typed — that path is the chaos harness's territory; this
+    // test pins a seed on the recovery side of the line. The run is
+    // deterministic: one worker, serial submits, per-queue ordinals.
+    cfg.fault_plan = Some(FaultPlan::parse("transient-prob=0.02,seed=1").unwrap());
+    cfg.recovery = RecoveryPolicy::resilient(3, 4);
+    let faulted = run(cfg);
+
+    let mut recoveries = 0u64;
+    for (c, f) in clean.iter().zip(&faulted) {
+        assert_eq!(f.state, JobState::Done, "{:?}", f.error);
+        assert!(
+            c.values
+                .as_ref()
+                .unwrap()
+                .bits_eq(f.values.as_ref().unwrap()),
+            "recovered run diverged from clean run"
+        );
+        recoveries += f.metrics.recovery_events;
+    }
+    assert!(recoveries > 0, "fault plan never fired — test is vacuous");
+}
+
+/// Repeated worker rebuilds trip the per-worker circuit breaker: with a
+/// device that is lost on every launch, jobs fail typed (500, never a
+/// panic), rebuilds are counted, the breaker trips, and the half-open
+/// probe fires after the hold-off.
+#[test]
+fn lost_device_trips_breaker() {
+    let ds = datasets::road_ca(Scale::Test);
+    let mut cfg = default_cfg();
+    cfg.workers = 1;
+    cfg.start_paused = true;
+    cfg.fault_plan = Some(FaultPlan::parse("lost@0").unwrap());
+    cfg.breaker_threshold = 2;
+    cfg.breaker_open_ms = 20;
+    let service = test_service(cfg);
+    service
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let ids: Vec<u64> = (0..4)
+        .map(|i| {
+            let mut r = JobRequest::rooted("ca", "bfs", i * 7);
+            r.no_cache = Some(true);
+            r.no_coalesce = Some(true); // one rebuild per job, not per batch
+            service.submit(r).expect("submit")
+        })
+        .collect();
+    service.resume();
+    for id in ids {
+        let rec = service.wait(id).expect("terminal");
+        assert_eq!(rec.state, JobState::Failed);
+        assert_eq!(rec.http_status, Some(500), "{:?}", rec.error);
+        assert_eq!(rec.error_kind.as_deref(), Some("device"));
+    }
+    let stats = service.stats();
+    assert!(
+        stats.worker_rebuilds >= 2,
+        "rebuilds: {}",
+        stats.worker_rebuilds
+    );
+    assert!(stats.breaker_trips >= 1, "breaker never tripped");
+    assert!(stats.breaker_probes >= 1, "half-open probe never fired");
+}
+
+/// A client that connects and never sends a request gets the typed 408
+/// `read-timeout` body instead of holding a connection slot forever.
+#[test]
+fn http_read_timeout_is_typed_408() {
+    let service = Arc::new(test_service(default_cfg()));
+    let mut server =
+        HttpServer::serve_with_read_timeout(service, "127.0.0.1:0", Duration::from_millis(100))
+            .expect("bind");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Send nothing; the server must time the read out.
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+    assert!(response.contains("read-timeout"), "{response}");
+
+    server.shutdown();
+}
+
+/// Over HTTP, a full queue answers 429 with both the `Retry-After`
+/// header and the `retry_after_ms` body field, and `/ready` reports 503
+/// while the queue sits above high water.
+#[test]
+fn http_backpressure_shape() {
+    let ds = datasets::road_ca(Scale::Test);
+    let mut cfg = default_cfg();
+    cfg.max_queue = 1;
+    cfg.start_paused = true;
+    let service = Arc::new(test_service(cfg));
+    service
+        .register_graph("ca", ds.host.clone(), RegisterOptions::default())
+        .unwrap();
+    let mut server = HttpServer::serve(service.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let body = r#"{"graph":"ca","algo":"bfs","source":0,"no_cache":true}"#;
+    let (status, _) = http(addr, "POST", "/jobs", body);
+    assert_eq!(status, 202, "first submission queues");
+
+    let raw = http_raw(addr, "POST", "/jobs", body);
+    assert!(raw.starts_with("HTTP/1.1 429"), "{raw}");
+    assert!(raw.contains("Retry-After: "), "{raw}");
+    assert!(raw.contains("\"retry_after_ms\""), "{raw}");
+    assert!(raw.contains("\"error_kind\":\"overloaded\""), "{raw}");
+
+    let (status, body) = http(addr, "GET", "/ready", "");
+    assert_eq!(status, 503, "{body}");
+
+    service.resume();
+    service.wait_idle();
+    assert_eq!(http(addr, "GET", "/ready", "").0, 200);
     server.shutdown();
 }
